@@ -1,0 +1,85 @@
+//! Error type for architecture construction and validation.
+
+use crate::fu::FuKind;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating an RSP architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// The functional-unit kind cannot be extracted from PEs and shared.
+    NotSharable(FuKind),
+    /// A shared group declared zero resources per row and per column.
+    EmptyGroup(FuKind),
+    /// Invalid pipeline depth for the given kind.
+    BadStages {
+        /// The resource kind.
+        kind: FuKind,
+        /// The rejected depth.
+        stages: u8,
+    },
+    /// Two groups (or a group and a local pipeline) declared for one kind.
+    DuplicateGroup(FuKind),
+    /// A shared kind is absent from the base PE design, so there is nothing
+    /// to extract.
+    MissingUnit(FuKind),
+    /// A locally pipelined kind is absent from the (post-extraction) PE.
+    MissingLocalUnit(FuKind),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::NotSharable(k) => write!(f, "{k} cannot be shared between PEs"),
+            ArchError::EmptyGroup(k) => {
+                write!(f, "shared group for {k} has zero resources per row and column")
+            }
+            ArchError::BadStages { kind, stages } => {
+                write!(f, "invalid pipeline depth {stages} for {kind}")
+            }
+            ArchError::DuplicateGroup(k) => {
+                write!(f, "{k} appears in more than one sharing/pipelining declaration")
+            }
+            ArchError::MissingUnit(k) => {
+                write!(f, "{k} is shared but absent from the base PE design")
+            }
+            ArchError::MissingLocalUnit(k) => {
+                write!(f, "{k} is locally pipelined but absent from the PE design")
+            }
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_nonempty() {
+        let errs = [
+            ArchError::NotSharable(FuKind::Mux),
+            ArchError::EmptyGroup(FuKind::Alu),
+            ArchError::BadStages {
+                kind: FuKind::Multiplier,
+                stages: 0,
+            },
+            ArchError::DuplicateGroup(FuKind::Multiplier),
+            ArchError::MissingUnit(FuKind::Shifter),
+            ArchError::MissingLocalUnit(FuKind::Alu),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(ArchError::NotSharable(FuKind::Mux));
+    }
+}

@@ -1,0 +1,309 @@
+//! Functional units and the operations they execute.
+//!
+//! The paper's processing element (PE) contains an operand multiplexer, an
+//! ALU, an array multiplier and shift logic (Table 1). Operations are
+//! classified by the [`FuKind`] that executes them; the multiplier is the
+//! *critical resource* of the evaluated domain (largest area **and** longest
+//! delay), which makes it the candidate for sharing (RS) and pipelining
+//! (RP).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A kind of functional unit inside (or shared between) processing elements.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_arch::FuKind;
+///
+/// assert!(FuKind::Multiplier.is_sharable());
+/// assert_eq!(FuKind::Alu.to_string(), "ALU");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Operand multiplexer selecting register/bus/immediate inputs.
+    Mux,
+    /// Arithmetic-logic unit: add, sub, abs, min/max, bitwise ops, move.
+    Alu,
+    /// 16×16 array multiplier producing a 32-bit product.
+    Multiplier,
+    /// Barrel shift logic.
+    Shifter,
+    /// Interface to the row read/write data buses (load/store issue logic).
+    MemPort,
+}
+
+impl FuKind {
+    /// All functional-unit kinds, in a stable order.
+    pub const ALL: [FuKind; 5] = [
+        FuKind::Mux,
+        FuKind::Alu,
+        FuKind::Multiplier,
+        FuKind::Shifter,
+        FuKind::MemPort,
+    ];
+
+    /// Whether the template allows extracting this unit from the PEs and
+    /// sharing it through bus switches.
+    ///
+    /// The paper shares *functional* resources; the operand mux and the
+    /// memory port are part of the PE/bus fabric and cannot be extracted.
+    pub fn is_sharable(self) -> bool {
+        matches!(self, FuKind::Alu | FuKind::Multiplier | FuKind::Shifter)
+    }
+
+    /// Whether the unit's datapath can be split by pipeline registers
+    /// (resource pipelining, §3.2 of the paper).
+    pub fn is_pipelinable(self) -> bool {
+        matches!(self, FuKind::Alu | FuKind::Multiplier | FuKind::Shifter)
+    }
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuKind::Mux => "Multiplexer",
+            FuKind::Alu => "ALU",
+            FuKind::Multiplier => "Array multiplier",
+            FuKind::Shifter => "Shift logic",
+            FuKind::MemPort => "Memory port",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An operation that a PE can be configured to perform in one context cycle.
+///
+/// The set covers every operation used by the paper's kernels (Table 3:
+/// `mult`, `add`, `sub`, `abs`, `shift`) plus the load/store operations
+/// visible in Fig. 2 and the bitwise/min/max operations any Morphosys-class
+/// ALU provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// 16-bit addition.
+    Add,
+    /// 16-bit subtraction.
+    Sub,
+    /// Absolute value.
+    Abs,
+    /// Minimum of two operands.
+    Min,
+    /// Maximum of two operands.
+    Max,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Asr,
+    /// 16×16 → 32-bit multiplication (the critical operation).
+    Mult,
+    /// Load a word from data memory over a row read bus.
+    Load,
+    /// Store a word to data memory over the row write bus.
+    Store,
+    /// Register move / route-through.
+    Mov,
+    /// Explicit idle cycle.
+    Nop,
+}
+
+impl OpKind {
+    /// All operation kinds, in a stable order.
+    pub const ALL: [OpKind; 16] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Abs,
+        OpKind::Min,
+        OpKind::Max,
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Xor,
+        OpKind::Shl,
+        OpKind::Shr,
+        OpKind::Asr,
+        OpKind::Mult,
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::Mov,
+        OpKind::Nop,
+    ];
+
+    /// The functional unit that executes this operation, or `None` for
+    /// [`OpKind::Nop`], which occupies nothing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::{FuKind, OpKind};
+    ///
+    /// assert_eq!(OpKind::Mult.fu(), Some(FuKind::Multiplier));
+    /// assert_eq!(OpKind::Nop.fu(), None);
+    /// ```
+    pub fn fu(self) -> Option<FuKind> {
+        match self {
+            OpKind::Add
+            | OpKind::Sub
+            | OpKind::Abs
+            | OpKind::Min
+            | OpKind::Max
+            | OpKind::And
+            | OpKind::Or
+            | OpKind::Xor
+            | OpKind::Mov => Some(FuKind::Alu),
+            OpKind::Shl | OpKind::Shr | OpKind::Asr => Some(FuKind::Shifter),
+            OpKind::Mult => Some(FuKind::Multiplier),
+            OpKind::Load | OpKind::Store => Some(FuKind::MemPort),
+            OpKind::Nop => None,
+        }
+    }
+
+    /// Number of value operands the operation consumes.
+    ///
+    /// `Load` consumes none: its address comes from the configuration
+    /// context (base + iteration-dependent offset), matching the `Ld`
+    /// operations of the paper's Fig. 2 where operands arrive over the row
+    /// read buses.
+    pub fn arity(self) -> usize {
+        match self {
+            OpKind::Abs | OpKind::Mov | OpKind::Store => 1,
+            OpKind::Nop | OpKind::Load => 0,
+            _ => 2,
+        }
+    }
+
+    /// Whether this is a memory operation (uses a row data bus).
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+
+    /// Short mnemonic used in schedule printouts (Fig. 2/6 style).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Add => "+",
+            OpKind::Sub => "-",
+            OpKind::Abs => "abs",
+            OpKind::Min => "min",
+            OpKind::Max => "max",
+            OpKind::And => "&",
+            OpKind::Or => "|",
+            OpKind::Xor => "^",
+            OpKind::Shl => "<<",
+            OpKind::Shr => ">>",
+            OpKind::Asr => ">>a",
+            OpKind::Mult => "*",
+            OpKind::Load => "Ld",
+            OpKind::Store => "St",
+            OpKind::Mov => "mov",
+            OpKind::Nop => ".",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Abs => "abs",
+            OpKind::Min => "min",
+            OpKind::Max => "max",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::Shl => "shl",
+            OpKind::Shr => "shr",
+            OpKind::Asr => "asr",
+            OpKind::Mult => "mult",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Mov => "mov",
+            OpKind::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_non_nop_op_has_a_fu() {
+        for op in OpKind::ALL {
+            if op == OpKind::Nop {
+                assert_eq!(op.fu(), None);
+            } else {
+                assert!(op.fu().is_some(), "{op} must map to a FU");
+            }
+        }
+    }
+
+    #[test]
+    fn mult_is_the_multiplier_op() {
+        let mult_ops: Vec<_> = OpKind::ALL
+            .iter()
+            .filter(|o| o.fu() == Some(FuKind::Multiplier))
+            .collect();
+        assert_eq!(mult_ops, vec![&OpKind::Mult]);
+    }
+
+    #[test]
+    fn shift_ops_use_shifter() {
+        for op in [OpKind::Shl, OpKind::Shr, OpKind::Asr] {
+            assert_eq!(op.fu(), Some(FuKind::Shifter));
+        }
+    }
+
+    #[test]
+    fn mem_ops_flagged() {
+        assert!(OpKind::Load.is_mem());
+        assert!(OpKind::Store.is_mem());
+        assert!(!OpKind::Mult.is_mem());
+    }
+
+    #[test]
+    fn sharable_units_are_functional() {
+        assert!(FuKind::Multiplier.is_sharable());
+        assert!(FuKind::Alu.is_sharable());
+        assert!(FuKind::Shifter.is_sharable());
+        assert!(!FuKind::Mux.is_sharable());
+        assert!(!FuKind::MemPort.is_sharable());
+    }
+
+    #[test]
+    fn arity_matches_semantics() {
+        assert_eq!(OpKind::Add.arity(), 2);
+        assert_eq!(OpKind::Abs.arity(), 1);
+        assert_eq!(OpKind::Nop.arity(), 0);
+        assert_eq!(OpKind::Load.arity(), 0);
+        assert_eq!(OpKind::Store.arity(), 1);
+    }
+
+    #[test]
+    fn display_and_mnemonic_nonempty() {
+        for op in OpKind::ALL {
+            assert!(!op.to_string().is_empty());
+            assert!(!op.mnemonic().is_empty());
+        }
+        for fu in FuKind::ALL {
+            assert!(!fu.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for op in OpKind::ALL {
+            let s = serde_json::to_string(&op).unwrap();
+            let back: OpKind = serde_json::from_str(&s).unwrap();
+            assert_eq!(op, back);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Rectangular array geometry: PE coordinates, row/column iteration.
+//!
+//! The RSP template assumes "any rectangular pipelining structure" (§4), so
+//! geometry is an `rows × cols` grid; the paper's experiments use 8×8 and
+//! the illustrating example (Fig. 1) uses 4×4.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coordinate of one processing element in the array.
+///
+/// Rows and columns are zero-based; the paper's Fig. 2 column numbering
+/// (`col#1`..`col#4`) maps to `col` 0..3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeId {
+    /// Row index, `0..rows`.
+    pub row: usize,
+    /// Column index, `0..cols`.
+    pub col: usize,
+}
+
+impl PeId {
+    /// Creates a PE coordinate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::PeId;
+    /// let pe = PeId::new(2, 5);
+    /// assert_eq!((pe.row, pe.col), (2, 5));
+    /// ```
+    pub fn new(row: usize, col: usize) -> Self {
+        Self { row, col }
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PE[{},{}]", self.row, self.col)
+    }
+}
+
+/// Dimensions of the reconfigurable array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayGeometry {
+    rows: usize,
+    cols: usize,
+}
+
+impl ArrayGeometry {
+    /// Creates an `rows × cols` geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero; the template requires a
+    /// non-empty rectangle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::ArrayGeometry;
+    /// let g = ArrayGeometry::new(8, 8);
+    /// assert_eq!(g.pe_count(), 64);
+    /// ```
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
+        Self { rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of PEs (`n × m` in eq. (2)).
+    pub fn pe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether `pe` lies inside this geometry.
+    pub fn contains(&self, pe: PeId) -> bool {
+        pe.row < self.rows && pe.col < self.cols
+    }
+
+    /// Iterates over all PEs in row-major order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::ArrayGeometry;
+    /// let g = ArrayGeometry::new(2, 3);
+    /// assert_eq!(g.iter().count(), 6);
+    /// ```
+    pub fn iter(&self) -> impl Iterator<Item = PeId> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |r| (0..cols).map(move |c| PeId::new(r, c)))
+    }
+
+    /// Iterates over the PEs of one row.
+    pub fn row_pes(&self, row: usize) -> impl Iterator<Item = PeId> + '_ {
+        debug_assert!(row < self.rows);
+        (0..self.cols).map(move |c| PeId::new(row, c))
+    }
+
+    /// Iterates over the PEs of one column.
+    pub fn col_pes(&self, col: usize) -> impl Iterator<Item = PeId> + '_ {
+        debug_assert!(col < self.cols);
+        (0..self.rows).map(move |r| PeId::new(r, col))
+    }
+
+    /// Linear index of a PE in row-major order.
+    pub fn linear(&self, pe: PeId) -> usize {
+        debug_assert!(self.contains(pe));
+        pe.row * self.cols + pe.col
+    }
+
+    /// Inverse of [`ArrayGeometry::linear`].
+    pub fn from_linear(&self, idx: usize) -> PeId {
+        debug_assert!(idx < self.pe_count());
+        PeId::new(idx / self.cols, idx % self.cols)
+    }
+}
+
+impl fmt::Display for ArrayGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_counts() {
+        let g = ArrayGeometry::new(8, 8);
+        assert_eq!(g.rows(), 8);
+        assert_eq!(g.cols(), 8);
+        assert_eq!(g.pe_count(), 64);
+        assert_eq!(g.iter().count(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_rows_rejected() {
+        let _ = ArrayGeometry::new(0, 4);
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let g = ArrayGeometry::new(4, 4);
+        assert!(g.contains(PeId::new(3, 3)));
+        assert!(!g.contains(PeId::new(4, 0)));
+        assert!(!g.contains(PeId::new(0, 4)));
+    }
+
+    #[test]
+    fn linear_round_trip() {
+        let g = ArrayGeometry::new(5, 7);
+        for pe in g.iter() {
+            assert_eq!(g.from_linear(g.linear(pe)), pe);
+        }
+    }
+
+    #[test]
+    fn row_and_col_iterators() {
+        let g = ArrayGeometry::new(3, 4);
+        assert_eq!(g.row_pes(1).count(), 4);
+        assert!(g.row_pes(1).all(|pe| pe.row == 1));
+        assert_eq!(g.col_pes(2).count(), 3);
+        assert!(g.col_pes(2).all(|pe| pe.col == 2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ArrayGeometry::new(8, 8).to_string(), "8x8");
+        assert_eq!(PeId::new(1, 2).to_string(), "PE[1,2]");
+    }
+
+    #[test]
+    fn row_major_order() {
+        let g = ArrayGeometry::new(2, 2);
+        let pes: Vec<_> = g.iter().collect();
+        assert_eq!(
+            pes,
+            vec![
+                PeId::new(0, 0),
+                PeId::new(0, 1),
+                PeId::new(1, 0),
+                PeId::new(1, 1)
+            ]
+        );
+    }
+}

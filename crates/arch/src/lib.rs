@@ -1,0 +1,73 @@
+//! # rsp-arch — CGRA architecture template model
+//!
+//! Structural model of the coarse-grained reconfigurable array template
+//! from *"Resource Sharing and Pipelining in Coarse-Grained Reconfigurable
+//! Architecture for Domain-Specific Optimization"* (Kim et al., DATE 2005).
+//!
+//! The template is a rectangular mesh of 16-bit processing elements (PEs)
+//! with per-row data buses and a configuration cache per PE (loop-pipelined
+//! execution, not SIMD). Its distinguishing features are:
+//!
+//! * **Resource sharing (RS)** — area-critical functional units (the array
+//!   multiplier in the paper's domain) are extracted from the PEs and
+//!   placed as banks along rows and/or columns; each PE reaches them
+//!   through a private bus switch ([`SharingPlan`], [`SharedGroup`]).
+//! * **Resource pipelining (RP)** — delay-critical units are split by
+//!   pipeline registers so the array clock shortens while the operation
+//!   takes several cycles ([`SharedGroup::stages`],
+//!   [`SharingPlan::with_local_pipeline`]).
+//!
+//! # Examples
+//!
+//! Build the paper's RSP#2 architecture (two 2-stage multipliers shared by
+//! each row of an 8×8 array) from scratch:
+//!
+//! ```
+//! use rsp_arch::{
+//!     ArrayGeometry, BaseArchitecture, BusSpec, FuKind, PeDesign, RspArchitecture,
+//!     SharedGroup, SharingPlan,
+//! };
+//!
+//! # fn main() -> Result<(), rsp_arch::ArchError> {
+//! let base = BaseArchitecture::new(
+//!     ArrayGeometry::new(8, 8),
+//!     PeDesign::full(),
+//!     BusSpec::paper_default(),
+//!     256,
+//! );
+//! let plan = SharingPlan::none()
+//!     .with_group(SharedGroup::new(FuKind::Multiplier, 2, 0, 2)?)?;
+//! let arch = RspArchitecture::new("RSP#2", base, plan)?;
+//!
+//! assert_eq!(arch.shared_resources().len(), 16);
+//! assert_eq!(arch.op_latency(rsp_arch::OpKind::Mult), 2);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Or use the [`presets`] that mirror the paper's Fig. 8 configurations:
+//!
+//! ```
+//! let rsp2 = rsp_arch::presets::rsp2();
+//! assert_eq!(rsp2.name(), "RSP#2");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod bus;
+mod error;
+mod fu;
+mod geometry;
+mod pe;
+pub mod presets;
+mod sharing;
+mod template;
+
+pub use bus::BusSpec;
+pub use error::ArchError;
+pub use fu::{FuKind, OpKind};
+pub use geometry::{ArrayGeometry, PeId};
+pub use pe::PeDesign;
+pub use sharing::{SharedGroup, SharedResourceId, SharingPlan, MAX_STAGES};
+pub use template::{BaseArchitecture, RspArchitecture};

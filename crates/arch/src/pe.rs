@@ -1,0 +1,164 @@
+//! Processing-element design: which functional units a PE contains.
+//!
+//! In the base template every PE is homogeneous and contains the full unit
+//! inventory (mux, ALU, multiplier, shifter, memory port). Resource sharing
+//! *extracts* the critical units from the PE — the remaining "shared PE"
+//! (`Sh_PE` in eq. (2)) reaches extracted units through its bus switch.
+
+use crate::fu::{FuKind, OpKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The functional-unit inventory of one processing element.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeDesign {
+    units: BTreeSet<FuKind>,
+    /// Datapath width in bits (the paper extends Morphosys' bus to 16 bit).
+    width_bits: u32,
+}
+
+impl PeDesign {
+    /// The full Morphosys-like PE of the paper's base architecture:
+    /// mux + ALU + array multiplier + shift logic + memory port, 16-bit.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::{FuKind, PeDesign};
+    /// let pe = PeDesign::full();
+    /// assert!(pe.has(FuKind::Multiplier));
+    /// assert_eq!(pe.width_bits(), 16);
+    /// ```
+    pub fn full() -> Self {
+        Self {
+            units: FuKind::ALL.iter().copied().collect(),
+            width_bits: 16,
+        }
+    }
+
+    /// A PE with an explicit unit set.
+    ///
+    /// The mux and memory port are always present (they are part of the PE
+    /// fabric, not optional resources) and are added if missing.
+    pub fn with_units<I: IntoIterator<Item = FuKind>>(units: I, width_bits: u32) -> Self {
+        let mut set: BTreeSet<FuKind> = units.into_iter().collect();
+        set.insert(FuKind::Mux);
+        set.insert(FuKind::MemPort);
+        Self {
+            units: set,
+            width_bits,
+        }
+    }
+
+    /// Datapath width in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Whether the PE contains the given unit locally.
+    pub fn has(&self, fu: FuKind) -> bool {
+        self.units.contains(&fu)
+    }
+
+    /// Iterates over the units present in this PE.
+    pub fn units(&self) -> impl Iterator<Item = FuKind> + '_ {
+        self.units.iter().copied()
+    }
+
+    /// Returns a copy of this design with `fu` extracted (for sharing).
+    ///
+    /// Extracting a unit that is absent is a no-op; extracting the mux or
+    /// memory port is not possible and the request is ignored (they are not
+    /// [`FuKind::is_sharable`]).
+    #[must_use]
+    pub fn without(&self, fu: FuKind) -> Self {
+        let mut d = self.clone();
+        if fu.is_sharable() {
+            d.units.remove(&fu);
+        }
+        d
+    }
+
+    /// Whether an operation can execute *locally* on this PE (ignoring any
+    /// shared banks it might additionally reach).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::{FuKind, OpKind, PeDesign};
+    /// let shared_pe = PeDesign::full().without(FuKind::Multiplier);
+    /// assert!(!shared_pe.supports_locally(OpKind::Mult));
+    /// assert!(shared_pe.supports_locally(OpKind::Add));
+    /// ```
+    pub fn supports_locally(&self, op: OpKind) -> bool {
+        match op.fu() {
+            None => true, // Nop needs nothing
+            Some(fu) => self.has(fu),
+        }
+    }
+}
+
+impl Default for PeDesign {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl fmt::Display for PeDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = self.units.iter().map(|u| u.to_string()).collect();
+        write!(f, "PE({}-bit: {})", self.width_bits, names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pe_has_everything() {
+        let pe = PeDesign::full();
+        for fu in FuKind::ALL {
+            assert!(pe.has(fu), "{fu} missing from full PE");
+        }
+        for op in OpKind::ALL {
+            assert!(pe.supports_locally(op));
+        }
+    }
+
+    #[test]
+    fn extraction_removes_multiplier_only() {
+        let pe = PeDesign::full().without(FuKind::Multiplier);
+        assert!(!pe.has(FuKind::Multiplier));
+        assert!(pe.has(FuKind::Alu));
+        assert!(!pe.supports_locally(OpKind::Mult));
+        assert!(pe.supports_locally(OpKind::Shl));
+    }
+
+    #[test]
+    fn fabric_units_cannot_be_extracted() {
+        let pe = PeDesign::full().without(FuKind::Mux).without(FuKind::MemPort);
+        assert!(pe.has(FuKind::Mux));
+        assert!(pe.has(FuKind::MemPort));
+    }
+
+    #[test]
+    fn with_units_always_adds_fabric() {
+        let pe = PeDesign::with_units([FuKind::Alu], 16);
+        assert!(pe.has(FuKind::Mux));
+        assert!(pe.has(FuKind::MemPort));
+        assert!(pe.has(FuKind::Alu));
+        assert!(!pe.has(FuKind::Multiplier));
+    }
+
+    #[test]
+    fn default_is_full() {
+        assert_eq!(PeDesign::default(), PeDesign::full());
+    }
+
+    #[test]
+    fn display_mentions_width() {
+        assert!(PeDesign::full().to_string().contains("16-bit"));
+    }
+}

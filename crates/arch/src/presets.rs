@@ -1,0 +1,239 @@
+//! Preset architectures from the paper.
+//!
+//! * [`base_8x8`] — the Morphosys-like base architecture of §5.1: 8×8 mesh
+//!   of full PEs, 16-bit datapath, two read / one write bus per row, a
+//!   configuration cache per PE.
+//! * [`rs(k)`](rs) / [`rsp(k)`](rsp) — the four sharing configurations of
+//!   Fig. 8, with combinational (RS) or 2-stage pipelined (RSP)
+//!   multipliers:
+//!
+//!   | # | per row (`shr`) | per column (`shc`) |
+//!   |---|-----------------|--------------------|
+//!   | 1 | 1 | 0 |
+//!   | 2 | 2 | 0 |
+//!   | 3 | 2 | 1 |
+//!   | 4 | 2 | 2 |
+//!
+//! * [`fig1_4x4`] — the 4×4 illustration array of Fig. 1 used by the
+//!   matrix-multiplication walkthrough (Figs. 2 and 6).
+
+use crate::bus::BusSpec;
+use crate::fu::FuKind;
+use crate::geometry::ArrayGeometry;
+use crate::pe::PeDesign;
+use crate::sharing::{SharedGroup, SharingPlan};
+use crate::template::{BaseArchitecture, RspArchitecture};
+
+/// Configuration-cache depth used by all presets. Generous enough for every
+/// kernel in the paper's suite (longest rearranged schedule < 128).
+pub const PRESET_CACHE_DEPTH: usize = 256;
+
+/// The `(shr, shc)` pairs of Fig. 8's four sharing configurations,
+/// indexed by `config - 1`.
+pub const FIG8_CONFIGS: [(usize, usize); 4] = [(1, 0), (2, 0), (2, 1), (2, 2)];
+
+/// The paper's base architecture (§5.1): 8×8 mesh, full 16-bit PEs.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_arch::presets;
+/// let base = presets::base_8x8();
+/// assert!(base.is_base());
+/// assert_eq!(base.geometry().pe_count(), 64);
+/// ```
+pub fn base_8x8() -> RspArchitecture {
+    RspArchitecture::new("Base", base_array(8, 8), SharingPlan::none())
+        .expect("base preset is valid")
+}
+
+/// The 4×4 illustration array of Fig. 1 (two read buses, one write bus).
+pub fn fig1_4x4() -> RspArchitecture {
+    RspArchitecture::new("Base-4x4", base_array(4, 4), SharingPlan::none())
+        .expect("4x4 preset is valid")
+}
+
+/// RS architecture `config` (1..=4) of Fig. 8: multipliers shared,
+/// combinational (1 stage).
+///
+/// # Panics
+///
+/// Panics if `config` is not in `1..=4`.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_arch::{presets, FuKind};
+/// let rs1 = presets::rs(1);
+/// // One multiplier shared by the 8 PEs of each row: 8 total.
+/// assert_eq!(rs1.shared_resources().len(), 8);
+/// ```
+pub fn rs(config: usize) -> RspArchitecture {
+    shared_preset(config, 1, 8, 8)
+}
+
+/// RSP architecture `config` (1..=4) of Fig. 8: multipliers shared *and*
+/// pipelined into two stages.
+///
+/// # Panics
+///
+/// Panics if `config` is not in `1..=4`.
+pub fn rsp(config: usize) -> RspArchitecture {
+    shared_preset(config, 2, 8, 8)
+}
+
+/// Convenience aliases matching the paper's table rows.
+pub fn rs1() -> RspArchitecture {
+    rs(1)
+}
+/// RS architecture #2 (two multipliers per row).
+pub fn rs2() -> RspArchitecture {
+    rs(2)
+}
+/// RS architecture #3 (two per row, one per column).
+pub fn rs3() -> RspArchitecture {
+    rs(3)
+}
+/// RS architecture #4 (two per row, two per column).
+pub fn rs4() -> RspArchitecture {
+    rs(4)
+}
+/// RSP architecture #1 (one 2-stage multiplier per row).
+pub fn rsp1() -> RspArchitecture {
+    rsp(1)
+}
+/// RSP architecture #2 (two 2-stage multipliers per row).
+pub fn rsp2() -> RspArchitecture {
+    rsp(2)
+}
+/// RSP architecture #3 (two per row, one per column, 2-stage).
+pub fn rsp3() -> RspArchitecture {
+    rsp(3)
+}
+/// RSP architecture #4 (two per row, two per column, 2-stage).
+pub fn rsp4() -> RspArchitecture {
+    rsp(4)
+}
+
+/// All nine architectures of Tables 2/4/5 in row order:
+/// Base, RS#1..4, RSP#1..4.
+pub fn table_architectures() -> Vec<RspArchitecture> {
+    let mut v = vec![base_8x8()];
+    for k in 1..=4 {
+        v.push(rs(k));
+    }
+    for k in 1..=4 {
+        v.push(rsp(k));
+    }
+    v
+}
+
+/// A generic shared-multiplier architecture on an arbitrary geometry —
+/// used by ablation sweeps.
+///
+/// # Panics
+///
+/// Panics if `shr == 0 && shc == 0` or `stages == 0` (delegates to
+/// [`SharedGroup::new`] validation).
+pub fn shared_multiplier(
+    name: impl Into<String>,
+    rows: usize,
+    cols: usize,
+    shr: usize,
+    shc: usize,
+    stages: u8,
+) -> RspArchitecture {
+    let plan = SharingPlan::none()
+        .with_group(
+            SharedGroup::new(FuKind::Multiplier, shr, shc, stages)
+                .expect("invalid shared-multiplier parameters"),
+        )
+        .expect("single group cannot duplicate");
+    RspArchitecture::new(name, base_array(rows, cols), plan)
+        .expect("full PE always contains a multiplier")
+}
+
+/// A pure-RP architecture: multiplier kept in every PE but pipelined.
+pub fn rp_only(stages: u8) -> RspArchitecture {
+    let plan = SharingPlan::none()
+        .with_local_pipeline(FuKind::Multiplier, stages)
+        .expect("valid local pipeline");
+    RspArchitecture::new(format!("RP-only({stages})"), base_array(8, 8), plan)
+        .expect("valid RP-only preset")
+}
+
+fn base_array(rows: usize, cols: usize) -> BaseArchitecture {
+    BaseArchitecture::new(
+        ArrayGeometry::new(rows, cols),
+        PeDesign::full(),
+        BusSpec::paper_default(),
+        PRESET_CACHE_DEPTH,
+    )
+}
+
+fn shared_preset(config: usize, stages: u8, rows: usize, cols: usize) -> RspArchitecture {
+    assert!(
+        (1..=4).contains(&config),
+        "Fig. 8 defines configurations 1..=4, got {config}"
+    );
+    let (shr, shc) = FIG8_CONFIGS[config - 1];
+    let prefix = if stages > 1 { "RSP" } else { "RS" };
+    shared_multiplier(format!("{prefix}#{config}"), rows, cols, shr, shc, stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_resource_totals() {
+        // Totals on 8x8: #1 -> 8, #2 -> 16, #3 -> 24, #4 -> 32.
+        let expect = [8usize, 16, 24, 32];
+        for k in 1..=4 {
+            assert_eq!(rs(k).shared_resources().len(), expect[k - 1], "RS#{k}");
+            assert_eq!(rsp(k).shared_resources().len(), expect[k - 1], "RSP#{k}");
+        }
+    }
+
+    #[test]
+    fn rs_is_combinational_rsp_is_two_stage() {
+        for k in 1..=4 {
+            assert_eq!(rs(k).op_latency(crate::OpKind::Mult), 1);
+            assert_eq!(rsp(k).op_latency(crate::OpKind::Mult), 2);
+        }
+    }
+
+    #[test]
+    fn table_architectures_order() {
+        let archs = table_architectures();
+        let names: Vec<_> = archs.iter().map(|a| a.name().to_string()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Base", "RS#1", "RS#2", "RS#3", "RS#4", "RSP#1", "RSP#2", "RSP#3", "RSP#4"
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "configurations 1..=4")]
+    fn out_of_range_config_panics() {
+        let _ = rs(5);
+    }
+
+    #[test]
+    fn rp_only_has_no_switch() {
+        let arch = rp_only(2);
+        assert!(!arch.plan().needs_switch());
+        assert_eq!(arch.op_latency(crate::OpKind::Mult), 2);
+        assert!(arch.effective_pe().has(FuKind::Multiplier));
+    }
+
+    #[test]
+    fn fig1_is_4x4() {
+        let a = fig1_4x4();
+        assert_eq!(a.geometry().rows(), 4);
+        assert_eq!(a.geometry().cols(), 4);
+        assert_eq!(a.base().buses().read_buses(), 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! The instantiated RSP architecture: base array + sharing plan, validated.
+
+use crate::bus::BusSpec;
+use crate::fu::OpKind;
+#[cfg(test)]
+use crate::fu::FuKind;
+use crate::geometry::{ArrayGeometry, PeId};
+use crate::pe::PeDesign;
+use crate::sharing::{SharedResourceId, SharingPlan};
+use crate::ArchError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The base reconfigurable array before any RSP refinement: geometry,
+/// homogeneous PE design, row buses, and per-PE configuration-cache depth.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaseArchitecture {
+    geometry: ArrayGeometry,
+    pe: PeDesign,
+    buses: BusSpec,
+    /// Contexts each PE's private configuration cache can hold. Loop
+    /// pipelining (unlike Morphosys' SIMD broadcast) needs a cache per PE
+    /// (§5.1); its depth bounds kernel schedule length.
+    config_cache_depth: usize,
+}
+
+impl BaseArchitecture {
+    /// Creates a base architecture.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::{ArrayGeometry, BaseArchitecture, BusSpec, PeDesign};
+    /// let base = BaseArchitecture::new(
+    ///     ArrayGeometry::new(8, 8),
+    ///     PeDesign::full(),
+    ///     BusSpec::paper_default(),
+    ///     128,
+    /// );
+    /// assert_eq!(base.geometry().pe_count(), 64);
+    /// ```
+    pub fn new(
+        geometry: ArrayGeometry,
+        pe: PeDesign,
+        buses: BusSpec,
+        config_cache_depth: usize,
+    ) -> Self {
+        assert!(config_cache_depth > 0, "config cache must hold >= 1 context");
+        Self {
+            geometry,
+            pe,
+            buses,
+            config_cache_depth,
+        }
+    }
+
+    /// Array geometry.
+    pub fn geometry(&self) -> ArrayGeometry {
+        self.geometry
+    }
+
+    /// The homogeneous PE design.
+    pub fn pe(&self) -> &PeDesign {
+        &self.pe
+    }
+
+    /// Row bus provisioning.
+    pub fn buses(&self) -> BusSpec {
+        self.buses
+    }
+
+    /// Depth of each PE's configuration cache (contexts).
+    pub fn config_cache_depth(&self) -> usize {
+        self.config_cache_depth
+    }
+}
+
+/// A validated RSP architecture instance: the base array refined by a
+/// [`SharingPlan`].
+///
+/// Construction checks that every shared kind exists in the base PE (there
+/// must be something to extract) and that locally pipelined kinds survive
+/// extraction. The *effective* PE (`Sh_PE` of eq. (2)) is the base PE with
+/// all shared kinds removed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RspArchitecture {
+    base: BaseArchitecture,
+    plan: SharingPlan,
+    effective_pe: PeDesign,
+    name: String,
+}
+
+impl RspArchitecture {
+    /// Builds and validates an architecture.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArchError::MissingUnit`] — a shared kind is not in the base PE.
+    /// * [`ArchError::MissingLocalUnit`] — a locally pipelined kind is not
+    ///   in the effective PE.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::presets;
+    /// let arch = presets::rsp2();
+    /// assert!(arch.plan().is_shared(rsp_arch::FuKind::Multiplier));
+    /// ```
+    pub fn new(
+        name: impl Into<String>,
+        base: BaseArchitecture,
+        plan: SharingPlan,
+    ) -> Result<Self, ArchError> {
+        let mut effective_pe = base.pe().clone();
+        for g in plan.groups() {
+            if !base.pe().has(g.kind()) {
+                return Err(ArchError::MissingUnit(g.kind()));
+            }
+            effective_pe = effective_pe.without(g.kind());
+        }
+        for (kind, _) in plan.local_pipelines() {
+            if !effective_pe.has(kind) {
+                return Err(ArchError::MissingLocalUnit(kind));
+            }
+        }
+        Ok(Self {
+            base,
+            plan,
+            effective_pe,
+            name: name.into(),
+        })
+    }
+
+    /// A human-readable architecture name (e.g. `"RSP#2"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The base array this architecture refines.
+    pub fn base(&self) -> &BaseArchitecture {
+        &self.base
+    }
+
+    /// The sharing/pipelining plan.
+    pub fn plan(&self) -> &SharingPlan {
+        &self.plan
+    }
+
+    /// Array geometry (shortcut for `base().geometry()`).
+    pub fn geometry(&self) -> ArrayGeometry {
+        self.base.geometry()
+    }
+
+    /// The PE after extraction of shared units (`Sh_PE` of eq. (2)).
+    /// Equals the base PE when nothing is shared.
+    pub fn effective_pe(&self) -> &PeDesign {
+        &self.effective_pe
+    }
+
+    /// Whether this is the unrefined base architecture.
+    pub fn is_base(&self) -> bool {
+        self.plan.is_base()
+    }
+
+    /// Latency in cycles of `op` on this architecture (pipeline depth of
+    /// the unit that executes it; 1 for combinational units and `Nop`).
+    pub fn op_latency(&self, op: OpKind) -> u8 {
+        match op.fu() {
+            None => 1,
+            Some(fu) => self.plan.latency_of(fu),
+        }
+    }
+
+    /// Whether `op` executes on a shared (extracted) resource.
+    pub fn op_is_shared(&self, op: OpKind) -> bool {
+        op.fu().is_some_and(|fu| self.plan.is_shared(fu))
+    }
+
+    /// Whether `pe` can execute `op` at all (locally or via a shared bank).
+    pub fn supports(&self, pe: PeId, op: OpKind) -> bool {
+        debug_assert!(self.geometry().contains(pe));
+        if self.effective_pe.supports_locally(op) {
+            return true;
+        }
+        op.fu()
+            .is_some_and(|fu| !self.plan.reachable_from(pe, fu).is_empty())
+    }
+
+    /// The shared resources `pe` can route `op` to (empty when `op` runs
+    /// locally).
+    pub fn candidates(&self, pe: PeId, op: OpKind) -> Vec<SharedResourceId> {
+        match op.fu() {
+            Some(fu) if self.plan.is_shared(fu) => self.plan.reachable_from(pe, fu),
+            _ => Vec::new(),
+        }
+    }
+
+    /// All physical shared resources of the array.
+    pub fn shared_resources(&self) -> Vec<SharedResourceId> {
+        self.plan.resources(self.geometry())
+    }
+
+    /// Whether a value produced on `from` can reach `to` within one
+    /// cycle: through the local register file (same PE) or over the
+    /// row/column interconnect the base architecture adds "to reduce
+    /// data arrangement cycles" (§5.1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::{presets, PeId};
+    /// let arch = presets::base_8x8();
+    /// assert!(arch.can_route(PeId::new(2, 3), PeId::new(2, 7))); // same row
+    /// assert!(arch.can_route(PeId::new(1, 4), PeId::new(6, 4))); // same column
+    /// assert!(!arch.can_route(PeId::new(0, 0), PeId::new(1, 1))); // diagonal
+    /// ```
+    pub fn can_route(&self, from: PeId, to: PeId) -> bool {
+        debug_assert!(self.geometry().contains(from) && self.geometry().contains(to));
+        from == to || from.row == to.row || from.col == to.col
+    }
+}
+
+impl fmt::Display for RspArchitecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} array, {}, {}]",
+            self.name,
+            self.geometry(),
+            self.base.buses(),
+            self.plan
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharing::SharedGroup;
+
+    fn base_4x4() -> BaseArchitecture {
+        BaseArchitecture::new(
+            ArrayGeometry::new(4, 4),
+            PeDesign::full(),
+            BusSpec::paper_default(),
+            32,
+        )
+    }
+
+    #[test]
+    fn base_architecture_supports_everything_locally() {
+        let arch = RspArchitecture::new("base", base_4x4(), SharingPlan::none()).unwrap();
+        assert!(arch.is_base());
+        for op in OpKind::ALL {
+            assert!(arch.supports(PeId::new(0, 0), op));
+            assert_eq!(arch.op_latency(op), 1);
+            assert!(!arch.op_is_shared(op));
+        }
+        assert!(arch.candidates(PeId::new(0, 0), OpKind::Mult).is_empty());
+    }
+
+    #[test]
+    fn sharing_extracts_multiplier() {
+        let plan = SharingPlan::none()
+            .with_group(SharedGroup::new(FuKind::Multiplier, 2, 0, 2).unwrap())
+            .unwrap();
+        let arch = RspArchitecture::new("rsp2-like", base_4x4(), plan).unwrap();
+        assert!(!arch.effective_pe().has(FuKind::Multiplier));
+        assert!(arch.effective_pe().has(FuKind::Alu));
+        assert!(arch.supports(PeId::new(1, 1), OpKind::Mult));
+        assert_eq!(arch.op_latency(OpKind::Mult), 2);
+        assert!(arch.op_is_shared(OpKind::Mult));
+        assert_eq!(arch.candidates(PeId::new(1, 1), OpKind::Mult).len(), 2);
+        assert_eq!(arch.shared_resources().len(), 8); // 4 rows * 2
+    }
+
+    #[test]
+    fn sharing_absent_unit_rejected() {
+        let pe = PeDesign::with_units([FuKind::Alu], 16); // no multiplier
+        let base = BaseArchitecture::new(
+            ArrayGeometry::new(2, 2),
+            pe,
+            BusSpec::paper_default(),
+            16,
+        );
+        let plan = SharingPlan::none()
+            .with_group(SharedGroup::new(FuKind::Multiplier, 1, 0, 1).unwrap())
+            .unwrap();
+        assert_eq!(
+            RspArchitecture::new("bad", base, plan),
+            Err(ArchError::MissingUnit(FuKind::Multiplier))
+        );
+    }
+
+    #[test]
+    fn local_pipeline_of_extracted_unit_rejected() {
+        // Share the multiplier *and* try to locally pipeline the shifter on
+        // a PE that lacks one.
+        let pe = PeDesign::with_units([FuKind::Alu, FuKind::Multiplier], 16);
+        let base = BaseArchitecture::new(
+            ArrayGeometry::new(2, 2),
+            pe,
+            BusSpec::paper_default(),
+            16,
+        );
+        let plan = SharingPlan::none()
+            .with_local_pipeline(FuKind::Shifter, 2)
+            .unwrap();
+        assert_eq!(
+            RspArchitecture::new("bad", base, plan),
+            Err(ArchError::MissingLocalUnit(FuKind::Shifter))
+        );
+    }
+
+    #[test]
+    fn display_includes_name_and_geometry() {
+        let arch = RspArchitecture::new("base", base_4x4(), SharingPlan::none()).unwrap();
+        let s = arch.to_string();
+        assert!(s.contains("base"));
+        assert!(s.contains("4x4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "config cache")]
+    fn zero_cache_depth_rejected() {
+        let _ = BaseArchitecture::new(
+            ArrayGeometry::new(2, 2),
+            PeDesign::full(),
+            BusSpec::paper_default(),
+            0,
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the architecture template invariants.
+
+use proptest::prelude::*;
+use rsp_arch::{
+    ArrayGeometry, BaseArchitecture, BusSpec, FuKind, OpKind, PeDesign, PeId, RspArchitecture,
+    SharedGroup, SharedResourceId, SharingPlan,
+};
+
+fn arb_geometry() -> impl Strategy<Value = ArrayGeometry> {
+    (1usize..=12, 1usize..=12).prop_map(|(r, c)| ArrayGeometry::new(r, c))
+}
+
+fn arb_group() -> impl Strategy<Value = SharedGroup> {
+    (0usize..=3, 0usize..=3, 1u8..=4).prop_filter_map("non-empty group", |(shr, shc, st)| {
+        SharedGroup::new(FuKind::Multiplier, shr, shc, st).ok()
+    })
+}
+
+proptest! {
+    #[test]
+    fn resource_count_matches_eq2(geom in arb_geometry(), g in arb_group()) {
+        // eq. (2): total = n*shr + m*shc.
+        let plan = SharingPlan::none().with_group(g).unwrap();
+        let resources = plan.resources(geom);
+        prop_assert_eq!(
+            resources.len(),
+            geom.rows() * g.per_row() + geom.cols() * g.per_col()
+        );
+        // No duplicates.
+        let mut sorted = resources.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), resources.len());
+    }
+
+    #[test]
+    fn reachability_is_consistent(geom in arb_geometry(), g in arb_group()) {
+        let plan = SharingPlan::none().with_group(g).unwrap();
+        let all = plan.resources(geom);
+        for pe in geom.iter() {
+            let reach = plan.reachable_from(pe, FuKind::Multiplier);
+            // Exactly the switch fan-in alternatives.
+            prop_assert_eq!(reach.len(), g.switch_fan_in());
+            for r in &reach {
+                prop_assert!(r.reaches(pe));
+                prop_assert!(all.contains(r), "{r} not a physical resource");
+            }
+            // Everything that claims to reach this PE is in its list.
+            for r in &all {
+                prop_assert_eq!(r.reaches(pe), reach.contains(r));
+            }
+        }
+    }
+
+    #[test]
+    fn every_resource_reaches_exactly_one_line(geom in arb_geometry(), g in arb_group()) {
+        let plan = SharingPlan::none().with_group(g).unwrap();
+        for r in plan.resources(geom) {
+            let reached = geom.iter().filter(|pe| r.reaches(*pe)).count();
+            let expected = match r {
+                SharedResourceId::Row { .. } => geom.cols(),
+                SharedResourceId::Col { .. } => geom.rows(),
+            };
+            prop_assert_eq!(reached, expected);
+        }
+    }
+
+    #[test]
+    fn op_latency_follows_group_stages(g in arb_group()) {
+        let plan = SharingPlan::none().with_group(g).unwrap();
+        let base = BaseArchitecture::new(
+            ArrayGeometry::new(4, 4),
+            PeDesign::full(),
+            BusSpec::paper_default(),
+            64,
+        );
+        let arch = RspArchitecture::new("p", base, plan).unwrap();
+        prop_assert_eq!(arch.op_latency(OpKind::Mult), g.stages());
+        // Non-shared kinds stay combinational.
+        prop_assert_eq!(arch.op_latency(OpKind::Add), 1);
+        prop_assert_eq!(arch.op_latency(OpKind::Shl), 1);
+        // The multiplier leaves the PE but Mult stays supported.
+        prop_assert!(!arch.effective_pe().has(FuKind::Multiplier));
+        prop_assert!(arch.supports(PeId::new(0, 0), OpKind::Mult));
+    }
+
+    #[test]
+    fn routing_relation_is_symmetric_and_reflexive(
+        geom in arb_geometry(),
+        a in (0usize..12, 0usize..12),
+        b in (0usize..12, 0usize..12),
+    ) {
+        let base = BaseArchitecture::new(geom, PeDesign::full(), BusSpec::paper_default(), 16);
+        let arch = RspArchitecture::new("p", base, SharingPlan::none()).unwrap();
+        let pa = PeId::new(a.0 % geom.rows(), a.1 % geom.cols());
+        let pb = PeId::new(b.0 % geom.rows(), b.1 % geom.cols());
+        prop_assert!(arch.can_route(pa, pa));
+        prop_assert_eq!(arch.can_route(pa, pb), arch.can_route(pb, pa));
+    }
+
+    #[test]
+    fn shared_shifter_and_alu_also_work(
+        kind_sel in 0usize..3,
+        shr in 1usize..=2,
+        st in 1u8..=2,
+    ) {
+        // Generic critical-resource support: any sharable kind can be the
+        // shared one.
+        let kind = [FuKind::Multiplier, FuKind::Alu, FuKind::Shifter][kind_sel];
+        let plan = SharingPlan::none()
+            .with_group(SharedGroup::new(kind, shr, 0, st).unwrap())
+            .unwrap();
+        let base = BaseArchitecture::new(
+            ArrayGeometry::new(4, 4),
+            PeDesign::full(),
+            BusSpec::paper_default(),
+            64,
+        );
+        let arch = RspArchitecture::new("p", base, plan).unwrap();
+        prop_assert!(!arch.effective_pe().has(kind));
+        // Ops of that kind are shared; everything else unaffected.
+        for op in OpKind::ALL {
+            if op.fu() == Some(kind) {
+                prop_assert!(arch.op_is_shared(op));
+                prop_assert_eq!(arch.op_latency(op), st);
+            } else if op.fu().is_some() {
+                prop_assert!(!arch.op_is_shared(op));
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_architecture(g in arb_group(), geom in arb_geometry()) {
+        let plan = SharingPlan::none().with_group(g).unwrap();
+        let base = BaseArchitecture::new(geom, PeDesign::full(), BusSpec::paper_default(), 32);
+        let arch = RspArchitecture::new("rt", base, plan).unwrap();
+        let json = serde_json::to_string(&arch).unwrap();
+        let back: RspArchitecture = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, arch);
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion bench: design-space exploration and the full Fig. 7 flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_arch::presets;
+use rsp_core::{
+    explore, run_flow, AppProfile, Constraints, DesignSpace, FlowConfig, Objective,
+};
+use rsp_kernel::suite;
+use rsp_mapper::{map, MapOptions};
+use std::hint::black_box;
+
+fn bench_explore(c: &mut Criterion) {
+    let base = presets::base_8x8().base().clone();
+    let kernels = suite::all();
+    let contexts: Vec<_> = kernels
+        .iter()
+        .map(|k| map(&base, k, &MapOptions::default()).unwrap())
+        .collect();
+    let weights = vec![1.0; kernels.len()];
+
+    let mut g = c.benchmark_group("explore");
+    g.sample_size(10);
+    for (name, space) in [
+        ("paper space (12 designs)", DesignSpace::paper()),
+        ("extended space (36+ designs)", DesignSpace::extended()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                explore(
+                    black_box(&base),
+                    &kernels,
+                    &contexts,
+                    &weights,
+                    &space,
+                    &Constraints::default(),
+                    Objective::AreaDelayProduct,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("flow");
+    g.sample_size(10);
+    g.bench_function("full Fig. 7 flow (H.263 domain)", |b| {
+        let apps = vec![AppProfile::new(
+            "H.263 encoder",
+            vec![
+                (suite::fdct(), 99),
+                (suite::sad(), 396),
+                (suite::mvm(), 50),
+            ],
+        )];
+        b.iter(|| run_flow(black_box(&apps), &FlowConfig::default()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: mapping every suite kernel onto the 8×8 base
+//! architecture (the "Pipeline Mapping" stage of Fig. 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_arch::presets;
+use rsp_kernel::suite;
+use rsp_mapper::{map, MapOptions};
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let base = presets::base_8x8();
+    let mut g = c.benchmark_group("map");
+    g.sample_size(20);
+    for kernel in suite::all() {
+        g.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                map(
+                    black_box(base.base()),
+                    black_box(&kernel),
+                    &MapOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.bench_function("MatMul-8 strict buses", |b| {
+        let k = suite::matmul(8);
+        let opts = MapOptions {
+            strict_buses: true,
+            ..MapOptions::default()
+        };
+        b.iter(|| map(black_box(base.base()), black_box(&k), &opts).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: RSP context rearrangement (the paper's core
+//! algorithm) across sharing configurations — the per-candidate cost the
+//! estimation stage of §4 avoids.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_arch::presets;
+use rsp_core::{estimate_stalls, rearrange};
+use rsp_kernel::suite;
+use rsp_mapper::{map, MapOptions};
+use std::hint::black_box;
+
+fn bench_rearrange(c: &mut Criterion) {
+    let base = presets::base_8x8();
+    let mut g = c.benchmark_group("rearrange");
+    g.sample_size(20);
+    for kernel in [suite::fdct(), suite::sad(), suite::matmul(8)] {
+        let ctx = map(base.base(), &kernel, &MapOptions::default()).unwrap();
+        for arch in [presets::rs1(), presets::rsp2(), presets::rsp4()] {
+            g.bench_function(format!("{} on {}", kernel.name(), arch.name()), |b| {
+                b.iter(|| rearrange(black_box(&ctx), black_box(&arch), &Default::default()))
+            });
+        }
+    }
+    g.finish();
+
+    // The estimate the DSE uses instead: orders of magnitude cheaper.
+    let mut g = c.benchmark_group("estimate");
+    g.sample_size(30);
+    for kernel in [suite::fdct(), suite::matmul(8)] {
+        let ctx = map(base.base(), &kernel, &MapOptions::default()).unwrap();
+        let arch = presets::rsp2();
+        g.bench_function(kernel.name(), |b| {
+            b.iter(|| estimate_stalls(black_box(&ctx), black_box(&kernel), black_box(&arch)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rearrange);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench: cycle-accurate simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_arch::presets;
+use rsp_core::rearrange;
+use rsp_kernel::{suite, Bindings, MemoryImage};
+use rsp_mapper::{map, MapOptions};
+use rsp_sim::{simulate_base, simulate_rearranged};
+use std::hint::black_box;
+
+fn bench_simulate(c: &mut Criterion) {
+    let base = presets::base_8x8();
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(20);
+    for kernel in [suite::fdct(), suite::sad(), suite::inner_product()] {
+        let ctx = map(base.base(), &kernel, &MapOptions::default()).unwrap();
+        let img = MemoryImage::random(&kernel, 42);
+        let params = Bindings::defaults(&kernel);
+        g.bench_function(format!("{} base", kernel.name()), |b| {
+            b.iter(|| {
+                simulate_base(
+                    black_box(&ctx),
+                    black_box(&base),
+                    &kernel,
+                    &img,
+                    &params,
+                )
+                .unwrap()
+            })
+        });
+        let arch = presets::rsp2();
+        let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+        g.bench_function(format!("{} RSP#2", kernel.name()), |b| {
+            b.iter(|| {
+                simulate_rearranged(
+                    black_box(&ctx),
+                    black_box(&arch),
+                    &r,
+                    &kernel,
+                    &img,
+                    &params,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulate);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: the analytic synthesis models (eq. (2) area + clock),
+//! which the DSE calls once per candidate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_arch::presets;
+use rsp_synth::{AreaModel, DelayModel};
+use std::hint::black_box;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let area = AreaModel::new();
+    let delay = DelayModel::new();
+    let archs = presets::table_architectures();
+
+    let mut g = c.benchmark_group("synthesis");
+    g.bench_function("area report x9 architectures", |b| {
+        b.iter(|| {
+            archs
+                .iter()
+                .map(|a| area.report(black_box(a)).synthesized_slices)
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("delay report x9 architectures", |b| {
+        b.iter(|| {
+            archs
+                .iter()
+                .map(|a| delay.report(black_box(a)).clock_ns)
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Extension: ablation sweeps over the RSP template parameters.
+fn main() {
+    print!("{}", rsp_bench::ablation());
+}

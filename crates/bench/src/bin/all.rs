@@ -1,0 +1,4 @@
+//! Prints every regenerated table and figure in paper order.
+fn main() {
+    print!("{}", rsp_bench::all_exhibits());
+}

@@ -1,0 +1,4 @@
+//! Prints the exploration-time estimate against the exact rearrangement.
+fn main() {
+    print!("{}", rsp_bench::estimator_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's figure3 (see `rsp-bench` crate docs).
+fn main() {
+    print!("{}", rsp_bench::figure3());
+}

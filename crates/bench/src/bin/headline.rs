@@ -1,0 +1,4 @@
+//! Regenerates the paper's headline (see `rsp-bench` crate docs).
+fn main() {
+    print!("{}", rsp_bench::headline());
+}

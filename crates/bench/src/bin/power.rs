@@ -1,0 +1,4 @@
+//! Extension: activity-based energy across kernels and architectures.
+fn main() {
+    print!("{}", rsp_bench::power());
+}

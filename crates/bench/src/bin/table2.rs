@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 (see `rsp-bench` crate docs).
+fn main() {
+    print!("{}", rsp_bench::table2());
+}

@@ -1,0 +1,4 @@
+//! Extension: functional-resource utilization across architectures.
+fn main() {
+    print!("{}", rsp_bench::utilization());
+}

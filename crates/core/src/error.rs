@@ -1,0 +1,76 @@
+//! Error type for the RSP core passes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by rearrangement, exploration, or the flow driver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RspError {
+    /// The rearrangement scheduler exceeded its safety bound — indicates an
+    /// internal inconsistency (unschedulable resource graph).
+    RearrangeDiverged {
+        /// Cycle bound that was hit.
+        bound: u32,
+    },
+    /// The design space produced no point satisfying the constraints.
+    NoFeasibleDesign,
+    /// A kernel failed to map onto the base architecture.
+    Map(rsp_mapper::MapError),
+    /// The application profile is empty.
+    EmptyProfile,
+    /// The rearranged schedule exceeds the configuration cache.
+    ConfigCacheExceeded {
+        /// Contexts required.
+        needed: u32,
+        /// Cache capacity.
+        available: u32,
+    },
+}
+
+impl fmt::Display for RspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RspError::RearrangeDiverged { bound } => {
+                write!(f, "rearrangement exceeded the safety bound of {bound} cycles")
+            }
+            RspError::NoFeasibleDesign => {
+                write!(f, "no design point satisfies the cost/performance constraints")
+            }
+            RspError::Map(e) => write!(f, "mapping failed: {e}"),
+            RspError::EmptyProfile => write!(f, "application profile contains no kernels"),
+            RspError::ConfigCacheExceeded { needed, available } => write!(
+                f,
+                "rearranged schedule needs {needed} contexts but the cache holds {available}"
+            ),
+        }
+    }
+}
+
+impl Error for RspError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RspError::Map(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rsp_mapper::MapError> for RspError {
+    fn from(e: rsp_mapper::MapError) -> Self {
+        RspError::Map(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_source() {
+        let e = RspError::Map(rsp_mapper::MapError::IiSearchFailed { max_ii: 9 });
+        assert!(e.to_string().contains("mapping failed"));
+        assert!(e.source().is_some());
+        assert!(!RspError::NoFeasibleDesign.to_string().is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! Exploration-time performance estimation (upper bound).
+//!
+//! Mapping and exactly evaluating every candidate RSP design is
+//! time-consuming, so the paper's exploration stage estimates stall counts
+//! from the *initial* configuration contexts (§4):
+//!
+//! * **RS stall estimate** — per cycle, the number of critical operations
+//!   that exceed the reachable shared resources; each excess operation is
+//!   assumed to cost a stall cycle (pessimistic, hence an upper bound on
+//!   stalls / lower bound on performance).
+//! * **RP stall estimate** — each pipelined operation on the body's
+//!   critical dependence chain delays its dependents by `stages − 1`
+//!   cycles; consecutive pipelined operations overlap and are not double
+//!   counted.
+
+use rsp_arch::{FuKind, RspArchitecture};
+use rsp_kernel::Kernel;
+use rsp_mapper::ConfigContext;
+use serde::{Deserialize, Serialize};
+
+/// Estimated performance of one kernel on one candidate architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallEstimate {
+    /// Estimated RS stalls (resource shortage).
+    pub rs_stalls: u32,
+    /// Estimated RP overhead (multi-cycle latency on the critical chain).
+    pub rp_overhead: u32,
+    /// Estimated total cycles (base + both contributions).
+    pub total_cycles: u32,
+}
+
+/// Estimates the rearranged cycle count of `ctx` on `arch` without
+/// rescheduling.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_arch::presets;
+/// use rsp_core::{estimate_stalls, rearrange};
+/// use rsp_kernel::suite;
+/// use rsp_mapper::{map, MapOptions};
+///
+/// let kernel = suite::state();
+/// let ctx = map(presets::base_8x8().base(), &kernel, &MapOptions::default())?;
+/// let est = estimate_stalls(&ctx, &kernel, &presets::rs1());
+/// let exact = rearrange(&ctx, &presets::rs1(), &Default::default())?;
+/// // The estimate upper-bounds the exact schedule (paper §4).
+/// assert!(est.total_cycles >= exact.total_cycles);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn estimate_stalls(
+    ctx: &ConfigContext,
+    kernel: &Kernel,
+    arch: &RspArchitecture,
+) -> StallEstimate {
+    let rs = estimate_rs(ctx, arch);
+    let rp = estimate_rp(ctx, kernel, arch);
+    StallEstimate {
+        rs_stalls: rs,
+        rp_overhead: rp,
+        total_cycles: ctx.total_cycles() + rs + rp,
+    }
+}
+
+/// Counts, cycle by cycle of the base schedule, critical operations beyond
+/// the capacity reachable from their rows/columns.
+fn estimate_rs(ctx: &ConfigContext, arch: &RspArchitecture) -> u32 {
+    let plan = arch.plan();
+    let geom = ctx.geometry();
+    let (rows, cols) = (geom.rows(), geom.cols());
+    let mut excess_total = 0u32;
+
+    for g in plan.groups() {
+        let kind = g.kind();
+        let t = ctx.total_cycles() as usize;
+        // Demand per (cycle, row, col) cell.
+        let mut demand = vec![0u32; t * rows * cols];
+        for (inst, &cyc) in ctx.instances().iter().zip(ctx.cycles()) {
+            if inst.op.fu() == Some(kind) {
+                demand[(cyc as usize * rows + inst.pe.row) * cols + inst.pe.col] += 1;
+            }
+        }
+        for cyc in 0..t {
+            // Greedy absorption: a cell's operations first use their row
+            // bank (shr per row, shared along the row), then their own
+            // column bank (shc per column). Whatever remains is excess and
+            // charged one stall cycle per operation — pessimistic against
+            // the exact rearrangement, which can also slip operations into
+            // later bubbles.
+            let mut row_budget = vec![g.per_row() as u32; rows];
+            let mut col_budget = vec![g.per_col() as u32; cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    let mut d = demand[(cyc * rows + r) * cols + c];
+                    let take = d.min(row_budget[r]);
+                    row_budget[r] -= take;
+                    d -= take;
+                    let take = d.min(col_budget[c]);
+                    col_budget[c] -= take;
+                    d -= take;
+                    excess_total += d;
+                }
+            }
+        }
+    }
+    excess_total
+}
+
+/// `stages − 1` per pipelined operation on the critical chain, overlap
+/// removed, scaled by the number of sequential body repetitions the
+/// schedule serializes on one resource: the per-element steps under
+/// lockstep mapping, the per-row rounds under dataflow mapping (each round
+/// waits on the previous round's stretched modulo schedule).
+fn estimate_rp(ctx: &ConfigContext, kernel: &Kernel, arch: &RspArchitecture) -> u32 {
+    let repetitions = match ctx.style() {
+        rsp_kernel::MappingStyle::Lockstep => kernel.steps() as u32,
+        rsp_kernel::MappingStyle::Dataflow => {
+            kernel.elements().div_ceil(ctx.geometry().rows()) as u32
+        }
+    };
+    let mut overhead = 0u32;
+    let mut kinds: Vec<(FuKind, u8)> = arch
+        .plan()
+        .groups()
+        .iter()
+        .filter(|g| g.is_pipelined())
+        .map(|g| (g.kind(), g.stages()))
+        .collect();
+    kinds.extend(arch.plan().local_pipelines().filter(|(_, s)| *s > 1));
+
+    for (kind, stages) in kinds {
+        if kind != FuKind::Multiplier {
+            // Generic fallback: charge the body's full count.
+            overhead += (stages as u32 - 1) * kernel.body().len() as u32;
+            continue;
+        }
+        let body_chain = kernel.body().critical_path_mults() as u32;
+        let tail_chain = kernel
+            .tail()
+            .map_or(0, |t| t.critical_path_mults() as u32);
+        overhead += (stages as u32 - 1) * (body_chain * repetitions + tail_chain);
+    }
+    overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rearrange::rearrange;
+    use rsp_arch::presets;
+    use rsp_kernel::suite;
+    use rsp_mapper::{map, MapOptions};
+
+    fn ctx_for(kernel: &rsp_kernel::Kernel) -> ConfigContext {
+        map(presets::base_8x8().base(), kernel, &MapOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn estimate_upper_bounds_exact_for_suite() {
+        for k in suite::all() {
+            let ctx = ctx_for(&k);
+            for arch in presets::table_architectures() {
+                let est = estimate_stalls(&ctx, &k, &arch);
+                let exact = rearrange(&ctx, &arch, &Default::default()).unwrap();
+                assert!(
+                    est.total_cycles >= exact.total_cycles,
+                    "{} on {}: est {} < exact {}",
+                    k.name(),
+                    arch.name(),
+                    est.total_cycles,
+                    exact.total_cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_estimate_is_exact() {
+        for k in suite::all() {
+            let ctx = ctx_for(&k);
+            let est = estimate_stalls(&ctx, &k, &presets::base_8x8());
+            assert_eq!(est.total_cycles, ctx.total_cycles(), "{}", k.name());
+            assert_eq!(est.rs_stalls, 0);
+            assert_eq!(est.rp_overhead, 0);
+        }
+    }
+
+    #[test]
+    fn rs_estimate_zero_for_single_mult_lockstep_kernels() {
+        for k in [suite::iccg(), suite::tri_diagonal(), suite::inner_product(), suite::mvm()] {
+            let ctx = ctx_for(&k);
+            let est = estimate_stalls(&ctx, &k, &presets::rs1());
+            assert_eq!(est.rs_stalls, 0, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn rs_estimate_positive_for_dense_kernels_on_rs1() {
+        for k in [suite::hydro(), suite::state(), suite::fdct(), suite::fft_mult_loop()] {
+            let ctx = ctx_for(&k);
+            let est = estimate_stalls(&ctx, &k, &presets::rs1());
+            assert!(est.rs_stalls > 0, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn rp_estimate_scales_with_stages() {
+        let k = suite::matmul(8);
+        let ctx = ctx_for(&k);
+        let two = estimate_rp(&ctx, &k, &presets::rsp1());
+        let four = estimate_rp(
+            &ctx,
+            &k,
+            &presets::shared_multiplier("deep", 8, 8, 1, 0, 4),
+        );
+        assert!(four > two);
+        assert_eq!(four, 3 * two);
+    }
+
+    #[test]
+    fn sad_estimates_zero_everywhere() {
+        let k = suite::sad();
+        let ctx = ctx_for(&k);
+        for arch in presets::table_architectures() {
+            let est = estimate_stalls(&ctx, &k, &arch);
+            assert_eq!(est.total_cycles, ctx.total_cycles(), "{}", arch.name());
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! RSP design-space exploration (§4).
+//!
+//! Enumerates RSP parameter combinations — shared resource types, pipeline
+//! depths, `shr`, `shc` — over a base architecture; estimates hardware
+//! cost with eq. (2) and performance with the stall upper bound; rejects
+//! points violating the cost/performance constraints; keeps the Pareto
+//! frontier; and selects an optimum under a configurable objective.
+
+use crate::error::RspError;
+use crate::estimate::estimate_stalls;
+use rsp_arch::{BaseArchitecture, FuKind, RspArchitecture, SharedGroup, SharingPlan};
+use rsp_kernel::Kernel;
+use rsp_mapper::ConfigContext;
+use rsp_synth::{AreaModel, DelayModel};
+use serde::{Deserialize, Serialize};
+
+/// The RSP parameter ranges to enumerate.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    /// Candidate shared resource kinds (the paper shares the multiplier).
+    pub shared_kinds: Vec<FuKind>,
+    /// Candidate pipeline depths (1 = RS only; ≥2 = RSP).
+    pub stages: Vec<u8>,
+    /// Candidate `shr` values (shared resources per row).
+    pub shr: Vec<usize>,
+    /// Candidate `shc` values (shared resources per column).
+    pub shc: Vec<usize>,
+}
+
+impl DesignSpace {
+    /// The paper's evaluated space: multiplier sharing with the four
+    /// Fig. 8 configurations, combinational or 2-stage.
+    pub fn paper() -> Self {
+        Self {
+            shared_kinds: vec![FuKind::Multiplier],
+            stages: vec![1, 2],
+            shr: vec![1, 2],
+            shc: vec![0, 1, 2],
+        }
+    }
+
+    /// A wider space for ablation studies.
+    pub fn extended() -> Self {
+        Self {
+            shared_kinds: vec![FuKind::Multiplier],
+            stages: vec![1, 2, 3, 4],
+            shr: vec![1, 2, 3],
+            shc: vec![0, 1, 2, 3],
+        }
+    }
+
+    /// Enumerates every sharing plan in the space (one shared group).
+    pub fn plans(&self) -> Vec<SharingPlan> {
+        let mut out = Vec::new();
+        for &kind in &self.shared_kinds {
+            for &stages in &self.stages {
+                for &shr in &self.shr {
+                    for &shc in &self.shc {
+                        if shr == 0 && shc == 0 {
+                            continue;
+                        }
+                        if let Ok(g) = SharedGroup::new(kind, shr, shc, stages) {
+                            // Single-group plans never collide.
+                            let plan = SharingPlan::none().with_group(g).expect("single group");
+                            out.push(plan);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Constraints applied before Pareto filtering.
+#[derive(Debug, Clone, Copy)]
+pub struct Constraints {
+    /// Require eq. (2): `HWcost < n·m·PE` (reject designs costlier than
+    /// the base array).
+    pub enforce_cost_bound: bool,
+    /// Reject designs whose estimated weighted execution time exceeds
+    /// `max_slowdown ×` the base architecture's (e.g. 1.5 = at most 50 %
+    /// slower).
+    pub max_slowdown: f64,
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Self {
+            enforce_cost_bound: true,
+            max_slowdown: 1.5,
+        }
+    }
+}
+
+/// Selection objective among Pareto points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize `area × weighted execution time` (the balanced choice).
+    AreaDelayProduct,
+    /// Minimize weighted execution time.
+    ExecutionTime,
+    /// Minimize area.
+    Area,
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// The candidate architecture.
+    pub arch: RspArchitecture,
+    /// Synthesized area (slices).
+    pub area_slices: f64,
+    /// Clock period (ns).
+    pub clock_ns: f64,
+    /// Estimated cycles per kernel (upper bound), kernel order of the
+    /// exploration input.
+    pub est_cycles: Vec<u32>,
+    /// Weighted estimated execution time (ns).
+    pub est_et_ns: f64,
+    /// Whether eq. (2)'s cost bound holds.
+    pub cost_bound_ok: bool,
+}
+
+/// Exploration output.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Every candidate that passed the constraints.
+    pub feasible: Vec<DesignPoint>,
+    /// Indices into `feasible` forming the (area, time) Pareto frontier,
+    /// sorted by area.
+    pub pareto: Vec<usize>,
+    /// Index into `feasible` of the selected optimum.
+    pub best: usize,
+    /// Weighted estimated execution time of the base architecture (ns).
+    pub base_et_ns: f64,
+}
+
+impl Exploration {
+    /// The selected design point.
+    pub fn best_point(&self) -> &DesignPoint {
+        &self.feasible[self.best]
+    }
+
+    /// The Pareto-frontier points, smallest area first.
+    pub fn pareto_points(&self) -> impl Iterator<Item = &DesignPoint> {
+        self.pareto.iter().map(|&i| &self.feasible[i])
+    }
+}
+
+/// Explores `space` for the given kernels (with execution-frequency
+/// weights) over `base`.
+///
+/// `contexts` must be the kernels' initial configuration contexts on
+/// `base`, in the same order as `kernels`.
+///
+/// # Errors
+///
+/// [`RspError::NoFeasibleDesign`] when every candidate violates the
+/// constraints.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_arch::presets;
+/// use rsp_core::{explore, Constraints, DesignSpace, Objective};
+/// use rsp_kernel::suite;
+/// use rsp_mapper::{map, MapOptions};
+///
+/// let base = presets::base_8x8();
+/// let kernels: Vec<_> = suite::all();
+/// let contexts: Vec<_> = kernels
+///     .iter()
+///     .map(|k| map(base.base(), k, &MapOptions::default()).unwrap())
+///     .collect();
+/// let weights = vec![1.0; kernels.len()];
+///
+/// let result = explore(
+///     base.base(),
+///     &kernels,
+///     &contexts,
+///     &weights,
+///     &DesignSpace::paper(),
+///     &Constraints::default(),
+///     Objective::AreaDelayProduct,
+/// )?;
+/// // The paper's conclusion: a pipelined (RSP) design wins.
+/// assert!(result.best_point().arch.plan().has_pipelining());
+/// # Ok::<(), rsp_core::RspError>(())
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn explore(
+    base: &BaseArchitecture,
+    kernels: &[Kernel],
+    contexts: &[ConfigContext],
+    weights: &[f64],
+    space: &DesignSpace,
+    constraints: &Constraints,
+    objective: Objective,
+) -> Result<Exploration, RspError> {
+    assert_eq!(kernels.len(), contexts.len());
+    assert_eq!(kernels.len(), weights.len());
+    let area_model = AreaModel::new();
+    let delay_model = DelayModel::new();
+
+    let base_arch = RspArchitecture::new("Base", base.clone(), SharingPlan::none())
+        .expect("base plan is always valid");
+    let base_clock = delay_model.report(&base_arch).clock_ns;
+    let base_et: f64 = contexts
+        .iter()
+        .zip(weights)
+        .map(|(c, w)| w * c.total_cycles() as f64 * base_clock)
+        .sum();
+
+    let mut feasible = Vec::new();
+    for plan in space.plans() {
+        let name = plan_name(&plan);
+        let Ok(arch) = RspArchitecture::new(name, base.clone(), plan) else {
+            continue;
+        };
+        let area = area_model.report(&arch);
+        let delay = delay_model.report(&arch);
+
+        let mut est_cycles = Vec::with_capacity(kernels.len());
+        let mut est_et = 0.0;
+        for ((k, ctx), w) in kernels.iter().zip(contexts).zip(weights) {
+            let est = estimate_stalls(ctx, k, &arch);
+            est_cycles.push(est.total_cycles);
+            est_et += w * est.total_cycles as f64 * delay.clock_ns;
+        }
+
+        let cost_ok = area.satisfies_cost_bound();
+        if constraints.enforce_cost_bound && !cost_ok {
+            continue;
+        }
+        if est_et > constraints.max_slowdown * base_et {
+            continue;
+        }
+        feasible.push(DesignPoint {
+            arch,
+            area_slices: area.synthesized_slices,
+            clock_ns: delay.clock_ns,
+            est_cycles,
+            est_et_ns: est_et,
+            cost_bound_ok: cost_ok,
+        });
+    }
+
+    if feasible.is_empty() {
+        return Err(RspError::NoFeasibleDesign);
+    }
+
+    let pareto = pareto_indices(&feasible);
+    let best = select(&feasible, &pareto, objective);
+    Ok(Exploration {
+        feasible,
+        pareto,
+        best,
+        base_et_ns: base_et,
+    })
+}
+
+fn plan_name(plan: &SharingPlan) -> String {
+    let g = plan.groups().first().expect("space plans have one group");
+    let tag = if g.is_pipelined() { "RSP" } else { "RS" };
+    format!(
+        "{tag}(shr={},shc={},st={})",
+        g.per_row(),
+        g.per_col(),
+        g.stages()
+    )
+}
+
+/// Indices of non-dominated points in (area, estimated time), sorted by
+/// area ascending.
+fn pareto_indices(points: &[DesignPoint]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .area_slices
+            .partial_cmp(&points[b].area_slices)
+            .unwrap()
+            .then(points[a].est_et_ns.partial_cmp(&points[b].est_et_ns).unwrap())
+    });
+    let mut out = Vec::new();
+    let mut best_et = f64::INFINITY;
+    for i in idx {
+        if points[i].est_et_ns < best_et - 1e-12 {
+            out.push(i);
+            best_et = points[i].est_et_ns;
+        }
+    }
+    out
+}
+
+fn select(points: &[DesignPoint], pareto: &[usize], objective: Objective) -> usize {
+    let score = |p: &DesignPoint| match objective {
+        Objective::AreaDelayProduct => p.area_slices * p.est_et_ns,
+        Objective::ExecutionTime => p.est_et_ns,
+        Objective::Area => p.area_slices,
+    };
+    *pareto
+        .iter()
+        .min_by(|&&a, &&b| score(&points[a]).partial_cmp(&score(&points[b])).unwrap())
+        .expect("pareto frontier is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_arch::presets;
+    use rsp_kernel::suite;
+    use rsp_mapper::{map, MapOptions};
+
+    fn setup() -> (BaseArchitecture, Vec<Kernel>, Vec<ConfigContext>, Vec<f64>) {
+        let base = presets::base_8x8().base().clone();
+        let kernels = suite::all();
+        let contexts: Vec<_> = kernels
+            .iter()
+            .map(|k| map(&base, k, &MapOptions::default()).unwrap())
+            .collect();
+        let weights = vec![1.0; kernels.len()];
+        (base, kernels, contexts, weights)
+    }
+
+    #[test]
+    fn paper_space_enumerates_twelve_plans() {
+        // 2 stages x 2 shr x 3 shc = 12 (shr=0 excluded by construction).
+        assert_eq!(DesignSpace::paper().plans().len(), 12);
+    }
+
+    #[test]
+    fn exploration_selects_pipelined_design() {
+        let (base, kernels, contexts, weights) = setup();
+        let r = explore(
+            &base,
+            &kernels,
+            &contexts,
+            &weights,
+            &DesignSpace::paper(),
+            &Constraints::default(),
+            Objective::AreaDelayProduct,
+        )
+        .unwrap();
+        let best = r.best_point();
+        assert!(best.arch.plan().has_pipelining(), "best = {}", best.arch.name());
+        // And it is genuinely better than base on the combined objective.
+        assert!(best.est_et_ns < r.base_et_ns * 1.2);
+    }
+
+    #[test]
+    fn pareto_frontier_is_non_dominated_and_sorted() {
+        let (base, kernels, contexts, weights) = setup();
+        let r = explore(
+            &base,
+            &kernels,
+            &contexts,
+            &weights,
+            &DesignSpace::extended(),
+            &Constraints::default(),
+            Objective::ExecutionTime,
+        )
+        .unwrap();
+        let pts: Vec<_> = r.pareto_points().collect();
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[0].area_slices < w[1].area_slices);
+            assert!(w[0].est_et_ns > w[1].est_et_ns);
+        }
+        // No feasible point dominates a Pareto point.
+        for p in &r.feasible {
+            for q in r.pareto_points() {
+                assert!(
+                    !(p.area_slices < q.area_slices && p.est_et_ns < q.est_et_ns),
+                    "{} dominates {}",
+                    p.arch.name(),
+                    q.arch.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn objectives_pick_extremes() {
+        let (base, kernels, contexts, weights) = setup();
+        let run = |o| {
+            explore(
+                &base,
+                &kernels,
+                &contexts,
+                &weights,
+                &DesignSpace::paper(),
+                &Constraints::default(),
+                o,
+            )
+            .unwrap()
+        };
+        let by_area = run(Objective::Area);
+        let by_time = run(Objective::ExecutionTime);
+        assert!(by_area.best_point().area_slices <= by_time.best_point().area_slices);
+        assert!(by_time.best_point().est_et_ns <= by_area.best_point().est_et_ns);
+    }
+
+    #[test]
+    fn impossible_constraints_yield_no_design() {
+        let (base, kernels, contexts, weights) = setup();
+        let err = explore(
+            &base,
+            &kernels,
+            &contexts,
+            &weights,
+            &DesignSpace::paper(),
+            &Constraints {
+                enforce_cost_bound: true,
+                max_slowdown: 0.01,
+            },
+            Objective::Area,
+        )
+        .unwrap_err();
+        assert_eq!(err, RspError::NoFeasibleDesign);
+    }
+
+    #[test]
+    fn alu_sharing_never_wins() {
+        // Negative result: offering ALU sharing in the space must not
+        // tempt the DSE — every kernel uses the ALU almost every cycle,
+        // so sharing it starves the array (the paper shares only the
+        // low-utilization, high-area multiplier).
+        let (base, kernels, contexts, weights) = setup();
+        let space = DesignSpace {
+            shared_kinds: vec![rsp_arch::FuKind::Multiplier, rsp_arch::FuKind::Alu],
+            stages: vec![1, 2],
+            shr: vec![1, 2],
+            shc: vec![0, 1],
+        };
+        let r = explore(
+            &base,
+            &kernels,
+            &contexts,
+            &weights,
+            &space,
+            &Constraints::default(),
+            Objective::AreaDelayProduct,
+        )
+        .unwrap();
+        let best = r.best_point();
+        assert!(
+            best.arch.plan().is_shared(rsp_arch::FuKind::Multiplier),
+            "best design {} does not share the multiplier",
+            best.arch.name()
+        );
+        assert!(!best.arch.plan().is_shared(rsp_arch::FuKind::Alu));
+    }
+
+    #[test]
+    fn cost_bound_rejects_nothing_in_paper_space() {
+        // All Fig. 8-style configs are cheaper than base (Table 2).
+        let (base, kernels, contexts, weights) = setup();
+        let r = explore(
+            &base,
+            &kernels,
+            &contexts,
+            &weights,
+            &DesignSpace::paper(),
+            &Constraints {
+                enforce_cost_bound: true,
+                max_slowdown: f64::INFINITY,
+            },
+            Objective::Area,
+        )
+        .unwrap();
+        assert_eq!(r.feasible.len(), 12);
+    }
+}

@@ -1,0 +1,340 @@
+//! The Fig. 7 design flow, end to end.
+//!
+//! ```text
+//! applications ──> Profiling ──> critical loops
+//!                      │
+//!                      v
+//!        Base Architecture Exploration ──> base architecture
+//!                      │
+//!                      v
+//!              Pipeline Mapping ──> initial configuration contexts
+//!                      │
+//!                      v
+//!               RSP Exploration ──> RSP parameters (estimation-driven)
+//!                      │
+//!                      v
+//!                 RSP Mapping ──> RSP configuration contexts
+//!                                  (+ exact performance, Tables 4/5)
+//! ```
+//!
+//! Profiling is modelled on synthetic application profiles: each
+//! application lists its kernels with execution counts; a kernel's weight
+//! is `count × operations`, and the flow keeps the hottest kernels until
+//! the requested coverage of total weight is reached.
+
+use crate::error::RspError;
+use crate::explore::{explore, Constraints, DesignSpace, Exploration, Objective};
+use crate::perf::{perf_from_rearranged, KernelPerf};
+use crate::rearrange::{rearrange, RearrangeOptions, Rearranged};
+use rsp_arch::{ArrayGeometry, BaseArchitecture, BusSpec, PeDesign, RspArchitecture, SharingPlan};
+use rsp_kernel::Kernel;
+use rsp_mapper::{map, ConfigContext, MapOptions};
+use rsp_synth::{AreaModel, DelayModel};
+
+/// One application of the target domain: named kernels with execution
+/// counts (the profiling input).
+#[derive(Debug, Clone)]
+pub struct AppProfile {
+    /// Application name (e.g. `"H.263 encoder"`).
+    pub name: String,
+    /// Kernels and how often the application executes them.
+    pub kernels: Vec<(Kernel, u64)>,
+}
+
+impl AppProfile {
+    /// Creates a profile.
+    pub fn new(name: impl Into<String>, kernels: Vec<(Kernel, u64)>) -> Self {
+        Self {
+            name: name.into(),
+            kernels,
+        }
+    }
+}
+
+/// Flow configuration.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Fraction of total profile weight the critical loops must cover
+    /// (default 0.95).
+    pub coverage: f64,
+    /// Candidate array geometries for base-architecture exploration.
+    pub geometries: Vec<(usize, usize)>,
+    /// Per-PE configuration-cache depth.
+    pub config_cache_depth: usize,
+    /// RSP parameter space.
+    pub space: DesignSpace,
+    /// Constraints for RSP exploration.
+    pub constraints: Constraints,
+    /// Selection objective.
+    pub objective: Objective,
+    /// Mapper options.
+    pub map_options: MapOptions,
+    /// Rearrangement options.
+    pub rearrange_options: RearrangeOptions,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self {
+            coverage: 0.95,
+            geometries: vec![(8, 8)],
+            config_cache_depth: 256,
+            space: DesignSpace::paper(),
+            constraints: Constraints::default(),
+            objective: Objective::AreaDelayProduct,
+            map_options: MapOptions::default(),
+            rearrange_options: RearrangeOptions::default(),
+        }
+    }
+}
+
+/// A critical loop selected by profiling.
+#[derive(Debug, Clone)]
+pub struct CriticalLoop {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Normalized execution weight (sums to ≤ 1 over selected loops).
+    pub weight: f64,
+}
+
+/// Everything the flow produces.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Selected critical loops, heaviest first.
+    pub critical_loops: Vec<CriticalLoop>,
+    /// The chosen base architecture.
+    pub base: BaseArchitecture,
+    /// Initial configuration contexts, parallel to `critical_loops`.
+    pub contexts: Vec<ConfigContext>,
+    /// The RSP exploration (estimation-driven).
+    pub exploration: Exploration,
+    /// The selected RSP architecture.
+    pub chosen: RspArchitecture,
+    /// Final RSP configuration contexts, parallel to `critical_loops`.
+    pub rsp_contexts: Vec<Rearranged>,
+    /// Exact performance of each critical loop on the chosen design.
+    pub perf: Vec<KernelPerf>,
+    /// Synthesized area of the chosen design (slices).
+    pub area_slices: f64,
+    /// Area of the base design (slices).
+    pub base_area_slices: f64,
+}
+
+impl FlowReport {
+    /// Weighted exact execution time on the chosen design (ns).
+    pub fn weighted_et_ns(&self) -> f64 {
+        self.perf
+            .iter()
+            .zip(&self.critical_loops)
+            .map(|(p, c)| p.et_ns * c.weight)
+            .sum()
+    }
+
+    /// Weighted base execution time (ns).
+    pub fn weighted_base_et_ns(&self) -> f64 {
+        let base_clock = DelayModel::new()
+            .report(&RspArchitecture::new("Base", self.base.clone(), SharingPlan::none()).unwrap())
+            .clock_ns;
+        self.contexts
+            .iter()
+            .zip(&self.critical_loops)
+            .map(|(c, w)| c.total_cycles() as f64 * base_clock * w.weight)
+            .sum()
+    }
+}
+
+/// Runs the complete Fig. 7 flow over a set of domain applications.
+///
+/// # Errors
+///
+/// * [`RspError::EmptyProfile`] when no application lists a kernel.
+/// * Mapping, exploration, and rearrangement errors are propagated.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_core::{run_flow, AppProfile, FlowConfig};
+/// use rsp_kernel::suite;
+///
+/// let apps = vec![AppProfile::new(
+///     "H.263 encoder",
+///     vec![(suite::fdct(), 99), (suite::sad(), 396)],
+/// )];
+/// let report = run_flow(&apps, &FlowConfig::default())?;
+/// assert!(report.area_slices < report.base_area_slices);
+/// # Ok::<(), rsp_core::RspError>(())
+/// ```
+pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, RspError> {
+    // 1. Profiling: weight = executions x operations.
+    let mut weights: Vec<(Kernel, f64)> = Vec::new();
+    for app in apps {
+        for (k, count) in &app.kernels {
+            let w = *count as f64 * k.total_ops() as f64;
+            if let Some(existing) = weights.iter_mut().find(|(e, _)| e.name() == k.name()) {
+                existing.1 += w;
+            } else {
+                weights.push((k.clone(), w));
+            }
+        }
+    }
+    if weights.is_empty() {
+        return Err(RspError::EmptyProfile);
+    }
+    weights.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    let mut critical_loops = Vec::new();
+    let mut covered = 0.0;
+    for (k, w) in &weights {
+        if covered >= config.coverage * total {
+            break;
+        }
+        covered += w;
+        critical_loops.push(CriticalLoop {
+            kernel: k.clone(),
+            weight: w / total,
+        });
+    }
+
+    // 2. Base architecture exploration: smallest candidate geometry whose
+    //    mapped schedules fit the configuration cache.
+    let mut chosen_base: Option<(BaseArchitecture, Vec<ConfigContext>)> = None;
+    let mut geometries = config.geometries.clone();
+    geometries.sort_by_key(|&(r, c)| r * c);
+    for (r, c) in geometries {
+        let base = BaseArchitecture::new(
+            ArrayGeometry::new(r, c),
+            PeDesign::full(),
+            BusSpec::paper_default(),
+            config.config_cache_depth,
+        );
+        let mapped: Result<Vec<_>, _> = critical_loops
+            .iter()
+            .map(|cl| map(&base, &cl.kernel, &config.map_options))
+            .collect();
+        if let Ok(contexts) = mapped {
+            chosen_base = Some((base, contexts));
+            break;
+        }
+    }
+    let (base, contexts) = chosen_base.ok_or(RspError::NoFeasibleDesign)?;
+
+    // 3. RSP exploration on the estimates.
+    let kernels: Vec<Kernel> = critical_loops.iter().map(|c| c.kernel.clone()).collect();
+    let kernel_weights: Vec<f64> = critical_loops.iter().map(|c| c.weight).collect();
+    let exploration = explore(
+        &base,
+        &kernels,
+        &contexts,
+        &kernel_weights,
+        &config.space,
+        &config.constraints,
+        config.objective,
+    )?;
+    let chosen = exploration.best_point().arch.clone();
+
+    // 4. RSP mapping: exact rearrangement + exact performance.
+    let delay = DelayModel::new();
+    let mut rsp_contexts = Vec::with_capacity(contexts.len());
+    let mut perf = Vec::with_capacity(contexts.len());
+    for ctx in &contexts {
+        let r = rearrange(ctx, &chosen, &config.rearrange_options)?;
+        perf.push(perf_from_rearranged(ctx, &chosen, &delay, &r));
+        rsp_contexts.push(r);
+    }
+
+    let area_model = AreaModel::new();
+    let area = area_model.report(&chosen);
+
+    Ok(FlowReport {
+        critical_loops,
+        base,
+        contexts,
+        exploration,
+        chosen,
+        rsp_contexts,
+        perf,
+        area_slices: area.synthesized_slices,
+        base_area_slices: area.base_synthesized_slices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_kernel::suite;
+
+    fn domain_apps() -> Vec<AppProfile> {
+        vec![
+            AppProfile::new(
+                "H.263 encoder",
+                vec![(suite::fdct(), 99), (suite::sad(), 396)],
+            ),
+            AppProfile::new(
+                "scientific",
+                vec![
+                    (suite::hydro(), 50),
+                    (suite::inner_product(), 80),
+                    (suite::mvm(), 40),
+                ],
+            ),
+            AppProfile::new("fft", vec![(suite::fft_mult_loop(), 64)]),
+        ]
+    }
+
+    #[test]
+    fn flow_runs_end_to_end() {
+        let report = run_flow(&domain_apps(), &FlowConfig::default()).unwrap();
+        assert!(!report.critical_loops.is_empty());
+        assert_eq!(report.contexts.len(), report.critical_loops.len());
+        assert_eq!(report.perf.len(), report.critical_loops.len());
+        // Domain-specific optimization: smaller and (weighted) faster or
+        // comparable.
+        assert!(report.area_slices < report.base_area_slices);
+        assert!(report.weighted_et_ns() < report.weighted_base_et_ns() * 1.2);
+    }
+
+    #[test]
+    fn coverage_limits_loop_count() {
+        let mut cfg = FlowConfig {
+            coverage: 0.5,
+            ..FlowConfig::default()
+        };
+        let narrow = run_flow(&domain_apps(), &cfg).unwrap();
+        cfg.coverage = 1.0;
+        let full = run_flow(&domain_apps(), &cfg).unwrap();
+        assert!(narrow.critical_loops.len() <= full.critical_loops.len());
+        // Heaviest first.
+        let w: Vec<f64> = full.critical_loops.iter().map(|c| c.weight).collect();
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn duplicate_kernels_across_apps_merge() {
+        let apps = vec![
+            AppProfile::new("a", vec![(suite::sad(), 10)]),
+            AppProfile::new("b", vec![(suite::sad(), 20)]),
+        ];
+        let report = run_flow(&apps, &FlowConfig::default()).unwrap();
+        assert_eq!(report.critical_loops.len(), 1);
+        assert!((report.critical_loops[0].weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_rejected() {
+        let err = run_flow(&[], &FlowConfig::default()).unwrap_err();
+        assert_eq!(err, RspError::EmptyProfile);
+    }
+
+    #[test]
+    fn geometry_exploration_prefers_smaller_feasible() {
+        let cfg = FlowConfig {
+            geometries: vec![(8, 8), (4, 4)],
+            // SAD fits a 4x4 with a deep enough cache.
+            config_cache_depth: 1024,
+            ..FlowConfig::default()
+        };
+        let apps = vec![AppProfile::new("me", vec![(suite::sad(), 1)])];
+        let report = run_flow(&apps, &cfg).unwrap();
+        assert_eq!(report.base.geometry().pe_count(), 16);
+    }
+}

@@ -1,0 +1,62 @@
+//! # rsp-core — Resource Sharing and Pipelining, the paper's contribution
+//!
+//! Executable form of §3–§4 of *"Resource Sharing and Pipelining in
+//! Coarse-Grained Reconfigurable Architecture for Domain-Specific
+//! Optimization"* (Kim et al., DATE 2005):
+//!
+//! * [`rearrange`] — transforms initial configuration contexts into RSP
+//!   contexts under the paper's two rules: shared resources granted in
+//!   loop-iteration order (RS stalls on shortage), and multi-cycle
+//!   pipelined operations with overlap between consecutive issues (RP).
+//! * [`estimate_stalls`] — the cheap upper bound the exploration stage
+//!   uses instead of exact remapping.
+//! * [`explore`] — enumerates RSP parameters (`shr`, `shc`, stages,
+//!   resource kinds), applies the eq. (2) cost bound, keeps Pareto points,
+//!   selects an optimum.
+//! * [`run_flow`] — the whole Fig. 7 flow: profiling → critical loops →
+//!   base architecture → pipeline mapping → RSP exploration → RSP mapping
+//!   with exact performance.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsp_arch::presets;
+//! use rsp_core::{evaluate_perf, rearrange};
+//! use rsp_kernel::suite;
+//! use rsp_mapper::{map, MapOptions};
+//! use rsp_synth::DelayModel;
+//!
+//! // Map the 2D-FDCT once, then compare one multiplier per row (RS#1,
+//! // which Table 5 shows stalling heavily) against the generous RSP#4.
+//! let base = presets::base_8x8();
+//! let ctx = map(base.base(), &suite::fdct(), &MapOptions::default())?;
+//!
+//! let rs1 = rearrange(&ctx, &presets::rs1(), &Default::default())?;
+//! let rsp4 = rearrange(&ctx, &presets::rsp4(), &Default::default())?;
+//! assert!(rs1.rs_stalls > 0);
+//! assert_eq!(rsp4.rs_stalls, 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod estimate;
+mod explore;
+mod flow;
+mod perf;
+mod power;
+mod rearrange;
+mod utilization;
+
+pub use error::RspError;
+pub use estimate::{estimate_stalls, StallEstimate};
+pub use explore::{
+    explore, Constraints, DesignPoint, DesignSpace, Exploration, Objective,
+};
+pub use flow::{run_flow, AppProfile, CriticalLoop, FlowConfig, FlowReport};
+pub use perf::{evaluate_perf, perf_from_rearranged, KernelPerf};
+pub use power::{activity_of, evaluate_energy};
+pub use utilization::{utilization_of, FuUtilization, UtilizationReport};
+pub use rearrange::{rearrange, RearrangeOptions, Rearranged};

@@ -1,0 +1,110 @@
+//! Energy evaluation of rearranged contexts (extension of the paper's
+//! §6 future work; the model itself lives in [`rsp_synth::PowerModel`]).
+
+use crate::rearrange::Rearranged;
+use rsp_arch::RspArchitecture;
+use rsp_mapper::ConfigContext;
+use rsp_synth::{ActivityProfile, PowerModel, PowerReport};
+
+/// Builds the activity profile of one kernel execution: per-unit
+/// operation counts from the instance graph, shared transfers from the
+/// rearrangement's bindings, cycles from the rearranged schedule.
+pub fn activity_of(ctx: &ConfigContext, rearranged: &Rearranged) -> ActivityProfile {
+    let mut profile = ActivityProfile::default();
+    for inst in ctx.instances() {
+        if let Some(fu) = inst.op.fu() {
+            *profile.ops_per_fu.entry(fu).or_insert(0) += 1;
+        }
+    }
+    profile.shared_transfers = rearranged
+        .bindings
+        .iter()
+        .filter(|b| b.is_some())
+        .count() as u64;
+    profile.cycles = u64::from(rearranged.total_cycles);
+    profile
+}
+
+/// Rearranges-and-reports in one call: the energy of `ctx` on `arch`.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_arch::presets;
+/// use rsp_core::{evaluate_energy, rearrange};
+/// use rsp_kernel::suite;
+/// use rsp_mapper::{map, MapOptions};
+///
+/// let ctx = map(presets::base_8x8().base(), &suite::mvm(), &MapOptions::default())?;
+/// let base = rearrange(&ctx, &presets::base_8x8(), &Default::default())?;
+/// let rsp2 = rearrange(&ctx, &presets::rsp2(), &Default::default())?;
+///
+/// let e_base = evaluate_energy(&ctx, &presets::base_8x8(), &base);
+/// let e_rsp2 = evaluate_energy(&ctx, &presets::rsp2(), &rsp2);
+/// // The domain-optimized design also wins on energy (§6 conjecture).
+/// assert!(e_rsp2.total_pj() < e_base.total_pj());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn evaluate_energy(
+    ctx: &ConfigContext,
+    arch: &RspArchitecture,
+    rearranged: &Rearranged,
+) -> PowerReport {
+    PowerModel::new().report(arch, &activity_of(ctx, rearranged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rearrange::rearrange;
+    use rsp_arch::{presets, FuKind};
+    use rsp_kernel::suite;
+    use rsp_mapper::{map, MapOptions};
+
+    fn ctx_for(kernel: &rsp_kernel::Kernel) -> ConfigContext {
+        map(presets::base_8x8().base(), kernel, &MapOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn activity_counts_match_kernel_shape() {
+        let k = suite::mvm();
+        let ctx = ctx_for(&k);
+        let r = rearrange(&ctx, &presets::rsp2(), &Default::default()).unwrap();
+        let a = activity_of(&ctx, &r);
+        assert_eq!(a.ops_per_fu[&FuKind::Multiplier] as usize, k.total_mults());
+        // Every multiplication transfers through a switch on RSP#2.
+        assert_eq!(a.shared_transfers as usize, k.total_mults());
+        assert_eq!(a.cycles, u64::from(r.total_cycles));
+    }
+
+    #[test]
+    fn rsp2_saves_energy_for_every_kernel() {
+        for k in suite::all() {
+            let ctx = ctx_for(&k);
+            let base_arch = presets::base_8x8();
+            let rsp2 = presets::rsp2();
+            let rb = rearrange(&ctx, &base_arch, &Default::default()).unwrap();
+            let rr = rearrange(&ctx, &rsp2, &Default::default()).unwrap();
+            let eb = evaluate_energy(&ctx, &base_arch, &rb);
+            let er = evaluate_energy(&ctx, &rsp2, &rr);
+            assert!(
+                er.total_pj() < eb.total_pj(),
+                "{}: RSP#2 {:.0} pJ !< base {:.0} pJ",
+                k.name(),
+                er.total_pj(),
+                eb.total_pj()
+            );
+        }
+    }
+
+    #[test]
+    fn sad_has_no_transfers_anywhere() {
+        let k = suite::sad();
+        let ctx = ctx_for(&k);
+        for arch in presets::table_architectures() {
+            let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+            let a = activity_of(&ctx, &r);
+            assert_eq!(a.shared_transfers, 0, "{}", arch.name());
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! Dataflow-graph IR for loop bodies.
+//!
+//! A [`Dfg`] describes the operations of one *step* of one loop element
+//! (see [`Kernel`](crate::Kernel) for the element/step iteration model).
+//! Nodes are stored in topological order by construction: every operand may
+//! only reference an earlier node, so the graph is acyclic without a
+//! separate check. Cross-step dependences are expressed with
+//! [`Operand::Accum`] (a PE-local accumulator register) and tail code reads
+//! final accumulator values with [`Operand::Carry`].
+
+use rsp_arch::OpKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node within one [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's position in its graph.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of a declared memory array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArrayId(pub u32);
+
+impl ArrayId {
+    /// The array's position in the kernel's declarations.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a declared loop-invariant scalar parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub u32);
+
+impl ParamId {
+    /// The parameter's position in the kernel's declarations.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A value operand of a DFG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Primary output of an earlier node in the same graph.
+    Node(NodeId),
+    /// Secondary output of an earlier *dual load* node (the word fetched on
+    /// the second row read bus).
+    Pair(NodeId),
+    /// Immediate constant from the configuration context.
+    Const(i32),
+    /// Loop-invariant scalar parameter (e.g. `r`, `t`, `q` of the Livermore
+    /// kernels, or the constant `C` of eq. (1)).
+    Param(ParamId),
+    /// PE-local accumulator: the value the referenced body node produced in
+    /// the *previous step* of the same element, or `init` at step 0.
+    ///
+    /// Only valid in kernel bodies.
+    Accum {
+        /// The body node whose previous-step value is read (self-reference
+        /// is the common accumulation idiom).
+        node: NodeId,
+        /// Value read at the first step.
+        init: i32,
+    },
+    /// Final accumulated value of a body node after the last step of the
+    /// element. Only valid in tail graphs.
+    Carry(NodeId),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Operand::Node(n) => write!(f, "{n}"),
+            Operand::Pair(n) => write!(f, "{n}.hi"),
+            Operand::Const(c) => write!(f, "#{c}"),
+            Operand::Param(p) => write!(f, "p{}", p.0),
+            Operand::Accum { node, init } => write!(f, "acc({node},init={init})"),
+            Operand::Carry(n) => write!(f, "carry({n})"),
+        }
+    }
+}
+
+/// Affine address expression for load/store nodes.
+///
+/// For element `e` and step `s`, with the kernel-level element divisor `d`
+/// (see [`Kernel::elem_divisor`](crate::Kernel::elem_divisor)), the address
+/// is:
+///
+/// ```text
+/// addr = base + coef_div * (e / d) + coef_mod * (e % d) + coef_step * s
+/// ```
+///
+/// Flat kernels use `d = 1` so `coef_div` multiplies the element index
+/// directly. Two-dimensional element spaces (matrix multiplication, block
+/// transforms) pick `d` = row length so `e / d` and `e % d` are the two
+/// coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AddrExpr {
+    /// Target array.
+    pub array: ArrayId,
+    /// Constant offset.
+    pub base: i64,
+    /// Coefficient of `e / d`.
+    pub coef_div: i64,
+    /// Coefficient of `e % d`.
+    pub coef_mod: i64,
+    /// Coefficient of the step index.
+    pub coef_step: i64,
+}
+
+impl AddrExpr {
+    /// A fixed address independent of element and step.
+    pub fn fixed(array: ArrayId, base: i64) -> Self {
+        Self {
+            array,
+            base,
+            coef_div: 0,
+            coef_mod: 0,
+            coef_step: 0,
+        }
+    }
+
+    /// `base + stride * e` for flat element spaces (`d = 1`).
+    pub fn flat(array: ArrayId, base: i64, stride: i64) -> Self {
+        Self {
+            array,
+            base,
+            coef_div: stride,
+            coef_mod: 0,
+            coef_step: 0,
+        }
+    }
+
+    /// Fully general affine expression.
+    pub fn affine(array: ArrayId, base: i64, coef_div: i64, coef_mod: i64, coef_step: i64) -> Self {
+        Self {
+            array,
+            base,
+            coef_div,
+            coef_mod,
+            coef_step,
+        }
+    }
+
+    /// Evaluates the address for `(element, step)` under divisor `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn eval(&self, element: usize, step: usize, d: usize) -> i64 {
+        assert!(d > 0, "element divisor must be non-zero");
+        let ediv = (element / d) as i64;
+        let emod = (element % d) as i64;
+        self.base + self.coef_div * ediv + self.coef_mod * emod + self.coef_step * step as i64
+    }
+}
+
+/// One operation node of a [`Dfg`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    op: OpKind,
+    operands: Vec<Operand>,
+    addr: Option<AddrExpr>,
+    addr2: Option<AddrExpr>,
+}
+
+impl Node {
+    pub(crate) fn new(
+        op: OpKind,
+        operands: Vec<Operand>,
+        addr: Option<AddrExpr>,
+        addr2: Option<AddrExpr>,
+    ) -> Self {
+        Self {
+            op,
+            operands,
+            addr,
+            addr2,
+        }
+    }
+
+    /// The operation kind.
+    pub fn op(&self) -> OpKind {
+        self.op
+    }
+
+    /// The value operands.
+    pub fn operands(&self) -> &[Operand] {
+        &self.operands
+    }
+
+    /// Primary address (loads and stores).
+    pub fn addr(&self) -> Option<&AddrExpr> {
+        self.addr.as_ref()
+    }
+
+    /// Secondary address of a dual load.
+    pub fn addr2(&self) -> Option<&AddrExpr> {
+        self.addr2.as_ref()
+    }
+
+    /// Whether this is a dual load fetching two words in one cycle (over
+    /// both row read buses, as in the paper's Fig. 2 `Ld` operations).
+    pub fn is_dual_load(&self) -> bool {
+        self.op == OpKind::Load && self.addr2.is_some()
+    }
+
+    /// Words of row-bus traffic this node generates in its issue cycle.
+    pub fn bus_words(&self) -> usize {
+        match self.op {
+            OpKind::Load => 1 + usize::from(self.addr2.is_some()),
+            OpKind::Store => 1,
+            _ => 0,
+        }
+    }
+}
+
+/// A dataflow graph in topological order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Dfg {
+    nodes: Vec<Node>,
+}
+
+impl Dfg {
+    /// The nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates `(id, node)` pairs in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Number of nodes executing on the given functional unit.
+    pub fn count_op<F: Fn(OpKind) -> bool>(&self, pred: F) -> usize {
+        self.nodes.iter().filter(|n| pred(n.op())).count()
+    }
+
+    /// Number of multiplication nodes.
+    pub fn mult_count(&self) -> usize {
+        self.count_op(|o| o == OpKind::Mult)
+    }
+
+    /// Longest dependence path length counted in nodes (unit latencies).
+    ///
+    /// Cross-step `Accum` edges and constants do not contribute.
+    pub fn critical_path_len(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            let mut d = 1;
+            for op in n.operands() {
+                if let Operand::Node(p) | Operand::Pair(p) = op {
+                    d = d.max(depth[p.index()] + 1);
+                }
+            }
+            depth[i] = d;
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Number of multiplications on the longest dependence path (ties
+    /// broken toward more multiplications). This drives the paper's RP
+    /// stall estimate: each pipelined multiplication on the critical chain
+    /// delays its dependents by `stages - 1` cycles.
+    pub fn critical_path_mults(&self) -> usize {
+        let mut depth = vec![(0usize, 0usize); self.nodes.len()]; // (len, mults)
+        for (i, n) in self.nodes.iter().enumerate() {
+            let mut best = (1usize, usize::from(n.op() == OpKind::Mult));
+            for op in n.operands() {
+                if let Operand::Node(p) | Operand::Pair(p) = op {
+                    let (pl, pm) = depth[p.index()];
+                    let cand = (pl + 1, pm + usize::from(n.op() == OpKind::Mult));
+                    if cand > best {
+                        best = cand;
+                    }
+                }
+            }
+            depth[i] = best;
+        }
+        depth.into_iter().max().map(|(_, m)| m).unwrap_or(0)
+    }
+
+    pub(crate) fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+}
+
+/// Incremental builder for [`Dfg`] graphs.
+///
+/// # Examples
+///
+/// Build `store(x * r + q)`:
+///
+/// ```
+/// use rsp_kernel::{AddrExpr, ArrayId, DfgBuilder, Operand, ParamId};
+///
+/// let mut b = DfgBuilder::new();
+/// let x = b.load(AddrExpr::flat(ArrayId(0), 0, 1));
+/// let m = b.mult(Operand::Node(x), Operand::Param(ParamId(0)));
+/// let a = b.add(Operand::Node(m), Operand::Param(ParamId(1)));
+/// b.store(AddrExpr::flat(ArrayId(1), 0, 1), Operand::Node(a));
+/// let dfg = b.finish();
+/// assert_eq!(dfg.len(), 4);
+/// assert_eq!(dfg.mult_count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct DfgBuilder {
+    dfg: Dfg,
+}
+
+impl DfgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an arbitrary operation node.
+    pub fn op(&mut self, op: OpKind, operands: Vec<Operand>) -> NodeId {
+        self.dfg.push(Node::new(op, operands, None, None))
+    }
+
+    /// Adds a single-word load.
+    pub fn load(&mut self, addr: AddrExpr) -> NodeId {
+        self.dfg
+            .push(Node::new(OpKind::Load, Vec::new(), Some(addr), None))
+    }
+
+    /// Adds a dual load fetching two words over both row read buses in one
+    /// cycle. The primary word is the node's value; the secondary word is
+    /// read with [`Operand::Pair`].
+    pub fn load_pair(&mut self, addr: AddrExpr, addr2: AddrExpr) -> NodeId {
+        self.dfg
+            .push(Node::new(OpKind::Load, Vec::new(), Some(addr), Some(addr2)))
+    }
+
+    /// Adds a store of `value`.
+    pub fn store(&mut self, addr: AddrExpr, value: Operand) -> NodeId {
+        self.dfg
+            .push(Node::new(OpKind::Store, vec![value], Some(addr), None))
+    }
+
+    /// Adds an addition.
+    pub fn add(&mut self, a: Operand, b: Operand) -> NodeId {
+        self.op(OpKind::Add, vec![a, b])
+    }
+
+    /// Adds a subtraction `a - b`.
+    pub fn sub(&mut self, a: Operand, b: Operand) -> NodeId {
+        self.op(OpKind::Sub, vec![a, b])
+    }
+
+    /// Adds a multiplication.
+    pub fn mult(&mut self, a: Operand, b: Operand) -> NodeId {
+        self.op(OpKind::Mult, vec![a, b])
+    }
+
+    /// Adds an absolute value.
+    pub fn abs(&mut self, a: Operand) -> NodeId {
+        self.op(OpKind::Abs, vec![a])
+    }
+
+    /// Adds a logical left shift `a << b`.
+    pub fn shl(&mut self, a: Operand, b: Operand) -> NodeId {
+        self.op(OpKind::Shl, vec![a, b])
+    }
+
+    /// Adds an arithmetic right shift `a >> b`.
+    pub fn asr(&mut self, a: Operand, b: Operand) -> NodeId {
+        self.op(OpKind::Asr, vec![a, b])
+    }
+
+    /// Adds an accumulating addition: `value + acc`, where `acc` is this
+    /// node's own previous-step output (or `init` at step 0).
+    pub fn accum_add(&mut self, value: Operand, init: i32) -> NodeId {
+        let id = NodeId(self.dfg.len() as u32);
+        self.dfg.push(Node::new(
+            OpKind::Add,
+            vec![value, Operand::Accum { node: id, init }],
+            None,
+            None,
+        ));
+        id
+    }
+
+    /// Finishes and returns the graph.
+    pub fn finish(self) -> Dfg {
+        self.dfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_topological_graph() {
+        let mut b = DfgBuilder::new();
+        let l = b.load_pair(
+            AddrExpr::flat(ArrayId(0), 0, 1),
+            AddrExpr::flat(ArrayId(1), 0, 1),
+        );
+        let m = b.mult(Operand::Node(l), Operand::Pair(l));
+        let a = b.accum_add(Operand::Node(m), 0);
+        let g = b.finish();
+        assert_eq!(g.len(), 3);
+        assert!(g.node(l).is_dual_load());
+        assert_eq!(g.node(l).bus_words(), 2);
+        assert_eq!(g.node(m).op(), OpKind::Mult);
+        // The accumulator self-references.
+        assert_eq!(
+            g.node(a).operands()[1],
+            Operand::Accum { node: a, init: 0 }
+        );
+    }
+
+    #[test]
+    fn addr_eval_matches_affine_form() {
+        // matmul-style X[i, k] with i = e / 4, k = s, row stride 4.
+        let x = AddrExpr::affine(ArrayId(0), 0, 4, 0, 1);
+        assert_eq!(x.eval(9, 2, 4), 4 * (9 / 4) + 2); // i = 2, k = 2 -> 10
+        let flat = AddrExpr::flat(ArrayId(0), 10, 1);
+        assert_eq!(flat.eval(5, 0, 1), 15);
+        let fixed = AddrExpr::fixed(ArrayId(0), 7);
+        assert_eq!(fixed.eval(123, 45, 8), 7);
+    }
+
+    #[test]
+    fn critical_path_counts() {
+        let mut b = DfgBuilder::new();
+        let l = b.load(AddrExpr::flat(ArrayId(0), 0, 1));
+        let m1 = b.mult(Operand::Node(l), Operand::Const(3));
+        let m2 = b.mult(Operand::Node(m1), Operand::Const(5));
+        let _ = b.add(Operand::Node(m2), Operand::Const(1));
+        let g = b.finish();
+        assert_eq!(g.critical_path_len(), 4);
+        assert_eq!(g.critical_path_mults(), 2);
+        assert_eq!(g.mult_count(), 2);
+    }
+
+    #[test]
+    fn single_load_bus_words() {
+        let mut b = DfgBuilder::new();
+        let l = b.load(AddrExpr::flat(ArrayId(0), 0, 1));
+        let s = b.store(AddrExpr::flat(ArrayId(1), 0, 1), Operand::Node(l));
+        let g = b.finish();
+        assert_eq!(g.node(l).bus_words(), 1);
+        assert!(!g.node(l).is_dual_load());
+        assert_eq!(g.node(s).bus_words(), 1);
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = Dfg::default();
+        assert!(g.is_empty());
+        assert_eq!(g.critical_path_len(), 0);
+        assert_eq!(g.critical_path_mults(), 0);
+    }
+
+    #[test]
+    fn operand_display() {
+        assert_eq!(Operand::Node(NodeId(3)).to_string(), "n3");
+        assert_eq!(Operand::Pair(NodeId(1)).to_string(), "n1.hi");
+        assert_eq!(Operand::Const(-4).to_string(), "#-4");
+        assert_eq!(Operand::Param(ParamId(2)).to_string(), "p2");
+        assert_eq!(Operand::Carry(NodeId(0)).to_string(), "carry(n0)");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor")]
+    fn zero_divisor_panics() {
+        AddrExpr::fixed(ArrayId(0), 0).eval(0, 0, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Error type for kernel construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating a [`Kernel`](crate::Kernel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// An operand references a node that does not precede it.
+    ForwardReference {
+        /// Index of the offending node.
+        node: usize,
+        /// The referenced (later or equal) node index.
+        referenced: usize,
+    },
+    /// A `Pair` operand references a node that is not a dual load.
+    BadPair {
+        /// Index of the offending node.
+        node: usize,
+        /// The referenced node index.
+        referenced: usize,
+    },
+    /// An operand count does not match the operation's arity.
+    BadArity {
+        /// Index of the offending node.
+        node: usize,
+        /// Expected operand count.
+        expected: usize,
+        /// Actual operand count.
+        actual: usize,
+    },
+    /// A memory operation is missing its address, or a non-memory
+    /// operation carries one.
+    BadAddress {
+        /// Index of the offending node.
+        node: usize,
+    },
+    /// An address expression references an undeclared array.
+    UnknownArray {
+        /// The out-of-range array index.
+        array: usize,
+    },
+    /// An operand references an undeclared parameter.
+    UnknownParam {
+        /// The out-of-range parameter index.
+        param: usize,
+    },
+    /// A computed address falls outside its array for some (element, step).
+    AddressOutOfBounds {
+        /// The array index.
+        array: usize,
+        /// The offending address.
+        addr: i64,
+        /// Element index where it occurs.
+        element: usize,
+        /// Step index where it occurs.
+        step: usize,
+    },
+    /// A `Carry` operand appeared in the body (it is only valid in the
+    /// tail), or references an out-of-range body node.
+    BadCarry {
+        /// Index of the offending node.
+        node: usize,
+    },
+    /// An `Accum` operand appeared in the tail or references an
+    /// out-of-range body node.
+    BadAccum {
+        /// Index of the offending node.
+        node: usize,
+    },
+    /// The kernel has zero elements or zero steps.
+    EmptyIteration,
+    /// The kernel body is empty.
+    EmptyBody,
+    /// The dataflow mapping style requires a single-step kernel without
+    /// accumulators or tail.
+    DataflowShape,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::ForwardReference { node, referenced } => {
+                write!(f, "node {node} references node {referenced} which does not precede it")
+            }
+            KernelError::BadPair { node, referenced } => {
+                write!(f, "node {node} takes the pair output of node {referenced} which is not a dual load")
+            }
+            KernelError::BadArity {
+                node,
+                expected,
+                actual,
+            } => write!(f, "node {node} has {actual} operands, expected {expected}"),
+            KernelError::BadAddress { node } => {
+                write!(f, "node {node} has an address mismatch for its operation kind")
+            }
+            KernelError::UnknownArray { array } => write!(f, "array index {array} is undeclared"),
+            KernelError::UnknownParam { param } => {
+                write!(f, "parameter index {param} is undeclared")
+            }
+            KernelError::AddressOutOfBounds {
+                array,
+                addr,
+                element,
+                step,
+            } => write!(
+                f,
+                "address {addr} into array {array} out of bounds at element {element}, step {step}"
+            ),
+            KernelError::BadCarry { node } => {
+                write!(f, "node {node} has an invalid carry operand")
+            }
+            KernelError::BadAccum { node } => {
+                write!(f, "node {node} has an invalid accumulator operand")
+            }
+            KernelError::EmptyIteration => write!(f, "kernel must have >= 1 element and step"),
+            KernelError::EmptyBody => write!(f, "kernel body has no nodes"),
+            KernelError::DataflowShape => write!(
+                f,
+                "dataflow mapping requires a single-step body without accumulators or tail"
+            ),
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_nonempty() {
+        let errs: Vec<KernelError> = vec![
+            KernelError::ForwardReference {
+                node: 1,
+                referenced: 2,
+            },
+            KernelError::BadPair {
+                node: 0,
+                referenced: 0,
+            },
+            KernelError::BadArity {
+                node: 0,
+                expected: 2,
+                actual: 1,
+            },
+            KernelError::BadAddress { node: 3 },
+            KernelError::UnknownArray { array: 9 },
+            KernelError::UnknownParam { param: 4 },
+            KernelError::AddressOutOfBounds {
+                array: 0,
+                addr: -1,
+                element: 0,
+                step: 0,
+            },
+            KernelError::BadCarry { node: 0 },
+            KernelError::BadAccum { node: 0 },
+            KernelError::EmptyIteration,
+            KernelError::EmptyBody,
+            KernelError::DataflowShape,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # rsp-kernel — loop-kernel IR and the DATE 2005 benchmark suite
+//!
+//! Dataflow-graph representation of the loop kernels evaluated by
+//! *"Resource Sharing and Pipelining in Coarse-Grained Reconfigurable
+//! Architecture for Domain-Specific Optimization"* (Kim et al., DATE 2005),
+//! plus a reference evaluator that defines the architecturally-visible
+//! semantics every schedule must preserve.
+//!
+//! A [`Kernel`] is `elements × steps` executions of a [`Dfg`] body with an
+//! optional per-element tail; [`suite`] provides the paper's nine kernels
+//! (five Livermore loops, four DSP loops) and the matrix multiplication of
+//! Figs. 2/6.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsp_kernel::{evaluate, suite, Bindings, MemoryImage};
+//!
+//! let kernel = suite::matmul(4);
+//! let input = MemoryImage::random(&kernel, 1);
+//! let output = evaluate(&kernel, &input, &Bindings::defaults(&kernel))?;
+//! // Z lives in array 2; its 16 entries are C-scaled dot products.
+//! assert_eq!(output.array(2).len(), 16);
+//! # Ok::<(), rsp_kernel::KernelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod dfg;
+mod error;
+mod eval;
+mod kernel;
+pub mod suite;
+
+pub use dfg::{AddrExpr, ArrayId, Dfg, DfgBuilder, Node, NodeId, Operand, ParamId};
+pub use error::KernelError;
+pub use eval::{apply_op, evaluate, Bindings, MemoryImage};
+pub use kernel::{ArrayDecl, Kernel, KernelBuilder, MappingStyle, ParamDecl};

@@ -1,0 +1,679 @@
+//! The paper's kernel suite (Table 3).
+//!
+//! Five Livermore-loop kernels and four DSP kernels, plus the matrix
+//! multiplication of eq. (1) used by Figs. 2 and 6. Each kernel records the
+//! loop it models in its description. Iteration counts match the paper's
+//! Table 4/5 headers (`Hydro(32†)` etc.).
+//!
+//! Mapping-style assignments follow the papers' observed stall behaviour:
+//! kernels whose bodies are small and multiplication-light run
+//! [`MappingStyle::Lockstep`] (one element per PE, Fig. 2 discipline);
+//! multiplication-dense bodies (Hydro, State, 2D-FDCT, FFT) run
+//! [`MappingStyle::Dataflow`] (element spread over a row), which is what
+//! makes them contend for shared multipliers exactly as in Tables 4/5.
+
+use crate::dfg::{AddrExpr, DfgBuilder, Operand};
+use crate::kernel::{Kernel, KernelBuilder, MappingStyle};
+
+use Operand::{Node as N, Pair as P, Param as Pa};
+
+/// Matrix multiplication of order `n` (eq. (1)):
+/// `Z(i,j) = C * sum_k X(i,k) * Y(k,j)`.
+///
+/// One element per output `Z(i,j)`, `n` accumulation steps, and a tail that
+/// scales by the configuration constant `C` and stores — the exact schedule
+/// shape of the paper's Fig. 2.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let k = rsp_kernel::suite::matmul(4);
+/// assert_eq!(k.elements(), 16);
+/// assert_eq!(k.steps(), 4);
+/// assert_eq!(k.body_mults(), 1);
+/// ```
+pub fn matmul(n: usize) -> Kernel {
+    assert!(n > 0, "matrix order must be non-zero");
+    let mut kb = KernelBuilder::new("MatMul", n * n);
+    let x = kb.array("X", n * n);
+    let y = kb.array("Y", n * n);
+    let z = kb.array("Z", n * n);
+    let c = kb.param("C", 3);
+    let ni = n as i64;
+
+    let mut b = DfgBuilder::new();
+    // One Ld fetches both operands over the two row read buses (Fig. 2).
+    let l = b.load_pair(
+        AddrExpr::affine(x, 0, ni, 0, 1), // X[i, k], i = e / n, k = step
+        AddrExpr::affine(y, 0, 0, 1, ni), // Y[k, j], j = e % n
+    );
+    let m = b.mult(N(l), P(l));
+    let acc = b.accum_add(N(m), 0);
+
+    let mut t = DfgBuilder::new();
+    let scaled = t.mult(Operand::Carry(acc), Pa(c));
+    t.store(AddrExpr::affine(z, 0, ni, 1, 0), N(scaled));
+
+    kb.steps(n)
+        .elem_divisor(n)
+        .description("Z(i,j) = C * sum_k X(i,k)*Y(k,j)  (paper eq. (1), Figs. 2/6)")
+        .style(MappingStyle::Lockstep)
+        .body(b.finish())
+        .tail(t.finish())
+        .build()
+        .expect("matmul kernel is valid")
+}
+
+/// Livermore loop 1 — *Hydro fragment*:
+/// `x[k] = q + y[k] * (r * z[k+10] + t * z[k+11])`, 32 iterations.
+pub fn hydro() -> Kernel {
+    let mut kb = KernelBuilder::new("Hydro", 32);
+    let z = kb.array("z", 43);
+    let y = kb.array("y", 32);
+    let x = kb.array("x", 32);
+    let q = kb.param("q", 5);
+    let r = kb.param("r", 2);
+    let t = kb.param("t", 3);
+
+    let mut b = DfgBuilder::new();
+    let lz = b.load_pair(AddrExpr::flat(z, 10, 1), AddrExpr::flat(z, 11, 1));
+    let ly = b.load(AddrExpr::flat(y, 0, 1));
+    let m0 = b.mult(Pa(r), N(lz));
+    let m1 = b.mult(Pa(t), P(lz));
+    let a0 = b.add(N(m0), N(m1));
+    let m2 = b.mult(N(ly), N(a0));
+    let a1 = b.add(N(m2), Pa(q));
+    b.store(AddrExpr::flat(x, 0, 1), N(a1));
+
+    kb.description("x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])  (Livermore loop 1)")
+        .style(MappingStyle::Dataflow)
+        .body(b.finish())
+        .build()
+        .expect("hydro kernel is valid")
+}
+
+/// Livermore loop 2 — *ICCG (incomplete Cholesky conjugate gradient)*
+/// inner operation: `x[i] = x[i] - v[i] * x[i+1]`, 32 iterations.
+pub fn iccg() -> Kernel {
+    let mut kb = KernelBuilder::new("ICCG", 32);
+    let x = kb.array("x", 33);
+    let v = kb.array("v", 32);
+    let out = kb.array("xout", 32);
+
+    let mut b = DfgBuilder::new();
+    let l = b.load_pair(AddrExpr::flat(x, 1, 1), AddrExpr::flat(v, 0, 1));
+    let m = b.mult(P(l), N(l));
+    let lx = b.load(AddrExpr::flat(x, 0, 1));
+    let s = b.sub(N(lx), N(m));
+    b.store(AddrExpr::flat(out, 0, 1), N(s));
+
+    kb.description("x[i] = x[i] - v[i]*x[i+1]  (Livermore loop 2, ICCG)")
+        .style(MappingStyle::Lockstep)
+        .body(b.finish())
+        .build()
+        .expect("iccg kernel is valid")
+}
+
+/// Livermore loop 5 — *Tri-diagonal elimination (below diagonal)*:
+/// `x[i] = z[i] * (y[i] - x[i-1])`, 64 iterations (Jacobi-style reads of
+/// the previous sweep's `x`, per the snapshot-memory model).
+pub fn tri_diagonal() -> Kernel {
+    let mut kb = KernelBuilder::new("Tri-diagonal", 64);
+    let y = kb.array("y", 64);
+    let xin = kb.array("xprev", 64); // xprev[i] models x[i-1]
+    let z = kb.array("z", 64);
+    let out = kb.array("xout", 64);
+
+    let mut b = DfgBuilder::new();
+    let l = b.load_pair(AddrExpr::flat(y, 0, 1), AddrExpr::flat(xin, 0, 1));
+    let s = b.sub(N(l), P(l));
+    let lz = b.load(AddrExpr::flat(z, 0, 1));
+    let m = b.mult(N(lz), N(s));
+    b.store(AddrExpr::flat(out, 0, 1), N(m));
+
+    kb.description("x[i] = z[i]*(y[i] - x[i-1])  (Livermore loop 5)")
+        .style(MappingStyle::Lockstep)
+        .body(b.finish())
+        .build()
+        .expect("tri-diagonal kernel is valid")
+}
+
+/// Livermore loop 3 — *Inner product*: `q += z[k] * x[k]`, 128 iterations.
+///
+/// Each element computes one product and adds it into its PE-local
+/// accumulator; per-PE partials are stored and reduced by the sequencer
+/// (the host reduction is outside the measured kernel, as in the paper).
+pub fn inner_product() -> Kernel {
+    let mut kb = KernelBuilder::new("Inner product", 128);
+    let z = kb.array("z", 128);
+    let x = kb.array("x", 128);
+    let partial = kb.array("partial", 128);
+
+    let mut b = DfgBuilder::new();
+    let l = b.load_pair(AddrExpr::flat(z, 0, 1), AddrExpr::flat(x, 0, 1));
+    let m = b.mult(N(l), P(l));
+    let acc = b.accum_add(N(m), 0);
+
+    let mut t = DfgBuilder::new();
+    t.store(AddrExpr::flat(partial, 0, 1), Operand::Carry(acc));
+
+    kb.description("q += z[k]*x[k]  (Livermore loop 3)")
+        .style(MappingStyle::Lockstep)
+        .body(b.finish())
+        .tail(t.finish())
+        .build()
+        .expect("inner-product kernel is valid")
+}
+
+/// Livermore loop 7 — *Equation of state fragment*, 16 iterations:
+///
+/// ```text
+/// x[k] = u[k] + r*(z[k] + r*y[k])
+///      + t*(u[k+3] + r*(u[k+2] + r*u[k+1])
+///      + t*(u[k+6] + r*(u[k+5] + r*u[k+4])))
+/// ```
+pub fn state() -> Kernel {
+    let mut kb = KernelBuilder::new("State", 16);
+    let u = kb.array("u", 22);
+    let zy = kb.array("zy", 32); // z interleaved at +0, y at +16
+    let x = kb.array("x", 16);
+    let r = kb.param("r", 2);
+    let t = kb.param("t", 3);
+
+    let mut b = DfgBuilder::new();
+    let lu01 = b.load_pair(AddrExpr::flat(u, 0, 1), AddrExpr::flat(u, 1, 1));
+    let lzy = b.load_pair(AddrExpr::flat(zy, 0, 1), AddrExpr::flat(zy, 16, 1));
+    let lu23 = b.load_pair(AddrExpr::flat(u, 2, 1), AddrExpr::flat(u, 3, 1));
+    let lu45 = b.load_pair(AddrExpr::flat(u, 4, 1), AddrExpr::flat(u, 5, 1));
+    let lu6 = b.load(AddrExpr::flat(u, 6, 1));
+
+    let m1 = b.mult(Pa(r), P(lzy)); // r*y
+    let a1 = b.add(N(lzy), N(m1)); // z + r*y
+    let m2 = b.mult(Pa(r), N(a1));
+    let a2 = b.add(N(lu01), N(m2)); // u[k] + r*(z + r*y)
+
+    let m3 = b.mult(Pa(r), P(lu01)); // r*u[k+1]
+    let a3 = b.add(N(lu23), N(m3)); // u[k+2] + r*u[k+1]
+    let m4 = b.mult(Pa(r), N(a3));
+    let a4 = b.add(P(lu23), N(m4)); // u[k+3] + r*(...)
+
+    let m5 = b.mult(Pa(r), N(lu45)); // r*u[k+4]
+    let a5 = b.add(P(lu45), N(m5)); // u[k+5] + r*u[k+4]
+    let m6 = b.mult(Pa(r), N(a5));
+    let a6 = b.add(N(lu6), N(m6)); // u[k+6] + r*(...)
+
+    let m7 = b.mult(Pa(t), N(a6));
+    let a7 = b.add(N(a4), N(m7));
+    let m8 = b.mult(Pa(t), N(a7));
+    let a8 = b.add(N(a2), N(m8));
+    b.store(AddrExpr::flat(x, 0, 1), N(a8));
+
+    kb.description("x[k] = u[k] + r*(z[k]+r*y[k]) + t*(u[k+3]+r*(u[k+2]+r*u[k+1]) + t*(u[k+6]+r*(u[k+5]+r*u[k+4])))  (Livermore loop 7)")
+        .style(MappingStyle::Dataflow)
+        .body(b.finish())
+        .build()
+        .expect("state kernel is valid")
+}
+
+/// 2D forward DCT of the H.263 encoder, modelled as 16 one-dimensional
+/// 8-point DCT passes (8 row passes + 8 column passes over the transposed
+/// intermediate, which the frame buffer supplies with unit stride).
+///
+/// The pass is a Loeffler-style factorization: butterfly stages plus
+/// three-multiplication plane rotations, two of them chained in the odd
+/// half — the rotation cascade is what gives the kernel its multi-cycle
+/// multiplication *chains*, which resource pipelining stretches (the large
+/// RP overhead of the paper's Table 5) and whose slack then absorbs the
+/// sharing conflicts (RSP#2 stall-free where RS#2 stalls).
+///
+/// Coefficients are `round(256 * cos(k*pi/16))` (and rotation deltas);
+/// every product is scaled back with an arithmetic right shift, giving the
+/// paper's `{mult, shift, add, sub}` operation set.
+pub fn fdct() -> Kernel {
+    let mut kb = KernelBuilder::new("2D-FDCT", 16);
+    let input = kb.array("in", 128);
+    let out = kb.array("coef", 128);
+    // cos(k*pi/16) scaled by 256.
+    let c4 = kb.param("c4", 181);
+    let c6 = kb.param("c6", 97);
+    let k2m6 = kb.param("c2-c6", 140); // c2 - c6
+    let k2p6 = kb.param("c2+c6", 334); // c2 + c6
+    let c3 = kb.param("c3", 213);
+    let k1m3 = kb.param("c1-c3", 38); // c1 - c3
+    let k1p3 = kb.param("c1+c3", 464); // c1 + c3
+    let c1 = kb.param("c1", 251);
+    let k5m1 = kb.param("c5-c1", -109); // c5 - c1
+    let k5p1 = kb.param("c5+c1", 393); // c5 + c1
+    let c5 = kb.param("c5", 142);
+    let k7m5 = kb.param("c7-c5", -93); // c7 - c5
+    let k7p5 = kb.param("c7+c5", 191); // c7 + c5
+    let sh = Operand::Const(8);
+
+    let at = |base: i64| AddrExpr::flat(input, base, 8);
+    let ot = |base: i64| AddrExpr::flat(out, base, 8);
+
+    let mut b = DfgBuilder::new();
+    let lp0 = b.load_pair(at(0), at(7));
+    let lp1 = b.load_pair(at(1), at(6));
+    let lp2 = b.load_pair(at(2), at(5));
+    let lp3 = b.load_pair(at(3), at(4));
+
+    // Stage 1 butterflies.
+    let s07 = b.add(N(lp0), P(lp0));
+    let d07 = b.sub(N(lp0), P(lp0));
+    let s16 = b.add(N(lp1), P(lp1));
+    let d16 = b.sub(N(lp1), P(lp1));
+    let s25 = b.add(N(lp2), P(lp2));
+    let d25 = b.sub(N(lp2), P(lp2));
+    let s34 = b.add(N(lp3), P(lp3));
+    let d34 = b.sub(N(lp3), P(lp3));
+
+    // Three-multiplication rotation: given (u, v) and coefficients
+    // (c, c_a - c, c_a + c) it produces (c_a*u + c*v, c*u - c_b*v)-style
+    // outputs with one shared product.
+    let rot = |b: &mut DfgBuilder,
+               u: crate::dfg::NodeId,
+               v: crate::dfg::NodeId,
+               c: crate::dfg::ParamId,
+               km: crate::dfg::ParamId,
+               kp: crate::dfg::ParamId| {
+        let a = b.add(N(u), N(v));
+        let p = b.mult(Pa(c), N(a));
+        let q = b.mult(Pa(km), N(u));
+        let r = b.mult(Pa(kp), N(v));
+        let hi = b.add(N(p), N(q));
+        let lo = b.sub(N(p), N(r));
+        (hi, lo)
+    };
+
+    // Even half.
+    let se0 = b.add(N(s07), N(s34));
+    let se1 = b.add(N(s16), N(s25));
+    let de0 = b.sub(N(s07), N(s34));
+    let de1 = b.sub(N(s16), N(s25));
+
+    let t0 = b.add(N(se0), N(se1));
+    let m0 = b.mult(N(t0), Pa(c4));
+    let x0 = b.asr(N(m0), sh);
+    b.store(ot(0), N(x0));
+
+    let t1 = b.sub(N(se0), N(se1));
+    let m1 = b.mult(N(t1), Pa(c4));
+    let x4 = b.asr(N(m1), sh);
+    b.store(ot(4), N(x4));
+
+    // X2/X6 rotation by c2/c6.
+    let (e_hi, e_lo) = rot(&mut b, de0, de1, c6, k2m6, k2p6);
+    let x2 = b.asr(N(e_hi), sh);
+    b.store(ot(2), N(x2));
+    let x6 = b.asr(N(e_lo), sh);
+    b.store(ot(6), N(x6));
+
+    // Odd half: two rotations feeding a third — the multiplication chain.
+    let (a_hi, a_lo) = rot(&mut b, d07, d34, c3, k1m3, k1p3);
+    let (b_hi, b_lo) = rot(&mut b, d16, d25, c1, k5m1, k5p1);
+
+    let x1v = b.add(N(a_hi), N(b_hi));
+    let x1 = b.asr(N(x1v), sh);
+    b.store(ot(1), N(x1));
+    let x7v = b.sub(N(a_lo), N(b_lo));
+    let x7 = b.asr(N(x7v), sh);
+    b.store(ot(7), N(x7));
+
+    let w1 = b.sub(N(a_hi), N(b_hi));
+    let w1s = b.asr(N(w1), sh);
+    let w2 = b.add(N(a_lo), N(b_lo));
+    let w2s = b.asr(N(w2), sh);
+    let (c_hi, c_lo) = rot(&mut b, w1s, w2s, c5, k7m5, k7p5);
+    let x3 = b.asr(N(c_hi), sh);
+    b.store(ot(3), N(x3));
+    let x5 = b.asr(N(c_lo), sh);
+    b.store(ot(5), N(x5));
+
+    kb.description("16 x 8-point 1-D Loeffler-style DCT passes (row + transposed-column pass of the 8x8 2D-FDCT, H.263 encoder)")
+        .style(MappingStyle::Dataflow)
+        .body(b.finish())
+        .build()
+        .expect("fdct kernel is valid")
+}
+
+/// Sum of absolute differences of the H.263 encoder's motion estimation
+/// over a 16×16 block (256 pixel pairs; each PE accumulates four).
+///
+/// The only kernel with no multiplications — the one that profits most
+/// from resource pipelining (paper: 35.7 % on RSP#1) because it enjoys the
+/// shorter clock without ever paying multi-cycle multiplication latency.
+pub fn sad() -> Kernel {
+    let mut kb = KernelBuilder::new("SAD", 64);
+    let cur = kb.array("cur", 256);
+    let refa = kb.array("ref", 256);
+    let partial = kb.array("partial", 64);
+
+    let mut b = DfgBuilder::new();
+    let l = b.load_pair(
+        AddrExpr::affine(cur, 0, 4, 0, 1),
+        AddrExpr::affine(refa, 0, 4, 0, 1),
+    );
+    let d = b.sub(N(l), P(l));
+    let a = b.abs(N(d));
+    let acc = b.accum_add(N(a), 0);
+
+    let mut t = DfgBuilder::new();
+    t.store(AddrExpr::flat(partial, 0, 1), Operand::Carry(acc));
+
+    kb.steps(4)
+        .description("SAD += |cur[p] - ref[p]| over a 16x16 block (H.263 motion estimation)")
+        .style(MappingStyle::Lockstep)
+        .body(b.finish())
+        .tail(t.finish())
+        .build()
+        .expect("sad kernel is valid")
+}
+
+/// Matrix-vector multiplication: 64 multiply-accumulate pairs
+/// `y[i] += A[i][j] * x[j]` for an 8×8 matrix (one MAC per element;
+/// per-PE partials stored for the sequencer reduction).
+pub fn mvm() -> Kernel {
+    let mut kb = KernelBuilder::new("MVM", 64);
+    let a = kb.array("A", 64);
+    let x = kb.array("x", 8);
+    let partial = kb.array("partial", 64);
+
+    let mut b = DfgBuilder::new();
+    let l = b.load_pair(
+        AddrExpr::affine(a, 0, 8, 1, 0),
+        AddrExpr::affine(x, 0, 0, 1, 0),
+    );
+    let m = b.mult(N(l), P(l));
+    let acc = b.accum_add(N(m), 0);
+
+    let mut t = DfgBuilder::new();
+    t.store(AddrExpr::affine(partial, 0, 8, 1, 0), Operand::Carry(acc));
+
+    kb.elem_divisor(8)
+        .description("y[i] += A[i][j]*x[j]  (8x8 matrix-vector multiplication)")
+        .style(MappingStyle::Lockstep)
+        .body(b.finish())
+        .tail(t.finish())
+        .build()
+        .expect("mvm kernel is valid")
+}
+
+/// The multiplication loop of an FFT stage: 32 radix-2 butterflies
+/// `t = w * b; (a, b) = (a + t, a - t)` on complex values.
+pub fn fft_mult_loop() -> Kernel {
+    let mut kb = KernelBuilder::new("FFT", 32);
+    let wr = kb.array("wr", 32);
+    let wi = kb.array("wi", 32);
+    let br = kb.array("br", 32);
+    let bi = kb.array("bi", 32);
+    let ar = kb.array("ar", 32);
+    let ai = kb.array("ai", 32);
+    let our = kb.array("out_r", 32);
+    let oui = kb.array("out_i", 32);
+    let opr = kb.array("out2_r", 32);
+    let opi = kb.array("out2_i", 32);
+
+    let mut b = DfgBuilder::new();
+    let lw = b.load_pair(AddrExpr::flat(wr, 0, 1), AddrExpr::flat(wi, 0, 1));
+    let lb = b.load_pair(AddrExpr::flat(br, 0, 1), AddrExpr::flat(bi, 0, 1));
+    let la = b.load_pair(AddrExpr::flat(ar, 0, 1), AddrExpr::flat(ai, 0, 1));
+
+    let m0 = b.mult(N(lw), N(lb)); // wr*br
+    let m1 = b.mult(P(lw), P(lb)); // wi*bi
+    let m2 = b.mult(N(lw), P(lb)); // wr*bi
+    let m3 = b.mult(P(lw), N(lb)); // wi*br
+    let tr = b.sub(N(m0), N(m1));
+    let ti = b.add(N(m2), N(m3));
+
+    let sum_r = b.add(N(la), N(tr));
+    b.store(AddrExpr::flat(our, 0, 1), N(sum_r));
+    let sum_i = b.add(P(la), N(ti));
+    b.store(AddrExpr::flat(oui, 0, 1), N(sum_i));
+    let dif_r = b.sub(N(la), N(tr));
+    b.store(AddrExpr::flat(opr, 0, 1), N(dif_r));
+    let dif_i = b.sub(P(la), N(ti));
+    b.store(AddrExpr::flat(opi, 0, 1), N(dif_i));
+
+    kb.description("radix-2 FFT butterfly multiplication loop: t = w*b; out = a+t; out2 = a-t")
+        .style(MappingStyle::Dataflow)
+        .body(b.finish())
+        .build()
+        .expect("fft kernel is valid")
+}
+
+/// The five Livermore kernels of Table 4 in row order.
+pub fn livermore() -> Vec<Kernel> {
+    vec![hydro(), iccg(), tri_diagonal(), inner_product(), state()]
+}
+
+/// The four DSP kernels of Table 5 in row order.
+pub fn dsp() -> Vec<Kernel> {
+    vec![fdct(), sad(), mvm(), fft_mult_loop()]
+}
+
+/// All nine evaluated kernels (Tables 3/4/5).
+pub fn all() -> Vec<Kernel> {
+    let mut v = livermore();
+    v.extend(dsp());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate, Bindings, MemoryImage};
+    use rsp_arch::OpKind;
+
+    #[test]
+    fn iteration_counts_match_paper() {
+        assert_eq!(hydro().iterations(), 32);
+        assert_eq!(iccg().iterations(), 32);
+        assert_eq!(tri_diagonal().iterations(), 64);
+        assert_eq!(inner_product().iterations(), 128);
+        assert_eq!(state().iterations(), 16);
+        assert_eq!(mvm().iterations(), 64);
+        assert_eq!(fft_mult_loop().iterations(), 32);
+        assert_eq!(sad().iterations(), 256);
+    }
+
+    #[test]
+    fn op_sets_match_table3() {
+        use std::collections::BTreeSet;
+        let set = |k: &Kernel| k.op_set();
+        assert_eq!(
+            set(&hydro()),
+            BTreeSet::from([OpKind::Mult, OpKind::Add])
+        );
+        assert_eq!(set(&iccg()), BTreeSet::from([OpKind::Mult, OpKind::Sub]));
+        assert_eq!(
+            set(&tri_diagonal()),
+            BTreeSet::from([OpKind::Mult, OpKind::Sub])
+        );
+        assert_eq!(
+            set(&inner_product()),
+            BTreeSet::from([OpKind::Mult, OpKind::Add])
+        );
+        assert_eq!(set(&state()), BTreeSet::from([OpKind::Mult, OpKind::Add]));
+        // 2D-FDCT: mult, shift, add, sub.
+        assert_eq!(
+            set(&fdct()),
+            BTreeSet::from([OpKind::Mult, OpKind::Asr, OpKind::Add, OpKind::Sub])
+        );
+        // SAD: abs, add (+ the sub inside the absolute difference).
+        assert_eq!(
+            set(&sad()),
+            BTreeSet::from([OpKind::Abs, OpKind::Add, OpKind::Sub])
+        );
+        assert_eq!(set(&mvm()), BTreeSet::from([OpKind::Mult, OpKind::Add]));
+        assert_eq!(
+            set(&fft_mult_loop()),
+            BTreeSet::from([OpKind::Mult, OpKind::Add, OpKind::Sub])
+        );
+    }
+
+    #[test]
+    fn sad_has_no_multiplications() {
+        assert_eq!(sad().total_mults(), 0);
+    }
+
+    #[test]
+    fn hydro_computes_reference_values() {
+        let k = hydro();
+        let img = MemoryImage::random(&k, 11);
+        let out = evaluate(&k, &img, &Bindings::defaults(&k)).unwrap();
+        // q=5, r=2, t=3.
+        for i in 0..32 {
+            let expect = 5 + img.read(1, i) * (2 * img.read(0, i + 10) + 3 * img.read(0, i + 11));
+            assert_eq!(out.read(2, i), expect, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn tri_diagonal_computes_reference_values() {
+        let k = tri_diagonal();
+        let img = MemoryImage::random(&k, 5);
+        let out = evaluate(&k, &img, &Bindings::defaults(&k)).unwrap();
+        for i in 0..64 {
+            let expect = img.read(2, i) * (img.read(0, i) - img.read(1, i));
+            assert_eq!(out.read(3, i), expect);
+        }
+    }
+
+    #[test]
+    fn iccg_computes_reference_values() {
+        let k = iccg();
+        let img = MemoryImage::random(&k, 6);
+        let out = evaluate(&k, &img, &Bindings::defaults(&k)).unwrap();
+        for i in 0..32 {
+            let expect = img.read(0, i) - img.read(1, i) * img.read(0, i + 1);
+            assert_eq!(out.read(2, i), expect);
+        }
+    }
+
+    #[test]
+    fn inner_product_partials_sum_to_dot_product() {
+        let k = inner_product();
+        let img = MemoryImage::random(&k, 9);
+        let out = evaluate(&k, &img, &Bindings::defaults(&k)).unwrap();
+        let total: i64 = out.array(2).iter().map(|&v| v as i64).sum();
+        let expect: i64 = (0..128)
+            .map(|i| (img.read(0, i) as i64) * (img.read(1, i) as i64))
+            .sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn sad_partials_sum_to_block_sad() {
+        let k = sad();
+        let img = MemoryImage::random(&k, 4);
+        let out = evaluate(&k, &img, &Bindings::defaults(&k)).unwrap();
+        let total: i64 = out.array(2).iter().map(|&v| v as i64).sum();
+        let expect: i64 = (0..256)
+            .map(|i| (img.read(0, i) - img.read(1, i)).abs() as i64)
+            .sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn mvm_partials_reduce_to_matrix_vector_product() {
+        let k = mvm();
+        let img = MemoryImage::random(&k, 8);
+        let out = evaluate(&k, &img, &Bindings::defaults(&k)).unwrap();
+        for i in 0..8 {
+            let row: i64 = (0..8).map(|j| out.read(2, 8 * i + j) as i64).sum();
+            let expect: i64 = (0..8)
+                .map(|j| (img.read(0, 8 * i + j) as i64) * (img.read(1, j) as i64))
+                .sum();
+            assert_eq!(row, expect, "y[{i}]");
+        }
+    }
+
+    #[test]
+    fn fft_butterfly_reference_values() {
+        let k = fft_mult_loop();
+        let img = MemoryImage::random(&k, 3);
+        let out = evaluate(&k, &img, &Bindings::defaults(&k)).unwrap();
+        for i in 0..32 {
+            let (wr, wi) = (img.read(0, i), img.read(1, i));
+            let (br, bi) = (img.read(2, i), img.read(3, i));
+            let (ar, ai) = (img.read(4, i), img.read(5, i));
+            let tr = wr * br - wi * bi;
+            let ti = wr * bi + wi * br;
+            assert_eq!(out.read(6, i), ar + tr);
+            assert_eq!(out.read(7, i), ai + ti);
+            assert_eq!(out.read(8, i), ar - tr);
+            assert_eq!(out.read(9, i), ai - ti);
+        }
+    }
+
+    #[test]
+    fn fdct_dc_coefficient_is_scaled_sum() {
+        let k = fdct();
+        let mut img = MemoryImage::zeroed(&k);
+        // Pass 0 inputs all ones: DC output = (8 * 181) >> 8 = 5.
+        for j in 0..8 {
+            img.write(0, j, 1);
+        }
+        let out = evaluate(&k, &img, &Bindings::defaults(&k)).unwrap();
+        assert_eq!(out.read(1, 0), (8 * 181) >> 8);
+        // AC coefficients of a constant signal vanish.
+        for c in 1..8 {
+            assert_eq!(out.read(1, c), 0, "coef {c}");
+        }
+    }
+
+    #[test]
+    fn matmul_reference_values() {
+        let n = 4;
+        let k = matmul(n);
+        let img = MemoryImage::random(&k, 2);
+        let out = evaluate(&k, &img, &Bindings::defaults(&k)).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let dot: i32 = (0..n)
+                    .map(|kk| img.read(0, i * n + kk) * img.read(1, kk * n + j))
+                    .sum();
+                assert_eq!(out.read(2, i * n + j), 3 * dot, "Z[{i},{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn suite_sizes() {
+        assert_eq!(livermore().len(), 5);
+        assert_eq!(dsp().len(), 4);
+        assert_eq!(all().len(), 9);
+    }
+
+    #[test]
+    fn dataflow_kernels_are_single_step() {
+        for k in all() {
+            if k.style() == MappingStyle::Dataflow {
+                assert_eq!(k.steps(), 1, "{}", k.name());
+                assert!(k.tail().is_none(), "{}", k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn state_computes_reference_values() {
+        let k = state();
+        let img = MemoryImage::random(&k, 12);
+        let out = evaluate(&k, &img, &Bindings::defaults(&k)).unwrap();
+        let (r, t) = (2i64, 3i64);
+        for kk in 0..16usize {
+            let u = |o: usize| img.read(0, kk + o) as i64;
+            let z = img.read(1, kk) as i64;
+            let y = img.read(1, kk + 16) as i64;
+            let expect = u(0)
+                + r * (z + r * y)
+                + t * (u(3) + r * (u(2) + r * u(1)) + t * (u(6) + r * (u(5) + r * u(4))));
+            assert_eq!(out.read(2, kk) as i64, expect, "x[{kk}]");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the kernel IR and the architectural arithmetic.
+
+use proptest::prelude::*;
+use rsp_arch::OpKind;
+use rsp_kernel::{apply_op, suite, AddrExpr, ArrayId, Bindings, MemoryImage};
+
+proptest! {
+    #[test]
+    fn addr_expr_is_affine(
+        base in -100i64..100,
+        cd in -8i64..8,
+        cm in -8i64..8,
+        cs in -8i64..8,
+        e in 0usize..1000,
+        s in 0usize..100,
+        d in 1usize..16,
+    ) {
+        let a = AddrExpr::affine(ArrayId(0), base, cd, cm, cs);
+        let v = a.eval(e, s, d);
+        prop_assert_eq!(
+            v,
+            base + cd * (e / d) as i64 + cm * (e % d) as i64 + cs * s as i64
+        );
+        // Step linearity: eval(e, s+1) - eval(e, s) == cs.
+        prop_assert_eq!(a.eval(e, s + 1, d) - v, cs);
+    }
+
+    #[test]
+    fn add_commutes_and_sub_inverts(a in any::<i32>(), b in any::<i32>()) {
+        prop_assert_eq!(apply_op(OpKind::Add, a, b), apply_op(OpKind::Add, b, a));
+        let sum = apply_op(OpKind::Add, a, b);
+        prop_assert_eq!(apply_op(OpKind::Sub, sum, b), a);
+    }
+
+    #[test]
+    fn mult_commutes_and_respects_low16(a in any::<i32>(), b in any::<i32>()) {
+        prop_assert_eq!(apply_op(OpKind::Mult, a, b), apply_op(OpKind::Mult, b, a));
+        // The array multiplier only sees the low 16 bits.
+        let masked = apply_op(OpKind::Mult, a as i16 as i32, b as i16 as i32);
+        prop_assert_eq!(apply_op(OpKind::Mult, a, b), masked);
+        // 16x16 products fit comfortably in 32 bits: no wrap possible.
+        let exact = (a as i16 as i64) * (b as i16 as i64);
+        prop_assert_eq!(apply_op(OpKind::Mult, a, b) as i64, exact);
+    }
+
+    #[test]
+    fn min_max_bracket_inputs(a in any::<i32>(), b in any::<i32>()) {
+        let lo = apply_op(OpKind::Min, a, b);
+        let hi = apply_op(OpKind::Max, a, b);
+        prop_assert!(lo <= hi);
+        prop_assert!(lo == a || lo == b);
+        prop_assert!(hi == a || hi == b);
+    }
+
+    #[test]
+    fn shifts_agree_with_masked_amount(a in any::<i32>(), sh in any::<i32>()) {
+        let m = (sh & 0xF) as u32;
+        prop_assert_eq!(apply_op(OpKind::Shl, a, sh), a.wrapping_shl(m));
+        prop_assert_eq!(apply_op(OpKind::Shr, a, sh), ((a as u32) >> m) as i32);
+        prop_assert_eq!(apply_op(OpKind::Asr, a, sh), a >> m);
+    }
+
+    #[test]
+    fn abs_is_non_negative_except_min(a in any::<i32>()) {
+        let r = apply_op(OpKind::Abs, a, 0);
+        if a == i32::MIN {
+            prop_assert_eq!(r, i32::MIN); // wrapping_abs, like the hardware
+        } else {
+            prop_assert!(r >= 0);
+            prop_assert_eq!(r, a.abs());
+        }
+    }
+
+    #[test]
+    fn random_images_are_deterministic_and_bounded(seed in any::<u64>()) {
+        let k = suite::mvm();
+        let a = MemoryImage::random(&k, seed);
+        let b = MemoryImage::random(&k, seed);
+        prop_assert_eq!(&a, &b);
+        for arr in 0..a.array_count() {
+            prop_assert!(a.array(arr).iter().all(|v| (-63..=63).contains(v)));
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic(seed in any::<u64>()) {
+        for k in [suite::hydro(), suite::fdct()] {
+            let img = MemoryImage::random(&k, seed);
+            let p = Bindings::defaults(&k);
+            let a = rsp_kernel::evaluate(&k, &img, &p).unwrap();
+            let b = rsp_kernel::evaluate(&k, &img, &p).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn param_override_changes_only_dependent_outputs(r in -10i32..10) {
+        // Hydro's x depends on r; changing r must not touch inputs.
+        let k = suite::hydro();
+        let img = MemoryImage::random(&k, 77);
+        let mut p = Bindings::defaults(&k);
+        p.set(1, r); // r parameter
+        let out = rsp_kernel::evaluate(&k, &img, &p).unwrap();
+        // Inputs unchanged.
+        prop_assert_eq!(out.array(0), img.array(0));
+        prop_assert_eq!(out.array(1), img.array(1));
+        // Outputs follow the closed form.
+        for i in 0..32usize {
+            let expect = 5 + img.read(1, i) * (r * img.read(0, i + 10) + 3 * img.read(0, i + 11));
+            prop_assert_eq!(out.read(2, i), expect);
+        }
+    }
+}
+
+#[test]
+fn suite_kernels_serialize_compactly() {
+    // Sanity on the serde representation (no recursion, readable sizes).
+    for k in suite::all() {
+        let json = serde_json::to_string(&k).unwrap();
+        assert!(json.len() < 64 * 1024, "{} serializes to {}B", k.name(), json.len());
+    }
+}

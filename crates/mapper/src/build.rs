@@ -1,0 +1,242 @@
+//! Shared instance-graph construction.
+//!
+//! Both mapping policies lay instances out in the same canonical id order
+//! (all steps of element 0, its tail, then element 1, …) so downstream
+//! passes can index instances arithmetically regardless of policy.
+
+use crate::context::{InstanceId, MemAccess, OpInstance, SrcOperand};
+use rsp_arch::PeId;
+use rsp_kernel::{Dfg, Kernel, Operand};
+
+/// Canonical instance-id layout of a kernel's instance graph.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IdLayout {
+    body_len: usize,
+    tail_len: usize,
+    steps: usize,
+}
+
+impl IdLayout {
+    pub(crate) fn of(kernel: &Kernel) -> Self {
+        Self {
+            body_len: kernel.body().len(),
+            tail_len: kernel.tail().map_or(0, Dfg::len),
+            steps: kernel.steps(),
+        }
+    }
+
+    /// Instances per element.
+    pub(crate) fn block(&self) -> usize {
+        self.steps * self.body_len + self.tail_len
+    }
+
+    pub(crate) fn body_id(&self, element: usize, step: usize, node: usize) -> InstanceId {
+        InstanceId((element * self.block() + step * self.body_len + node) as u32)
+    }
+
+    pub(crate) fn tail_id(&self, element: usize, node: usize) -> InstanceId {
+        InstanceId((element * self.block() + self.steps * self.body_len + node) as u32)
+    }
+}
+
+/// Builds the full instance graph with a per-(element, step, node)
+/// placement function. Returns instances in canonical id order.
+pub(crate) fn build_instances<P>(kernel: &Kernel, place: P) -> Vec<OpInstance>
+where
+    P: Fn(usize, usize, usize, bool) -> PeId,
+{
+    let layout = IdLayout::of(kernel);
+    let d = kernel.elem_divisor();
+    let mut out = Vec::with_capacity(kernel.elements() * layout.block());
+
+    for e in 0..kernel.elements() {
+        for s in 0..kernel.steps() {
+            for (nid, node) in kernel.body().iter() {
+                let id = layout.body_id(e, s, nid.index());
+                debug_assert_eq!(id.index(), out.len());
+                out.push(make_instance(
+                    kernel, &layout, e, s, nid.index(), node, false, id,
+                    place(e, s, nid.index(), false),
+                    d,
+                ));
+            }
+        }
+        if let Some(tail) = kernel.tail() {
+            for (nid, node) in tail.iter() {
+                let id = layout.tail_id(e, nid.index());
+                debug_assert_eq!(id.index(), out.len());
+                out.push(make_instance(
+                    kernel,
+                    &layout,
+                    e,
+                    kernel.steps(),
+                    nid.index(),
+                    node,
+                    true,
+                    id,
+                    place(e, kernel.steps(), nid.index(), true),
+                    d,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_instance(
+    kernel: &Kernel,
+    layout: &IdLayout,
+    e: usize,
+    s: usize,
+    node_idx: usize,
+    node: &rsp_kernel::Node,
+    is_tail: bool,
+    id: InstanceId,
+    pe: PeId,
+    d: usize,
+) -> OpInstance {
+    let addr_step = if is_tail { kernel.steps() - 1 } else { s };
+    let mut operands = Vec::with_capacity(node.operands().len());
+    let mut preds = Vec::new();
+
+    for op in node.operands() {
+        let src = match *op {
+            Operand::Node(p) => {
+                let pid = if is_tail {
+                    layout.tail_id(e, p.index())
+                } else {
+                    layout.body_id(e, s, p.index())
+                };
+                preds.push(pid);
+                SrcOperand::Inst(pid)
+            }
+            Operand::Pair(p) => {
+                let pid = if is_tail {
+                    layout.tail_id(e, p.index())
+                } else {
+                    layout.body_id(e, s, p.index())
+                };
+                preds.push(pid);
+                SrcOperand::PairOf(pid)
+            }
+            Operand::Const(c) => SrcOperand::Const(c),
+            Operand::Param(p) => SrcOperand::Param(p.index() as u32),
+            Operand::Accum { node: n, init } => {
+                if s == 0 {
+                    SrcOperand::Const(init)
+                } else {
+                    let pid = layout.body_id(e, s - 1, n.index());
+                    preds.push(pid);
+                    SrcOperand::Inst(pid)
+                }
+            }
+            Operand::Carry(c) => {
+                let pid = layout.body_id(e, kernel.steps() - 1, c.index());
+                preds.push(pid);
+                SrcOperand::Inst(pid)
+            }
+        };
+        operands.push(src);
+    }
+    preds.sort_unstable();
+    preds.dedup();
+
+    let mut loads = Vec::new();
+    let mut store = None;
+    if node.op() == rsp_arch::OpKind::Load {
+        for a in [node.addr(), node.addr2()].into_iter().flatten() {
+            loads.push(MemAccess {
+                array: a.array.index() as u32,
+                addr: a.eval(e, addr_step, d) as u32,
+            });
+        }
+    } else if node.op() == rsp_arch::OpKind::Store {
+        let a = node.addr().expect("validated store has addr");
+        store = Some(MemAccess {
+            array: a.array.index() as u32,
+            addr: a.eval(e, addr_step, d) as u32,
+        });
+    }
+
+    OpInstance {
+        id,
+        element: e as u32,
+        step: s as u32,
+        node: node_idx as u32,
+        is_tail,
+        op: node.op(),
+        pe,
+        operands,
+        loads,
+        store,
+        preds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_kernel::suite;
+
+    #[test]
+    fn canonical_layout_is_dense() {
+        let k = suite::matmul(3);
+        let layout = IdLayout::of(&k);
+        assert_eq!(layout.block(), 3 * 3 + 2);
+        let insts = build_instances(&k, |_, _, _, _| PeId::new(0, 0));
+        assert_eq!(insts.len(), k.elements() * layout.block());
+        for (i, inst) in insts.iter().enumerate() {
+            assert_eq!(inst.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn accum_step0_is_const_later_steps_link() {
+        let k = suite::matmul(2);
+        let insts = build_instances(&k, |_, _, _, _| PeId::new(0, 0));
+        // Body node 2 is the accumulating add.
+        let acc0 = &insts[2];
+        assert!(matches!(acc0.operands[1], SrcOperand::Const(0)));
+        let acc1 = &insts[2 + 3];
+        match acc1.operands[1] {
+            SrcOperand::Inst(p) => assert_eq!(p.index(), 2),
+            ref o => panic!("expected accumulator link, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn carry_links_to_last_step() {
+        let k = suite::matmul(2);
+        let insts = build_instances(&k, |_, _, _, _| PeId::new(0, 0));
+        // Tail node 0 (the C-scale mult) carries from the last-step acc.
+        let tail_mult = &insts[2 * 3]; // element 0: steps 0..1 (6 insts), tail at 6
+        assert!(tail_mult.is_tail);
+        match tail_mult.operands[0] {
+            SrcOperand::Inst(p) => assert_eq!(p.index(), 3 + 2), // step 1, node 2
+            ref o => panic!("expected carry link, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn loads_carry_concrete_addresses() {
+        let k = suite::matmul(4);
+        let insts = build_instances(&k, |_, _, _, _| PeId::new(0, 0));
+        // Element 5 = Z(1,1); step 2 loads X[1,2] (addr 6) and Y[2,1] (addr 9).
+        let layout = IdLayout::of(&k);
+        let l = &insts[layout.body_id(5, 2, 0).index()];
+        assert_eq!(l.loads.len(), 2);
+        assert_eq!(l.loads[0].addr, 6);
+        assert_eq!(l.loads[1].addr, 9);
+    }
+
+    #[test]
+    fn stores_carry_concrete_addresses() {
+        let k = suite::matmul(4);
+        let insts = build_instances(&k, |_, _, _, _| PeId::new(0, 0));
+        let layout = IdLayout::of(&k);
+        let st = &insts[layout.tail_id(7, 1).index()];
+        assert!(st.is_store());
+        assert_eq!(st.store.unwrap().addr, 7);
+    }
+}

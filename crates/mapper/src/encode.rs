@@ -1,0 +1,410 @@
+//! Binary encoding of configuration contexts — the per-PE configuration
+//! cache image.
+//!
+//! §3.1 of the paper: *"The dynamic mapping of a multiplier to a PE is
+//! determined in compile time and the information is annotated to the
+//! configuration instructions. In run-time, the mapping control signal
+//! from the configuration cache is fed to the Bus switch."*
+//!
+//! This module makes that concrete: every (PE, cycle) slot of a schedule
+//! becomes one 64-bit configuration word carrying the opcode, two operand
+//! selects, an immediate, the memory address pair, and the bus-switch
+//! routing annotation. [`ConfigImage`] is what would be loaded into the
+//! per-PE configuration caches; its size is the context-memory cost of a
+//! kernel and must fit [`rsp_arch::BaseArchitecture::config_cache_depth`].
+//!
+//! # Word layout (64 bits)
+//!
+//! ```text
+//!  63..59  opcode            (5 bits, OpKind discriminant + 1; 0 = NOP slot)
+//!  58..56  switch select     (3 bits: 0 = local unit, 1.. = routing alternative)
+//!  55..48  operand A select  (8 bits, see OperandSel)
+//!  47..40  operand B select  (8 bits)
+//!  39..24  immediate         (16 bits, signed)
+//!  23..12  address 0         (12 bits)
+//!  11..0   address 1         (12 bits, dual loads)
+//! ```
+//!
+//! Operand selects encode the source class in the top two bits
+//! (0 = none/register result, 1 = forwarded register of a producer,
+//! 2 = pair register, 3 = parameter) and a 6-bit index.
+
+use crate::context::{ConfigContext, SrcOperand};
+use rsp_arch::{OpKind, PeId, SharedResourceId};
+use serde::{Deserialize, Serialize};
+
+/// One 64-bit configuration word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfigWord(pub u64);
+
+impl ConfigWord {
+    const NOP: ConfigWord = ConfigWord(0);
+
+    fn opcode_bits(op: OpKind) -> u64 {
+        // Stable discriminants: position in OpKind::ALL + 1 (0 keeps NOP).
+        OpKind::ALL.iter().position(|&o| o == op).unwrap() as u64 + 1
+    }
+
+    fn op_from_bits(bits: u64) -> Option<OpKind> {
+        if bits == 0 {
+            None
+        } else {
+            OpKind::ALL.get(bits as usize - 1).copied()
+        }
+    }
+
+    /// The encoded operation, `None` for an idle (NOP) slot.
+    pub fn op(self) -> Option<OpKind> {
+        Self::op_from_bits((self.0 >> 59) & 0x1F)
+    }
+
+    /// The bus-switch routing annotation: `None` for local execution,
+    /// `Some(alternative)` for the 0-based routing alternative of the PE's
+    /// switch (row bank entries first, then column bank — the order of
+    /// [`rsp_arch::SharingPlan::reachable_from`]).
+    pub fn switch_select(self) -> Option<u8> {
+        let v = ((self.0 >> 56) & 0x7) as u8;
+        if v == 0 {
+            None
+        } else {
+            Some(v - 1)
+        }
+    }
+
+    /// The signed 16-bit immediate.
+    pub fn immediate(self) -> i16 {
+        ((self.0 >> 24) & 0xFFFF) as u16 as i16
+    }
+
+    /// The two 12-bit memory addresses.
+    pub fn addresses(self) -> (u16, u16) {
+        (((self.0 >> 12) & 0xFFF) as u16, (self.0 & 0xFFF) as u16)
+    }
+
+    /// Operand selects (class, index) for A and B.
+    pub fn operand_sels(self) -> ((u8, u8), (u8, u8)) {
+        let a = ((self.0 >> 48) & 0xFF) as u8;
+        let b = ((self.0 >> 40) & 0xFF) as u8;
+        ((a >> 6, a & 0x3F), (b >> 6, b & 0x3F))
+    }
+}
+
+/// Errors raised while encoding a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodeError {
+    /// An address does not fit the 12-bit field.
+    AddressTooWide {
+        /// The offending address.
+        addr: u32,
+    },
+    /// An immediate does not fit the 16-bit field.
+    ImmediateTooWide {
+        /// The offending constant.
+        value: i32,
+    },
+    /// A bus-switch select exceeds the 3-bit field (fan-in > 7).
+    SwitchSelectTooWide {
+        /// The offending routing alternative.
+        select: usize,
+    },
+    /// The schedule length does not match the context.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::AddressTooWide { addr } => {
+                write!(f, "address {addr} exceeds the 12-bit field")
+            }
+            EncodeError::ImmediateTooWide { value } => {
+                write!(f, "immediate {value} exceeds the 16-bit field")
+            }
+            EncodeError::SwitchSelectTooWide { select } => {
+                write!(f, "switch select {select} exceeds the 3-bit field")
+            }
+            EncodeError::ShapeMismatch => write!(f, "schedule not parallel to context"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// The configuration caches of a whole array for one kernel: one stream of
+/// [`ConfigWord`]s per PE, all of equal depth.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigImage {
+    rows: usize,
+    cols: usize,
+    depth: usize,
+    words: Vec<ConfigWord>, // (row * cols + col) * depth + cycle
+}
+
+impl ConfigImage {
+    /// Contexts per PE (the schedule length).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total size in bytes across all PE caches.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<ConfigWord>()
+    }
+
+    /// The word for one PE at one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PE or cycle is out of range.
+    pub fn word(&self, pe: PeId, cycle: usize) -> ConfigWord {
+        assert!(cycle < self.depth, "cycle {cycle} beyond depth {}", self.depth);
+        self.words[(pe.row * self.cols + pe.col) * self.depth + cycle]
+    }
+
+    /// Fraction of non-NOP slots (configuration-cache utilization).
+    pub fn utilization(&self) -> f64 {
+        let busy = self.words.iter().filter(|w| w.op().is_some()).count();
+        busy as f64 / self.words.len() as f64
+    }
+}
+
+fn operand_sel(op: &SrcOperand) -> (u8, u8) {
+    match op {
+        SrcOperand::Inst(p) => (1, (p.0 % 64) as u8),
+        SrcOperand::PairOf(p) => (2, (p.0 % 64) as u8),
+        SrcOperand::Const(_) => (0, 0x3F), // value lives in the immediate
+        SrcOperand::Param(p) => (3, (*p % 64) as u8),
+    }
+}
+
+/// Encodes a scheduled context (plus optional shared-resource bindings)
+/// into the per-PE configuration caches.
+///
+/// The bus-switch select annotated into each word is the position of the
+/// bound resource in the PE's routing-alternative order
+/// ([`rsp_arch::RspArchitecture::candidates`]: row bank first, then
+/// column bank) — exactly "the information annotated to the configuration
+/// instructions" of the paper's §3.1.
+///
+/// # Errors
+///
+/// Field-width violations are reported per [`EncodeError`]; they indicate
+/// a kernel outside the 12-bit address / 16-bit immediate template limits.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_arch::presets;
+/// use rsp_kernel::suite;
+/// use rsp_mapper::{encode_context, map, MapOptions};
+///
+/// let base = presets::base_8x8();
+/// let ctx = map(base.base(), &suite::mvm(), &MapOptions::default())?;
+/// let bindings = vec![None; ctx.instances().len()];
+/// let image = encode_context(&ctx, ctx.cycles(), &bindings, &base)?;
+/// assert_eq!(image.depth() as u32, ctx.total_cycles());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode_context(
+    ctx: &ConfigContext,
+    schedule: &[u32],
+    bindings: &[Option<SharedResourceId>],
+    arch: &rsp_arch::RspArchitecture,
+) -> Result<ConfigImage, EncodeError> {
+    if schedule.len() != ctx.instances().len() || bindings.len() != ctx.instances().len() {
+        return Err(EncodeError::ShapeMismatch);
+    }
+    let rows = ctx.geometry().rows();
+    let cols = ctx.geometry().cols();
+    let depth = schedule.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let mut words = vec![ConfigWord::NOP; rows * cols * depth];
+
+    for (i, inst) in ctx.instances().iter().enumerate() {
+        let op_bits = ConfigWord::opcode_bits(inst.op);
+
+        let select = match bindings[i] {
+            None => 0u64,
+            Some(res) => {
+                let alt = arch
+                    .candidates(inst.pe, inst.op)
+                    .iter()
+                    .position(|r| *r == res)
+                    .ok_or(EncodeError::SwitchSelectTooWide { select: usize::MAX })?;
+                if alt + 1 > 7 {
+                    return Err(EncodeError::SwitchSelectTooWide { select: alt });
+                }
+                alt as u64 + 1
+            }
+        };
+
+        let mut imm: i32 = 0;
+        for o in &inst.operands {
+            if let SrcOperand::Const(c) = o {
+                imm = *c;
+            }
+        }
+        if imm < i16::MIN as i32 || imm > i16::MAX as i32 {
+            return Err(EncodeError::ImmediateTooWide { value: imm });
+        }
+
+        let (a0, a1) = match inst.op {
+            OpKind::Load => {
+                let lo = inst.loads[0].addr;
+                let hi = inst.loads.get(1).map(|a| a.addr).unwrap_or(0);
+                (lo, hi)
+            }
+            OpKind::Store => (inst.store.expect("store has address").addr, 0),
+            _ => (0, 0),
+        };
+        for a in [a0, a1] {
+            if a > 0xFFF {
+                return Err(EncodeError::AddressTooWide { addr: a });
+            }
+        }
+
+        let (sa_raw, sb_raw) = {
+            let a = inst.operands.first().map(operand_sel).unwrap_or((0, 0));
+            let b = inst.operands.get(1).map(operand_sel).unwrap_or((0, 0));
+            (
+                ((a.0 as u64) << 6) | a.1 as u64,
+                ((b.0 as u64) << 6) | b.1 as u64,
+            )
+        };
+
+        let word = (op_bits << 59)
+            | (select << 56)
+            | (sa_raw << 48)
+            | (sb_raw << 40)
+            | (((imm as u16) as u64) << 24)
+            | ((a0 as u64) << 12)
+            | (a1 as u64);
+
+        let cyc = schedule[i] as usize;
+        let slot = (inst.pe.row * cols + inst.pe.col) * depth + cyc;
+        words[slot] = ConfigWord(word);
+    }
+
+    Ok(ConfigImage {
+        rows,
+        cols,
+        depth,
+        words,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{map, MapOptions};
+    use rsp_arch::presets;
+    use rsp_kernel::suite;
+
+    fn encoded(kernel: &rsp_kernel::Kernel) -> (ConfigContext, ConfigImage) {
+        let base = presets::base_8x8();
+        let ctx = map(base.base(), kernel, &MapOptions::default()).unwrap();
+        let bindings = vec![None; ctx.instances().len()];
+        let img = encode_context(&ctx, ctx.cycles(), &bindings, &base).unwrap();
+        (ctx, img)
+    }
+
+    #[test]
+    fn every_instance_round_trips_opcode_and_addresses() {
+        for k in suite::all() {
+            let (ctx, img) = encoded(&k);
+            for (i, inst) in ctx.instances().iter().enumerate() {
+                let w = img.word(inst.pe, ctx.cycles()[i] as usize);
+                assert_eq!(w.op(), Some(inst.op), "{} instance {i}", k.name());
+                if inst.op == OpKind::Load {
+                    let (a0, a1) = w.addresses();
+                    assert_eq!(a0 as u32, inst.loads[0].addr);
+                    if let Some(second) = inst.loads.get(1) {
+                        assert_eq!(a1 as u32, second.addr);
+                    }
+                }
+                assert_eq!(w.switch_select(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn idle_slots_are_nops_and_utilization_is_sane() {
+        let (ctx, img) = encoded(&suite::mvm());
+        assert_eq!(img.depth() as u32, ctx.total_cycles());
+        let util = img.utilization();
+        assert!(util > 0.0 && util < 1.0, "utilization {util}");
+        // 64 PEs x depth x 8 bytes.
+        assert_eq!(img.bytes(), 64 * img.depth() * 8);
+    }
+
+    #[test]
+    fn immediates_round_trip() {
+        let (ctx, img) = encoded(&suite::sad());
+        // The SAD accumulator's first step adds the init constant 0;
+        // every encoded immediate must read back as written.
+        for (i, inst) in ctx.instances().iter().enumerate() {
+            let w = img.word(inst.pe, ctx.cycles()[i] as usize);
+            for o in &inst.operands {
+                if let SrcOperand::Const(c) = o {
+                    assert_eq!(w.immediate() as i32, *c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bindings_annotate_switch_selects() {
+        let k = suite::mvm();
+        let arch = presets::rs2();
+        let ctx = map(arch.base(), &k, &MapOptions::default()).unwrap();
+        // Bind every mult to row bank 1 (a valid RS#2-style binding).
+        let bindings: Vec<_> = ctx
+            .instances()
+            .iter()
+            .map(|i| {
+                (i.op == OpKind::Mult).then_some(SharedResourceId::Row {
+                    kind: rsp_arch::FuKind::Multiplier,
+                    row: i.pe.row,
+                    index: 1,
+                })
+            })
+            .collect();
+        let img = encode_context(&ctx, ctx.cycles(), &bindings, &arch).unwrap();
+        for (i, inst) in ctx.instances().iter().enumerate() {
+            let w = img.word(inst.pe, ctx.cycles()[i] as usize);
+            if inst.op == OpKind::Mult {
+                assert_eq!(w.switch_select(), Some(1));
+            } else {
+                assert_eq!(w.switch_select(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let ctx = map(
+            presets::base_8x8().base(),
+            &suite::mvm(),
+            &MapOptions::default(),
+        )
+        .unwrap();
+        let err =
+            encode_context(&ctx, &[0, 1], &[None, None], &presets::base_8x8()).unwrap_err();
+        assert_eq!(err, EncodeError::ShapeMismatch);
+    }
+
+    #[test]
+    fn operand_selects_distinguish_classes() {
+        let (ctx, img) = encoded(&suite::inner_product());
+        // The mult reads (Inst, PairOf); classes 1 and 2.
+        let mult = ctx
+            .instances()
+            .iter()
+            .find(|i| i.op == OpKind::Mult)
+            .unwrap();
+        let w = img.word(mult.pe, ctx.cycles()[mult.id.index()] as usize);
+        let ((ca, _), (cb, _)) = w.operand_sels();
+        assert_eq!(ca, 1);
+        assert_eq!(cb, 2);
+    }
+}

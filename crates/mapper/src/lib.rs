@@ -1,0 +1,50 @@
+//! # rsp-mapper — loop-pipelining mapper for the RSP CGRA template
+//!
+//! Rebuilds the mapping layer the paper takes from refs. \[7\]/\[8\]
+//! (Lee/Choi/Dutt): kernels become *configuration contexts* — per-PE,
+//! per-cycle operation assignments — under loop-pipelined execution.
+//!
+//! Two placement policies cover the paper's kernel suite:
+//!
+//! * [`MappingStyle::Lockstep`](rsp_kernel::MappingStyle) — one element per
+//!   PE, columns staggered by one cycle: reproduces Fig. 2 cycle-for-cycle
+//!   on the matrix-multiplication kernel.
+//! * [`MappingStyle::Dataflow`](rsp_kernel::MappingStyle) — one element per
+//!   row, modulo-scheduled over the row's PEs: used by the
+//!   multiplication-dense kernels that exhibit RS stalls in Tables 4/5.
+//!
+//! The output [`ConfigContext`] carries resolved operands, concrete memory
+//! addresses and the dependence graph, ready for RSP rearrangement
+//! (`rsp-core`) and cycle-accurate simulation (`rsp-sim`).
+//!
+//! # Examples
+//!
+//! ```
+//! use rsp_arch::presets;
+//! use rsp_kernel::suite;
+//! use rsp_mapper::{map, MapOptions};
+//!
+//! let base = presets::fig1_4x4();
+//! let ctx = map(base.base(), &suite::matmul(4), &MapOptions::default())?;
+//! // Fig. 2: two columns multiply simultaneously at the peak.
+//! assert_eq!(ctx.mult_profile().max_per_cycle, 8);
+//! # Ok::<(), rsp_mapper::MapError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod build;
+mod context;
+mod dataflow;
+mod encode;
+mod error;
+mod lockstep;
+mod mapper;
+mod validate;
+
+pub use context::{ConfigContext, DemandProfile, InstanceId, MemAccess, OpInstance, SrcOperand};
+pub use encode::{encode_context, ConfigImage, ConfigWord, EncodeError};
+pub use error::{MapError, ScheduleViolation};
+pub use mapper::{map, MapOptions};
+pub use validate::{check_buses, validate_base_schedule, validate_schedule};

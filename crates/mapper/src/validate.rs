@@ -1,0 +1,181 @@
+//! Schedule legality checking against base-architecture rules.
+
+use crate::context::ConfigContext;
+use crate::error::ScheduleViolation;
+use std::collections::HashMap;
+
+/// Checks a context's *base* schedule: every consumer issues at least one
+/// cycle after each producer (unit latencies), and no PE issues two
+/// operations in one cycle.
+///
+/// Bus capacities are *not* enforced here — the base mapper may rely on
+/// operand reuse (ref. \[7\]); use [`check_buses`] for the strict view.
+///
+/// # Errors
+///
+/// The first [`ScheduleViolation`] found.
+pub fn validate_base_schedule(ctx: &ConfigContext) -> Result<(), ScheduleViolation> {
+    validate_schedule(ctx, ctx.cycles(), |_| 1)
+}
+
+/// Checks an arbitrary schedule for `ctx` with per-instance latencies
+/// (`latency(i)` = cycles until instance `i`'s result is usable).
+///
+/// # Errors
+///
+/// The first [`ScheduleViolation`] found.
+///
+/// # Panics
+///
+/// Panics if `cycles` is not parallel to the context's instances.
+pub fn validate_schedule<L: Fn(usize) -> u32>(
+    ctx: &ConfigContext,
+    cycles: &[u32],
+    latency: L,
+) -> Result<(), ScheduleViolation> {
+    assert_eq!(cycles.len(), ctx.instances().len());
+    let mut pe_busy: HashMap<(usize, usize, u32), ()> = HashMap::new();
+    for inst in ctx.instances() {
+        let cyc = cycles[inst.id.index()];
+        for &p in &inst.preds {
+            let pc = cycles[p.index()];
+            if pc + latency(p.index()) > cyc {
+                return Err(ScheduleViolation::DependenceViolated {
+                    producer: p.index(),
+                    consumer: inst.id.index(),
+                    producer_cycle: pc,
+                    consumer_cycle: cyc,
+                });
+            }
+        }
+        if pe_busy
+            .insert((inst.pe.row, inst.pe.col, cyc), ())
+            .is_some()
+        {
+            return Err(ScheduleViolation::PeConflict { pe: inst.pe, cycle: cyc });
+        }
+    }
+    Ok(())
+}
+
+/// Strictly checks row-bus capacities for an arbitrary schedule.
+///
+/// # Errors
+///
+/// The first [`ScheduleViolation::BusOverflow`] found.
+pub fn check_buses(ctx: &ConfigContext, cycles: &[u32]) -> Result<(), ScheduleViolation> {
+    assert_eq!(cycles.len(), ctx.instances().len());
+    let read_cap = ctx.buses().read_buses();
+    let write_cap = ctx.buses().write_buses();
+    let mut reads: HashMap<(usize, u32), usize> = HashMap::new();
+    let mut writes: HashMap<(usize, u32), usize> = HashMap::new();
+    for inst in ctx.instances() {
+        let cyc = cycles[inst.id.index()];
+        if inst.bus_read_words() > 0 {
+            let e = reads.entry((inst.pe.row, cyc)).or_default();
+            *e += inst.bus_read_words();
+            if *e > read_cap {
+                return Err(ScheduleViolation::BusOverflow {
+                    row: inst.pe.row,
+                    cycle: cyc,
+                    words: *e,
+                    capacity: read_cap,
+                });
+            }
+        }
+        if inst.is_store() {
+            let e = writes.entry((inst.pe.row, cyc)).or_default();
+            *e += 1;
+            if *e > write_cap {
+                return Err(ScheduleViolation::BusOverflow {
+                    row: inst.pe.row,
+                    cycle: cyc,
+                    words: *e,
+                    capacity: write_cap,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{map, MapOptions};
+    use rsp_arch::presets;
+    use rsp_kernel::suite;
+
+    #[test]
+    fn tampered_schedule_detected() {
+        let base = presets::base_8x8().base().clone();
+        let ctx = map(&base, &suite::iccg(), &MapOptions::default()).unwrap();
+        // Move a dependent instance onto its producer's cycle.
+        let mut cycles = ctx.cycles().to_vec();
+        let victim = ctx
+            .instances()
+            .iter()
+            .find(|i| !i.preds.is_empty())
+            .unwrap();
+        cycles[victim.id.index()] = cycles[victim.preds[0].index()];
+        assert!(matches!(
+            validate_schedule(&ctx, &cycles, |_| 1),
+            Err(ScheduleViolation::DependenceViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn pe_conflict_detected() {
+        let base = presets::base_8x8().base().clone();
+        let ctx = map(&base, &suite::iccg(), &MapOptions::default()).unwrap();
+        let mut cycles = ctx.cycles().to_vec();
+        // Two instances on the same PE: element 0 nodes 0 and 2 (the two
+        // loads) collapsed onto one cycle.
+        let a = &ctx.instances()[0];
+        let b = ctx
+            .instances()
+            .iter()
+            .find(|i| i.pe == a.pe && i.id != a.id)
+            .unwrap();
+        cycles[b.id.index()] = cycles[a.id.index()];
+        let r = validate_schedule(&ctx, &cycles, |_| 1);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn latency_aware_validation() {
+        let base = presets::base_8x8().base().clone();
+        // Tri-diagonal stores the product one cycle after the multiply, so
+        // a 2-cycle multiplier must make the base schedule illegal. (ICCG
+        // would stay legal: a load separates its multiply from the
+        // subtract — the slack the paper's RP rearrangement exploits.)
+        let ctx = map(&base, &suite::tri_diagonal(), &MapOptions::default()).unwrap();
+        let lat = |i: usize| {
+            if ctx.instances()[i].op == rsp_arch::OpKind::Mult {
+                2
+            } else {
+                1
+            }
+        };
+        assert!(validate_schedule(&ctx, ctx.cycles(), lat).is_err());
+    }
+
+    #[test]
+    fn bus_check_flags_soft_schedules() {
+        let base = presets::base_8x8().base().clone();
+        // matmul(8) soft-mapped oversubscribes the read buses by design
+        // (co-phase dual loads, as in the paper's own Fig. 2).
+        let ctx = map(&base, &suite::matmul(8), &MapOptions::default()).unwrap();
+        assert!(check_buses(&ctx, ctx.cycles()).is_err());
+        let strict = map(
+            &base,
+            &suite::matmul(8),
+            &MapOptions {
+                strict_buses: true,
+                ..MapOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(check_buses(&strict, strict.cycles()).is_ok());
+    }
+}

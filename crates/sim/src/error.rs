@@ -1,0 +1,151 @@
+//! Simulation errors: every structural rule the hardware would enforce.
+
+use rsp_arch::{PeId, SharedResourceId};
+use std::error::Error;
+use std::fmt;
+
+/// A structural violation detected while executing a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A consumer read a value before its producer's pipeline delivered it.
+    OperandNotReady {
+        /// Consumer instance index.
+        consumer: usize,
+        /// Producer instance index.
+        producer: usize,
+        /// Cycle of the attempted read.
+        cycle: u32,
+    },
+    /// Two operations issued on one PE in one cycle.
+    PeConflict {
+        /// The PE.
+        pe: PeId,
+        /// The cycle.
+        cycle: u32,
+    },
+    /// An operation on a shared kind has no resource binding.
+    UnboundSharedOp {
+        /// Instance index.
+        instance: usize,
+    },
+    /// A binding routes to a resource the PE cannot reach.
+    UnreachableResource {
+        /// Instance index.
+        instance: usize,
+        /// The bound resource.
+        resource: SharedResourceId,
+    },
+    /// Two issues on one shared resource in one cycle.
+    SharedIssueConflict {
+        /// The resource.
+        resource: SharedResourceId,
+        /// The cycle.
+        cycle: u32,
+    },
+    /// Row-bus words exceeded capacity (strict bus mode).
+    BusOverflow {
+        /// The row.
+        row: usize,
+        /// The cycle.
+        cycle: u32,
+        /// Words requested.
+        words: usize,
+        /// Capacity.
+        capacity: usize,
+    },
+    /// The schedule length does not match the context.
+    ShapeMismatch {
+        /// Expected instance count.
+        expected: usize,
+        /// Supplied schedule length.
+        actual: usize,
+    },
+    /// A dependence crosses PEs that share no row/column interconnect.
+    UnroutableDependence {
+        /// Producer PE.
+        from: PeId,
+        /// Consumer PE.
+        to: PeId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OperandNotReady {
+                consumer,
+                producer,
+                cycle,
+            } => write!(
+                f,
+                "instance {consumer} reads instance {producer} at cycle {cycle} before it is ready"
+            ),
+            SimError::PeConflict { pe, cycle } => {
+                write!(f, "two operations on {pe} in cycle {cycle}")
+            }
+            SimError::UnboundSharedOp { instance } => {
+                write!(f, "instance {instance} executes on a shared kind without a binding")
+            }
+            SimError::UnreachableResource { instance, resource } => {
+                write!(f, "instance {instance} bound to unreachable {resource}")
+            }
+            SimError::SharedIssueConflict { resource, cycle } => {
+                write!(f, "two issues on {resource} in cycle {cycle}")
+            }
+            SimError::BusOverflow {
+                row,
+                cycle,
+                words,
+                capacity,
+            } => write!(
+                f,
+                "row {row} moves {words} bus words in cycle {cycle}, capacity {capacity}"
+            ),
+            SimError::ShapeMismatch { expected, actual } => {
+                write!(f, "schedule has {actual} entries for {expected} instances")
+            }
+            SimError::UnroutableDependence { from, to } => {
+                write!(f, "no interconnect from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_nonempty() {
+        let errs = [
+            SimError::OperandNotReady {
+                consumer: 1,
+                producer: 0,
+                cycle: 2,
+            },
+            SimError::PeConflict {
+                pe: PeId::new(0, 0),
+                cycle: 0,
+            },
+            SimError::UnboundSharedOp { instance: 3 },
+            SimError::SharedIssueConflict {
+                resource: SharedResourceId::Row {
+                    kind: rsp_arch::FuKind::Multiplier,
+                    row: 0,
+                    index: 0,
+                },
+                cycle: 5,
+            },
+            SimError::ShapeMismatch {
+                expected: 4,
+                actual: 2,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

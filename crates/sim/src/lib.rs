@@ -1,0 +1,52 @@
+//! # rsp-sim — cycle-accurate structural simulation
+//!
+//! Executes a scheduled configuration context on an RSP architecture,
+//! cycle by cycle, with real 16-bit data. It stands in for the paper's RTL
+//! simulation: every structural rule of the hardware is checked while the
+//! computation runs —
+//!
+//! * operand availability (producer cycle + pipeline latency),
+//! * one operation per PE per cycle,
+//! * shared operations must carry a binding to a *reachable* resource and
+//!   each shared resource accepts one issue per cycle (multiple operations
+//!   may be in flight in different pipeline stages),
+//! * optionally, row-bus capacities.
+//!
+//! The simulator's final memory image must be bit-identical to the
+//! reference evaluator's ([`rsp_kernel::evaluate`]) for every legal
+//! schedule — the strongest functional oracle in this reproduction.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsp_arch::presets;
+//! use rsp_core::rearrange;
+//! use rsp_kernel::{evaluate, suite, Bindings, MemoryImage};
+//! use rsp_mapper::{map, MapOptions};
+//! use rsp_sim::simulate_rearranged;
+//!
+//! let kernel = suite::matmul(4);
+//! let base = presets::fig1_4x4();
+//! let ctx = map(base.base(), &kernel, &MapOptions::default())?;
+//! let arch = rsp_arch::presets::shared_multiplier("RSP", 4, 4, 1, 0, 2);
+//! let r = rearrange(&ctx, &arch, &Default::default())?;
+//!
+//! let input = MemoryImage::random(&kernel, 7);
+//! let params = Bindings::defaults(&kernel);
+//! let report = simulate_rearranged(&ctx, &arch, &r, &kernel, &input, &params)?;
+//!
+//! let reference = evaluate(&kernel, &input, &params)?;
+//! assert_eq!(report.memory, reference);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod sim;
+mod trace;
+
+pub use error::SimError;
+pub use sim::{simulate, simulate_base, simulate_rearranged, SimOptions, SimReport};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,184 @@
+//! Execution traces: a per-cycle record of what the array did.
+//!
+//! The trace is the debugging artifact an RTL simulation would give you —
+//! which PE executed what, which shared resource served which request at
+//! which stage, and what every operation computed. Traces render as a
+//! text waveform (one lane per active PE) or as machine-readable events.
+
+use rsp_arch::{OpKind, PeId, SharedResourceId};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One executed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Issue cycle.
+    pub cycle: u32,
+    /// Executing PE.
+    pub pe: PeId,
+    /// Instance index in the context.
+    pub instance: u32,
+    /// Operation.
+    pub op: OpKind,
+    /// Result value (primary output).
+    pub value: i32,
+    /// Shared resource serving the operation, if any.
+    pub resource: Option<SharedResourceId>,
+    /// Cycles the operation occupies its unit (pipeline stages).
+    pub latency: u8,
+}
+
+/// A full execution trace, ordered by cycle.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    total_cycles: u32,
+}
+
+impl Trace {
+    pub(crate) fn new(mut events: Vec<TraceEvent>, total_cycles: u32) -> Self {
+        events.sort_by_key(|e| (e.cycle, e.pe.row, e.pe.col));
+        Self {
+            events,
+            total_cycles,
+        }
+    }
+
+    /// All events, cycle order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one cycle.
+    pub fn at_cycle(&self, cycle: u32) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.cycle == cycle)
+    }
+
+    /// Total executed cycles.
+    pub fn total_cycles(&self) -> u32 {
+        self.total_cycles
+    }
+
+    /// Renders a waveform-style text view: one lane per PE that executed
+    /// anything, one column per cycle, shared operations marked with `'`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::presets;
+    /// use rsp_kernel::{suite, Bindings, MemoryImage};
+    /// use rsp_mapper::{map, MapOptions};
+    /// use rsp_sim::{simulate, SimOptions};
+    ///
+    /// let k = suite::mvm();
+    /// let base = presets::base_8x8();
+    /// let ctx = map(base.base(), &k, &MapOptions::default())?;
+    /// let bindings = vec![None; ctx.instances().len()];
+    /// let report = simulate(
+    ///     &ctx, &base, ctx.cycles(), &bindings, &k,
+    ///     &MemoryImage::random(&k, 1), &Bindings::defaults(&k),
+    ///     &SimOptions { record_trace: true, ..Default::default() },
+    /// )?;
+    /// let text = report.trace.unwrap().render();
+    /// assert!(text.contains("PE[0,0]"));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn render(&self) -> String {
+        let mut lanes: Vec<PeId> = self.events.iter().map(|e| e.pe).collect();
+        lanes.sort();
+        lanes.dedup();
+
+        let total = self.total_cycles as usize;
+        let mut out = String::new();
+        let _ = write!(out, "{:>9} |", "cycle");
+        for t in 1..=total {
+            let _ = write!(out, "{t:>5} |");
+        }
+        out.push('\n');
+        for pe in lanes {
+            let mut cells = vec![String::new(); total];
+            for e in self.events.iter().filter(|e| e.pe == pe) {
+                let mut m = e.op.mnemonic().to_string();
+                if e.resource.is_some() {
+                    m.push('\'');
+                }
+                cells[e.cycle as usize] = m;
+            }
+            let _ = write!(out, "{:>9} |", pe.to_string());
+            for c in &cells {
+                let _ = write!(out, "{c:>5} |");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Peak concurrently-active PEs in any cycle.
+    pub fn peak_parallelism(&self) -> usize {
+        let mut per_cycle = vec![0usize; self.total_cycles as usize + 1];
+        for e in &self.events {
+            per_cycle[e.cycle as usize] += 1;
+        }
+        per_cycle.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u32, row: usize, col: usize, op: OpKind, value: i32) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            pe: PeId::new(row, col),
+            instance: 0,
+            op,
+            value,
+            resource: None,
+            latency: 1,
+        }
+    }
+
+    #[test]
+    fn events_sorted_by_cycle() {
+        let t = Trace::new(
+            vec![
+                ev(3, 0, 0, OpKind::Add, 1),
+                ev(1, 0, 1, OpKind::Load, 2),
+                ev(2, 1, 0, OpKind::Mult, 3),
+            ],
+            4,
+        );
+        let cycles: Vec<u32> = t.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![1, 2, 3]);
+        assert_eq!(t.at_cycle(2).count(), 1);
+    }
+
+    #[test]
+    fn render_marks_shared_operations() {
+        let mut shared = ev(0, 0, 0, OpKind::Mult, 9);
+        shared.resource = Some(SharedResourceId::Row {
+            kind: rsp_arch::FuKind::Multiplier,
+            row: 0,
+            index: 0,
+        });
+        let t = Trace::new(vec![shared, ev(1, 0, 0, OpKind::Add, 1)], 2);
+        let text = t.render();
+        assert!(text.contains("*'"), "shared mult marked: {text}");
+        assert!(text.contains('+'));
+    }
+
+    #[test]
+    fn peak_parallelism_counts_concurrent_pes() {
+        let t = Trace::new(
+            vec![
+                ev(0, 0, 0, OpKind::Load, 0),
+                ev(0, 1, 0, OpKind::Load, 0),
+                ev(0, 2, 0, OpKind::Load, 0),
+                ev(1, 0, 0, OpKind::Add, 0),
+            ],
+            2,
+        );
+        assert_eq!(t.peak_parallelism(), 3);
+    }
+}

@@ -1,0 +1,245 @@
+//! Hardware cost model — eq. (2) of the paper plus a calibrated
+//! "synthesized" view.
+//!
+//! The paper estimates the cost of an RSP design during exploration as
+//!
+//! ```text
+//! HWcost = n·m·(Sh_PE + Reg + SW) + Sh_Res·(n·shr + m·shc)  <  n·m·PE
+//! ```
+//!
+//! [`AreaModel::report`] computes exactly this from the component library,
+//! and additionally a *synthesized* figure that applies the logic-trimming
+//! factor observed between raw component sums and Synplify results
+//! (see [`crate::calibration`]).
+
+use crate::calibration as cal;
+use crate::components::ComponentLibrary;
+use rsp_arch::{PeDesign, RspArchitecture};
+use serde::{Deserialize, Serialize};
+
+/// Breakdown of an architecture's area.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Area of one (possibly stripped) PE — `Sh_PE` in eq. (2); equals the
+    /// full PE for the base architecture.
+    pub pe_slices: f64,
+    /// Pipeline-staging registers per PE — `Reg` in eq. (2).
+    pub reg_slices: f64,
+    /// Bus switch per PE — `SW` in eq. (2).
+    pub switch_slices: f64,
+    /// Total area of all shared resources — `Sh_Res·(n·shr + m·shc)`.
+    pub shared_total_slices: f64,
+    /// Raw eq. (2) array total.
+    pub array_slices: f64,
+    /// Array total after the synthesis optimization factor (the Table 2
+    /// analog).
+    pub synthesized_slices: f64,
+    /// Raw eq. (2) total of the *base* architecture on the same geometry.
+    pub base_array_slices: f64,
+    /// Synthesized total of the base architecture.
+    pub base_synthesized_slices: f64,
+}
+
+impl AreaReport {
+    /// Area reduction versus the base architecture in percent, computed on
+    /// the synthesized figures (Table 2's `R(%)` column).
+    pub fn reduction_pct(&self) -> f64 {
+        100.0 * (1.0 - self.synthesized_slices / self.base_synthesized_slices)
+    }
+
+    /// The eq. (2) feasibility condition `HWcost < n·m·PE` on raw figures.
+    pub fn satisfies_cost_bound(&self) -> bool {
+        self.array_slices < self.base_array_slices
+    }
+}
+
+/// Area model over a component library.
+#[derive(Debug, Clone, Default)]
+pub struct AreaModel {
+    lib: ComponentLibrary,
+}
+
+impl AreaModel {
+    /// Model over the paper's Table 1 library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Model over a custom library.
+    pub fn with_library(lib: ComponentLibrary) -> Self {
+        Self { lib }
+    }
+
+    /// The component library in use.
+    pub fn library(&self) -> &ComponentLibrary {
+        &self.lib
+    }
+
+    /// Area of one PE design (components + fixed overhead).
+    pub fn pe_area(&self, pe: &PeDesign) -> f64 {
+        self.lib.pe_area(pe.units())
+    }
+
+    /// Full eq. (2) report for an architecture.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::presets;
+    /// use rsp_synth::AreaModel;
+    ///
+    /// let model = AreaModel::new();
+    /// let rs1 = model.report(&presets::rs1());
+    /// // Table 2: RS#1 shrinks the 8x8 array by >40 %.
+    /// assert!(rs1.reduction_pct() > 40.0);
+    /// assert!(rs1.satisfies_cost_bound());
+    /// ```
+    pub fn report(&self, arch: &RspArchitecture) -> AreaReport {
+        let geom = arch.geometry();
+        let nm = geom.pe_count() as f64;
+        let plan = arch.plan();
+
+        let full_pe = self.pe_area(arch.base().pe());
+        let mut pe = self.pe_area(arch.effective_pe());
+        // Extracting a unit also removes its result-select glue.
+        pe -= cal::EXTRACTION_GLUE_SLICES * plan.groups().len() as f64;
+
+        let fan_in = plan.switch_fan_in();
+        let switch = cal::switch_area_slices(fan_in);
+
+        // Shared pipelining needs staging registers on every switch port;
+        // a local pipeline stages one operand path per pipelined unit.
+        let reg = if plan.has_pipelining() {
+            let shared_ports = if plan.groups().iter().any(|g| g.is_pipelined()) {
+                fan_in
+            } else {
+                0
+            };
+            let local_ports = plan.local_pipelines().count();
+            cal::PIPE_REG_SLICES_PER_PORT * (shared_ports + local_ports) as f64
+        } else {
+            0.0
+        };
+
+        let shared_total: f64 = plan
+            .groups()
+            .iter()
+            .map(|g| self.lib.spec(g.kind()).area_slices * g.total_count(geom) as f64)
+            .sum();
+
+        let array = nm * (pe + reg + switch) + shared_total;
+        let base_array = nm * full_pe;
+        let factor = if arch.is_base() {
+            cal::SYNTH_FACTOR_BASE
+        } else {
+            cal::SYNTH_FACTOR_SHARED
+        };
+
+        AreaReport {
+            pe_slices: pe,
+            reg_slices: reg,
+            switch_slices: switch,
+            shared_total_slices: shared_total,
+            array_slices: array,
+            synthesized_slices: array * factor,
+            base_array_slices: base_array,
+            base_synthesized_slices: base_array * cal::SYNTH_FACTOR_BASE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_arch::presets;
+
+    #[test]
+    fn base_area_matches_paper() {
+        let model = AreaModel::new();
+        let r = model.report(&presets::base_8x8());
+        assert!((r.array_slices - 64.0 * 910.0).abs() < 1e-6);
+        // Table 2 base: 55739 slices; our synthesized figure within 0.1 %.
+        assert!((r.synthesized_slices - 55739.0).abs() / 55739.0 < 0.001);
+        assert_eq!(r.reduction_pct(), 0.0);
+    }
+
+    #[test]
+    fn rs_areas_track_table2_within_3pct() {
+        let model = AreaModel::new();
+        let paper = [32446.0, 36816.0, 40577.0, 44768.0];
+        for k in 1..=4 {
+            let r = model.report(&presets::rs(k));
+            let err = (r.synthesized_slices - paper[k - 1]).abs() / paper[k - 1];
+            assert!(err < 0.03, "RS#{k}: {} vs {}", r.synthesized_slices, paper[k - 1]);
+        }
+    }
+
+    #[test]
+    fn rsp_areas_track_table2_within_3pct() {
+        let model = AreaModel::new();
+        let paper = [33249.0, 38422.0, 42987.0, 47981.0];
+        for k in 1..=4 {
+            let r = model.report(&presets::rsp(k));
+            let err = (r.synthesized_slices - paper[k - 1]).abs() / paper[k - 1];
+            assert!(err < 0.03, "RSP#{k}: {} vs {}", r.synthesized_slices, paper[k - 1]);
+        }
+    }
+
+    #[test]
+    fn headline_area_reduction_reproduced() {
+        // Paper: "reduced the area ... by up to 42.8 %" (RS#1).
+        let model = AreaModel::new();
+        let best = (1..=4)
+            .map(|k| model.report(&presets::rs(k)).reduction_pct())
+            .fold(f64::MIN, f64::max);
+        assert!(
+            (best - 42.8).abs() < 1.5,
+            "best area reduction {best:.1}% should be ~42.8%"
+        );
+    }
+
+    #[test]
+    fn sharing_pe_is_smaller_and_rsp_adds_regs() {
+        let model = AreaModel::new();
+        let rs2 = model.report(&presets::rs2());
+        let rsp2 = model.report(&presets::rsp2());
+        assert!(rs2.pe_slices < 910.0);
+        assert_eq!(rs2.reg_slices, 0.0);
+        assert!(rsp2.reg_slices > 0.0);
+        assert!(rsp2.array_slices > rs2.array_slices);
+    }
+
+    #[test]
+    fn all_presets_satisfy_cost_bound() {
+        let model = AreaModel::new();
+        for arch in presets::table_architectures() {
+            assert!(
+                model.report(&arch).satisfies_cost_bound() || arch.is_base(),
+                "{}",
+                arch.name()
+            );
+        }
+    }
+
+    #[test]
+    fn area_monotone_in_sharing_config() {
+        let model = AreaModel::new();
+        let mut prev = 0.0;
+        for k in 1..=4 {
+            let a = model.report(&presets::rs(k)).array_slices;
+            assert!(a > prev, "RS#{k} must grow");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn rp_only_charges_registers() {
+        let model = AreaModel::new();
+        let r = model.report(&presets::rp_only(2));
+        assert!(r.reg_slices > 0.0);
+        assert_eq!(r.switch_slices, 0.0);
+        assert_eq!(r.shared_total_slices, 0.0);
+        // RP-only keeps the multiplier in each PE: area exceeds base.
+        assert!(!r.satisfies_cost_bound());
+    }
+}

@@ -1,0 +1,192 @@
+//! Component library: per-unit area and delay (the paper's Table 1).
+
+use crate::estimate;
+use rsp_arch::FuKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Synthesized area and critical-path delay of one component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentSpec {
+    /// Area in Virtex-II slices.
+    pub area_slices: f64,
+    /// Critical-path delay in nanoseconds.
+    pub delay_ns: f64,
+}
+
+impl ComponentSpec {
+    /// Creates a spec.
+    pub fn new(area_slices: f64, delay_ns: f64) -> Self {
+        Self {
+            area_slices,
+            delay_ns,
+        }
+    }
+}
+
+impl fmt::Display for ComponentSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} slices / {:.1} ns", self.area_slices, self.delay_ns)
+    }
+}
+
+/// Area/delay database for every functional-unit kind, plus the fixed PE
+/// overhead (output registers, control) that Table 1 attributes to the PE
+/// total beyond its listed components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentLibrary {
+    specs: BTreeMap<FuKind, ComponentSpec>,
+    /// PE slices not attributable to any listed component
+    /// (`910 - (58 + 253 + 416 + 156) = 27`).
+    pe_misc_slices: f64,
+}
+
+impl ComponentLibrary {
+    /// The paper's Table 1 library: 16-bit components synthesized for
+    /// Virtex-II.
+    ///
+    /// | Component        | Slices | Delay (ns) |
+    /// |------------------|--------|------------|
+    /// | Multiplexer      | 58     | 1.3        |
+    /// | ALU              | 253    | 11.5       |
+    /// | Array multiplier | 416    | 19.7       |
+    /// | Shift logic      | 156    | 2.5        |
+    /// | PE (total)       | 910    | 25.6       |
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::FuKind;
+    /// use rsp_synth::ComponentLibrary;
+    ///
+    /// let lib = ComponentLibrary::table1();
+    /// assert_eq!(lib.spec(FuKind::Multiplier).area_slices, 416.0);
+    /// ```
+    pub fn table1() -> Self {
+        let mut specs = BTreeMap::new();
+        specs.insert(FuKind::Mux, ComponentSpec::new(58.0, 1.3));
+        specs.insert(FuKind::Alu, ComponentSpec::new(253.0, 11.5));
+        specs.insert(FuKind::Multiplier, ComponentSpec::new(416.0, 19.7));
+        specs.insert(FuKind::Shifter, ComponentSpec::new(156.0, 2.5));
+        // The memory port is bus logic; Table 1 folds it into PE misc.
+        specs.insert(FuKind::MemPort, ComponentSpec::new(0.0, 0.0));
+        Self {
+            specs,
+            pe_misc_slices: 27.0,
+        }
+    }
+
+    /// A library scaled to an arbitrary datapath width using the
+    /// first-principles estimators of [`estimate`], calibrated so that
+    /// width 16 reproduces [`ComponentLibrary::table1`] exactly.
+    pub fn for_width(width_bits: u32) -> Self {
+        let mut specs = BTreeMap::new();
+        for fu in FuKind::ALL {
+            specs.insert(fu, estimate::component(fu, width_bits));
+        }
+        Self {
+            specs,
+            pe_misc_slices: 27.0 * (width_bits as f64 / 16.0),
+        }
+    }
+
+    /// The spec of one component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is missing — both constructors populate every
+    /// kind, so this only fires for hand-rolled libraries.
+    pub fn spec(&self, fu: FuKind) -> ComponentSpec {
+        self.specs[&fu]
+    }
+
+    /// Overrides one component (returns `self` for chaining).
+    pub fn with_spec(mut self, fu: FuKind, spec: ComponentSpec) -> Self {
+        self.specs.insert(fu, spec);
+        self
+    }
+
+    /// Fixed PE overhead slices (registers, control).
+    pub fn pe_misc_slices(&self) -> f64 {
+        self.pe_misc_slices
+    }
+
+    /// Total area of a full PE containing `units`.
+    pub fn pe_area<I: IntoIterator<Item = FuKind>>(&self, units: I) -> f64 {
+        units
+            .into_iter()
+            .map(|u| self.spec(u).area_slices)
+            .sum::<f64>()
+            + self.pe_misc_slices
+    }
+}
+
+impl Default for ComponentLibrary {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_pe_total_is_910() {
+        let lib = ComponentLibrary::table1();
+        let area = lib.pe_area(FuKind::ALL);
+        assert!((area - 910.0).abs() < 1e-9, "PE area {area}");
+    }
+
+    #[test]
+    fn table1_ratios_match_paper() {
+        // Table 1 reports each component as a percentage of the PE.
+        let lib = ComponentLibrary::table1();
+        let pct = |fu: FuKind| 100.0 * lib.spec(fu).area_slices / 910.0;
+        assert!((pct(FuKind::Mux) - 6.37).abs() < 0.01);
+        assert!((pct(FuKind::Alu) - 27.80).abs() < 0.01);
+        assert!((pct(FuKind::Multiplier) - 45.71).abs() < 0.01);
+        assert!((pct(FuKind::Shifter) - 17.14).abs() < 0.01);
+    }
+
+    #[test]
+    fn multiplier_is_area_and_delay_critical() {
+        let lib = ComponentLibrary::table1();
+        let m = lib.spec(FuKind::Multiplier);
+        for fu in [FuKind::Mux, FuKind::Alu, FuKind::Shifter] {
+            assert!(m.area_slices > lib.spec(fu).area_slices);
+            assert!(m.delay_ns > lib.spec(fu).delay_ns);
+        }
+    }
+
+    #[test]
+    fn width_16_reproduces_table1() {
+        let est = ComponentLibrary::for_width(16);
+        let t1 = ComponentLibrary::table1();
+        for fu in FuKind::ALL {
+            let (a, b) = (est.spec(fu), t1.spec(fu));
+            assert!(
+                (a.area_slices - b.area_slices).abs() < 1e-6,
+                "{fu}: {} vs {}",
+                a.area_slices,
+                b.area_slices
+            );
+            assert!((a.delay_ns - b.delay_ns).abs() < 1e-6, "{fu}");
+        }
+    }
+
+    #[test]
+    fn override_spec() {
+        let lib = ComponentLibrary::table1()
+            .with_spec(FuKind::Alu, ComponentSpec::new(300.0, 12.0));
+        assert_eq!(lib.spec(FuKind::Alu).area_slices, 300.0);
+    }
+
+    #[test]
+    fn display_shape() {
+        let s = ComponentSpec::new(416.0, 19.7).to_string();
+        assert!(s.contains("416"));
+        assert!(s.contains("19.7"));
+    }
+}

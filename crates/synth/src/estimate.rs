@@ -1,0 +1,109 @@
+//! First-principles component estimators.
+//!
+//! Structural area/delay models for each functional unit, parameterized by
+//! datapath width and calibrated so a 16-bit datapath reproduces the
+//! paper's Table 1 exactly. They let the design-space exploration reason
+//! about widths the paper never synthesized (e.g. a 32-bit variant of the
+//! template) with physically sensible scaling laws:
+//!
+//! * **Array multiplier** — an `n×n` cell array: area grows with `n²`,
+//!   delay with the `2n-2` cell ripple of the carry-save reduction.
+//! * **ALU** — bit-sliced with carry acceleration: area grows with `n`,
+//!   delay with `log2 n`.
+//! * **Barrel shifter** — `log2 n` mux stages of `n` bits: area grows with
+//!   `n·log2 n`, delay with `log2 n`.
+//! * **Operand multiplexer** — area grows with `n`; delay is set by the
+//!   (width-independent) select fan-in.
+
+use crate::components::ComponentSpec;
+use rsp_arch::FuKind;
+
+/// Reference datapath width the calibration anchors to.
+pub const CAL_WIDTH: f64 = 16.0;
+
+/// Estimates a component at `width_bits`.
+///
+/// # Panics
+///
+/// Panics if `width_bits` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_arch::FuKind;
+/// use rsp_synth::estimate;
+///
+/// let m16 = estimate::component(FuKind::Multiplier, 16);
+/// let m32 = estimate::component(FuKind::Multiplier, 32);
+/// // Quadratic area growth for the array multiplier.
+/// assert!((m32.area_slices / m16.area_slices - 4.0).abs() < 1e-9);
+/// ```
+pub fn component(fu: FuKind, width_bits: u32) -> ComponentSpec {
+    assert!(width_bits > 0, "datapath width must be non-zero");
+    let n = width_bits as f64;
+    let r = n / CAL_WIDTH;
+    let log_r = (n.log2()) / CAL_WIDTH.log2();
+    match fu {
+        FuKind::Multiplier => ComponentSpec::new(
+            416.0 * r * r,
+            19.7 * (2.0 * n - 2.0) / (2.0 * CAL_WIDTH - 2.0),
+        ),
+        FuKind::Alu => ComponentSpec::new(253.0 * r, 11.5 * log_r),
+        FuKind::Shifter => ComponentSpec::new(
+            156.0 * (n * n.log2()) / (CAL_WIDTH * CAL_WIDTH.log2()),
+            2.5 * log_r,
+        ),
+        FuKind::Mux => ComponentSpec::new(58.0 * r, 1.3),
+        FuKind::MemPort => ComponentSpec::new(0.0, 0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_16_is_table1() {
+        assert_eq!(component(FuKind::Multiplier, 16), ComponentSpec::new(416.0, 19.7));
+        assert_eq!(component(FuKind::Alu, 16), ComponentSpec::new(253.0, 11.5));
+        assert_eq!(component(FuKind::Shifter, 16), ComponentSpec::new(156.0, 2.5));
+        assert_eq!(component(FuKind::Mux, 16), ComponentSpec::new(58.0, 1.3));
+    }
+
+    #[test]
+    fn multiplier_delay_scales_with_cell_ripple() {
+        let d32 = component(FuKind::Multiplier, 32).delay_ns;
+        // (2*32-2)/(2*16-2) = 62/30.
+        assert!((d32 - 19.7 * 62.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alu_area_linear_delay_logarithmic() {
+        let a8 = component(FuKind::Alu, 8);
+        let a32 = component(FuKind::Alu, 32);
+        assert!((a8.area_slices - 253.0 / 2.0).abs() < 1e-9);
+        assert!((a32.delay_ns - 11.5 * 5.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mux_delay_width_independent() {
+        assert_eq!(component(FuKind::Mux, 8).delay_ns, 1.3);
+        assert_eq!(component(FuKind::Mux, 64).delay_ns, 1.3);
+    }
+
+    #[test]
+    fn wider_is_never_smaller() {
+        for fu in [FuKind::Multiplier, FuKind::Alu, FuKind::Shifter, FuKind::Mux] {
+            let a = component(fu, 16);
+            let b = component(fu, 24);
+            assert!(b.area_slices >= a.area_slices, "{fu}");
+            assert!(b.delay_ns >= a.delay_ns, "{fu}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_panics() {
+        component(FuKind::Alu, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # rsp-synth — synthesis model for the RSP CGRA template
+//!
+//! Stand-in for the paper's Synplify Pro + Xilinx Virtex-II flow: analytic
+//! area and critical-path models over a component library.
+//!
+//! * [`ComponentLibrary::table1`] carries the paper's measured component
+//!   costs; [`estimate`] derives them from first principles at any
+//!   datapath width.
+//! * [`AreaModel`] implements eq. (2) — the paper's own exploration-time
+//!   cost estimate — plus a calibrated "synthesized" figure reproducing
+//!   Table 2 within a few percent.
+//! * [`DelayModel`] computes the array clock: RS architectures pay bus
+//!   switch and wire load on the multiplier round trip; RSP architectures
+//!   cut the multiplier out of the combinational path entirely (Fig. 5).
+//! * [`paper`] holds the published Tables 1–5 for side-by-side comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsp_arch::presets;
+//! use rsp_synth::{AreaModel, DelayModel};
+//!
+//! let (area, delay) = (AreaModel::new(), DelayModel::new());
+//! let rsp1 = presets::rsp1();
+//!
+//! let a = area.report(&rsp1);
+//! let d = delay.report(&rsp1);
+//! // RSP#1: ~40 % smaller and ~35 % faster than the base architecture.
+//! assert!(a.reduction_pct() > 35.0);
+//! assert!(d.reduction_pct() > 30.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod area;
+pub mod calibration;
+mod components;
+mod delay;
+pub mod estimate;
+pub mod paper;
+mod power;
+
+pub use area::{AreaModel, AreaReport};
+pub use components::{ComponentLibrary, ComponentSpec};
+pub use delay::{DelayModel, DelayReport, LimitingPath};
+pub use power::{ActivityProfile, PowerCoefficients, PowerModel, PowerReport};

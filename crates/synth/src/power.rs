@@ -1,0 +1,254 @@
+//! Activity-based power/energy model — the paper's §6 future work.
+//!
+//! > "In this paper, we consider only hardware cost and performance but
+//! > the domain-specific optimization may also be effective for reducing
+//! > power consumption."
+//!
+//! This module quantifies that conjecture with a deliberately simple,
+//! clearly-synthetic model (no power numbers exist in the paper to
+//! calibrate against):
+//!
+//! * **Dynamic energy** — each operation activates its functional unit;
+//!   energy per activation scales with the unit's slice count. Operations
+//!   routed through a bus switch to a shared resource additionally pay a
+//!   transfer toll proportional to the switch size.
+//! * **Configuration energy** — every PE reads its configuration cache
+//!   each cycle.
+//! * **Static energy** — leakage proportional to the synthesized area,
+//!   integrated over the execution time (`cycles × clock`).
+//!
+//! The RSP story follows directly: sharing cuts leakage area, pipelining
+//! cuts execution time; both attack the static term, while the dynamic
+//! term only grows by the bus-switch toll.
+
+use crate::area::AreaModel;
+use crate::components::ComponentLibrary;
+use crate::delay::DelayModel;
+use rsp_arch::{FuKind, RspArchitecture};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Energy coefficients (synthetic, order-of-magnitude FPGA values;
+/// see the module docs for why no calibration target exists).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerCoefficients {
+    /// Dynamic energy per activation, per slice of the activated unit
+    /// (pJ/slice).
+    pub dyn_pj_per_slice: f64,
+    /// Extra energy per shared-resource transfer, per slice of the bus
+    /// switch (pJ/slice).
+    pub transfer_pj_per_slice: f64,
+    /// Configuration-cache read energy per PE per cycle (pJ).
+    pub config_pj_per_pe_cycle: f64,
+    /// Leakage power per slice (µW).
+    pub static_uw_per_slice: f64,
+}
+
+impl Default for PowerCoefficients {
+    fn default() -> Self {
+        Self {
+            dyn_pj_per_slice: 0.02,
+            transfer_pj_per_slice: 0.05,
+            config_pj_per_pe_cycle: 1.5,
+            static_uw_per_slice: 2.0,
+        }
+    }
+}
+
+/// What a kernel execution activated: operation counts per functional
+/// unit, shared transfers, and the executed cycle count.
+///
+/// Build one from a rearranged context with `rsp_core::activity_of`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ActivityProfile {
+    /// Operations executed per functional-unit kind.
+    pub ops_per_fu: BTreeMap<FuKind, u64>,
+    /// Operations routed through bus switches to shared resources.
+    pub shared_transfers: u64,
+    /// Executed cycles.
+    pub cycles: u64,
+}
+
+/// Energy breakdown of one kernel execution on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Dynamic (switching) energy, pJ.
+    pub dynamic_pj: f64,
+    /// Bus-switch transfer energy, pJ.
+    pub transfer_pj: f64,
+    /// Configuration-cache energy, pJ.
+    pub config_pj: f64,
+    /// Leakage energy over the execution, pJ.
+    pub static_pj: f64,
+    /// Execution time used for the static term, ns.
+    pub exec_ns: f64,
+}
+
+impl PowerReport {
+    /// Total energy, pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.dynamic_pj + self.transfer_pj + self.config_pj + self.static_pj
+    }
+
+    /// Average power over the execution, mW.
+    pub fn average_mw(&self) -> f64 {
+        self.total_pj() / self.exec_ns
+    }
+}
+
+/// The power model.
+#[derive(Debug, Clone, Default)]
+pub struct PowerModel {
+    lib: ComponentLibrary,
+    coeffs: PowerCoefficients,
+}
+
+impl PowerModel {
+    /// Model with default coefficients over the Table 1 library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Model with custom coefficients.
+    pub fn with_coefficients(coeffs: PowerCoefficients) -> Self {
+        Self {
+            lib: ComponentLibrary::table1(),
+            coeffs,
+        }
+    }
+
+    /// The coefficients in use.
+    pub fn coefficients(&self) -> PowerCoefficients {
+        self.coeffs
+    }
+
+    /// Energy report for one kernel execution described by `activity` on
+    /// `arch`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::{presets, FuKind};
+    /// use rsp_synth::{ActivityProfile, PowerModel};
+    ///
+    /// let mut activity = ActivityProfile::default();
+    /// activity.ops_per_fu.insert(FuKind::Multiplier, 64);
+    /// activity.ops_per_fu.insert(FuKind::Alu, 128);
+    /// activity.cycles = 20;
+    ///
+    /// let model = PowerModel::new();
+    /// let base = model.report(&presets::base_8x8(), &activity);
+    /// let mut shared = activity.clone();
+    /// shared.shared_transfers = 64;
+    /// let rsp = model.report(&presets::rsp2(), &shared);
+    /// // Sharing + pipelining cut leakage area and time: less energy.
+    /// assert!(rsp.total_pj() < base.total_pj());
+    /// ```
+    pub fn report(&self, arch: &RspArchitecture, activity: &ActivityProfile) -> PowerReport {
+        let area = AreaModel::with_library(self.lib.clone()).report(arch);
+        let delay = DelayModel::with_library(self.lib.clone()).report(arch);
+        let exec_ns = activity.cycles as f64 * delay.clock_ns;
+
+        let dynamic_pj: f64 = activity
+            .ops_per_fu
+            .iter()
+            .map(|(fu, count)| {
+                *count as f64 * self.coeffs.dyn_pj_per_slice * self.lib.spec(*fu).area_slices
+            })
+            .sum();
+
+        let transfer_pj = activity.shared_transfers as f64
+            * self.coeffs.transfer_pj_per_slice
+            * crate::calibration::switch_area_slices(arch.plan().switch_fan_in());
+
+        let config_pj = activity.cycles as f64
+            * arch.geometry().pe_count() as f64
+            * self.coeffs.config_pj_per_pe_cycle;
+
+        // µW × ns = femtojoule; convert to pJ (×1e-3).
+        let static_pj =
+            self.coeffs.static_uw_per_slice * area.synthesized_slices * exec_ns * 1e-3;
+
+        PowerReport {
+            dynamic_pj,
+            transfer_pj,
+            config_pj,
+            static_pj,
+            exec_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_arch::presets;
+
+    fn sample_activity(transfers: u64) -> ActivityProfile {
+        let mut a = ActivityProfile::default();
+        a.ops_per_fu.insert(FuKind::Multiplier, 128);
+        a.ops_per_fu.insert(FuKind::Alu, 256);
+        a.ops_per_fu.insert(FuKind::MemPort, 192);
+        a.shared_transfers = transfers;
+        a.cycles = 25;
+        a
+    }
+
+    #[test]
+    fn rsp_beats_base_on_energy() {
+        let model = PowerModel::new();
+        let base = model.report(&presets::base_8x8(), &sample_activity(0));
+        let rsp2 = model.report(&presets::rsp2(), &sample_activity(128));
+        assert!(rsp2.total_pj() < base.total_pj());
+        assert!(rsp2.static_pj < base.static_pj); // less area AND less time
+    }
+
+    #[test]
+    fn rs_saves_leakage_but_pays_clock() {
+        let model = PowerModel::new();
+        let base = model.report(&presets::base_8x8(), &sample_activity(0));
+        let rs1 = model.report(&presets::rs1(), &sample_activity(128));
+        // Less area but longer execution: static term still smaller
+        // because the area cut (-42 %) dominates the clock growth (+3 %).
+        assert!(rs1.static_pj < base.static_pj);
+        // Transfers cost something.
+        assert!(rs1.transfer_pj > 0.0);
+        assert_eq!(base.transfer_pj, 0.0);
+    }
+
+    #[test]
+    fn energy_scales_with_activity() {
+        let model = PowerModel::new();
+        let small = model.report(&presets::base_8x8(), &sample_activity(0));
+        let mut big_activity = sample_activity(0);
+        for v in big_activity.ops_per_fu.values_mut() {
+            *v *= 2;
+        }
+        let big = model.report(&presets::base_8x8(), &big_activity);
+        assert!(big.dynamic_pj > small.dynamic_pj);
+        assert_eq!(big.static_pj, small.static_pj); // same cycles
+    }
+
+    #[test]
+    fn average_power_is_consistent() {
+        let model = PowerModel::new();
+        let r = model.report(&presets::rsp2(), &sample_activity(64));
+        assert!((r.average_mw() * r.exec_ns - r.total_pj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiplier_ops_cost_more_than_alu_ops() {
+        let model = PowerModel::new();
+        let mut mult_only = ActivityProfile::default();
+        mult_only.ops_per_fu.insert(FuKind::Multiplier, 100);
+        mult_only.cycles = 10;
+        let mut alu_only = ActivityProfile::default();
+        alu_only.ops_per_fu.insert(FuKind::Alu, 100);
+        alu_only.cycles = 10;
+        let arch = presets::base_8x8();
+        assert!(
+            model.report(&arch, &mult_only).dynamic_pj
+                > model.report(&arch, &alu_only).dynamic_pj
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Toward the paper's future work: H.264 motion estimation kernels
+//! (SAD and the 4x4 Hadamard SATD) on the RSP presets.
+//!
+//! §6 closes with "we are currently working on implementing H.264 encoder
+//! on our architecture template" — this example sketches that workload:
+//! SATD adds a transform to the residual before summing, trading extra
+//! ALU work for better mode decisions. Neither kernel multiplies, so both
+//! enjoy the full RSP clock speedup (the SAD row of Table 5).
+//!
+//! ```sh
+//! cargo run --example h264_motion
+//! ```
+
+use rsp::arch::presets;
+use rsp::core::evaluate_perf;
+use rsp::kernel::{
+    suite, AddrExpr, DfgBuilder, Kernel, KernelBuilder, MappingStyle, Operand,
+};
+use rsp::mapper::{map, MapOptions};
+use rsp::synth::DelayModel;
+
+/// 4x4 SATD: butterfly the residual rows (a 1-D Hadamard), accumulate
+/// absolute values. One element per 4-pixel row of a residual block.
+fn satd_4x4() -> Kernel {
+    let mut kb = KernelBuilder::new("SATD-4x4", 64); // 16 blocks x 4 rows
+    let cur = kb.array("cur", 256);
+    let refa = kb.array("ref", 256);
+    let partial = kb.array("partial", 64);
+
+    let mut b = DfgBuilder::new();
+    use Operand::{Node as N, Pair as P};
+    // Residual r[j] = cur[4e + j] - ref[4e + j], j = 0..4.
+    let l01 = b.load_pair(AddrExpr::flat(cur, 0, 4), AddrExpr::flat(refa, 0, 4));
+    let r0 = b.sub(N(l01), P(l01));
+    let l11 = b.load_pair(AddrExpr::flat(cur, 1, 4), AddrExpr::flat(refa, 1, 4));
+    let r1 = b.sub(N(l11), P(l11));
+    let l21 = b.load_pair(AddrExpr::flat(cur, 2, 4), AddrExpr::flat(refa, 2, 4));
+    let r2 = b.sub(N(l21), P(l21));
+    let l31 = b.load_pair(AddrExpr::flat(cur, 3, 4), AddrExpr::flat(refa, 3, 4));
+    let r3 = b.sub(N(l31), P(l31));
+    // 4-point Hadamard butterfly.
+    let s0 = b.add(N(r0), N(r2));
+    let s1 = b.add(N(r1), N(r3));
+    let d0 = b.sub(N(r0), N(r2));
+    let d1 = b.sub(N(r1), N(r3));
+    let h0 = b.add(N(s0), N(s1));
+    let h1 = b.sub(N(s0), N(s1));
+    let h2 = b.add(N(d0), N(d1));
+    let h3 = b.sub(N(d0), N(d1));
+    // Sum of absolute transformed differences.
+    let a0 = b.abs(N(h0));
+    let a1 = b.abs(N(h1));
+    let a2 = b.abs(N(h2));
+    let a3 = b.abs(N(h3));
+    let t0 = b.add(N(a0), N(a1));
+    let t1 = b.add(N(a2), N(a3));
+    let t = b.add(N(t0), N(t1));
+    b.store(AddrExpr::flat(partial, 0, 1), N(t));
+
+    kb.description("SATD over 4-pixel rows: Hadamard-transform the residual, sum |coefficients|")
+        .style(MappingStyle::Dataflow)
+        .body(b.finish())
+        .build()
+        .expect("satd kernel is valid")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = presets::base_8x8();
+    let delay = DelayModel::new();
+    let kernels = [suite::sad(), satd_4x4()];
+
+    println!("H.264-flavoured motion estimation on the RSP presets:");
+    println!(
+        "{:<10} {:<6} {:>7} {:>9} {:>8} {:>6}",
+        "kernel", "arch", "cycles", "ET(ns)", "DR%", "stall"
+    );
+    for kernel in &kernels {
+        let ctx = map(base.base(), kernel, &MapOptions::default())?;
+        for arch in [presets::base_8x8(), presets::rs2(), presets::rsp1(), presets::rsp2()] {
+            let p = evaluate_perf(&ctx, &arch, &delay, &Default::default())?;
+            println!(
+                "{:<10} {:<6} {:>7} {:>9.1} {:>7.1}% {:>6}",
+                kernel.name(),
+                arch.name(),
+                p.cycles,
+                p.et_ns,
+                p.dr_pct,
+                p.rs_stalls
+            );
+        }
+    }
+    println!("\nno multiplications -> both kernels take the full ~35% RSP clock gain,");
+    println!("confirming the paper's motivation for extending the template to H.264.");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Beyond the paper: how the RSP trade-off shifts with datapath width.
+//!
+//! The paper synthesizes one width (16 bit). The first-principles
+//! component estimators (`rsp::synth::estimate`) extrapolate the area and
+//! delay of each unit to other widths — the array multiplier grows
+//! quadratically while the ALU grows linearly, so the multiplier becomes
+//! *more* area- and delay-critical as the datapath widens, and resource
+//! sharing/pipelining pays off even more.
+//!
+//! ```sh
+//! cargo run --example width_exploration
+//! ```
+
+use rsp::arch::{
+    ArrayGeometry, BaseArchitecture, BusSpec, FuKind, PeDesign, RspArchitecture, SharedGroup,
+    SharingPlan,
+};
+use rsp::synth::{AreaModel, ComponentLibrary, DelayModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>6} {:>12} {:>10} {:>12} {:>12} {:>11} {:>11}",
+        "width", "mult slices", "mult %PE", "base slices", "RSP#2 slices", "area gain", "clock gain"
+    );
+    for width in [8u32, 16, 24, 32, 48] {
+        let lib = ComponentLibrary::for_width(width);
+        let area = AreaModel::with_library(lib.clone());
+        let delay = DelayModel::with_library(lib.clone());
+
+        let base = BaseArchitecture::new(
+            ArrayGeometry::new(8, 8),
+            PeDesign::with_units(
+                [FuKind::Alu, FuKind::Multiplier, FuKind::Shifter],
+                width,
+            ),
+            BusSpec::paper_default(),
+            256,
+        );
+        let plan = SharingPlan::none()
+            .with_group(SharedGroup::new(FuKind::Multiplier, 2, 0, 2)?)?;
+        let rsp2 = RspArchitecture::new(format!("RSP#2@{width}b"), base, plan)?;
+
+        let a = area.report(&rsp2);
+        let d = delay.report(&rsp2);
+        let mult = lib.spec(FuKind::Multiplier);
+        let pe_area = lib.pe_area(FuKind::ALL);
+
+        println!(
+            "{:>6} {:>12.0} {:>9.1}% {:>12.0} {:>12.0} {:>10.1}% {:>10.1}%",
+            format!("{width}b"),
+            mult.area_slices,
+            100.0 * mult.area_slices / pe_area,
+            a.base_synthesized_slices,
+            a.synthesized_slices,
+            a.reduction_pct(),
+            d.reduction_pct(),
+        );
+    }
+    println!();
+    println!("The multiplier's quadratic growth makes it an ever-larger share of the PE,");
+    println!("so the paper's technique scales: at 32 bit the same RSP#2 plan saves");
+    println!("substantially more area than at the paper's 16 bit, and the clock gain");
+    println!("grows because the (pipelined-away) multiplier delay rises faster than the");
+    println!("ALU path that replaces it as the critical path.");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! # rsp — Resource Sharing and Pipelining for CGRAs
+//!
+//! A full reproduction of *"Resource Sharing and Pipelining in
+//! Coarse-Grained Reconfigurable Architecture for Domain-Specific
+//! Optimization"* (Kim, Kiemb, Park, Jung, Choi — DATE 2005) as a Rust
+//! library suite:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`arch`] | `rsp-arch` | the architecture template: PEs, mesh, row buses, bus switches, shared/pipelined resource banks |
+//! | [`kernel`] | `rsp-kernel` | loop-kernel dataflow IR, the Livermore/DSP suite, reference evaluator |
+//! | [`mapper`] | `rsp-mapper` | loop-pipelining mapper producing initial configuration contexts |
+//! | [`synth`] | `rsp-synth` | eq. (2) area model and calibrated clock model (Synplify/Virtex-II substitute) |
+//! | [`core`] | `rsp-core` | RS/RP/RSP context rearrangement, stall estimation, design-space exploration, the Fig. 7 flow |
+//! | [`sim`] | `rsp-sim` | cycle-accurate structural simulator and functional oracle |
+//!
+//! # Quickstart
+//!
+//! Evaluate the paper's headline experiment — SAD on RSP#1 gains ~35 %
+//! over the base architecture because pipelining the (shared) multiplier
+//! shortens the clock while SAD pays no multiplication latency:
+//!
+//! ```
+//! use rsp::arch::presets;
+//! use rsp::core::evaluate_perf;
+//! use rsp::kernel::suite;
+//! use rsp::mapper::{map, MapOptions};
+//! use rsp::synth::DelayModel;
+//!
+//! let base = presets::base_8x8();
+//! let ctx = map(base.base(), &suite::sad(), &MapOptions::default())?;
+//! let perf = evaluate_perf(&ctx, &presets::rsp1(), &DelayModel::new(), &Default::default())?;
+//! assert!(perf.dr_pct > 30.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use rsp_arch as arch;
+pub use rsp_core as core;
+pub use rsp_kernel as kernel;
+pub use rsp_mapper as mapper;
+pub use rsp_sim as sim;
+pub use rsp_synth as synth;

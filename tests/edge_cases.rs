@@ -1,0 +1,214 @@
+//! Degenerate geometries and extreme parameters: the template must hold up
+//! at the edges of its parameter space, not just at the paper's 8×8.
+
+use rsp::arch::{
+    ArrayGeometry, BaseArchitecture, BusSpec, FuKind, PeDesign, RspArchitecture, SharedGroup,
+    SharingPlan,
+};
+use rsp::core::{rearrange, utilization_of};
+use rsp::kernel::{evaluate, suite, Bindings, MemoryImage};
+use rsp::mapper::{map, MapOptions};
+use rsp::sim::simulate;
+
+fn arch_1x1() -> RspArchitecture {
+    let base = BaseArchitecture::new(
+        ArrayGeometry::new(1, 1),
+        PeDesign::full(),
+        BusSpec::paper_default(),
+        8192,
+    );
+    let plan = SharingPlan::none()
+        .with_group(SharedGroup::new(FuKind::Multiplier, 1, 0, 2).unwrap())
+        .unwrap();
+    RspArchitecture::new("1x1-RSP", base, plan).unwrap()
+}
+
+#[test]
+fn single_pe_array_still_computes() {
+    // Everything serializes onto one PE with one shared 2-stage multiplier.
+    let arch = arch_1x1();
+    for k in [suite::iccg(), suite::mvm()] {
+        let ctx = map(arch.base(), &k, &MapOptions::default()).unwrap();
+        // Fully serial: every op in its own cycle.
+        assert_eq!(ctx.total_cycles() as usize, k.total_ops());
+        let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+        let input = MemoryImage::random(&k, 123);
+        let params = Bindings::defaults(&k);
+        let sim = simulate(
+            &ctx,
+            &arch,
+            &r.cycles,
+            &r.bindings,
+            &k,
+            &input,
+            &params,
+            &Default::default(),
+        )
+        .unwrap();
+        assert_eq!(sim.memory, evaluate(&k, &input, &params).unwrap(), "{}", k.name());
+    }
+}
+
+#[test]
+fn single_row_array_handles_dataflow_kernels() {
+    let base = BaseArchitecture::new(
+        ArrayGeometry::new(1, 8),
+        PeDesign::full(),
+        BusSpec::paper_default(),
+        4096,
+    );
+    let plan = SharingPlan::none()
+        .with_group(SharedGroup::new(FuKind::Multiplier, 2, 0, 2).unwrap())
+        .unwrap();
+    let arch = RspArchitecture::new("1x8", base, plan).unwrap();
+    for k in [suite::hydro(), suite::fft_mult_loop()] {
+        let ctx = map(arch.base(), &k, &MapOptions::default()).unwrap();
+        let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+        let input = MemoryImage::random(&k, 5);
+        let params = Bindings::defaults(&k);
+        let sim = simulate(
+            &ctx,
+            &arch,
+            &r.cycles,
+            &r.bindings,
+            &k,
+            &input,
+            &params,
+            &Default::default(),
+        )
+        .unwrap();
+        assert_eq!(sim.memory, evaluate(&k, &input, &params).unwrap(), "{}", k.name());
+    }
+}
+
+#[test]
+fn single_column_array_serializes_lockstep_groups() {
+    let base = BaseArchitecture::new(
+        ArrayGeometry::new(8, 1),
+        PeDesign::full(),
+        BusSpec::paper_default(),
+        4096,
+    );
+    let arch = RspArchitecture::new("8x1", base, SharingPlan::none()).unwrap();
+    let k = suite::inner_product();
+    let ctx = map(arch.base(), &k, &MapOptions::default()).unwrap();
+    // 128 elements / 8 rows = 16 groups, all on the single column.
+    let cols: std::collections::BTreeSet<usize> =
+        ctx.instances().iter().map(|i| i.pe.col).collect();
+    assert_eq!(cols.len(), 1);
+    let input = MemoryImage::random(&k, 9);
+    let params = Bindings::defaults(&k);
+    let bindings = vec![None; ctx.instances().len()];
+    let sim = simulate(
+        &ctx,
+        &arch,
+        ctx.cycles(),
+        &bindings,
+        &k,
+        &input,
+        &params,
+        &Default::default(),
+    )
+    .unwrap();
+    assert_eq!(sim.memory, evaluate(&k, &input, &params).unwrap());
+}
+
+#[test]
+fn max_depth_pipeline_still_legal() {
+    // MAX_STAGES-deep shared multiplier: extreme latency, still correct.
+    let arch = rsp::arch::presets::shared_multiplier(
+        "deep8",
+        4,
+        4,
+        2,
+        2,
+        rsp::arch::MAX_STAGES,
+    );
+    let k = suite::matmul(4);
+    let ctx = map(arch.base(), &k, &MapOptions::default()).unwrap();
+    let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+    assert!(r.rp_overhead > 0);
+    let input = MemoryImage::random(&k, 77);
+    let params = Bindings::defaults(&k);
+    let sim = simulate(
+        &ctx,
+        &arch,
+        &r.cycles,
+        &r.bindings,
+        &k,
+        &input,
+        &params,
+        &Default::default(),
+    )
+    .unwrap();
+    assert_eq!(sim.memory, evaluate(&k, &input, &params).unwrap());
+    // Eight operations can be in flight on one multiplier.
+    assert!(sim.max_in_flight <= rsp::arch::MAX_STAGES as usize);
+}
+
+#[test]
+fn tiny_cache_rejects_then_fits() {
+    // ConfigCacheExceeded at depth 4; fine at a realistic depth.
+    let small = BaseArchitecture::new(
+        ArrayGeometry::new(8, 8),
+        PeDesign::full(),
+        BusSpec::paper_default(),
+        4,
+    );
+    assert!(map(&small, &suite::sad(), &MapOptions::default()).is_err());
+    let ok = BaseArchitecture::new(
+        ArrayGeometry::new(8, 8),
+        PeDesign::full(),
+        BusSpec::paper_default(),
+        25,
+    );
+    assert!(map(&ok, &suite::sad(), &MapOptions::default()).is_ok());
+}
+
+#[test]
+fn utilization_saturates_on_single_shared_multiplier() {
+    // On the 1x1 array every multiplication serializes through the one
+    // shared multiplier; its utilization dwarfs any 8x8 figure.
+    let arch = arch_1x1();
+    let k = suite::mvm();
+    let ctx = map(arch.base(), &k, &MapOptions::default()).unwrap();
+    let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+    let u = utilization_of(&ctx, &arch, &r)
+        .of(FuKind::Multiplier)
+        .unwrap();
+    assert_eq!(u.units, 1);
+    assert!(u.utilization > 0.2, "utilization {:.2}", u.utilization);
+}
+
+#[test]
+fn wide_flat_and_tall_arrays_agree_on_results() {
+    // The same kernel computes identical memory on very different
+    // geometries — placement never leaks into values.
+    let k = suite::sad();
+    let input = MemoryImage::random(&k, 31);
+    let params = Bindings::defaults(&k);
+    let reference = evaluate(&k, &input, &params).unwrap();
+    for (rows, cols) in [(2usize, 16usize), (16, 2), (3, 5)] {
+        let base = BaseArchitecture::new(
+            ArrayGeometry::new(rows, cols),
+            PeDesign::full(),
+            BusSpec::paper_default(),
+            8192,
+        );
+        let arch = RspArchitecture::new("g", base, SharingPlan::none()).unwrap();
+        let ctx = map(arch.base(), &k, &MapOptions::default()).unwrap();
+        let bindings = vec![None; ctx.instances().len()];
+        let sim = simulate(
+            &ctx,
+            &arch,
+            ctx.cycles(),
+            &bindings,
+            &k,
+            &input,
+            &params,
+            &Default::default(),
+        )
+        .unwrap();
+        assert_eq!(sim.memory, reference, "{rows}x{cols}");
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end integration: the full Fig. 7 flow, from application
+//! profiles to simulated, verified RSP configuration contexts.
+
+use rsp::core::{run_flow, AppProfile, Constraints, DesignSpace, FlowConfig, Objective};
+use rsp::kernel::{evaluate, suite, Bindings, MemoryImage};
+use rsp::sim::simulate;
+
+fn h263_domain() -> Vec<AppProfile> {
+    vec![
+        AppProfile::new(
+            "H.263 encoder",
+            vec![(suite::fdct(), 99), (suite::sad(), 396), (suite::mvm(), 25)],
+        ),
+        AppProfile::new(
+            "filters",
+            vec![(suite::fft_mult_loop(), 64), (suite::inner_product(), 32)],
+        ),
+    ]
+}
+
+#[test]
+fn flow_then_simulate_every_critical_loop() {
+    let report = run_flow(&h263_domain(), &FlowConfig::default()).unwrap();
+    for ((cl, ctx), r) in report
+        .critical_loops
+        .iter()
+        .zip(&report.contexts)
+        .zip(&report.rsp_contexts)
+    {
+        let kernel = &cl.kernel;
+        let input = MemoryImage::random(kernel, 0xFEED);
+        let params = Bindings::defaults(kernel);
+        let sim = simulate(
+            ctx,
+            &report.chosen,
+            &r.cycles,
+            &r.bindings,
+            kernel,
+            &input,
+            &params,
+            &Default::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        let reference = evaluate(kernel, &input, &params).unwrap();
+        assert_eq!(sim.memory, reference, "{}", kernel.name());
+    }
+}
+
+#[test]
+fn flow_chooses_a_design_that_shrinks_the_array() {
+    let report = run_flow(&h263_domain(), &FlowConfig::default()).unwrap();
+    assert!(report.area_slices < report.base_area_slices);
+    // The paper's conclusion: the selected domain design pipelines the
+    // multiplier (RSP), not just shares it.
+    assert!(report.chosen.plan().has_pipelining());
+}
+
+#[test]
+fn flow_objectives_produce_consistent_extremes() {
+    let mut cfg = FlowConfig {
+        objective: Objective::Area,
+        ..FlowConfig::default()
+    };
+    let by_area = run_flow(&h263_domain(), &cfg).unwrap();
+    cfg.objective = Objective::ExecutionTime;
+    let by_time = run_flow(&h263_domain(), &cfg).unwrap();
+    assert!(by_area.area_slices <= by_time.area_slices);
+    assert!(by_time.weighted_et_ns() <= by_area.weighted_et_ns() + 1e-9);
+}
+
+#[test]
+fn flow_with_single_multiplication_free_kernel_prefers_pipelining() {
+    // A SAD-only domain: sharing costs nothing (no multiplications) and
+    // pipelining buys the full clock gain, so the flow must pick the
+    // smallest RSP design.
+    let apps = vec![AppProfile::new("me", vec![(suite::sad(), 100)])];
+    let report = run_flow(&apps, &FlowConfig::default()).unwrap();
+    assert!(report.chosen.plan().has_pipelining());
+    assert_eq!(report.perf[0].rs_stalls, 0);
+    assert!(report.perf[0].dr_pct > 30.0);
+}
+
+#[test]
+fn tight_cost_constraint_still_finds_fig8_like_designs() {
+    let cfg = FlowConfig {
+        constraints: Constraints {
+            enforce_cost_bound: true,
+            max_slowdown: 1.0, // must not be slower than base at all
+        },
+        space: DesignSpace::extended(),
+        ..FlowConfig::default()
+    };
+    let report = run_flow(&h263_domain(), &cfg).unwrap();
+    assert!(report.weighted_et_ns() <= report.weighted_base_et_ns() * 1.0 + 1e-9);
+}
+
+#[test]
+fn flow_report_weights_are_normalized() {
+    let report = run_flow(&h263_domain(), &FlowConfig::default()).unwrap();
+    let total: f64 = report.critical_loops.iter().map(|c| c.weight).sum();
+    assert!(total <= 1.0 + 1e-9);
+    assert!(total > 0.5, "critical loops should cover most weight");
+}

@@ -1,0 +1,314 @@
+//! Property-based tests: randomly generated kernels and architectures
+//! must survive the whole pipeline — map → rearrange → simulate — with
+//! the simulation bit-identical to the reference evaluator, plus
+//! invariants on the cost models and the Pareto frontier.
+
+use proptest::prelude::*;
+use rsp::arch::{presets, FuKind, OpKind, RspArchitecture};
+use rsp::core::rearrange;
+use rsp::kernel::{
+    evaluate, AddrExpr, Bindings, DfgBuilder, Kernel, KernelBuilder, MappingStyle, MemoryImage,
+    NodeId, Operand,
+};
+use rsp::mapper::{map, validate_schedule, MapOptions};
+use rsp::sim::simulate;
+use rsp::synth::{AreaModel, DelayModel};
+
+/// Compact description of one random body node.
+#[derive(Debug, Clone)]
+enum GenOp {
+    Load,
+    DualLoad,
+    Unary(OpKind, usize),
+    Binary(OpKind, usize, usize),
+    MulParam(usize),
+    AccumAdd(usize),
+    Store(usize),
+}
+
+fn arb_body(max_nodes: usize, allow_accum: bool) -> impl Strategy<Value = Vec<GenOp>> {
+    let unaries = prop_oneof![Just(OpKind::Abs), Just(OpKind::Mov)];
+    let binaries = prop_oneof![
+        Just(OpKind::Add),
+        Just(OpKind::Sub),
+        Just(OpKind::Min),
+        Just(OpKind::Max),
+        Just(OpKind::And),
+        Just(OpKind::Or),
+        Just(OpKind::Xor),
+        Just(OpKind::Mult),
+        Just(OpKind::Shl),
+        Just(OpKind::Asr),
+    ];
+    let node = (0usize..100, unaries, binaries, 0usize..100, 0usize..100).prop_map(
+        move |(sel, u, b, a, bb)| match sel {
+            0..=14 => GenOp::Load,
+            15..=24 => GenOp::DualLoad,
+            25..=34 => GenOp::Unary(u, a),
+            35..=69 => GenOp::Binary(b, a, bb),
+            70..=79 => GenOp::MulParam(a),
+            80..=87 => {
+                if allow_accum {
+                    GenOp::AccumAdd(a)
+                } else {
+                    GenOp::Binary(OpKind::Add, a, bb)
+                }
+            }
+            _ => GenOp::Store(a),
+        },
+    );
+    prop::collection::vec(node, 2..max_nodes)
+}
+
+/// Materializes a generated body into a valid kernel. Every value-operand
+/// index is reduced modulo the available earlier nodes; stores get their
+/// own output arrays so results are order-independent.
+fn build_kernel(
+    ops: &[GenOp],
+    elements: usize,
+    steps: usize,
+    style: MappingStyle,
+) -> Option<Kernel> {
+    let steps = if style == MappingStyle::Dataflow { 1 } else { steps };
+    let mut kb = KernelBuilder::new("generated", elements);
+    let input = kb.array("in", elements * steps + 64);
+    let param = kb.param("p", 3);
+
+    let mut b = DfgBuilder::new();
+    let mut value_nodes: Vec<NodeId> = Vec::new();
+    let mut pairs: Vec<NodeId> = Vec::new();
+    let mut out_arrays = Vec::new();
+    let mut planned_stores = Vec::new();
+
+    // Pre-declare output arrays (KernelBuilder::array borrows kb).
+    for (i, op) in ops.iter().enumerate() {
+        if matches!(op, GenOp::Store(_)) {
+            out_arrays.push(kb.array(format!("out{i}"), elements * steps));
+            planned_stores.push(i);
+        }
+    }
+
+    let mut store_idx = 0;
+    let mut emitted_value = false;
+    for op in ops {
+        let pick = |i: usize, nodes: &Vec<NodeId>| -> Option<Operand> {
+            if nodes.is_empty() {
+                None
+            } else {
+                Some(Operand::Node(nodes[i % nodes.len()]))
+            }
+        };
+        match op {
+            GenOp::Load => {
+                let n = b.load(AddrExpr::affine(
+                    input,
+                    (value_nodes.len() % 7) as i64,
+                    steps as i64,
+                    0,
+                    1,
+                ));
+                value_nodes.push(n);
+                emitted_value = true;
+            }
+            GenOp::DualLoad => {
+                let n = b.load_pair(
+                    AddrExpr::affine(input, 0, steps as i64, 0, 1),
+                    AddrExpr::affine(input, 13, steps as i64, 0, 1),
+                );
+                pairs.push(n);
+                value_nodes.push(n);
+                emitted_value = true;
+            }
+            GenOp::Unary(kind, a) => {
+                let Some(opa) = pick(*a, &value_nodes) else { continue };
+                let n = b.op(*kind, vec![opa]);
+                value_nodes.push(n);
+            }
+            GenOp::Binary(kind, a, bb) => {
+                let Some(opa) = pick(*a, &value_nodes) else { continue };
+                // Sometimes read the dual word of a load.
+                let opb = if *bb % 3 == 0 && !pairs.is_empty() {
+                    Operand::Pair(pairs[bb % pairs.len()])
+                } else {
+                    pick(*bb, &value_nodes).unwrap_or(Operand::Const((*bb as i32) - 50))
+                };
+                let n = b.op(*kind, vec![opa, opb]);
+                value_nodes.push(n);
+            }
+            GenOp::MulParam(a) => {
+                let Some(opa) = pick(*a, &value_nodes) else { continue };
+                let n = b.mult(opa, Operand::Param(param));
+                value_nodes.push(n);
+            }
+            GenOp::AccumAdd(a) => {
+                let Some(opa) = pick(*a, &value_nodes) else { continue };
+                let n = b.accum_add(opa, 1);
+                value_nodes.push(n);
+            }
+            GenOp::Store(a) => {
+                let Some(opa) = pick(*a, &value_nodes) else { continue };
+                let dst = out_arrays[store_idx];
+                store_idx += 1;
+                b.store(
+                    AddrExpr::affine(dst, 0, steps as i64, 0, 1),
+                    opa,
+                );
+            }
+        }
+    }
+    if !emitted_value || store_idx == 0 {
+        return None; // degenerate: nothing observable
+    }
+    kb.steps(steps).style(style).body(b.finish()).build().ok()
+}
+
+fn arb_arch() -> impl Strategy<Value = RspArchitecture> {
+    (2usize..=6, 2usize..=8, 0usize..=2, 0usize..=2, 1u8..=3).prop_map(
+        |(rows, cols, shr, shc, stages)| {
+            if shr == 0 && shc == 0 {
+                presets::shared_multiplier("p", rows, cols, 1, 0, stages)
+            } else {
+                presets::shared_multiplier("p", rows, cols, shr, shc, stages)
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The whole pipeline preserves semantics for arbitrary kernels and
+    /// architectures.
+    #[test]
+    fn pipeline_preserves_semantics(
+        ops in arb_body(10, true),
+        elements in 1usize..20,
+        steps in 1usize..3,
+        dataflow in any::<bool>(),
+        arch in arb_arch(),
+        seed in any::<u64>(),
+    ) {
+        let style = if dataflow { MappingStyle::Dataflow } else { MappingStyle::Lockstep };
+        let Some(kernel) = build_kernel(&ops, elements, steps, style) else {
+            return Ok(());
+        };
+        let Ok(ctx) = map(arch.base(), &kernel, &MapOptions::default()) else {
+            return Ok(()); // e.g. cache overflow on tiny arrays
+        };
+        let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+
+        // Structural legality under the architecture's latencies.
+        let lat = |i: usize| u32::from(arch.op_latency(ctx.instances()[i].op));
+        prop_assert!(validate_schedule(&ctx, &r.cycles, lat).is_ok());
+
+        // Functional equivalence.
+        let input = MemoryImage::random(&kernel, seed);
+        let params = Bindings::defaults(&kernel);
+        let sim = simulate(
+            &ctx, &arch, &r.cycles, &r.bindings, &kernel, &input, &params,
+            &Default::default(),
+        ).unwrap();
+        let reference = evaluate(&kernel, &input, &params).unwrap();
+        prop_assert_eq!(sim.memory, reference);
+    }
+
+    /// Rearrangement never speeds a schedule up and is the identity on
+    /// the base architecture.
+    #[test]
+    fn rearrangement_only_delays(
+        ops in arb_body(8, false),
+        elements in 1usize..16,
+        arch in arb_arch(),
+    ) {
+        let Some(kernel) = build_kernel(&ops, elements, 1, MappingStyle::Lockstep) else {
+            return Ok(());
+        };
+        let Ok(ctx) = map(arch.base(), &kernel, &MapOptions::default()) else {
+            return Ok(());
+        };
+        let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+        prop_assert!(r.total_cycles >= ctx.total_cycles());
+        for (i, &c) in r.cycles.iter().enumerate() {
+            prop_assert!(c >= ctx.cycles()[i], "instance {i} moved earlier");
+        }
+
+        let base = RspArchitecture::new(
+            "b",
+            arch.base().clone(),
+            rsp::arch::SharingPlan::none(),
+        ).unwrap();
+        let rb = rearrange(&ctx, &base, &Default::default()).unwrap();
+        prop_assert_eq!(rb.cycles, ctx.cycles().to_vec());
+    }
+
+    /// Every multiplication is bound to a reachable resource with one
+    /// issue per cycle; non-shared operations carry no binding.
+    #[test]
+    fn bindings_are_sound(
+        ops in arb_body(8, false),
+        elements in 1usize..16,
+        arch in arb_arch(),
+    ) {
+        let Some(kernel) = build_kernel(&ops, elements, 1, MappingStyle::Lockstep) else {
+            return Ok(());
+        };
+        let Ok(ctx) = map(arch.base(), &kernel, &MapOptions::default()) else {
+            return Ok(());
+        };
+        let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+        let mut issues = std::collections::HashSet::new();
+        for (i, inst) in ctx.instances().iter().enumerate() {
+            if inst.op.fu() == Some(FuKind::Multiplier) {
+                let res = r.bindings[i].expect("mult bound");
+                prop_assert!(res.reaches(inst.pe));
+                prop_assert!(issues.insert((res, r.cycles[i])), "double issue");
+            } else {
+                prop_assert!(r.bindings[i].is_none());
+            }
+        }
+    }
+
+    /// Area model invariants: eq. (2) grows monotonically with sharing
+    /// resources and pipeline registers; reduction stays below 100 %.
+    #[test]
+    fn area_model_invariants(
+        rows in 2usize..=8,
+        cols in 2usize..=8,
+        shr in 1usize..=3,
+        shc in 0usize..=3,
+        stages in 1u8..=4,
+    ) {
+        let model = AreaModel::new();
+        let a = model.report(&presets::shared_multiplier("a", rows, cols, shr, shc, stages));
+        prop_assert!(a.array_slices > 0.0);
+        prop_assert!(a.reduction_pct() < 100.0);
+
+        // More shared resources per row -> more area.
+        let bigger = model.report(&presets::shared_multiplier("b", rows, cols, shr + 1, shc, stages));
+        prop_assert!(bigger.array_slices > a.array_slices);
+
+        // Pipelining adds registers, never removes area.
+        if stages == 1 {
+            let piped = model.report(&presets::shared_multiplier("c", rows, cols, shr, shc, 2));
+            prop_assert!(piped.array_slices >= a.array_slices);
+        }
+    }
+
+    /// Delay model invariants: pipelined sharing is never slower than
+    /// combinational sharing at the same configuration, and wire load
+    /// makes wider sharing monotonically slower for RS.
+    #[test]
+    fn delay_model_invariants(
+        rows in 2usize..=8,
+        shr in 1usize..=3,
+        shc in 0usize..=3,
+    ) {
+        let model = DelayModel::new();
+        let rs = model.report(&presets::shared_multiplier("rs", rows, rows, shr, shc, 1));
+        let rsp = model.report(&presets::shared_multiplier("rsp", rows, rows, shr, shc, 2));
+        prop_assert!(rsp.clock_ns < rs.clock_ns);
+
+        let wider = model.report(&presets::shared_multiplier("w", rows, rows, shr + 1, shc, 1));
+        prop_assert!(wider.clock_ns >= rs.clock_ns);
+    }
+}

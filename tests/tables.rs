@@ -1,0 +1,190 @@
+//! Regression tests pinning our reproduction to the paper's tables:
+//! absolute model numbers for Tables 1/2 (within fit tolerance) and the
+//! comparative *shape* of Tables 4/5 (who stalls, who wins, by how much).
+
+use rsp::arch::presets;
+use rsp::synth::{paper, AreaModel, DelayModel};
+use rsp_bench::perf_rows;
+use rsp_kernel::suite;
+
+#[test]
+fn table2_area_and_delay_within_tolerance() {
+    let area = AreaModel::new();
+    let delay = DelayModel::new();
+    for (arch, p) in presets::table_architectures().iter().zip(&paper::TABLE2) {
+        let a = area.report(arch).synthesized_slices;
+        let d = delay.report(arch).clock_ns;
+        assert!(
+            (a - p.array_slices).abs() / p.array_slices < 0.03,
+            "{} area {a:.0} vs paper {}",
+            arch.name(),
+            p.array_slices
+        );
+        assert!(
+            (d - p.array_delay_ns).abs() / p.array_delay_ns < 0.02,
+            "{} clock {d:.2} vs paper {}",
+            arch.name(),
+            p.array_delay_ns
+        );
+    }
+}
+
+#[test]
+fn headline_numbers_reproduce() {
+    let area = AreaModel::new();
+    let delay = DelayModel::new();
+    let best_area = (1..=4)
+        .map(|k| area.report(&presets::rs(k)).reduction_pct())
+        .fold(f64::MIN, f64::max);
+    assert!((best_area - paper::HEADLINE_AREA_REDUCTION_PCT).abs() < 1.5);
+
+    // Delay headline: paper quotes RSP#1 against the 25.6 ns PE clock.
+    let rsp1 = delay.report(&presets::rsp1()).clock_ns;
+    let vs_pe = 100.0 * (1.0 - rsp1 / 25.6);
+    assert!((vs_pe - paper::HEADLINE_DELAY_REDUCTION_PCT).abs() < 2.0);
+
+    // Performance headline: SAD on RSP#1.
+    let sad = perf_rows(&suite::sad());
+    let rsp1_dr = sad.iter().find(|p| p.arch == "RSP#1").unwrap().dr_pct;
+    assert!((rsp1_dr - paper::HEADLINE_PERF_IMPROVEMENT_PCT).abs() < 3.0);
+}
+
+#[test]
+fn table4_5_stall_classes_match_paper() {
+    // Kernels that stall on RS#1 in the paper must stall here, and
+    // vice versa.
+    for (k, p) in suite::all().iter().zip(
+        paper::TABLE4
+            .iter()
+            .chain(paper::TABLE5.iter()),
+    ) {
+        assert_eq!(k.name(), p.kernel, "suite order matches paper tables");
+        let ours = perf_rows(k);
+        let our_rs1 = ours.iter().find(|r| r.arch == "RS#1").unwrap();
+        let paper_rs1 = p.cells.iter().find(|c| c.arch == "RS#1").unwrap();
+        assert_eq!(
+            our_rs1.rs_stalls > 0,
+            paper_rs1.stalls > 0,
+            "{}: RS#1 stall class (ours {}, paper {})",
+            k.name(),
+            our_rs1.rs_stalls,
+            paper_rs1.stalls
+        );
+    }
+}
+
+#[test]
+fn rs_rows_always_slower_rsp_rows_faster_where_paper_says_so() {
+    // Qualitative content of Tables 4/5: every RS row is slower than the
+    // base (clock stretch with no cycle gain), and every RSP#2..4 row is
+    // faster (clock gain dominates the RP overhead). RSP#1 is excluded:
+    // there the outcome hinges on the *magnitude* of sharing stalls, and
+    // our mapper's slacker schedules stall far less than the authors' on
+    // State/2D-FDCT/FFT (see EXPERIMENTS.md, deviation D3).
+    for (k, p) in suite::all().iter().zip(
+        paper::TABLE4
+            .iter()
+            .chain(paper::TABLE5.iter()),
+    ) {
+        let ours = perf_rows(k);
+        let base_paper = p.cells[0].et_ns;
+        for (our, cell) in ours.iter().zip(&p.cells) {
+            if cell.arch == "Base" || cell.arch == "RSP#1" {
+                continue;
+            }
+            let paper_dr = 100.0 * (1.0 - cell.et_ns / base_paper);
+            assert_eq!(
+                our.dr_pct > 0.0,
+                paper_dr > 0.0,
+                "{} on {}: ours {:.1}% vs paper {:.1}%",
+                k.name(),
+                cell.arch,
+                our.dr_pct,
+                paper_dr
+            );
+        }
+    }
+}
+
+#[test]
+fn best_architecture_per_kernel_is_rsp1_or_rsp2() {
+    // §5.3: "the best performance for individual kernels can be obtained
+    // with RSP#1 or RSP#2".
+    for k in suite::all() {
+        let ours = perf_rows(&k);
+        let best = ours
+            .iter()
+            .min_by(|a, b| a.et_ns.partial_cmp(&b.et_ns).unwrap())
+            .unwrap();
+        assert!(
+            best.arch == "RSP#1" || best.arch == "RSP#2",
+            "{}: best is {}",
+            k.name(),
+            best.arch
+        );
+    }
+}
+
+#[test]
+fn sad_gains_more_than_mult_heavy_kernels() {
+    // §5.3: SAD (no multiplications) gains the most from RSP.
+    let sad_dr = perf_rows(&suite::sad())
+        .iter()
+        .find(|p| p.arch == "RSP#1")
+        .unwrap()
+        .dr_pct;
+    for k in [suite::fdct(), suite::state(), suite::hydro()] {
+        let dr = perf_rows(&k)
+            .iter()
+            .find(|p| p.arch == "RSP#1")
+            .unwrap()
+            .dr_pct;
+        assert!(dr < sad_dr, "{}: {dr:.1}% !< SAD {sad_dr:.1}%", k.name());
+    }
+}
+
+#[test]
+fn cycle_counts_within_band_of_paper() {
+    // Absolute cycles depend on the authors' mapper, which is not
+    // available; ours must stay in the same band (0.4x..1.6x) on the base
+    // architecture.
+    for (k, p) in suite::all().iter().zip(
+        paper::TABLE4
+            .iter()
+            .chain(paper::TABLE5.iter()),
+    ) {
+        let ours = perf_rows(k)[0].cycles as f64;
+        let theirs = p.cells[0].cycles as f64;
+        let ratio = ours / theirs;
+        assert!(
+            (0.4..=1.6).contains(&ratio),
+            "{}: {ours} vs paper {theirs} (ratio {ratio:.2})",
+            k.name()
+        );
+    }
+}
+
+#[test]
+fn table3_operation_sets_cover_paper_sets() {
+    use rsp::arch::OpKind;
+    // The op set the paper lists must be a subset of ours for each kernel
+    // (we additionally model the sub inside SAD's absolute difference).
+    let expectations: &[(&str, &[OpKind])] = &[
+        ("Hydro", &[OpKind::Mult, OpKind::Add]),
+        ("ICCG", &[OpKind::Mult, OpKind::Sub]),
+        ("Tri-diagonal", &[OpKind::Mult, OpKind::Sub]),
+        ("Inner product", &[OpKind::Mult, OpKind::Add]),
+        ("State", &[OpKind::Mult, OpKind::Add]),
+        ("2D-FDCT", &[OpKind::Mult, OpKind::Asr, OpKind::Add, OpKind::Sub]),
+        ("SAD", &[OpKind::Abs, OpKind::Add]),
+        ("MVM", &[OpKind::Mult, OpKind::Add]),
+        ("FFT", &[OpKind::Add, OpKind::Sub, OpKind::Mult]),
+    ];
+    for (k, (name, ops)) in suite::all().iter().zip(expectations) {
+        assert_eq!(&k.name(), name);
+        let set = k.op_set();
+        for op in *ops {
+            assert!(set.contains(op), "{name} missing {op}");
+        }
+    }
+}
