@@ -33,13 +33,19 @@ impl fmt::Display for ArchError {
         match self {
             ArchError::NotSharable(k) => write!(f, "{k} cannot be shared between PEs"),
             ArchError::EmptyGroup(k) => {
-                write!(f, "shared group for {k} has zero resources per row and column")
+                write!(
+                    f,
+                    "shared group for {k} has zero resources per row and column"
+                )
             }
             ArchError::BadStages { kind, stages } => {
                 write!(f, "invalid pipeline depth {stages} for {kind}")
             }
             ArchError::DuplicateGroup(k) => {
-                write!(f, "{k} appears in more than one sharing/pipelining declaration")
+                write!(
+                    f,
+                    "{k} appears in more than one sharing/pipelining declaration"
+                )
             }
             ArchError::MissingUnit(k) => {
                 write!(f, "{k} is shared but absent from the base PE design")

@@ -138,7 +138,9 @@ mod tests {
 
     #[test]
     fn fabric_units_cannot_be_extracted() {
-        let pe = PeDesign::full().without(FuKind::Mux).without(FuKind::MemPort);
+        let pe = PeDesign::full()
+            .without(FuKind::Mux)
+            .without(FuKind::MemPort);
         assert!(pe.has(FuKind::Mux));
         assert!(pe.has(FuKind::MemPort));
     }

@@ -209,9 +209,7 @@ mod tests {
         let names: Vec<_> = archs.iter().map(|a| a.name().to_string()).collect();
         assert_eq!(
             names,
-            vec![
-                "Base", "RS#1", "RS#2", "RS#3", "RS#4", "RSP#1", "RSP#2", "RSP#3", "RSP#4"
-            ]
+            vec!["Base", "RS#1", "RS#2", "RS#3", "RS#4", "RSP#1", "RSP#2", "RSP#3", "RSP#4"]
         );
     }
 

@@ -61,7 +61,12 @@ impl SharedGroup {
     /// assert!(g.is_pipelined());
     /// # Ok::<(), rsp_arch::ArchError>(())
     /// ```
-    pub fn new(kind: FuKind, per_row: usize, per_col: usize, stages: u8) -> Result<Self, ArchError> {
+    pub fn new(
+        kind: FuKind,
+        per_row: usize,
+        per_col: usize,
+        stages: u8,
+    ) -> Result<Self, ArchError> {
         if !kind.is_sharable() {
             return Err(ArchError::NotSharable(kind));
         }
@@ -188,7 +193,7 @@ impl fmt::Display for SharedResourceId {
 /// (local) pipelining of non-shared resources.
 ///
 /// `SharingPlan::none()` describes the base architecture.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct SharingPlan {
     groups: Vec<SharedGroup>,
     local_pipeline: BTreeMap<FuKind, u8>,
@@ -406,9 +411,7 @@ mod tests {
     #[test]
     fn local_pipeline_conflicts_with_sharing() {
         let plan = SharingPlan::none().with_group(mult_group(1, 0, 2)).unwrap();
-        assert!(plan
-            .with_local_pipeline(FuKind::Multiplier, 2)
-            .is_err());
+        assert!(plan.with_local_pipeline(FuKind::Multiplier, 2).is_err());
     }
 
     #[test]

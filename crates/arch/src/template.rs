@@ -1,15 +1,16 @@
 //! The instantiated RSP architecture: base array + sharing plan, validated.
 
 use crate::bus::BusSpec;
-use crate::fu::OpKind;
 #[cfg(test)]
 use crate::fu::FuKind;
+use crate::fu::OpKind;
 use crate::geometry::{ArrayGeometry, PeId};
 use crate::pe::PeDesign;
 use crate::sharing::{SharedResourceId, SharingPlan};
 use crate::ArchError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// The base reconfigurable array before any RSP refinement: geometry,
 /// homogeneous PE design, row buses, and per-PE configuration-cache depth.
@@ -45,7 +46,10 @@ impl BaseArchitecture {
         buses: BusSpec,
         config_cache_depth: usize,
     ) -> Self {
-        assert!(config_cache_depth > 0, "config cache must hold >= 1 context");
+        assert!(
+            config_cache_depth > 0,
+            "config cache must hold >= 1 context"
+        );
         Self {
             geometry,
             pe,
@@ -82,9 +86,14 @@ impl BaseArchitecture {
 /// must be something to extract) and that locally pipelined kinds survive
 /// extraction. The *effective* PE (`Sh_PE` of eq. (2)) is the base PE with
 /// all shared kinds removed.
+///
+/// The base array is held behind an [`Arc`] so that enumerating thousands
+/// of candidate plans over one base (design-space exploration) shares a
+/// single allocation instead of deep-cloning the array per candidate;
+/// `clone()` on an architecture is likewise cheap.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RspArchitecture {
-    base: BaseArchitecture,
+    base: Arc<BaseArchitecture>,
     plan: SharingPlan,
     effective_pe: PeDesign,
     name: String,
@@ -106,11 +115,27 @@ impl RspArchitecture {
     /// let arch = presets::rsp2();
     /// assert!(arch.plan().is_shared(rsp_arch::FuKind::Multiplier));
     /// ```
+    ///
+    /// Accepts either an owned [`BaseArchitecture`] or an
+    /// `Arc<BaseArchitecture>`; pass a cloned `Arc` to share one base
+    /// across many candidate architectures without copying it:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use rsp_arch::{presets, RspArchitecture, SharingPlan};
+    ///
+    /// let base = Arc::new(presets::base_8x8().base().clone());
+    /// let a = RspArchitecture::new("a", Arc::clone(&base), SharingPlan::none())?;
+    /// let b = RspArchitecture::new("b", Arc::clone(&base), SharingPlan::none())?;
+    /// assert!(Arc::ptr_eq(a.base_arc(), b.base_arc()));
+    /// # Ok::<(), rsp_arch::ArchError>(())
+    /// ```
     pub fn new(
         name: impl Into<String>,
-        base: BaseArchitecture,
+        base: impl Into<Arc<BaseArchitecture>>,
         plan: SharingPlan,
     ) -> Result<Self, ArchError> {
+        let base = base.into();
         let mut effective_pe = base.pe().clone();
         for g in plan.groups() {
             if !base.pe().has(g.kind()) {
@@ -138,6 +163,12 @@ impl RspArchitecture {
 
     /// The base array this architecture refines.
     pub fn base(&self) -> &BaseArchitecture {
+        &self.base
+    }
+
+    /// The shared handle to the base array (cheap to clone into further
+    /// candidate architectures).
+    pub fn base_arc(&self) -> &Arc<BaseArchitecture> {
         &self.base
     }
 
@@ -277,12 +308,8 @@ mod tests {
     #[test]
     fn sharing_absent_unit_rejected() {
         let pe = PeDesign::with_units([FuKind::Alu], 16); // no multiplier
-        let base = BaseArchitecture::new(
-            ArrayGeometry::new(2, 2),
-            pe,
-            BusSpec::paper_default(),
-            16,
-        );
+        let base =
+            BaseArchitecture::new(ArrayGeometry::new(2, 2), pe, BusSpec::paper_default(), 16);
         let plan = SharingPlan::none()
             .with_group(SharedGroup::new(FuKind::Multiplier, 1, 0, 1).unwrap())
             .unwrap();
@@ -297,12 +324,8 @@ mod tests {
         // Share the multiplier *and* try to locally pipeline the shifter on
         // a PE that lacks one.
         let pe = PeDesign::with_units([FuKind::Alu, FuKind::Multiplier], 16);
-        let base = BaseArchitecture::new(
-            ArrayGeometry::new(2, 2),
-            pe,
-            BusSpec::paper_default(),
-            16,
-        );
+        let base =
+            BaseArchitecture::new(ArrayGeometry::new(2, 2), pe, BusSpec::paper_default(), 16);
         let plan = SharingPlan::none()
             .with_local_pipeline(FuKind::Shifter, 2)
             .unwrap();

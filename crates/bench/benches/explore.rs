@@ -3,7 +3,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rsp_arch::presets;
 use rsp_core::{
-    explore, run_flow, AppProfile, Constraints, DesignSpace, FlowConfig, Objective,
+    explore, explore_reference, explore_with, run_flow, AppProfile, Constraints, DesignSpace,
+    ExploreOptions, FlowConfig, Objective, PruneStrategy,
 };
 use rsp_kernel::suite;
 use rsp_mapper::{map, MapOptions};
@@ -41,16 +42,55 @@ fn bench_explore(c: &mut Criterion) {
     }
     g.finish();
 
+    let mut g = c.benchmark_group("explore-engines");
+    g.sample_size(10);
+    let space = DesignSpace::extended();
+    g.bench_function("serial reference", |b| {
+        b.iter(|| {
+            explore_reference(
+                black_box(&base),
+                &kernels,
+                &contexts,
+                &weights,
+                &space,
+                &Constraints::default(),
+                Objective::AreaDelayProduct,
+            )
+            .unwrap()
+        })
+    });
+    for (name, parallelism, prune) in [
+        ("engine 1-thread", Some(1), PruneStrategy::None),
+        ("engine parallel", None, PruneStrategy::None),
+        ("engine parallel+pruned", None, PruneStrategy::Dominated),
+    ] {
+        let opts = ExploreOptions {
+            parallelism,
+            prune,
+            ..ExploreOptions::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                explore_with(
+                    black_box(&base),
+                    &kernels,
+                    &contexts,
+                    &weights,
+                    &space,
+                    &opts,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+
     let mut g = c.benchmark_group("flow");
     g.sample_size(10);
     g.bench_function("full Fig. 7 flow (H.263 domain)", |b| {
         let apps = vec![AppProfile::new(
             "H.263 encoder",
-            vec![
-                (suite::fdct(), 99),
-                (suite::sad(), 396),
-                (suite::mvm(), 50),
-            ],
+            vec![(suite::fdct(), 99), (suite::sad(), 396), (suite::mvm(), 50)],
         )];
         b.iter(|| run_flow(black_box(&apps), &FlowConfig::default()).unwrap())
     });

@@ -18,14 +18,7 @@ fn bench_simulate(c: &mut Criterion) {
         let params = Bindings::defaults(&kernel);
         g.bench_function(format!("{} base", kernel.name()), |b| {
             b.iter(|| {
-                simulate_base(
-                    black_box(&ctx),
-                    black_box(&base),
-                    &kernel,
-                    &img,
-                    &params,
-                )
-                .unwrap()
+                simulate_base(black_box(&ctx), black_box(&base), &kernel, &img, &params).unwrap()
             })
         });
         let arch = presets::rsp2();

@@ -1,4 +1,48 @@
-//! Regenerates the paper's headline (see `rsp-bench` crate docs).
+//! Regenerates the paper's headline claims *and* the tracked exploration
+//! benchmark (`BENCH_explore.json`).
+//!
+//! ```sh
+//! cargo run --release -p rsp-bench --bin headline            # stdout only
+//! cargo run --release -p rsp-bench --bin headline -- --json BENCH_explore.json
+//! cargo run --release -p rsp-bench --bin headline -- --samples 15
+//! ```
+//!
+//! The JSON artifact is rebar-style: engine rows with median-of-N
+//! wall-clock (one warmup discarded) and speedups versus the serial
+//! reference engine, so future PRs diff performance against a recorded
+//! trajectory.
+
+use rsp_bench::explore_bench;
+use rsp_core::DesignSpace;
+
 fn main() {
+    let mut json_path: Option<String> = None;
+    let mut samples: u32 = 11;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--samples" => {
+                samples = args
+                    .next()
+                    .expect("--samples needs a count")
+                    .parse()
+                    .expect("--samples needs a number");
+                assert!(samples >= 1, "--samples must be at least 1");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
     print!("{}", rsp_bench::headline());
+    println!();
+
+    let report = explore_bench::run(&DesignSpace::extended(), "extended", samples);
+    print!("{}", explore_bench::render(&report));
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, json + "\n").expect("write benchmark artifact");
+        println!("wrote {path}");
+    }
 }

@@ -1,0 +1,223 @@
+//! Tracked exploration benchmark — the `BENCH_explore.json` trajectory.
+//!
+//! Rebar-style harness: each engine configuration is timed with a warmup
+//! run plus `samples` measured runs, and the *median* wall-clock is
+//! reported (robust against scheduler noise). The JSON artifact is
+//! committed so future changes can be checked against the recorded
+//! trajectory instead of a vibe.
+//!
+//! Engines measured, all over one workload (a design space × the full
+//! kernel suite, uniform weights):
+//!
+//! * `serial-reference` — [`rsp_core::explore_reference`], the paper-
+//!   faithful baseline: clones the base per candidate, re-synthesizes
+//!   every report, rebuilds dense demand histograms.
+//! * `engine-1-thread` — the allocation-free engine pinned to one thread
+//!   (isolates the algorithmic win from parallel speedup).
+//! * `engine-parallel` — the engine on all cores, no pruning.
+//! * `engine-parallel-pruned` — all cores plus admissible lower-bound and
+//!   dominated-candidate pruning (frontier-preserving).
+
+use rsp_arch::presets;
+use rsp_core::{
+    explore_reference, explore_with, Constraints, DesignSpace, ExploreOptions, Objective,
+    PruneStrategy,
+};
+use rsp_kernel::suite;
+use rsp_mapper::{map, MapOptions};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One engine's timing row.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineRow {
+    /// Engine configuration name.
+    pub name: String,
+    /// Median wall-clock per exploration (nanoseconds).
+    pub median_ns: u64,
+    /// Minimum observed (nanoseconds).
+    pub min_ns: u64,
+    /// Measured samples (after one warmup).
+    pub samples: u32,
+    /// Speedup versus the serial reference (reference median / this
+    /// median).
+    pub speedup_vs_reference: f64,
+    /// Feasible designs the run produced (sanity anchor: engines must
+    /// agree unless pruning legitimately drops dominated points).
+    pub feasible: usize,
+    /// Candidates skipped by pruning.
+    pub pruned: usize,
+}
+
+/// The whole benchmark artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Artifact schema/benchmark id.
+    pub benchmark: String,
+    /// Design space description.
+    pub space: String,
+    /// Candidate plans enumerated per exploration.
+    pub candidates: usize,
+    /// Kernels in the workload.
+    pub kernels: usize,
+    /// Worker threads available to the parallel engines.
+    pub threads: usize,
+    /// Measured samples per engine (after one warmup).
+    pub samples: u32,
+    /// Timing rows, reference first.
+    pub engines: Vec<EngineRow>,
+}
+
+fn time_median<F: FnMut()>(samples: u32, mut f: F) -> (u64, u64) {
+    assert!(samples >= 1, "need at least one sample");
+    f(); // warmup
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    (times[times.len() / 2], times[0])
+}
+
+/// Runs the exploration benchmark on `space` with `samples` measured
+/// repetitions per engine.
+pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport {
+    let base = presets::base_8x8().base().clone();
+    let kernels = suite::all();
+    let contexts: Vec<_> = kernels
+        .iter()
+        .map(|k| map(&base, k, &MapOptions::default()).expect("suite maps"))
+        .collect();
+    let weights = vec![1.0; kernels.len()];
+    let constraints = Constraints::default();
+    let objective = Objective::AreaDelayProduct;
+
+    // Each engine run gets a fresh run-local cache (`cache: None`) so the
+    // rows measure full cost, not a warmed memo.
+    let engine_opts = |parallelism: Option<usize>, prune: PruneStrategy| ExploreOptions {
+        parallelism,
+        prune,
+        constraints,
+        objective,
+        cache: None,
+    };
+
+    let mut rows: Vec<EngineRow> = Vec::new();
+
+    // Reference baseline.
+    let reference_median = {
+        let mut last = None;
+        let (median, min) = time_median(samples, || {
+            last = Some(
+                explore_reference(
+                    black_box(&base),
+                    &kernels,
+                    &contexts,
+                    &weights,
+                    space,
+                    &constraints,
+                    objective,
+                )
+                .expect("reference explores"),
+            );
+        });
+        let last = last.unwrap();
+        rows.push(EngineRow {
+            name: "serial-reference".into(),
+            median_ns: median,
+            min_ns: min,
+            samples,
+            speedup_vs_reference: 1.0,
+            feasible: last.feasible.len(),
+            pruned: 0,
+        });
+        median
+    };
+
+    let configs = [
+        ("engine-1-thread", Some(1), PruneStrategy::None),
+        ("engine-parallel", None, PruneStrategy::None),
+        ("engine-parallel-pruned", None, PruneStrategy::Dominated),
+    ];
+    for (name, parallelism, prune) in configs {
+        let opts = engine_opts(parallelism, prune);
+        let mut last = None;
+        let (median, min) = time_median(samples, || {
+            last = Some(
+                explore_with(
+                    black_box(&base),
+                    &kernels,
+                    &contexts,
+                    &weights,
+                    space,
+                    &opts,
+                )
+                .expect("engine explores"),
+            );
+        });
+        let last = last.unwrap();
+        rows.push(EngineRow {
+            name: name.into(),
+            median_ns: median,
+            min_ns: min,
+            samples,
+            speedup_vs_reference: reference_median as f64 / median as f64,
+            feasible: last.feasible.len(),
+            pruned: last.pruned,
+        });
+    }
+
+    BenchReport {
+        benchmark: "rsp/explore".into(),
+        space: space_label.into(),
+        candidates: space.plans().count(),
+        kernels: kernels.len(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        samples,
+        engines: rows,
+    }
+}
+
+/// Renders a human-readable summary table.
+pub fn render(report: &BenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "explore benchmark — {} ({} candidates x {} kernels, {} threads, median of {}):",
+        report.space, report.candidates, report.kernels, report.threads, report.samples
+    );
+    for e in &report.engines {
+        let _ = writeln!(
+            s,
+            "  {:<24} {:>10.3} ms   {:>6.2}x   ({} feasible, {} pruned)",
+            e.name,
+            e.median_ns as f64 / 1e6,
+            e.speedup_vs_reference,
+            e.feasible,
+            e.pruned
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_runs_and_engines_agree() {
+        let report = run(&DesignSpace::paper(), "paper", 2);
+        assert_eq!(report.engines.len(), 4);
+        let feas: Vec<usize> = report.engines.iter().map(|e| e.feasible).collect();
+        // No-prune engines agree exactly with the reference.
+        assert_eq!(feas[0], feas[1]);
+        assert_eq!(feas[0], feas[2]);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("serial-reference"));
+    }
+}

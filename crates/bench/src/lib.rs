@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod explore_bench;
+
 use rsp_arch::{presets, OpKind, RspArchitecture};
 use rsp_core::{estimate_stalls, rearrange, run_flow, AppProfile, FlowConfig, KernelPerf};
 use rsp_kernel::{suite, Kernel, MappingStyle};
@@ -50,7 +52,10 @@ pub fn table1() -> String {
     let lib = ComponentLibrary::table1();
     let est = ComponentLibrary::for_width(16);
     let mut s = String::new();
-    let _ = writeln!(s, "Table 1: synthesis result of a PE (16-bit, Virtex-II slices)");
+    let _ = writeln!(
+        s,
+        "Table 1: synthesis result of a PE (16-bit, Virtex-II slices)"
+    );
     let _ = writeln!(
         s,
         "{:<18} {:>8} {:>8} {:>10} {:>10} {:>12}",
@@ -60,10 +65,8 @@ pub fn table1() -> String {
         let (slices, delay, est_a) = match row.component {
             "PE" => (
                 lib.pe_area(rsp_arch::FuKind::ALL),
-                DelayModel::new().pe_internal_path(
-                    &rsp_arch::PeDesign::full(),
-                    &rsp_arch::SharingPlan::none(),
-                ),
+                DelayModel::new()
+                    .pe_internal_path(&rsp_arch::PeDesign::full(), &rsp_arch::SharingPlan::none()),
                 est.pe_area(rsp_arch::FuKind::ALL),
             ),
             name => {
@@ -92,7 +95,10 @@ pub fn table1() -> String {
             est_a,
         );
     }
-    let _ = writeln!(s, "(paper values identical by construction: the library is Table 1)");
+    let _ = writeln!(
+        s,
+        "(paper values identical by construction: the library is Table 1)"
+    );
     s
 }
 
@@ -101,7 +107,10 @@ pub fn table2() -> String {
     let area = AreaModel::new();
     let delay = DelayModel::new();
     let mut s = String::new();
-    let _ = writeln!(s, "Table 2: synthesis result of the nine architectures (8x8)");
+    let _ = writeln!(
+        s,
+        "Table 2: synthesis result of the nine architectures (8x8)"
+    );
     let _ = writeln!(
         s,
         "{:<6} {:>10} {:>10} {:>7} {:>8} {:>8} {:>7} | {:>9} {:>9}",
@@ -264,7 +273,10 @@ pub fn figure2() -> String {
 pub fn figure3() -> String {
     let arch = presets::shared_multiplier("Fig3", 4, 4, 2, 0, 1);
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 3: 8 multipliers shared among 16 PEs (two per row)");
+    let _ = writeln!(
+        s,
+        "Figure 3: 8 multipliers shared among 16 PEs (two per row)"
+    );
     for res in arch.shared_resources() {
         let reach: Vec<String> = arch
             .geometry()
@@ -388,7 +400,12 @@ pub fn figure7() -> String {
     let _ = writeln!(s, "Figure 7: design space exploration flow (executed)");
     let _ = writeln!(s, "  [profiling] critical loops by weight:");
     for c in &report.critical_loops {
-        let _ = writeln!(s, "    {:<14} weight {:.1}%", c.kernel.name(), 100.0 * c.weight);
+        let _ = writeln!(
+            s,
+            "    {:<14} weight {:.1}%",
+            c.kernel.name(),
+            100.0 * c.weight
+        );
     }
     let _ = writeln!(
         s,
@@ -444,7 +461,10 @@ pub fn figure7() -> String {
 /// Figure 8 — the four RS/RSP sharing configurations.
 pub fn figure8() -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 8: four designs of RS/RSP architectures (8x8 array)");
+    let _ = writeln!(
+        s,
+        "Figure 8: four designs of RS/RSP architectures (8x8 array)"
+    );
     for k in 1..=4 {
         let rs = presets::rs(k);
         let g = rs.plan().groups()[0];
@@ -547,7 +567,6 @@ pub fn table_architectures() -> Vec<RspArchitecture> {
     presets::table_architectures()
 }
 
-
 /// Extension exhibit: energy per kernel across representative
 /// architectures (the paper's §6 future-work conjecture, quantified by
 /// `rsp-synth`'s activity-based model).
@@ -636,7 +655,10 @@ pub fn ablation() -> String {
     );
 
     // --- array size sweep ------------------------------------------------
-    let _ = writeln!(s, "\nAblation 2: array size at RSP(shr=2, st=2) (kernel: SAD)");
+    let _ = writeln!(
+        s,
+        "\nAblation 2: array size at RSP(shr=2, st=2) (kernel: SAD)"
+    );
     let _ = writeln!(
         s,
         "{:>7} {:>10} {:>10} {:>9} {:>8} {:>10}",
@@ -702,7 +724,10 @@ pub fn ablation() -> String {
     );
 
     // --- read-bus sensitivity --------------------------------------------
-    let _ = writeln!(s, "\nAblation 4: read buses per row (kernel: 2D-FDCT, base arch)");
+    let _ = writeln!(
+        s,
+        "\nAblation 4: read buses per row (kernel: 2D-FDCT, base arch)"
+    );
     let _ = writeln!(s, "{:>6} {:>6} {:>8}", "buses", "II", "cycles");
     for buses in 1..=4usize {
         let base = rsp_arch::BaseArchitecture::new(
@@ -732,7 +757,10 @@ pub fn ablation() -> String {
     );
 
     // --- mapping style ----------------------------------------------------
-    let _ = writeln!(s, "\nAblation 5: lockstep vs dataflow mapping (base cycles)");
+    let _ = writeln!(
+        s,
+        "\nAblation 5: lockstep vs dataflow mapping (base cycles)"
+    );
     let _ = writeln!(s, "{:<14} {:>9} {:>9}", "kernel", "lockstep", "dataflow");
     for k in [suite::hydro(), suite::iccg(), suite::fft_mult_loop()] {
         let mut row = vec![k.name().to_string()];
@@ -767,7 +795,10 @@ pub fn utilization() -> String {
     use rsp_arch::FuKind;
     use rsp_core::{rearrange as re, utilization_of};
     let mut s = String::new();
-    let _ = writeln!(s, "Multiplier utilization (busy unit-cycles / unit-cycles):");
+    let _ = writeln!(
+        s,
+        "Multiplier utilization (busy unit-cycles / unit-cycles):"
+    );
     let _ = writeln!(
         s,
         "{:<14} {:>10} {:>10} {:>10} {:>10}",
@@ -861,7 +892,13 @@ mod tests {
         assert!(p.contains("total(pJ)"));
         assert!(p.lines().count() > 40);
         let a = ablation();
-        for section in ["Ablation 1", "Ablation 2", "Ablation 3", "Ablation 4", "Ablation 5"] {
+        for section in [
+            "Ablation 1",
+            "Ablation 2",
+            "Ablation 3",
+            "Ablation 4",
+            "Ablation 5",
+        ] {
             assert!(a.contains(section), "missing {section}");
         }
     }

@@ -32,10 +32,16 @@ impl fmt::Display for RspError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RspError::RearrangeDiverged { bound } => {
-                write!(f, "rearrangement exceeded the safety bound of {bound} cycles")
+                write!(
+                    f,
+                    "rearrangement exceeded the safety bound of {bound} cycles"
+                )
             }
             RspError::NoFeasibleDesign => {
-                write!(f, "no design point satisfies the cost/performance constraints")
+                write!(
+                    f,
+                    "no design point satisfies the cost/performance constraints"
+                )
             }
             RspError::Map(e) => write!(f, "mapping failed: {e}"),
             RspError::EmptyProfile => write!(f, "application profile contains no kernels"),

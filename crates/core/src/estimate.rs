@@ -12,11 +12,25 @@
 //!   critical dependence chain delays its dependents by `stages − 1`
 //!   cycles; consecutive pipelined operations overlap and are not double
 //!   counted.
+//!
+//! # Estimation cost
+//!
+//! The demand a kernel places on a shared kind depends only on the
+//! context, never on the candidate plan, so it is profiled once into a
+//! sparse [`CycleDemand`] ([`ContextProfile`]) and every candidate then
+//! performs an O(non-zero cells) greedy reduction with per-thread
+//! reusable scratch budgets — no per-candidate allocation, no dense
+//! `cycles × rows × cols` histogram.
+//! [`ContextProfile::rs_stalls_lower_bound`] additionally yields an
+//! admissible O(non-empty cycles) lower bound on the RS stalls (per-cycle
+//! demand minus the capacity its touched rows/columns can reach), which
+//! the exploration engine uses to skip hopeless candidates early.
 
-use rsp_arch::{FuKind, RspArchitecture};
+use rsp_arch::{FuKind, RspArchitecture, SharingPlan};
 use rsp_kernel::Kernel;
-use rsp_mapper::ConfigContext;
+use rsp_mapper::{ConfigContext, CycleDemand};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Estimated performance of one kernel on one candidate architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -29,8 +43,248 @@ pub struct StallEstimate {
     pub total_cycles: u32,
 }
 
+/// Per-cycle summary backing the admissible RS lower bound: total demand
+/// plus how many distinct rows/columns it touches (the only banks greedy
+/// absorption can draw from).
+#[derive(Debug, Clone, Copy)]
+struct LbCycle {
+    demand: u32,
+    rows_touched: u32,
+    cols_touched: u32,
+}
+
+/// Everything the estimator needs about one `(kernel, context)` pair,
+/// computed once and reused across all candidate architectures.
+#[derive(Debug, Clone)]
+pub struct ContextProfile {
+    /// Sparse demand per profiled shared kind, in `kinds` order, with the
+    /// per-cycle lower-bound summaries.
+    kinds: Vec<(FuKind, CycleDemand, Vec<LbCycle>)>,
+    /// Base-schedule length.
+    total_cycles: u32,
+    /// Sequential body repetitions the schedule serializes (see
+    /// [`repetitions`]).
+    repetitions: u32,
+    /// Multiplications on the body's critical dependence chain.
+    body_chain_mults: u32,
+    /// Multiplications on the tail's critical dependence chain.
+    tail_chain_mults: u32,
+    /// Operations in the body graph (generic non-multiplier fallback).
+    body_len: u32,
+}
+
+impl ContextProfile {
+    /// Profiles `ctx` for the shared-resource `kinds` an exploration will
+    /// offer.
+    pub fn new(ctx: &ConfigContext, kernel: &Kernel, kinds: &[FuKind]) -> Self {
+        let mut profiled: Vec<(FuKind, CycleDemand, Vec<LbCycle>)> =
+            Vec::with_capacity(kinds.len());
+        for &kind in kinds {
+            if profiled.iter().any(|(k, ..)| *k == kind) {
+                continue;
+            }
+            let demand = ctx.cycle_demand(|op| op.fu() == Some(kind));
+            let lb = demand
+                .cycles()
+                .map(|(cells, total)| {
+                    let mut rows: Vec<u16> = cells.iter().map(|c| c.row).collect();
+                    rows.dedup();
+                    let mut cols: Vec<u16> = cells.iter().map(|c| c.col).collect();
+                    cols.sort_unstable();
+                    cols.dedup();
+                    LbCycle {
+                        demand: total,
+                        rows_touched: rows.len() as u32,
+                        cols_touched: cols.len() as u32,
+                    }
+                })
+                .collect();
+            profiled.push((kind, demand, lb));
+        }
+        ContextProfile {
+            kinds: profiled,
+            total_cycles: ctx.total_cycles(),
+            repetitions: repetitions(ctx, kernel),
+            body_chain_mults: kernel.body().critical_path_mults() as u32,
+            tail_chain_mults: kernel.tail().map_or(0, |t| t.critical_path_mults() as u32),
+            body_len: kernel.body().len() as u32,
+        }
+    }
+
+    /// The profiled demand for `kind`, if it was requested at build time.
+    pub fn demand(&self, kind: FuKind) -> Option<&CycleDemand> {
+        self.kinds
+            .iter()
+            .find(|(k, ..)| *k == kind)
+            .map(|(_, d, _)| d)
+    }
+
+    fn lb_cycles(&self, kind: FuKind) -> Option<&[LbCycle]> {
+        self.kinds
+            .iter()
+            .find(|(k, ..)| *k == kind)
+            .map(|(.., lb)| lb.as_slice())
+    }
+
+    /// Base-schedule cycles of the profiled context.
+    pub fn total_cycles(&self) -> u32 {
+        self.total_cycles
+    }
+
+    /// Full estimate for a candidate plan, using only profiled data and
+    /// per-thread scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan shares a kind that was not profiled.
+    pub fn estimate(&self, plan: &SharingPlan) -> StallEstimate {
+        let rs = self.rs_stalls(plan);
+        let rp = self.rp_overhead(plan);
+        StallEstimate {
+            rs_stalls: rs,
+            rp_overhead: rp,
+            total_cycles: self.total_cycles + rs + rp,
+        }
+    }
+
+    /// RS stalls of a candidate plan (greedy bank absorption over the
+    /// sparse demand).
+    pub fn rs_stalls(&self, plan: &SharingPlan) -> u32 {
+        plan.groups()
+            .iter()
+            .map(|g| {
+                let demand = self
+                    .demand(g.kind())
+                    .expect("shared kind was profiled for this exploration");
+                rs_excess(demand, g.per_row() as u32, g.per_col() as u32)
+            })
+            .sum()
+    }
+
+    /// Admissible lower bound on [`ContextProfile::rs_stalls`]: in each
+    /// cycle, greedy absorption can only draw from the row banks of rows
+    /// that actually demand (`rows_touched · shr`) and the column banks
+    /// of columns that actually demand (`cols_touched · shc`), so any
+    /// demand beyond that capacity stalls no matter how it is laid out.
+    pub fn rs_stalls_lower_bound(&self, plan: &SharingPlan) -> u32 {
+        plan.groups()
+            .iter()
+            .map(|g| {
+                let lb = self
+                    .lb_cycles(g.kind())
+                    .expect("shared kind was profiled for this exploration");
+                let (shr, shc) = (g.per_row() as u32, g.per_col() as u32);
+                lb.iter()
+                    .map(|c| {
+                        c.demand
+                            .saturating_sub(c.rows_touched * shr + c.cols_touched * shc)
+                    })
+                    .sum::<u32>()
+            })
+            .sum()
+    }
+
+    /// RP overhead of a candidate plan.
+    pub fn rp_overhead(&self, plan: &SharingPlan) -> u32 {
+        let mut overhead = 0u32;
+        let shared = plan
+            .groups()
+            .iter()
+            .filter(|g| g.is_pipelined())
+            .map(|g| (g.kind(), g.stages()));
+        let local = plan.local_pipelines().filter(|(_, s)| *s > 1);
+        for (kind, stages) in shared.chain(local) {
+            if kind != FuKind::Multiplier {
+                // Generic fallback: charge the body's full count.
+                overhead += (stages as u32 - 1) * self.body_len;
+                continue;
+            }
+            overhead += (stages as u32 - 1)
+                * (self.body_chain_mults * self.repetitions + self.tail_chain_mults);
+        }
+        overhead
+    }
+}
+
+/// Sequential body repetitions the schedule serializes on one resource:
+/// the per-element steps under lockstep mapping, the per-row rounds under
+/// dataflow mapping (each round waits on the previous round's stretched
+/// modulo schedule).
+fn repetitions(ctx: &ConfigContext, kernel: &Kernel) -> u32 {
+    match ctx.style() {
+        rsp_kernel::MappingStyle::Lockstep => kernel.steps() as u32,
+        rsp_kernel::MappingStyle::Dataflow => {
+            kernel.elements().div_ceil(ctx.geometry().rows()) as u32
+        }
+    }
+}
+
+// Per-thread reusable bank budgets: sized once per geometry, cleared
+// sparsely (only touched rows/columns) after every cycle, so steady-state
+// estimation performs zero allocation regardless of candidate count.
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+#[derive(Default)]
+struct Scratch {
+    row_used: Vec<u32>,
+    col_used: Vec<u32>,
+}
+
+impl Scratch {
+    fn ensure(&mut self, rows: usize, cols: usize) {
+        if self.row_used.len() < rows {
+            self.row_used.resize(rows, 0);
+        }
+        if self.col_used.len() < cols {
+            self.col_used.resize(cols, 0);
+        }
+    }
+}
+
+/// Greedy absorption over one kind's sparse demand: a cell's operations
+/// first use their row bank (`shr` per row, shared along the row), then
+/// their own column bank (`shc` per column). Whatever remains is excess
+/// and charged one stall cycle per operation — pessimistic against the
+/// exact rearrangement, which can also slip operations into later
+/// bubbles. Cells are visited in row-major order per cycle, matching the
+/// dense-histogram sweep this replaces bit for bit.
+fn rs_excess(demand: &CycleDemand, shr: u32, shc: u32) -> u32 {
+    if demand.is_empty() {
+        return 0;
+    }
+    SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        scratch.ensure(demand.rows(), demand.cols());
+        let mut excess_total = 0u32;
+        for (cells, _) in demand.cycles() {
+            for cell in cells {
+                let (r, c) = (cell.row as usize, cell.col as usize);
+                let mut d = cell.count;
+                let take = d.min(shr - scratch.row_used[r].min(shr));
+                scratch.row_used[r] += take;
+                d -= take;
+                let take = d.min(shc - scratch.col_used[c].min(shc));
+                scratch.col_used[c] += take;
+                d -= take;
+                excess_total += d;
+            }
+            for cell in cells {
+                scratch.row_used[cell.row as usize] = 0;
+                scratch.col_used[cell.col as usize] = 0;
+            }
+        }
+        excess_total
+    })
+}
+
 /// Estimates the rearranged cycle count of `ctx` on `arch` without
 /// rescheduling.
+///
+/// One-shot convenience over [`ContextProfile`]: profiles the context for
+/// the plan's shared kinds, then estimates. Exploration engines should
+/// build the profile once instead.
 ///
 /// # Examples
 ///
@@ -53,8 +307,23 @@ pub fn estimate_stalls(
     kernel: &Kernel,
     arch: &RspArchitecture,
 ) -> StallEstimate {
-    let rs = estimate_rs(ctx, arch);
-    let rp = estimate_rp(ctx, kernel, arch);
+    let kinds: Vec<FuKind> = arch.plan().groups().iter().map(|g| g.kind()).collect();
+    ContextProfile::new(ctx, kernel, &kinds).estimate(arch.plan())
+}
+
+/// The original dense-histogram estimator, kept verbatim as the
+/// independent oracle behind [`crate::explore_reference`]: rebuilds a
+/// `cycles × rows × cols` demand histogram per shared group per call and
+/// sweeps every cell. Bit-equal to [`estimate_stalls`] (property-tested),
+/// but shares no code with the sparse path, so a regression in either
+/// implementation shows up as a divergence.
+pub(crate) fn estimate_stalls_dense(
+    ctx: &ConfigContext,
+    kernel: &Kernel,
+    arch: &RspArchitecture,
+) -> StallEstimate {
+    let rs = dense_rs(ctx, arch);
+    let rp = dense_rp(ctx, kernel, arch);
     StallEstimate {
         rs_stalls: rs,
         rp_overhead: rp,
@@ -62,9 +331,9 @@ pub fn estimate_stalls(
     }
 }
 
-/// Counts, cycle by cycle of the base schedule, critical operations beyond
-/// the capacity reachable from their rows/columns.
-fn estimate_rs(ctx: &ConfigContext, arch: &RspArchitecture) -> u32 {
+/// Counts, cycle by cycle of the base schedule, critical operations
+/// beyond the capacity reachable from their rows/columns (dense form).
+fn dense_rs(ctx: &ConfigContext, arch: &RspArchitecture) -> u32 {
     let plan = arch.plan();
     let geom = ctx.geometry();
     let (rows, cols) = (geom.rows(), geom.cols());
@@ -81,12 +350,6 @@ fn estimate_rs(ctx: &ConfigContext, arch: &RspArchitecture) -> u32 {
             }
         }
         for cyc in 0..t {
-            // Greedy absorption: a cell's operations first use their row
-            // bank (shr per row, shared along the row), then their own
-            // column bank (shc per column). Whatever remains is excess and
-            // charged one stall cycle per operation — pessimistic against
-            // the exact rearrangement, which can also slip operations into
-            // later bubbles.
             let mut row_budget = vec![g.per_row() as u32; rows];
             let mut col_budget = vec![g.per_col() as u32; cols];
             for r in 0..rows {
@@ -107,17 +370,9 @@ fn estimate_rs(ctx: &ConfigContext, arch: &RspArchitecture) -> u32 {
 }
 
 /// `stages − 1` per pipelined operation on the critical chain, overlap
-/// removed, scaled by the number of sequential body repetitions the
-/// schedule serializes on one resource: the per-element steps under
-/// lockstep mapping, the per-row rounds under dataflow mapping (each round
-/// waits on the previous round's stretched modulo schedule).
-fn estimate_rp(ctx: &ConfigContext, kernel: &Kernel, arch: &RspArchitecture) -> u32 {
-    let repetitions = match ctx.style() {
-        rsp_kernel::MappingStyle::Lockstep => kernel.steps() as u32,
-        rsp_kernel::MappingStyle::Dataflow => {
-            kernel.elements().div_ceil(ctx.geometry().rows()) as u32
-        }
-    };
+/// removed (dense-path twin of [`ContextProfile::rp_overhead`]).
+fn dense_rp(ctx: &ConfigContext, kernel: &Kernel, arch: &RspArchitecture) -> u32 {
+    let reps = repetitions(ctx, kernel);
     let mut overhead = 0u32;
     let mut kinds: Vec<(FuKind, u8)> = arch
         .plan()
@@ -130,15 +385,12 @@ fn estimate_rp(ctx: &ConfigContext, kernel: &Kernel, arch: &RspArchitecture) -> 
 
     for (kind, stages) in kinds {
         if kind != FuKind::Multiplier {
-            // Generic fallback: charge the body's full count.
             overhead += (stages as u32 - 1) * kernel.body().len() as u32;
             continue;
         }
         let body_chain = kernel.body().critical_path_mults() as u32;
-        let tail_chain = kernel
-            .tail()
-            .map_or(0, |t| t.critical_path_mults() as u32);
-        overhead += (stages as u32 - 1) * (body_chain * repetitions + tail_chain);
+        let tail_chain = kernel.tail().map_or(0, |t| t.critical_path_mults() as u32);
+        overhead += (stages as u32 - 1) * (body_chain * reps + tail_chain);
     }
     overhead
 }
@@ -153,6 +405,10 @@ mod tests {
 
     fn ctx_for(kernel: &rsp_kernel::Kernel) -> ConfigContext {
         map(presets::base_8x8().base(), kernel, &MapOptions::default()).unwrap()
+    }
+
+    fn estimate_rp(ctx: &ConfigContext, kernel: &Kernel, arch: &RspArchitecture) -> u32 {
+        ContextProfile::new(ctx, kernel, &[]).rp_overhead(arch.plan())
     }
 
     #[test]
@@ -187,7 +443,12 @@ mod tests {
 
     #[test]
     fn rs_estimate_zero_for_single_mult_lockstep_kernels() {
-        for k in [suite::iccg(), suite::tri_diagonal(), suite::inner_product(), suite::mvm()] {
+        for k in [
+            suite::iccg(),
+            suite::tri_diagonal(),
+            suite::inner_product(),
+            suite::mvm(),
+        ] {
             let ctx = ctx_for(&k);
             let est = estimate_stalls(&ctx, &k, &presets::rs1());
             assert_eq!(est.rs_stalls, 0, "{}", k.name());
@@ -196,7 +457,12 @@ mod tests {
 
     #[test]
     fn rs_estimate_positive_for_dense_kernels_on_rs1() {
-        for k in [suite::hydro(), suite::state(), suite::fdct(), suite::fft_mult_loop()] {
+        for k in [
+            suite::hydro(),
+            suite::state(),
+            suite::fdct(),
+            suite::fft_mult_loop(),
+        ] {
             let ctx = ctx_for(&k);
             let est = estimate_stalls(&ctx, &k, &presets::rs1());
             assert!(est.rs_stalls > 0, "{}", k.name());
@@ -208,11 +474,7 @@ mod tests {
         let k = suite::matmul(8);
         let ctx = ctx_for(&k);
         let two = estimate_rp(&ctx, &k, &presets::rsp1());
-        let four = estimate_rp(
-            &ctx,
-            &k,
-            &presets::shared_multiplier("deep", 8, 8, 1, 0, 4),
-        );
+        let four = estimate_rp(&ctx, &k, &presets::shared_multiplier("deep", 8, 8, 1, 0, 4));
         assert!(four > two);
         assert_eq!(four, 3 * two);
     }
@@ -224,6 +486,73 @@ mod tests {
         for arch in presets::table_architectures() {
             let est = estimate_stalls(&ctx, &k, &arch);
             assert_eq!(est.total_cycles, ctx.total_cycles(), "{}", arch.name());
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_admissible_for_suite() {
+        // For every kernel × architecture, lb_rs <= exact rs estimate.
+        for k in suite::all() {
+            let ctx = ctx_for(&k);
+            let profile = ContextProfile::new(&ctx, &k, &[FuKind::Multiplier]);
+            for arch in presets::table_architectures() {
+                let lb = profile.rs_stalls_lower_bound(arch.plan());
+                let exact = profile.rs_stalls(arch.plan());
+                assert!(
+                    lb <= exact,
+                    "{} on {}: lb {} > rs {}",
+                    k.name(),
+                    arch.name(),
+                    lb,
+                    exact
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_estimator_matches_dense_oracle() {
+        // The sparse profile path and the original dense histogram share
+        // no code; they must agree exactly on every kernel × preset.
+        for k in suite::all() {
+            let ctx = ctx_for(&k);
+            for arch in presets::table_architectures() {
+                assert_eq!(
+                    estimate_stalls(&ctx, &k, &arch),
+                    estimate_stalls_dense(&ctx, &k, &arch),
+                    "{} on {}",
+                    k.name(),
+                    arch.name()
+                );
+            }
+            // Deep pipelines and row+column banks too.
+            for (shr, shc, st) in [(1, 1, 4), (3, 0, 8), (2, 2, 3)] {
+                let arch = presets::shared_multiplier("deep", 8, 8, shr, shc, st);
+                assert_eq!(
+                    estimate_stalls(&ctx, &k, &arch),
+                    estimate_stalls_dense(&ctx, &k, &arch),
+                    "{} on {}",
+                    k.name(),
+                    arch.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_estimate_matches_one_shot_estimate() {
+        for k in suite::all() {
+            let ctx = ctx_for(&k);
+            let profile = ContextProfile::new(&ctx, &k, &[FuKind::Multiplier]);
+            for arch in presets::table_architectures() {
+                assert_eq!(
+                    profile.estimate(arch.plan()),
+                    estimate_stalls(&ctx, &k, &arch),
+                    "{} on {}",
+                    k.name(),
+                    arch.name()
+                );
+            }
         }
     }
 }

@@ -5,14 +5,63 @@
 //! cost with eq. (2) and performance with the stall upper bound; rejects
 //! points violating the cost/performance constraints; keeps the Pareto
 //! frontier; and selects an optimum under a configurable objective.
+//!
+//! # Engine architecture
+//!
+//! [`explore_with`] is a parallel, allocation-free engine; [`explore`] is
+//! a thin compatibility wrapper over it, and [`explore_reference`] keeps
+//! the original textbook serial implementation as the oracle the engine
+//! is property-tested against (and the baseline the tracked
+//! `BENCH_explore.json` measures speedups from). The engine differs from
+//! the reference in *mechanics only* — its results are bit-identical:
+//!
+//! * **Shared base, no deep clones** — candidates hold the base array
+//!   behind one `Arc` ([`rsp_arch::RspArchitecture::base_arc`]) instead
+//!   of cloning geometry + PE + bus tables per plan.
+//! * **Memoized synthesis** — area/clock reports come from a
+//!   [`rsp_synth::ModelCache`] keyed by `(geometry, plan)`, i.e. by
+//!   `(kind, shr, shc, stages)` for single-group spaces. Pass one cache
+//!   via [`ExploreOptions::cache`] to share it across repeated
+//!   explorations, which then never re-synthesize a plan they have seen.
+//! * **Profiled demand, per-thread scratch** — each kernel's per-cycle
+//!   demand for every shared kind in the space is profiled once into a
+//!   sparse [`rsp_mapper::CycleDemand`]; a candidate's RS estimate is an
+//!   O(non-zero cells) greedy reduction using thread-local reusable bank
+//!   budgets ([`crate::ContextProfile`]). Nothing of size
+//!   `cycles × rows × cols` is ever allocated.
+//! * **Deterministic parallel fan-out** — candidates are processed in
+//!   fixed-size chunks ([`CHUNK`]); each chunk fans out over the rayon
+//!   pool and results are merged back **in enumeration order**, so the
+//!   feasible set, Pareto frontier, and selected optimum are identical
+//!   for any thread count, including `parallelism = Some(1)`.
+//! * **Admissible pruning** — before full estimation, a candidate's
+//!   weighted execution time is bounded from below using the exact RP
+//!   overhead plus the per-cycle capacity bound
+//!   ([`crate::ContextProfile::rs_stalls_lower_bound`]).
+//!   [`PruneStrategy::LowerBound`] (the default) skips candidates whose
+//!   *lower bound* already violates `max_slowdown` — such candidates are
+//!   provably rejected by the reference too (the bound is term-wise
+//!   monotone under IEEE-754 rounding), so pruning never changes the
+//!   result. [`PruneStrategy::Dominated`] additionally maintains an
+//!   incremental `(area, lb_et)` frontier and skips candidates whose
+//!   lower bound is already strictly dominated; these can never join the
+//!   Pareto frontier or be selected, but they do silently vanish from
+//!   [`Exploration::feasible`] — hence opt-in.
+//!
+//! The final frontier is still computed by the same NaN-safe
+//! [`pareto_indices`] sweep the reference uses (O(F log F) over feasible
+//! points, negligible next to estimation), which is what guarantees
+//! frontier equality rather than merely frontier equivalence.
 
 use crate::error::RspError;
-use crate::estimate::estimate_stalls;
+use crate::estimate::{estimate_stalls_dense, ContextProfile};
+use rayon::prelude::*;
 use rsp_arch::{BaseArchitecture, FuKind, RspArchitecture, SharedGroup, SharingPlan};
 use rsp_kernel::Kernel;
 use rsp_mapper::ConfigContext;
-use rsp_synth::{AreaModel, DelayModel};
+use rsp_synth::{AreaModel, DelayModel, ModelCache};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The RSP parameter ranges to enumerate.
 #[derive(Debug, Clone)]
@@ -49,26 +98,37 @@ impl DesignSpace {
         }
     }
 
-    /// Enumerates every sharing plan in the space (one shared group).
-    pub fn plans(&self) -> Vec<SharingPlan> {
-        let mut out = Vec::new();
-        for &kind in &self.shared_kinds {
-            for &stages in &self.stages {
-                for &shr in &self.shr {
-                    for &shc in &self.shc {
-                        if shr == 0 && shc == 0 {
-                            continue;
-                        }
-                        if let Ok(g) = SharedGroup::new(kind, shr, shc, stages) {
-                            // Single-group plans never collide.
-                            let plan = SharingPlan::none().with_group(g).expect("single group");
-                            out.push(plan);
-                        }
-                    }
-                }
-            }
+    /// A deep space stressing the engine: every sharable kind, pipeline
+    /// depths up to the template's maximum of 8, and wide bank ranges —
+    /// the SHP-style deep-pipelining sweep the 12-point paper grid only
+    /// hints at. Enumerates lazily; never materialized as a list.
+    pub fn deep() -> Self {
+        Self {
+            shared_kinds: vec![FuKind::Multiplier, FuKind::Alu, FuKind::Shifter],
+            stages: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            shr: vec![1, 2, 3, 4],
+            shc: vec![0, 1, 2, 3, 4],
         }
-        out
+    }
+
+    /// Lazily enumerates every sharing plan in the space (one shared
+    /// group per plan). Invalid parameter combinations (e.g. pipeline
+    /// stages on a non-pipelinable kind) are skipped.
+    pub fn plans(&self) -> impl Iterator<Item = SharingPlan> + '_ {
+        self.shared_kinds.iter().flat_map(move |&kind| {
+            self.stages.iter().flat_map(move |&stages| {
+                self.shr.iter().flat_map(move |&shr| {
+                    self.shc.iter().filter_map(move |&shc| {
+                        if shr == 0 && shc == 0 {
+                            return None;
+                        }
+                        let g = SharedGroup::new(kind, shr, shc, stages).ok()?;
+                        // Single-group plans never collide.
+                        Some(SharingPlan::none().with_group(g).expect("single group"))
+                    })
+                })
+            })
+        })
     }
 }
 
@@ -104,6 +164,57 @@ pub enum Objective {
     Area,
 }
 
+/// How aggressively [`explore_with`] may skip full estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PruneStrategy {
+    /// Estimate every candidate (maximum-fidelity baseline behaviour).
+    None,
+    /// Skip candidates whose admissible execution-time lower bound
+    /// already violates `max_slowdown`. Provably result-preserving:
+    /// every skipped candidate would have been rejected anyway.
+    #[default]
+    LowerBound,
+    /// Additionally skip candidates whose `(area, lower-bound time)` is
+    /// strictly dominated by an already-accepted point. Such candidates
+    /// can never enter the Pareto frontier or be selected as `best`, but
+    /// they are dropped from [`Exploration::feasible`] — opt in when only
+    /// the frontier matters.
+    Dominated,
+}
+
+/// Options for [`explore_with`].
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Worker threads for candidate evaluation. `None` uses every
+    /// available core; `Some(1)` runs in-thread. Results are identical
+    /// either way.
+    pub parallelism: Option<usize>,
+    /// Pruning aggressiveness (default [`PruneStrategy::LowerBound`]).
+    pub prune: PruneStrategy,
+    /// Feasibility constraints.
+    pub constraints: Constraints,
+    /// Selection objective.
+    pub objective: Objective,
+    /// Synthesis-report memo to use. Pass one shared [`ModelCache`] when
+    /// exploring overlapping spaces repeatedly (every plan is synthesized
+    /// exactly once across all runs that share it); `None` builds a
+    /// run-local cache, which still deduplicates the base plan and any
+    /// plans repeated within the space.
+    pub cache: Option<Arc<ModelCache>>,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        Self {
+            parallelism: None,
+            prune: PruneStrategy::default(),
+            constraints: Constraints::default(),
+            objective: Objective::AreaDelayProduct,
+            cache: None,
+        }
+    }
+}
+
 /// One evaluated candidate.
 #[derive(Debug, Clone)]
 pub struct DesignPoint {
@@ -134,6 +245,8 @@ pub struct Exploration {
     pub best: usize,
     /// Weighted estimated execution time of the base architecture (ns).
     pub base_et_ns: f64,
+    /// Candidates whose full estimation was skipped by pruning.
+    pub pruned: usize,
 }
 
 impl Exploration {
@@ -149,7 +262,7 @@ impl Exploration {
 }
 
 /// Explores `space` for the given kernels (with execution-frequency
-/// weights) over `base`.
+/// weights) over `base`, using the parallel engine with default options.
 ///
 /// `contexts` must be the kernels' initial configuration contexts on
 /// `base`, in the same order as `kernels`.
@@ -198,6 +311,291 @@ pub fn explore(
     constraints: &Constraints,
     objective: Objective,
 ) -> Result<Exploration, RspError> {
+    explore_with(
+        base,
+        kernels,
+        contexts,
+        weights,
+        space,
+        &ExploreOptions {
+            constraints: *constraints,
+            objective,
+            ..ExploreOptions::default()
+        },
+    )
+}
+
+/// Fixed chunk size of the deterministic pipeline. Prune decisions for a
+/// candidate may depend on results of *earlier chunks only*, and the
+/// chunk size is a constant (never derived from the thread count), so
+/// every `parallelism` setting takes identical decisions.
+const CHUNK: usize = 64;
+
+/// Verdict of the cheap pre-estimation pass on one candidate.
+enum Screen {
+    /// Estimate fully.
+    Evaluate(RspArchitecture, f64, f64, bool),
+    /// Provably infeasible or dominated; skip silently.
+    Prune,
+    /// Fails a hard constraint the reference also applies pre-push.
+    Reject,
+}
+
+/// The parallel exploration engine. See the module docs for the
+/// guarantees; [`explore`] forwards here.
+///
+/// # Errors
+///
+/// [`RspError::NoFeasibleDesign`] when every candidate violates the
+/// constraints.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_arch::presets;
+/// use rsp_core::{explore_with, DesignSpace, ExploreOptions};
+/// use rsp_kernel::suite;
+/// use rsp_mapper::{map, MapOptions};
+///
+/// let base = presets::base_8x8();
+/// let kernels: Vec<_> = suite::all();
+/// let contexts: Vec<_> = kernels
+///     .iter()
+///     .map(|k| map(base.base(), k, &MapOptions::default()).unwrap())
+///     .collect();
+/// let weights = vec![1.0; kernels.len()];
+///
+/// let result = explore_with(
+///     base.base(),
+///     &kernels,
+///     &contexts,
+///     &weights,
+///     &DesignSpace::extended(),
+///     &ExploreOptions::default(),
+/// )?;
+/// assert!(result.best_point().arch.plan().has_pipelining());
+/// # Ok::<(), rsp_core::RspError>(())
+/// ```
+pub fn explore_with(
+    base: &BaseArchitecture,
+    kernels: &[Kernel],
+    contexts: &[ConfigContext],
+    weights: &[f64],
+    space: &DesignSpace,
+    options: &ExploreOptions,
+) -> Result<Exploration, RspError> {
+    assert_eq!(kernels.len(), contexts.len());
+    assert_eq!(kernels.len(), weights.len());
+    let constraints = &options.constraints;
+    let models = options
+        .cache
+        .clone()
+        .unwrap_or_else(|| Arc::new(ModelCache::new()));
+    let base = Arc::new(base.clone());
+
+    let base_arch = RspArchitecture::new("Base", Arc::clone(&base), SharingPlan::none())
+        .expect("base plan is always valid");
+    let base_clock = models.reports(&base_arch).1.clock_ns;
+    let base_et: f64 = contexts
+        .iter()
+        .zip(weights)
+        .map(|(c, w)| w * c.total_cycles() as f64 * base_clock)
+        .sum();
+    let et_bound = constraints.max_slowdown * base_et;
+
+    // One profile per kernel, shared read-only by all workers.
+    let profiles: Vec<ContextProfile> = contexts
+        .iter()
+        .zip(kernels)
+        .map(|(ctx, k)| ContextProfile::new(ctx, k, &space.shared_kinds))
+        .collect();
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(options.parallelism.unwrap_or(0))
+        .build()
+        .expect("thread pool");
+
+    let mut feasible: Vec<DesignPoint> = Vec::new();
+    let mut pruned = 0usize;
+    // Incremental (area, lb_et) frontier for Dominated pruning, kept
+    // sorted by area ascending / et descending.
+    let mut frontier: Vec<(f64, f64)> = Vec::new();
+
+    let mut plans = space.plans();
+    loop {
+        let chunk: Vec<SharingPlan> = plans.by_ref().take(CHUNK).collect();
+        if chunk.is_empty() {
+            break;
+        }
+
+        // Phase A (parallel): construct candidates and synthesize their
+        // reports plus the admissible lower bound — all pure per-plan
+        // work, fanned out in enumeration order.
+        type Prepared = Option<(RspArchitecture, f64, f64, bool, f64)>;
+        let prepared: Vec<Prepared> = pool.install(|| {
+            chunk
+                .into_par_iter()
+                .map(|plan| {
+                    let name = plan_name(&plan);
+                    let arch = RspArchitecture::new(name, Arc::clone(&base), plan).ok()?;
+                    let (area, delay) = models.reports(&arch);
+                    let mut lb_et = 0.0;
+                    if options.prune != PruneStrategy::None {
+                        // Term-wise identical arithmetic to the full
+                        // estimate, with rs replaced by its admissible
+                        // lower bound, so lb_et <= est_et under IEEE-754
+                        // rounding.
+                        for (profile, w) in profiles.iter().zip(weights) {
+                            let lb_cycles = profile.total_cycles()
+                                + profile.rs_stalls_lower_bound(arch.plan())
+                                + profile.rp_overhead(arch.plan());
+                            lb_et += w * lb_cycles as f64 * delay.clock_ns;
+                        }
+                    }
+                    Some((
+                        arch,
+                        area.synthesized_slices,
+                        delay.clock_ns,
+                        area.satisfies_cost_bound(),
+                        lb_et,
+                    ))
+                })
+                .collect()
+        });
+
+        // Phase B (serial, enumeration order): prune decisions against
+        // the frontier built from earlier chunks only — identical for
+        // every thread count.
+        let mut screened: Vec<Screen> = Vec::with_capacity(prepared.len());
+        for p in prepared {
+            let Some((arch, area_slices, clock_ns, cost_ok, lb_et)) = p else {
+                screened.push(Screen::Reject);
+                continue;
+            };
+            if constraints.enforce_cost_bound && !cost_ok {
+                screened.push(Screen::Reject);
+                continue;
+            }
+            if options.prune != PruneStrategy::None
+                && (lb_et > et_bound
+                    || (options.prune == PruneStrategy::Dominated
+                        && dominated(&frontier, area_slices, lb_et)))
+            {
+                pruned += 1;
+                screened.push(Screen::Prune);
+                continue;
+            }
+            screened.push(Screen::Evaluate(arch, area_slices, clock_ns, cost_ok));
+        }
+
+        // Phase C (parallel): full estimation of the survivors; results
+        // come back in enumeration order.
+        let evaluated: Vec<Option<DesignPoint>> = pool.install(|| {
+            screened
+                .into_par_iter()
+                .map(|screen| match screen {
+                    Screen::Evaluate(arch, area_slices, clock_ns, cost_bound_ok) => {
+                        let mut est_cycles = Vec::with_capacity(profiles.len());
+                        let mut est_et = 0.0;
+                        for (profile, w) in profiles.iter().zip(weights) {
+                            let est = profile.estimate(arch.plan());
+                            est_cycles.push(est.total_cycles);
+                            est_et += w * est.total_cycles as f64 * clock_ns;
+                        }
+                        Some(DesignPoint {
+                            arch,
+                            area_slices,
+                            clock_ns,
+                            est_cycles,
+                            est_et_ns: est_et,
+                            cost_bound_ok,
+                        })
+                    }
+                    Screen::Prune | Screen::Reject => None,
+                })
+                .collect()
+        });
+
+        // Ordered merge: identical to what the serial reference pushes.
+        for point in evaluated.into_iter() {
+            let Some(point) = point else { continue };
+            if point.est_et_ns > et_bound {
+                continue;
+            }
+            frontier_insert(&mut frontier, point.area_slices, point.est_et_ns);
+            feasible.push(point);
+        }
+    }
+
+    if feasible.is_empty() {
+        return Err(RspError::NoFeasibleDesign);
+    }
+
+    let pareto = pareto_indices(&feasible);
+    let best = select(&feasible, &pareto, options.objective);
+    Ok(Exploration {
+        feasible,
+        pareto,
+        best,
+        base_et_ns: base_et,
+        pruned,
+    })
+}
+
+/// Whether `(area, lb_et)` is strictly dominated by an accepted point:
+/// some point has area ≤ `area` **and** et strictly below the candidate's
+/// admissible lower bound — the candidate can then never enter the
+/// frontier (its true et is ≥ the lower bound).
+fn dominated(frontier: &[(f64, f64)], area: f64, lb_et: f64) -> bool {
+    // `frontier` is sorted by area ascending; find the best (lowest) et
+    // among points with area <= candidate area.
+    let idx = frontier.partition_point(|&(a, _)| a <= area);
+    frontier[..idx].iter().any(|&(_, et)| et < lb_et)
+}
+
+/// Inserts an accepted point into the incremental frontier, dropping
+/// entries it dominates. Used only to make [`dominated`] cheap.
+fn frontier_insert(frontier: &mut Vec<(f64, f64)>, area: f64, et: f64) {
+    if dominated(frontier, area, et) {
+        // Not frontier material; but keep nothing extra — the full pareto
+        // set is recomputed at the end.
+        return;
+    }
+    let idx = frontier.partition_point(|&(a, _)| a < area);
+    frontier.insert(idx, (area, et));
+    // Remove now-dominated successors (area >= ours, et >= ours).
+    let mut keep = idx + 1;
+    while keep < frontier.len() {
+        if frontier[keep].1 >= et {
+            frontier.remove(keep);
+        } else {
+            keep += 1;
+        }
+    }
+}
+
+/// The original serial implementation from the paper reproduction, kept
+/// as the oracle for property tests and the baseline for the tracked
+/// benchmark: deep-clones the base per candidate, re-synthesizes every
+/// report, and rebuilds a dense demand histogram per candidate through
+/// the original dense estimator — which shares no code with the sparse
+/// profile path, so an estimator regression in either implementation
+/// surfaces as a divergence in the equivalence property tests.
+///
+/// # Errors
+///
+/// [`RspError::NoFeasibleDesign`] when every candidate violates the
+/// constraints.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_reference(
+    base: &BaseArchitecture,
+    kernels: &[Kernel],
+    contexts: &[ConfigContext],
+    weights: &[f64],
+    space: &DesignSpace,
+    constraints: &Constraints,
+    objective: Objective,
+) -> Result<Exploration, RspError> {
     assert_eq!(kernels.len(), contexts.len());
     assert_eq!(kernels.len(), weights.len());
     let area_model = AreaModel::new();
@@ -224,7 +622,7 @@ pub fn explore(
         let mut est_cycles = Vec::with_capacity(kernels.len());
         let mut est_et = 0.0;
         for ((k, ctx), w) in kernels.iter().zip(contexts).zip(weights) {
-            let est = estimate_stalls(ctx, k, &arch);
+            let est = estimate_stalls_dense(ctx, k, &arch);
             est_cycles.push(est.total_cycles);
             est_et += w * est.total_cycles as f64 * delay.clock_ns;
         }
@@ -257,6 +655,7 @@ pub fn explore(
         pareto,
         best,
         base_et_ns: base_et,
+        pruned: 0,
     })
 }
 
@@ -272,15 +671,16 @@ fn plan_name(plan: &SharingPlan) -> String {
 }
 
 /// Indices of non-dominated points in (area, estimated time), sorted by
-/// area ascending.
+/// area ascending. NaN-safe: comparisons use `f64::total_cmp`, so a
+/// degenerate candidate (NaN area or time) sorts last instead of
+/// panicking, and can never displace a finite frontier point.
 fn pareto_indices(points: &[DesignPoint]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..points.len()).collect();
     idx.sort_by(|&a, &b| {
         points[a]
             .area_slices
-            .partial_cmp(&points[b].area_slices)
-            .unwrap()
-            .then(points[a].est_et_ns.partial_cmp(&points[b].est_et_ns).unwrap())
+            .total_cmp(&points[b].area_slices)
+            .then(points[a].est_et_ns.total_cmp(&points[b].est_et_ns))
     });
     let mut out = Vec::new();
     let mut best_et = f64::INFINITY;
@@ -301,7 +701,7 @@ fn select(points: &[DesignPoint], pareto: &[usize], objective: Objective) -> usi
     };
     *pareto
         .iter()
-        .min_by(|&&a, &&b| score(&points[a]).partial_cmp(&score(&points[b])).unwrap())
+        .min_by(|&&a, &&b| score(&points[a]).total_cmp(&score(&points[b])))
         .expect("pareto frontier is non-empty")
 }
 
@@ -326,7 +726,15 @@ mod tests {
     #[test]
     fn paper_space_enumerates_twelve_plans() {
         // 2 stages x 2 shr x 3 shc = 12 (shr=0 excluded by construction).
-        assert_eq!(DesignSpace::paper().plans().len(), 12);
+        assert_eq!(DesignSpace::paper().plans().count(), 12);
+    }
+
+    #[test]
+    fn deep_space_is_lazy_and_larger() {
+        // Lazy: taking a prefix never materializes the rest.
+        let first: Vec<_> = DesignSpace::deep().plans().take(3).collect();
+        assert_eq!(first.len(), 3);
+        assert!(DesignSpace::deep().plans().count() > 100);
     }
 
     #[test]
@@ -343,7 +751,11 @@ mod tests {
         )
         .unwrap();
         let best = r.best_point();
-        assert!(best.arch.plan().has_pipelining(), "best = {}", best.arch.name());
+        assert!(
+            best.arch.plan().has_pipelining(),
+            "best = {}",
+            best.arch.name()
+        );
         // And it is genuinely better than base on the combined objective.
         assert!(best.est_et_ns < r.base_et_ns * 1.2);
     }
@@ -470,5 +882,152 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.feasible.len(), 12);
+    }
+
+    #[test]
+    fn engine_matches_reference_bitwise_on_paper_space() {
+        let (base, kernels, contexts, weights) = setup();
+        let reference = explore_reference(
+            &base,
+            &kernels,
+            &contexts,
+            &weights,
+            &DesignSpace::paper(),
+            &Constraints::default(),
+            Objective::AreaDelayProduct,
+        )
+        .unwrap();
+        for parallelism in [Some(1), Some(3), None] {
+            let engine = explore_with(
+                &base,
+                &kernels,
+                &contexts,
+                &weights,
+                &DesignSpace::paper(),
+                &ExploreOptions {
+                    parallelism,
+                    ..ExploreOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(engine.feasible.len(), reference.feasible.len());
+            for (e, r) in engine.feasible.iter().zip(&reference.feasible) {
+                assert_eq!(e.arch.name(), r.arch.name());
+                assert_eq!(e.area_slices.to_bits(), r.area_slices.to_bits());
+                assert_eq!(e.clock_ns.to_bits(), r.clock_ns.to_bits());
+                assert_eq!(e.est_cycles, r.est_cycles);
+                assert_eq!(e.est_et_ns.to_bits(), r.est_et_ns.to_bits());
+            }
+            assert_eq!(engine.pareto, reference.pareto);
+            assert_eq!(engine.best, reference.best);
+            assert_eq!(engine.base_et_ns.to_bits(), reference.base_et_ns.to_bits());
+        }
+    }
+
+    #[test]
+    fn dominated_pruning_preserves_frontier_and_best() {
+        let (base, kernels, contexts, weights) = setup();
+        let full = explore_with(
+            &base,
+            &kernels,
+            &contexts,
+            &weights,
+            &DesignSpace::extended(),
+            &ExploreOptions {
+                prune: PruneStrategy::None,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        let pruned = explore_with(
+            &base,
+            &kernels,
+            &contexts,
+            &weights,
+            &DesignSpace::extended(),
+            &ExploreOptions {
+                prune: PruneStrategy::Dominated,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        let names = |r: &Exploration| -> Vec<String> {
+            r.pareto_points()
+                .map(|p| p.arch.name().to_string())
+                .collect()
+        };
+        assert_eq!(names(&full), names(&pruned));
+        assert_eq!(
+            full.best_point().arch.name(),
+            pruned.best_point().arch.name()
+        );
+        assert_eq!(
+            full.best_point().est_et_ns.to_bits(),
+            pruned.best_point().est_et_ns.to_bits()
+        );
+    }
+
+    #[test]
+    fn lower_bound_pruning_skips_work_on_tight_slowdown() {
+        let (base, kernels, contexts, weights) = setup();
+        // A tight slowdown makes deep-pipeline candidates hopeless from
+        // their lower bound alone.
+        let r = explore_with(
+            &base,
+            &kernels,
+            &contexts,
+            &weights,
+            &DesignSpace::extended(),
+            &ExploreOptions {
+                constraints: Constraints {
+                    enforce_cost_bound: true,
+                    max_slowdown: 1.05,
+                },
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(r.pruned > 0, "expected lower-bound prunes");
+    }
+
+    fn nan_point(name: &str, area: f64, et: f64) -> DesignPoint {
+        let arch = RspArchitecture::new(
+            name,
+            presets::base_8x8().base().clone(),
+            SharingPlan::none(),
+        )
+        .unwrap();
+        DesignPoint {
+            arch,
+            area_slices: area,
+            clock_ns: 1.0,
+            est_cycles: vec![],
+            est_et_ns: et,
+            cost_bound_ok: true,
+        }
+    }
+
+    #[test]
+    fn pareto_and_select_survive_nan_candidates() {
+        // Regression: partial_cmp().unwrap() panicked on NaN area/ET. A
+        // degenerate candidate must sort last, never panic, and never
+        // enter the frontier ahead of finite points.
+        let points = vec![
+            nan_point("nan-area", f64::NAN, 100.0),
+            nan_point("ok-small", 10.0, 200.0),
+            nan_point("nan-et", 20.0, f64::NAN),
+            nan_point("ok-fast", 30.0, 50.0),
+        ];
+        let pareto = pareto_indices(&points);
+        assert!(pareto.contains(&1), "finite small point on frontier");
+        assert!(pareto.contains(&3), "finite fast point on frontier");
+        assert!(
+            !pareto.contains(&2),
+            "NaN-et point must not enter the frontier"
+        );
+        let best = select(&points, &pareto, Objective::ExecutionTime);
+        assert_eq!(points[best].arch.name(), "ok-fast");
+        let best = select(&points, &pareto, Objective::Area);
+        assert_eq!(points[best].arch.name(), "ok-small");
     }
 }

@@ -23,9 +23,12 @@
 //! the requested coverage of total weight is reached.
 
 use crate::error::RspError;
-use crate::explore::{explore, Constraints, DesignSpace, Exploration, Objective};
+use crate::explore::{
+    explore_with, Constraints, DesignSpace, Exploration, ExploreOptions, Objective, PruneStrategy,
+};
 use crate::perf::{perf_from_rearranged, KernelPerf};
 use crate::rearrange::{rearrange, RearrangeOptions, Rearranged};
+use rayon::prelude::*;
 use rsp_arch::{ArrayGeometry, BaseArchitecture, BusSpec, PeDesign, RspArchitecture, SharingPlan};
 use rsp_kernel::Kernel;
 use rsp_mapper::{map, ConfigContext, MapOptions};
@@ -71,6 +74,11 @@ pub struct FlowConfig {
     pub map_options: MapOptions,
     /// Rearrangement options.
     pub rearrange_options: RearrangeOptions,
+    /// Worker threads for exploration and RSP mapping (`None` = all
+    /// cores, `Some(1)` = serial; results are identical either way).
+    pub parallelism: Option<usize>,
+    /// Exploration pruning aggressiveness.
+    pub prune: PruneStrategy,
 }
 
 impl Default for FlowConfig {
@@ -84,6 +92,8 @@ impl Default for FlowConfig {
             objective: Objective::AreaDelayProduct,
             map_options: MapOptions::default(),
             rearrange_options: RearrangeOptions::default(),
+            parallelism: None,
+            prune: PruneStrategy::default(),
         }
     }
 }
@@ -221,25 +231,46 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
     // 3. RSP exploration on the estimates.
     let kernels: Vec<Kernel> = critical_loops.iter().map(|c| c.kernel.clone()).collect();
     let kernel_weights: Vec<f64> = critical_loops.iter().map(|c| c.weight).collect();
-    let exploration = explore(
+    let exploration = explore_with(
         &base,
         &kernels,
         &contexts,
         &kernel_weights,
         &config.space,
-        &config.constraints,
-        config.objective,
+        &ExploreOptions {
+            parallelism: config.parallelism,
+            prune: config.prune,
+            constraints: config.constraints,
+            objective: config.objective,
+            cache: None,
+        },
     )?;
     let chosen = exploration.best_point().arch.clone();
 
-    // 4. RSP mapping: exact rearrangement + exact performance.
+    // 4. RSP mapping: exact rearrangement + exact performance, fanned out
+    //    per kernel (results merged in kernel order — deterministic).
     let delay = DelayModel::new();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(config.parallelism.unwrap_or(0))
+        .build()
+        .expect("thread pool");
+    let ctx_refs: Vec<&ConfigContext> = contexts.iter().collect();
+    let rearranged: Vec<Result<(Rearranged, KernelPerf), RspError>> = pool.install(|| {
+        ctx_refs
+            .into_par_iter()
+            .map(|ctx| {
+                let r = rearrange(ctx, &chosen, &config.rearrange_options)?;
+                let p = perf_from_rearranged(ctx, &chosen, &delay, &r);
+                Ok((r, p))
+            })
+            .collect()
+    });
     let mut rsp_contexts = Vec::with_capacity(contexts.len());
     let mut perf = Vec::with_capacity(contexts.len());
-    for ctx in &contexts {
-        let r = rearrange(ctx, &chosen, &config.rearrange_options)?;
-        perf.push(perf_from_rearranged(ctx, &chosen, &delay, &r));
+    for item in rearranged {
+        let (r, p) = item?;
         rsp_contexts.push(r);
+        perf.push(p);
     }
 
     let area_model = AreaModel::new();

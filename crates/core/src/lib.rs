@@ -51,12 +51,13 @@ mod rearrange;
 mod utilization;
 
 pub use error::RspError;
-pub use estimate::{estimate_stalls, StallEstimate};
+pub use estimate::{estimate_stalls, ContextProfile, StallEstimate};
 pub use explore::{
-    explore, Constraints, DesignPoint, DesignSpace, Exploration, Objective,
+    explore, explore_reference, explore_with, Constraints, DesignPoint, DesignSpace, Exploration,
+    ExploreOptions, Objective, PruneStrategy,
 };
 pub use flow::{run_flow, AppProfile, CriticalLoop, FlowConfig, FlowReport};
 pub use perf::{evaluate_perf, perf_from_rearranged, KernelPerf};
 pub use power::{activity_of, evaluate_energy};
-pub use utilization::{utilization_of, FuUtilization, UtilizationReport};
 pub use rearrange::{rearrange, RearrangeOptions, Rearranged};
+pub use utilization::{utilization_of, FuUtilization, UtilizationReport};

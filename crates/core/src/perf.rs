@@ -110,8 +110,7 @@ mod tests {
         for k in suite::all() {
             let ctx = ctx_for(&k);
             for c in 1..=4 {
-                let p =
-                    evaluate_perf(&ctx, &presets::rs(c), &delay, &Default::default()).unwrap();
+                let p = evaluate_perf(&ctx, &presets::rs(c), &delay, &Default::default()).unwrap();
                 assert!(p.dr_pct < 0.0, "{} on RS#{c}: {}", k.name(), p.dr_pct);
             }
         }
@@ -134,8 +133,7 @@ mod tests {
         for k in suite::all() {
             let ctx = ctx_for(&k);
             for c in 1..=4 {
-                let rs =
-                    evaluate_perf(&ctx, &presets::rs(c), &delay, &Default::default()).unwrap();
+                let rs = evaluate_perf(&ctx, &presets::rs(c), &delay, &Default::default()).unwrap();
                 let rsp =
                     evaluate_perf(&ctx, &presets::rsp(c), &delay, &Default::default()).unwrap();
                 assert!(
@@ -162,8 +160,8 @@ mod tests {
         )
         .unwrap();
         for k in [suite::fdct(), suite::state(), suite::hydro()] {
-            let p = evaluate_perf(&ctx_for(&k), &presets::rsp2(), &delay, &Default::default())
-                .unwrap();
+            let p =
+                evaluate_perf(&ctx_for(&k), &presets::rsp2(), &delay, &Default::default()).unwrap();
             assert!(
                 p.dr_pct < sad.dr_pct,
                 "{}: {} !< SAD {}",

@@ -16,11 +16,7 @@ pub fn activity_of(ctx: &ConfigContext, rearranged: &Rearranged) -> ActivityProf
             *profile.ops_per_fu.entry(fu).or_insert(0) += 1;
         }
     }
-    profile.shared_transfers = rearranged
-        .bindings
-        .iter()
-        .filter(|b| b.is_some())
-        .count() as u64;
+    profile.shared_transfers = rearranged.bindings.iter().filter(|b| b.is_some()).count() as u64;
     profile.cycles = u64::from(rearranged.total_cycles);
     profile
 }

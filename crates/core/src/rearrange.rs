@@ -193,10 +193,9 @@ fn schedule(
             if ctx.cycles()[i] > t {
                 continue; // never earlier than the base schedule
             }
-            let deps_ready = inst
-                .preds
-                .iter()
-                .all(|p| sched[p.index()] != u32::MAX && sched[p.index()] + latency(p.index()) <= t);
+            let deps_ready = inst.preds.iter().all(|p| {
+                sched[p.index()] != u32::MAX && sched[p.index()] + latency(p.index()) <= t
+            });
             if deps_ready {
                 cands.push(id);
             }
@@ -270,12 +269,7 @@ mod tests {
     use rsp_mapper::{map, validate_schedule, MapOptions};
 
     fn ctx_for(kernel: &rsp_kernel::Kernel) -> ConfigContext {
-        map(
-            presets::base_8x8().base(),
-            kernel,
-            &MapOptions::default(),
-        )
-        .unwrap()
+        map(presets::base_8x8().base(), kernel, &MapOptions::default()).unwrap()
     }
 
     #[test]
@@ -334,7 +328,12 @@ mod tests {
         // Multiplication-dense kernels stall on RS#1; the lockstep
         // single-multiplication kernels do not (Tables 4/5).
         let rs1 = presets::rs1();
-        for k in [suite::hydro(), suite::state(), suite::fdct(), suite::fft_mult_loop()] {
+        for k in [
+            suite::hydro(),
+            suite::state(),
+            suite::fdct(),
+            suite::fft_mult_loop(),
+        ] {
             let r = rearrange(&ctx_for(&k), &rs1, &Default::default()).unwrap();
             assert!(r.rs_stalls > 0, "{} should stall on RS#1", k.name());
         }
@@ -392,8 +391,12 @@ mod tests {
     fn rp_overhead_small_for_slack_kernels() {
         // ICCG has a load between multiply and use: RP costs at most one
         // cycle (paper: 18 -> 19).
-        let r = rearrange(&ctx_for(&suite::iccg()), &presets::rsp4(), &Default::default())
-            .unwrap();
+        let r = rearrange(
+            &ctx_for(&suite::iccg()),
+            &presets::rsp4(),
+            &Default::default(),
+        )
+        .unwrap();
         assert!(r.rp_overhead <= 2, "rp_overhead = {}", r.rp_overhead);
         assert_eq!(r.rs_stalls, 0);
     }

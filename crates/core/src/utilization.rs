@@ -183,9 +183,7 @@ mod tests {
             let base = measure(&k, &presets::base_8x8())
                 .of(FuKind::Multiplier)
                 .unwrap();
-            let shared = measure(&k, &presets::rs1())
-                .of(FuKind::Multiplier)
-                .unwrap();
+            let shared = measure(&k, &presets::rs1()).of(FuKind::Multiplier).unwrap();
             assert_eq!(shared.units, 8);
             assert!(
                 shared.utilization > 3.0 * base.utilization,
@@ -201,7 +199,9 @@ mod tests {
     fn pipelining_counts_stage_occupancy() {
         let k = suite::mvm();
         let rs = measure(&k, &presets::rs1()).of(FuKind::Multiplier).unwrap();
-        let rsp = measure(&k, &presets::rsp1()).of(FuKind::Multiplier).unwrap();
+        let rsp = measure(&k, &presets::rsp1())
+            .of(FuKind::Multiplier)
+            .unwrap();
         assert_eq!(rs.issues, rsp.issues);
         // Stage occupancy grows, but overlapping in-flight operations are
         // not double counted: between 1x and 2x the combinational busy
@@ -237,7 +237,9 @@ mod tests {
                 continue;
             }
             let rs2 = measure(&k, &presets::rs2()).of(FuKind::Multiplier).unwrap();
-            let rsp2 = measure(&k, &presets::rsp2()).of(FuKind::Multiplier).unwrap();
+            let rsp2 = measure(&k, &presets::rsp2())
+                .of(FuKind::Multiplier)
+                .unwrap();
             assert!(
                 rsp2.utilization >= rs2.utilization,
                 "{}: RSP#2 {:.3} < RS#2 {:.3}",

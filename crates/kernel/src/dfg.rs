@@ -445,10 +445,7 @@ mod tests {
         assert_eq!(g.node(l).bus_words(), 2);
         assert_eq!(g.node(m).op(), OpKind::Mult);
         // The accumulator self-references.
-        assert_eq!(
-            g.node(a).operands()[1],
-            Operand::Accum { node: a, init: 0 }
-        );
+        assert_eq!(g.node(a).operands()[1], Operand::Accum { node: a, init: 0 });
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl fmt::Display for KernelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KernelError::ForwardReference { node, referenced } => {
-                write!(f, "node {node} references node {referenced} which does not precede it")
+                write!(
+                    f,
+                    "node {node} references node {referenced} which does not precede it"
+                )
             }
             KernelError::BadPair { node, referenced } => {
                 write!(f, "node {node} takes the pair output of node {referenced} which is not a dual load")
@@ -93,7 +96,10 @@ impl fmt::Display for KernelError {
                 actual,
             } => write!(f, "node {node} has {actual} operands, expected {expected}"),
             KernelError::BadAddress { node } => {
-                write!(f, "node {node} has an address mismatch for its operation kind")
+                write!(
+                    f,
+                    "node {node} has an address mismatch for its operation kind"
+                )
             }
             KernelError::UnknownArray { array } => write!(f, "array index {array} is undeclared"),
             KernelError::UnknownParam { param } => {

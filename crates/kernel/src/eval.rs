@@ -198,7 +198,17 @@ pub fn evaluate(
         let mut prev: HashMap<u32, i32> = HashMap::new();
         let mut last = Vec::new();
         for s in 0..kernel.steps() {
-            last = eval_dfg(kernel.body(), kernel, input, &mut out, bindings, e, s, &prev, &[])?;
+            last = eval_dfg(
+                kernel.body(),
+                kernel,
+                input,
+                &mut out,
+                bindings,
+                e,
+                s,
+                &prev,
+                &[],
+            )?;
             prev = last
                 .iter()
                 .enumerate()
@@ -244,9 +254,7 @@ fn eval_dfg(
                 Operand::Pair(p) => pair_vals[p.index()],
                 Operand::Const(c) => c,
                 Operand::Param(p) => bindings.get(p.index()),
-                Operand::Accum { node, init } => {
-                    prev_step.get(&(node.0)).copied().unwrap_or(init)
-                }
+                Operand::Accum { node, init } => prev_step.get(&(node.0)).copied().unwrap_or(init),
                 Operand::Carry(c) => carries[c.index()],
             }
         };
@@ -267,16 +275,8 @@ fn eval_dfg(
                 (v, 0)
             }
             op => {
-                let a = n
-                    .operands()
-                    .first()
-                    .map(|o| read(o, &vals))
-                    .unwrap_or(0);
-                let b = n
-                    .operands()
-                    .get(1)
-                    .map(|o| read(o, &vals))
-                    .unwrap_or(0);
+                let a = n.operands().first().map(|o| read(o, &vals)).unwrap_or(0);
+                let b = n.operands().get(1).map(|o| read(o, &vals)).unwrap_or(0);
                 (apply_op(op, a, b), 0)
             }
         };
@@ -339,7 +339,12 @@ mod tests {
         let acc = b.accum_add(Operand::Node(l), 0);
         let mut t = DfgBuilder::new();
         t.store(AddrExpr::flat(out, 0, 1), Operand::Carry(acc));
-        let k = kb.steps(4).body(b.finish()).tail(t.finish()).build().unwrap();
+        let k = kb
+            .steps(4)
+            .body(b.finish())
+            .tail(t.finish())
+            .build()
+            .unwrap();
 
         let mut img = MemoryImage::zeroed(&k);
         for i in 0..8 {

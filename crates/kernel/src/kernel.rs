@@ -18,9 +18,9 @@
 //! never read their own output in-flight, so this matches their behaviour
 //! while keeping mapped execution order-independent across elements.
 
-use crate::dfg::{AddrExpr, ArrayId, Dfg, Operand, ParamId};
 #[cfg(test)]
 use crate::dfg::NodeId;
+use crate::dfg::{AddrExpr, ArrayId, Dfg, Operand, ParamId};
 use crate::error::KernelError;
 use rsp_arch::OpKind;
 use serde::{Deserialize, Serialize};
@@ -260,7 +260,10 @@ impl Kernel {
         let mut set = BTreeSet::new();
         let mut scan = |dfg: &Dfg| {
             for (_, n) in dfg.iter() {
-                if !matches!(n.op(), OpKind::Load | OpKind::Store | OpKind::Mov | OpKind::Nop) {
+                if !matches!(
+                    n.op(),
+                    OpKind::Load | OpKind::Store | OpKind::Mov | OpKind::Nop
+                ) {
                     set.insert(n.op());
                 }
             }
@@ -504,10 +507,7 @@ mod tests {
         let x = kb.array("x", 1);
         let mut b = DfgBuilder::new();
         let l = b.load(AddrExpr::fixed(x, 0));
-        b.op(
-            OpKind::Add,
-            vec![Operand::Pair(l), Operand::Const(0)],
-        );
+        b.op(OpKind::Add, vec![Operand::Pair(l), Operand::Const(0)]);
         let err = kb.body(b.finish()).build().unwrap_err();
         assert!(matches!(err, KernelError::BadPair { .. }));
     }
@@ -517,10 +517,7 @@ mod tests {
         let mut kb = KernelBuilder::new("carry", 1);
         let _ = kb.array("x", 1);
         let mut b = DfgBuilder::new();
-        b.op(
-            OpKind::Abs,
-            vec![Operand::Carry(NodeId(0))],
-        );
+        b.op(OpKind::Abs, vec![Operand::Carry(NodeId(0))]);
         let err = kb.body(b.finish()).build().unwrap_err();
         assert!(matches!(err, KernelError::BadCarry { .. }));
     }
@@ -532,14 +529,12 @@ mod tests {
         let mut body = DfgBuilder::new();
         let l = body.load(AddrExpr::fixed(x, 0));
         let mut tail = DfgBuilder::new();
-        tail.op(
-            OpKind::Abs,
-            vec![Operand::Accum {
-                node: l,
-                init: 0,
-            }],
-        );
-        let err = kb.body(body.finish()).tail(tail.finish()).build().unwrap_err();
+        tail.op(OpKind::Abs, vec![Operand::Accum { node: l, init: 0 }]);
+        let err = kb
+            .body(body.finish())
+            .tail(tail.finish())
+            .build()
+            .unwrap_err();
         assert!(matches!(err, KernelError::BadAccum { .. }));
     }
 
@@ -587,10 +582,7 @@ mod tests {
         let mut kb = KernelBuilder::new("unkp", 1);
         let _ = kb.array("x", 1);
         let mut b = DfgBuilder::new();
-        b.op(
-            OpKind::Abs,
-            vec![Operand::Param(ParamId(3))],
-        );
+        b.op(OpKind::Abs, vec![Operand::Param(ParamId(3))]);
         let err = kb.body(b.finish()).build().unwrap_err();
         assert!(matches!(err, KernelError::UnknownParam { param: 3 }));
     }

@@ -485,10 +485,7 @@ mod tests {
     fn op_sets_match_table3() {
         use std::collections::BTreeSet;
         let set = |k: &Kernel| k.op_set();
-        assert_eq!(
-            set(&hydro()),
-            BTreeSet::from([OpKind::Mult, OpKind::Add])
-        );
+        assert_eq!(set(&hydro()), BTreeSet::from([OpKind::Mult, OpKind::Add]));
         assert_eq!(set(&iccg()), BTreeSet::from([OpKind::Mult, OpKind::Sub]));
         assert_eq!(
             set(&tri_diagonal()),

@@ -117,6 +117,11 @@ fn suite_kernels_serialize_compactly() {
     // Sanity on the serde representation (no recursion, readable sizes).
     for k in suite::all() {
         let json = serde_json::to_string(&k).unwrap();
-        assert!(json.len() < 64 * 1024, "{} serializes to {}B", k.name(), json.len());
+        assert!(
+            json.len() < 64 * 1024,
+            "{} serializes to {}B",
+            k.name(),
+            json.len()
+        );
     }
 }

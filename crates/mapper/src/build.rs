@@ -55,7 +55,14 @@ where
                 let id = layout.body_id(e, s, nid.index());
                 debug_assert_eq!(id.index(), out.len());
                 out.push(make_instance(
-                    kernel, &layout, e, s, nid.index(), node, false, id,
+                    kernel,
+                    &layout,
+                    e,
+                    s,
+                    nid.index(),
+                    node,
+                    false,
+                    id,
                     place(e, s, nid.index(), false),
                     d,
                 ));

@@ -91,6 +91,75 @@ impl OpInstance {
     }
 }
 
+/// One non-empty `(row, col)` cell of a schedule cycle's demand for a
+/// functional-unit kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DemandCell {
+    /// PE row of the demanding instances.
+    pub row: u16,
+    /// PE column of the demanding instances.
+    pub col: u16,
+    /// Instances issued from this PE in this cycle.
+    pub count: u32,
+}
+
+/// Sparse per-cycle demand of a context for one operation class: for each
+/// schedule cycle with at least one matching instance, the non-zero
+/// `(row, col, count)` cells in row-major order.
+///
+/// This is the exploration-side replacement for rebuilding a dense
+/// `cycles × rows × cols` histogram per candidate architecture: the
+/// profile depends only on the context (not on the sharing plan), is
+/// built once, and each candidate then reduces it in
+/// O(non-zero cells) instead of O(cycles × rows × cols).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleDemand {
+    rows: usize,
+    cols: usize,
+    /// CSR offsets into `cells`, one entry per non-empty cycle plus a
+    /// terminator.
+    starts: Vec<u32>,
+    cells: Vec<DemandCell>,
+    /// Total demand of each non-empty cycle (parallel to `starts[..n-1]`).
+    totals: Vec<u32>,
+}
+
+impl CycleDemand {
+    /// Array rows of the profiled context.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns of the profiled context.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether no instance matched the profiled class.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total matching instances across the whole schedule.
+    pub fn total(&self) -> u32 {
+        self.totals.iter().sum()
+    }
+
+    /// Iterates the non-empty cycles as `(cells, cycle_total)` pairs, in
+    /// schedule order. Cells within a cycle are in row-major order.
+    pub fn cycles(&self) -> impl Iterator<Item = (&[DemandCell], u32)> {
+        self.starts
+            .windows(2)
+            .zip(&self.totals)
+            .map(|(w, &t)| (&self.cells[w[0] as usize..w[1] as usize], t))
+    }
+
+    /// Per-cycle totals of the non-empty cycles.
+    pub fn cycle_totals(&self) -> &[u32] {
+        &self.totals
+    }
+}
+
 /// Peak per-row and total demand profile of a context (used by the RSP
 /// exploration's upper-bound estimate and by Table 3's `Mult No`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -229,6 +298,57 @@ impl ConfigContext {
     /// `max_per_cycle`.
     pub fn mult_profile(&self) -> DemandProfile {
         self.demand_profile(|o| o == OpKind::Mult)
+    }
+
+    /// Sparse per-cycle demand of operations selected by `pred` (e.g. all
+    /// operations of one shared functional-unit kind). Allocation scales
+    /// with the number of matching instances, never with
+    /// `cycles × rows × cols`.
+    pub fn cycle_demand<F: Fn(OpKind) -> bool>(&self, pred: F) -> CycleDemand {
+        let mut points: Vec<(u32, u16, u16)> = self
+            .instances
+            .iter()
+            .zip(&self.cycles)
+            .filter(|(inst, _)| pred(inst.op))
+            .map(|(inst, &cyc)| (cyc, inst.pe.row as u16, inst.pe.col as u16))
+            .collect();
+        // Row-major order within each cycle mirrors the dense histogram
+        // sweep, so greedy bank-absorption over these cells reproduces it
+        // exactly.
+        points.sort_unstable();
+
+        let mut starts = vec![0u32];
+        let mut cells: Vec<DemandCell> = Vec::new();
+        let mut totals: Vec<u32> = Vec::new();
+        let mut current_cycle = None;
+        for (cyc, row, col) in points {
+            if current_cycle != Some(cyc) {
+                if current_cycle.is_some() {
+                    starts.push(cells.len() as u32);
+                }
+                current_cycle = Some(cyc);
+                totals.push(0);
+            }
+            *totals.last_mut().unwrap() += 1;
+            let cycle_start = starts.last().map_or(0, |&s| s as usize);
+            let merged = cycle_start < cells.len()
+                && cells.last().is_some_and(|l| l.row == row && l.col == col);
+            if merged {
+                cells.last_mut().unwrap().count += 1;
+            } else {
+                cells.push(DemandCell { row, col, count: 1 });
+            }
+        }
+        if current_cycle.is_some() {
+            starts.push(cells.len() as u32);
+        }
+        CycleDemand {
+            rows: self.geometry.rows(),
+            cols: self.geometry.cols(),
+            starts,
+            cells,
+            totals,
+        }
     }
 
     /// Peak read-bus words on any (row, cycle) and peak store words on any

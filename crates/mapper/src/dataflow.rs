@@ -195,7 +195,12 @@ mod tests {
     #[test]
     fn dataflow_schedules_are_base_legal() {
         let base = base_8x8();
-        for k in [suite::hydro(), suite::state(), suite::fdct(), suite::fft_mult_loop()] {
+        for k in [
+            suite::hydro(),
+            suite::state(),
+            suite::fdct(),
+            suite::fft_mult_loop(),
+        ] {
             let ctx = map(&base, &k, &MapOptions::default()).unwrap();
             validate_base_schedule(&ctx).unwrap_or_else(|v| panic!("{}: {v}", k.name()));
         }
@@ -204,7 +209,12 @@ mod tests {
     #[test]
     fn dataflow_respects_row_buses_in_base_schedule() {
         let base = base_8x8();
-        for k in [suite::hydro(), suite::state(), suite::fdct(), suite::fft_mult_loop()] {
+        for k in [
+            suite::hydro(),
+            suite::state(),
+            suite::fdct(),
+            suite::fft_mult_loop(),
+        ] {
             let ctx = map(&base, &k, &MapOptions::default()).unwrap();
             let (r, w) = ctx.bus_pressure();
             assert!(r <= 2, "{}: {r} read words", k.name());
@@ -216,7 +226,12 @@ mod tests {
     fn mult_dense_kernels_stack_mults_per_row() {
         // The property behind the RS#1 stalls of Tables 4/5.
         let base = base_8x8();
-        for k in [suite::hydro(), suite::state(), suite::fdct(), suite::fft_mult_loop()] {
+        for k in [
+            suite::hydro(),
+            suite::state(),
+            suite::fdct(),
+            suite::fft_mult_loop(),
+        ] {
             let ctx = map(&base, &k, &MapOptions::default()).unwrap();
             assert!(
                 ctx.mult_profile().max_per_row_cycle >= 2,

@@ -158,7 +158,11 @@ impl ConfigImage {
     ///
     /// Panics if the PE or cycle is out of range.
     pub fn word(&self, pe: PeId, cycle: usize) -> ConfigWord {
-        assert!(cycle < self.depth, "cycle {cycle} beyond depth {}", self.depth);
+        assert!(
+            cycle < self.depth,
+            "cycle {cycle} beyond depth {}",
+            self.depth
+        );
         self.words[(pe.row * self.cols + pe.col) * self.depth + cycle]
     }
 
@@ -388,8 +392,7 @@ mod tests {
             &MapOptions::default(),
         )
         .unwrap();
-        let err =
-            encode_context(&ctx, &[0, 1], &[None, None], &presets::base_8x8()).unwrap_err();
+        let err = encode_context(&ctx, &[0, 1], &[None, None], &presets::base_8x8()).unwrap_err();
         assert_eq!(err, EncodeError::ShapeMismatch);
     }
 

@@ -46,7 +46,10 @@ impl fmt::Display for MapError {
                 write!(f, "no feasible initiation interval up to {max_ii}")
             }
             MapError::BadDataflowKernel => {
-                write!(f, "dataflow mapping requires a single-step kernel without tail")
+                write!(
+                    f,
+                    "dataflow mapping requires a single-step kernel without tail"
+                )
             }
         }
     }

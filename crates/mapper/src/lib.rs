@@ -43,7 +43,10 @@ mod lockstep;
 mod mapper;
 mod validate;
 
-pub use context::{ConfigContext, DemandProfile, InstanceId, MemAccess, OpInstance, SrcOperand};
+pub use context::{
+    ConfigContext, CycleDemand, DemandCell, DemandProfile, InstanceId, MemAccess, OpInstance,
+    SrcOperand,
+};
 pub use encode::{encode_context, ConfigImage, ConfigWord, EncodeError};
 pub use error::{MapError, ScheduleViolation};
 pub use mapper::{map, MapOptions};

@@ -90,7 +90,8 @@ fn adjust_starts_for_buses(
     for (nid, node) in kernel.body().iter() {
         for s in 0..kernel.steps() {
             let off = s * body_len + nid.index();
-            read_words[off] += node.bus_words().min(2) * usize::from(node.op() == rsp_arch::OpKind::Load);
+            read_words[off] +=
+                node.bus_words().min(2) * usize::from(node.op() == rsp_arch::OpKind::Load);
             write_words[off] += usize::from(node.op() == rsp_arch::OpKind::Store);
         }
     }
@@ -175,7 +176,7 @@ mod tests {
         assert_eq!(find(0, 0, 1), 1); // *
         assert_eq!(find(0, 0, 2), 2); // +
         assert_eq!(find(0, 1, 1), 4); // second *
-        // Element 12 = Z(3,0) is in group 3 -> column 3; first * at cycle 4.
+                                      // Element 12 = Z(3,0) is in group 3 -> column 3; first * at cycle 4.
         assert_eq!(find(12, 0, 1), 4);
         // Peak: two mult-phase columns x 4 rows = 8 simultaneous mults.
         assert_eq!(ctx.mult_profile().max_per_cycle, 8);

@@ -88,7 +88,12 @@ mod tests {
             256,
         );
         let err = map(&base, &suite::mvm(), &MapOptions::default()).unwrap_err();
-        assert_eq!(err, MapError::MissingUnit { op: rsp_arch::OpKind::Mult });
+        assert_eq!(
+            err,
+            MapError::MissingUnit {
+                op: rsp_arch::OpKind::Mult
+            }
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub fn validate_schedule<L: Fn(usize) -> u32>(
             .insert((inst.pe.row, inst.pe.col, cyc), ())
             .is_some()
         {
-            return Err(ScheduleViolation::PeConflict { pe: inst.pe, cycle: cyc });
+            return Err(ScheduleViolation::PeConflict {
+                pe: inst.pe,
+                cycle: cyc,
+            });
         }
     }
     Ok(())

@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 use rsp_arch::{ArrayGeometry, BaseArchitecture, BusSpec, OpKind, PeDesign};
 use rsp_kernel::{suite, Kernel, MappingStyle};
-use rsp_mapper::{
-    check_buses, encode_context, map, validate_base_schedule, MapOptions,
-};
+use rsp_mapper::{check_buses, encode_context, map, validate_base_schedule, MapOptions};
 
 fn base(rows: usize, cols: usize) -> BaseArchitecture {
     BaseArchitecture::new(

@@ -85,7 +85,10 @@ impl fmt::Display for SimError {
                 write!(f, "two operations on {pe} in cycle {cycle}")
             }
             SimError::UnboundSharedOp { instance } => {
-                write!(f, "instance {instance} executes on a shared kind without a binding")
+                write!(
+                    f,
+                    "instance {instance} executes on a shared kind without a binding"
+                )
             }
             SimError::UnreachableResource { instance, resource } => {
                 write!(f, "instance {instance} bound to unreachable {resource}")

@@ -91,7 +91,10 @@ pub fn simulate(
 
         // One operation per PE per cycle.
         if pe_busy.insert((inst.pe.row, inst.pe.col, t), ()).is_some() {
-            return Err(SimError::PeConflict { pe: inst.pe, cycle: t });
+            return Err(SimError::PeConflict {
+                pe: inst.pe,
+                cycle: t,
+            });
         }
 
         // Operand readiness and interconnect reachability.
@@ -120,7 +123,10 @@ pub fn simulate(
                 });
             }
             if issue_busy.insert((res, t), ()).is_some() {
-                return Err(SimError::SharedIssueConflict { resource: res, cycle: t });
+                return Err(SimError::SharedIssueConflict {
+                    resource: res,
+                    cycle: t,
+                });
             }
             shared_issues += 1;
             let stages = u32::from(arch.op_latency(inst.op));
@@ -344,8 +350,17 @@ mod tests {
             .id
             .index();
         bad[victim] = r.cycles[ctx.instances()[victim].preds[0].index()];
-        let err = simulate(&ctx, &arch, &bad, &r.bindings, &k, &img, &params, &Default::default())
-            .unwrap_err();
+        let err = simulate(
+            &ctx,
+            &arch,
+            &bad,
+            &r.bindings,
+            &k,
+            &img,
+            &params,
+            &Default::default(),
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             SimError::OperandNotReady { .. } | SimError::PeConflict { .. }
@@ -392,8 +407,17 @@ mod tests {
             row: (inst.pe.row + 1) % 8,
             index: 0,
         });
-        let err = simulate(&ctx, &arch, &r.cycles, &bad, &k, &img, &params, &Default::default())
-            .unwrap_err();
+        let err = simulate(
+            &ctx,
+            &arch,
+            &r.cycles,
+            &bad,
+            &k,
+            &img,
+            &params,
+            &Default::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, SimError::UnreachableResource { .. }));
     }
 
@@ -417,9 +441,17 @@ mod tests {
         let clash = mult_pairs.values().find(|v| v.len() >= 2);
         if let Some(pair) = clash {
             bad[pair[1]] = bad[pair[0]];
-            let err =
-                simulate(&ctx, &arch, &r.cycles, &bad, &k, &img, &params, &Default::default())
-                    .unwrap_err();
+            let err = simulate(
+                &ctx,
+                &arch,
+                &r.cycles,
+                &bad,
+                &k,
+                &img,
+                &params,
+                &Default::default(),
+            )
+            .unwrap_err();
             assert!(matches!(err, SimError::SharedIssueConflict { .. }));
         }
     }

@@ -170,7 +170,12 @@ mod tests {
         for k in 1..=4 {
             let r = model.report(&presets::rs(k));
             let err = (r.synthesized_slices - paper[k - 1]).abs() / paper[k - 1];
-            assert!(err < 0.03, "RS#{k}: {} vs {}", r.synthesized_slices, paper[k - 1]);
+            assert!(
+                err < 0.03,
+                "RS#{k}: {} vs {}",
+                r.synthesized_slices,
+                paper[k - 1]
+            );
         }
     }
 
@@ -181,7 +186,12 @@ mod tests {
         for k in 1..=4 {
             let r = model.report(&presets::rsp(k));
             let err = (r.synthesized_slices - paper[k - 1]).abs() / paper[k - 1];
-            assert!(err < 0.03, "RSP#{k}: {} vs {}", r.synthesized_slices, paper[k - 1]);
+            assert!(
+                err < 0.03,
+                "RSP#{k}: {} vs {}",
+                r.synthesized_slices,
+                paper[k - 1]
+            );
         }
     }
 

@@ -1,0 +1,126 @@
+//! Memoized synthesis reports for design-space exploration.
+//!
+//! Area and clock reports depend only on the candidate's geometry and
+//! [`SharingPlan`] — for the paper's single-group spaces that is the
+//! `(kind, shr, shc, stages)` tuple — not on the kernels being explored.
+//! Exploration engines therefore share one [`ModelCache`] across all
+//! candidates (and across repeated explorations of the same base), so
+//! each distinct plan is synthesized exactly once, even when candidate
+//! evaluation fans out over threads.
+
+use crate::area::{AreaModel, AreaReport};
+use crate::delay::{DelayModel, DelayReport};
+use rsp_arch::{ArrayGeometry, RspArchitecture, SharingPlan};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Thread-safe memo of [`AreaModel`]/[`DelayModel`] reports keyed by
+/// `(geometry, plan)`.
+///
+/// The cache assumes every queried architecture uses the same base PE
+/// design and component library (true within one exploration); geometry
+/// participates in the key so multi-geometry flows stay correct.
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    area: AreaModel,
+    delay: DelayModel,
+    #[allow(clippy::type_complexity)]
+    memo: Mutex<HashMap<(ArrayGeometry, SharingPlan), (AreaReport, DelayReport)>>,
+}
+
+impl ModelCache {
+    /// Cache over the paper's Table 1 models.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache over custom models.
+    pub fn with_models(area: AreaModel, delay: DelayModel) -> Self {
+        Self {
+            area,
+            delay,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying area model.
+    pub fn area_model(&self) -> &AreaModel {
+        &self.area
+    }
+
+    /// The underlying delay model.
+    pub fn delay_model(&self) -> &DelayModel {
+        &self.delay
+    }
+
+    /// Both reports for `arch`, computed once per `(geometry, plan)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::presets;
+    /// use rsp_synth::ModelCache;
+    ///
+    /// let cache = ModelCache::new();
+    /// let (area, delay) = cache.reports(&presets::rsp2());
+    /// assert!(area.satisfies_cost_bound());
+    /// assert!(delay.clock_ns < 26.0);
+    /// // Identical plan: served from the memo.
+    /// assert_eq!(cache.reports(&presets::rsp2()).0, area);
+    /// ```
+    pub fn reports(&self, arch: &RspArchitecture) -> (AreaReport, DelayReport) {
+        let key = (arch.geometry(), arch.plan().clone());
+        if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+            return *hit;
+        }
+        // Computed outside the lock: synthesis is the expensive part and
+        // duplicate computation on a race is harmless (reports are pure).
+        let reports = (self.area.report(arch), self.delay.report(arch));
+        self.memo.lock().unwrap().insert(key, reports);
+        reports
+    }
+
+    /// Number of distinct plans synthesized so far.
+    pub fn len(&self) -> usize {
+        self.memo.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been synthesized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_arch::presets;
+
+    #[test]
+    fn memoizes_by_plan() {
+        let cache = ModelCache::new();
+        for _ in 0..3 {
+            cache.reports(&presets::rsp2());
+            cache.reports(&presets::rs1());
+        }
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reports_match_direct_models() {
+        let cache = ModelCache::new();
+        for arch in presets::table_architectures() {
+            let (a, d) = cache.reports(&arch);
+            assert_eq!(a, AreaModel::new().report(&arch));
+            assert_eq!(d, DelayModel::new().report(&arch));
+        }
+    }
+
+    #[test]
+    fn geometry_participates_in_key() {
+        let cache = ModelCache::new();
+        cache.reports(&presets::base_8x8());
+        cache.reports(&presets::fig1_4x4());
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -27,7 +27,11 @@ impl ComponentSpec {
 
 impl fmt::Display for ComponentSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.0} slices / {:.1} ns", self.area_slices, self.delay_ns)
+        write!(
+            f,
+            "{:.0} slices / {:.1} ns",
+            self.area_slices, self.delay_ns
+        )
     }
 }
 
@@ -178,8 +182,8 @@ mod tests {
 
     #[test]
     fn override_spec() {
-        let lib = ComponentLibrary::table1()
-            .with_spec(FuKind::Alu, ComponentSpec::new(300.0, 12.0));
+        let lib =
+            ComponentLibrary::table1().with_spec(FuKind::Alu, ComponentSpec::new(300.0, 12.0));
         assert_eq!(lib.spec(FuKind::Alu).area_slices, 300.0);
     }
 

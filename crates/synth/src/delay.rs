@@ -264,7 +264,10 @@ mod tests {
         let best = (1..=4)
             .map(|k| m.report(&presets::rsp(k)).reduction_pct())
             .fold(f64::MIN, f64::max);
-        assert!(best > 30.0 && best < 40.0, "best delay reduction {best:.1}%");
+        assert!(
+            best > 30.0 && best < 40.0,
+            "best delay reduction {best:.1}%"
+        );
     }
 
     #[test]

@@ -64,9 +64,15 @@ mod tests {
 
     #[test]
     fn width_16_is_table1() {
-        assert_eq!(component(FuKind::Multiplier, 16), ComponentSpec::new(416.0, 19.7));
+        assert_eq!(
+            component(FuKind::Multiplier, 16),
+            ComponentSpec::new(416.0, 19.7)
+        );
         assert_eq!(component(FuKind::Alu, 16), ComponentSpec::new(253.0, 11.5));
-        assert_eq!(component(FuKind::Shifter, 16), ComponentSpec::new(156.0, 2.5));
+        assert_eq!(
+            component(FuKind::Shifter, 16),
+            ComponentSpec::new(156.0, 2.5)
+        );
         assert_eq!(component(FuKind::Mux, 16), ComponentSpec::new(58.0, 1.3));
     }
 
@@ -93,7 +99,12 @@ mod tests {
 
     #[test]
     fn wider_is_never_smaller() {
-        for fu in [FuKind::Multiplier, FuKind::Alu, FuKind::Shifter, FuKind::Mux] {
+        for fu in [
+            FuKind::Multiplier,
+            FuKind::Alu,
+            FuKind::Shifter,
+            FuKind::Mux,
+        ] {
             let a = component(fu, 16);
             let b = component(fu, 24);
             assert!(b.area_slices >= a.area_slices, "{fu}");

@@ -34,6 +34,7 @@
 #![warn(rust_2018_idioms)]
 
 mod area;
+mod cache;
 pub mod calibration;
 mod components;
 mod delay;
@@ -42,6 +43,7 @@ pub mod paper;
 mod power;
 
 pub use area::{AreaModel, AreaReport};
+pub use cache::ModelCache;
 pub use components::{ComponentLibrary, ComponentSpec};
 pub use delay::{DelayModel, DelayReport, LimitingPath};
 pub use power::{ActivityProfile, PowerCoefficients, PowerModel, PowerReport};

@@ -85,15 +85,78 @@ pub struct Table2Row {
 
 /// Table 2 — synthesis result of the nine architectures (8×8 array).
 pub const TABLE2: [Table2Row; 9] = [
-    Table2Row { arch: "Base", pe_slices: 910.0, sw_slices: 0.0, array_slices: 55739.0, sw_delay_ns: 0.0, array_delay_ns: 26.0 },
-    Table2Row { arch: "RS#1", pe_slices: 489.0, sw_slices: 10.0, array_slices: 32446.0, sw_delay_ns: 0.7, array_delay_ns: 26.85 },
-    Table2Row { arch: "RS#2", pe_slices: 489.0, sw_slices: 34.0, array_slices: 36816.0, sw_delay_ns: 1.2, array_delay_ns: 27.97 },
-    Table2Row { arch: "RS#3", pe_slices: 489.0, sw_slices: 55.0, array_slices: 40577.0, sw_delay_ns: 1.8, array_delay_ns: 28.89 },
-    Table2Row { arch: "RS#4", pe_slices: 489.0, sw_slices: 68.0, array_slices: 44768.0, sw_delay_ns: 2.0, array_delay_ns: 30.23 },
-    Table2Row { arch: "RSP#1", pe_slices: 489.0, sw_slices: 10.0, array_slices: 33249.0, sw_delay_ns: 0.7, array_delay_ns: 16.72 },
-    Table2Row { arch: "RSP#2", pe_slices: 489.0, sw_slices: 34.0, array_slices: 38422.0, sw_delay_ns: 1.2, array_delay_ns: 17.26 },
-    Table2Row { arch: "RSP#3", pe_slices: 489.0, sw_slices: 55.0, array_slices: 42987.0, sw_delay_ns: 1.8, array_delay_ns: 18.21 },
-    Table2Row { arch: "RSP#4", pe_slices: 489.0, sw_slices: 68.0, array_slices: 47981.0, sw_delay_ns: 2.0, array_delay_ns: 18.83 },
+    Table2Row {
+        arch: "Base",
+        pe_slices: 910.0,
+        sw_slices: 0.0,
+        array_slices: 55739.0,
+        sw_delay_ns: 0.0,
+        array_delay_ns: 26.0,
+    },
+    Table2Row {
+        arch: "RS#1",
+        pe_slices: 489.0,
+        sw_slices: 10.0,
+        array_slices: 32446.0,
+        sw_delay_ns: 0.7,
+        array_delay_ns: 26.85,
+    },
+    Table2Row {
+        arch: "RS#2",
+        pe_slices: 489.0,
+        sw_slices: 34.0,
+        array_slices: 36816.0,
+        sw_delay_ns: 1.2,
+        array_delay_ns: 27.97,
+    },
+    Table2Row {
+        arch: "RS#3",
+        pe_slices: 489.0,
+        sw_slices: 55.0,
+        array_slices: 40577.0,
+        sw_delay_ns: 1.8,
+        array_delay_ns: 28.89,
+    },
+    Table2Row {
+        arch: "RS#4",
+        pe_slices: 489.0,
+        sw_slices: 68.0,
+        array_slices: 44768.0,
+        sw_delay_ns: 2.0,
+        array_delay_ns: 30.23,
+    },
+    Table2Row {
+        arch: "RSP#1",
+        pe_slices: 489.0,
+        sw_slices: 10.0,
+        array_slices: 33249.0,
+        sw_delay_ns: 0.7,
+        array_delay_ns: 16.72,
+    },
+    Table2Row {
+        arch: "RSP#2",
+        pe_slices: 489.0,
+        sw_slices: 34.0,
+        array_slices: 38422.0,
+        sw_delay_ns: 1.2,
+        array_delay_ns: 17.26,
+    },
+    Table2Row {
+        arch: "RSP#3",
+        pe_slices: 489.0,
+        sw_slices: 55.0,
+        array_slices: 42987.0,
+        sw_delay_ns: 1.8,
+        array_delay_ns: 18.21,
+    },
+    Table2Row {
+        arch: "RSP#4",
+        pe_slices: 489.0,
+        sw_slices: 68.0,
+        array_slices: 47981.0,
+        sw_delay_ns: 2.0,
+        array_delay_ns: 18.83,
+    },
 ];
 
 /// One kernel row of Table 3.
@@ -109,15 +172,51 @@ pub struct Table3Row {
 
 /// Table 3 — kernels in the experiments.
 pub const TABLE3: [Table3Row; 9] = [
-    Table3Row { kernel: "Hydro", op_set: "mult, add", max_mults_per_cycle: 6 },
-    Table3Row { kernel: "ICCG", op_set: "mult, sub", max_mults_per_cycle: 4 },
-    Table3Row { kernel: "Tri-diagonal", op_set: "mult, sub", max_mults_per_cycle: 4 },
-    Table3Row { kernel: "Inner product", op_set: "mult, add", max_mults_per_cycle: 8 },
-    Table3Row { kernel: "State", op_set: "mult, add", max_mults_per_cycle: 7 },
-    Table3Row { kernel: "2D-FDCT", op_set: "mult, shift, add, sub", max_mults_per_cycle: 16 },
-    Table3Row { kernel: "SAD", op_set: "abs, add", max_mults_per_cycle: 0 },
-    Table3Row { kernel: "MVM", op_set: "mult, add", max_mults_per_cycle: 8 },
-    Table3Row { kernel: "FFT", op_set: "add, sub, mult", max_mults_per_cycle: 8 },
+    Table3Row {
+        kernel: "Hydro",
+        op_set: "mult, add",
+        max_mults_per_cycle: 6,
+    },
+    Table3Row {
+        kernel: "ICCG",
+        op_set: "mult, sub",
+        max_mults_per_cycle: 4,
+    },
+    Table3Row {
+        kernel: "Tri-diagonal",
+        op_set: "mult, sub",
+        max_mults_per_cycle: 4,
+    },
+    Table3Row {
+        kernel: "Inner product",
+        op_set: "mult, add",
+        max_mults_per_cycle: 8,
+    },
+    Table3Row {
+        kernel: "State",
+        op_set: "mult, add",
+        max_mults_per_cycle: 7,
+    },
+    Table3Row {
+        kernel: "2D-FDCT",
+        op_set: "mult, shift, add, sub",
+        max_mults_per_cycle: 16,
+    },
+    Table3Row {
+        kernel: "SAD",
+        op_set: "abs, add",
+        max_mults_per_cycle: 0,
+    },
+    Table3Row {
+        kernel: "MVM",
+        op_set: "mult, add",
+        max_mults_per_cycle: 8,
+    },
+    Table3Row {
+        kernel: "FFT",
+        op_set: "add, sub, mult",
+        max_mults_per_cycle: 8,
+    },
 ];
 
 /// Performance of one kernel on one architecture (Tables 4/5).

@@ -166,8 +166,7 @@ impl PowerModel {
             * self.coeffs.config_pj_per_pe_cycle;
 
         // µW × ns = femtojoule; convert to pJ (×1e-3).
-        let static_pj =
-            self.coeffs.static_uw_per_slice * area.synthesized_slices * exec_ns * 1e-3;
+        let static_pj = self.coeffs.static_uw_per_slice * area.synthesized_slices * exec_ns * 1e-3;
 
         PowerReport {
             dynamic_pj,
@@ -247,8 +246,7 @@ mod tests {
         alu_only.cycles = 10;
         let arch = presets::base_8x8();
         assert!(
-            model.report(&arch, &mult_only).dynamic_pj
-                > model.report(&arch, &alu_only).dynamic_pj
+            model.report(&arch, &mult_only).dynamic_pj > model.report(&arch, &alu_only).dynamic_pj
         );
     }
 }

@@ -53,8 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         BusSpec::new(2, 1),
         128,
     );
-    let plan = SharingPlan::none()
-        .with_group(SharedGroup::new(FuKind::Multiplier, 2, 0, 2)?)?;
+    let plan = SharingPlan::none().with_group(SharedGroup::new(FuKind::Multiplier, 2, 0, 2)?)?;
     let arch = RspArchitecture::new("custom-4x8-RSP", base.clone(), plan)?;
     println!("architecture: {arch}");
 

@@ -16,8 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AppProfile::new(
             "H.263 encoder",
             vec![
-                (suite::fdct(), 99),   // one FDCT per macroblock
-                (suite::sad(), 396),   // motion search dominates
+                (suite::fdct(), 99), // one FDCT per macroblock
+                (suite::sad(), 396), // motion search dominates
                 (suite::mvm(), 25),
             ],
         ),

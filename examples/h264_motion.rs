@@ -13,9 +13,7 @@
 
 use rsp::arch::presets;
 use rsp::core::evaluate_perf;
-use rsp::kernel::{
-    suite, AddrExpr, DfgBuilder, Kernel, KernelBuilder, MappingStyle, Operand,
-};
+use rsp::kernel::{suite, AddrExpr, DfgBuilder, Kernel, KernelBuilder, MappingStyle, Operand};
 use rsp::mapper::{map, MapOptions};
 use rsp::synth::DelayModel;
 
@@ -76,7 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for kernel in &kernels {
         let ctx = map(base.base(), kernel, &MapOptions::default())?;
-        for arch in [presets::base_8x8(), presets::rs2(), presets::rsp1(), presets::rsp2()] {
+        for arch in [
+            presets::base_8x8(),
+            presets::rs2(),
+            presets::rsp1(),
+            presets::rsp2(),
+        ] {
             let p = evaluate_perf(&ctx, &arch, &delay, &Default::default())?;
             println!(
                 "{:<10} {:<6} {:>7} {:>9.1} {:>7.1}% {:>6}",

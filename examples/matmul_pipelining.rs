@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Figure 2: the base loop-pipelined schedule.
     println!("=== Figure 2: base schedule (II = 3) ===");
-    println!("{}", ctx.render_schedule(ctx.cycles(), |i| i.op.mnemonic().to_string()));
+    println!(
+        "{}",
+        ctx.render_schedule(ctx.cycles(), |i| i.op.mnemonic().to_string())
+    );
     let profile = ctx.mult_profile();
     println!(
         "peak multiplication demand: {} total, {} per row -> RS needs {} multipliers ({} per row)",
@@ -42,13 +45,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rsp = presets::shared_multiplier("RSP-1/row", 4, 4, 1, 0, 2);
     let r = rearrange(&ctx, &rsp, &Default::default())?;
     println!("\n=== Figure 6: 4 pipelined multipliers (2 stages) ===");
-    println!("{}", ctx.render_schedule(&r.cycles, |i| {
-        if i.op == rsp::arch::OpKind::Mult {
-            "1*".to_string() // issue cycle; stage 2 occupies the next
-        } else {
-            i.op.mnemonic().to_string()
-        }
-    }));
+    println!(
+        "{}",
+        ctx.render_schedule(&r.cycles, |i| {
+            if i.op == rsp::arch::OpKind::Mult {
+                "1*".to_string() // issue cycle; stage 2 occupies the next
+            } else {
+                i.op.mnemonic().to_string()
+            }
+        })
+    );
     println!(
         "cycles {} (base {}), RP overhead {}, RS stalls {} — half the multipliers of Fig. 3,",
         r.total_cycles, r.base_cycles, r.rp_overhead, r.rs_stalls
@@ -87,6 +93,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in trace.render().lines().take(6) {
         println!("{line}");
     }
-    println!("peak parallelism: {} PEs active in one cycle", trace.peak_parallelism());
+    println!(
+        "peak parallelism: {} PEs active in one cycle",
+        trace.peak_parallelism()
+    );
     Ok(())
 }

@@ -20,7 +20,13 @@ use rsp::synth::{AreaModel, ComponentLibrary, DelayModel};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{:>6} {:>12} {:>10} {:>12} {:>12} {:>11} {:>11}",
-        "width", "mult slices", "mult %PE", "base slices", "RSP#2 slices", "area gain", "clock gain"
+        "width",
+        "mult slices",
+        "mult %PE",
+        "base slices",
+        "RSP#2 slices",
+        "area gain",
+        "clock gain"
     );
     for width in [8u32, 16, 24, 32, 48] {
         let lib = ComponentLibrary::for_width(width);
@@ -29,15 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let base = BaseArchitecture::new(
             ArrayGeometry::new(8, 8),
-            PeDesign::with_units(
-                [FuKind::Alu, FuKind::Multiplier, FuKind::Shifter],
-                width,
-            ),
+            PeDesign::with_units([FuKind::Alu, FuKind::Multiplier, FuKind::Shifter], width),
             BusSpec::paper_default(),
             256,
         );
-        let plan = SharingPlan::none()
-            .with_group(SharedGroup::new(FuKind::Multiplier, 2, 0, 2)?)?;
+        let plan =
+            SharingPlan::none().with_group(SharedGroup::new(FuKind::Multiplier, 2, 0, 2)?)?;
         let rsp2 = RspArchitecture::new(format!("RSP#2@{width}b"), base, plan)?;
 
         let a = area.report(&rsp2);

@@ -11,9 +11,7 @@
 //! ```
 
 use rsp::arch::{presets, RspArchitecture};
-use rsp::core::{
-    evaluate_perf, explore, rearrange, Constraints, DesignSpace, Objective,
-};
+use rsp::core::{evaluate_perf, explore, rearrange, Constraints, DesignSpace, Objective};
 use rsp::kernel::{evaluate, suite, Bindings, Kernel, MemoryImage};
 use rsp::mapper::{map, MapOptions};
 use rsp::sim::simulate;
@@ -127,8 +125,14 @@ fn main() -> ExitCode {
                 Ok(p) => {
                     println!(
                         "{} on {}: {} cycles @ {:.2} ns = {:.1} ns (DR {:+.1}%), {} stalls, RP +{}",
-                        p.kernel, p.arch, p.cycles, p.clock_ns, p.et_ns, p.dr_pct,
-                        p.rs_stalls, p.rp_overhead
+                        p.kernel,
+                        p.arch,
+                        p.cycles,
+                        p.clock_ns,
+                        p.et_ns,
+                        p.dr_pct,
+                        p.rs_stalls,
+                        p.rp_overhead
                     );
                     ExitCode::SUCCESS
                 }
@@ -139,7 +143,9 @@ fn main() -> ExitCode {
             }
         }
         "synth" => {
-            let Some(an) = args.get(1) else { return usage() };
+            let Some(an) = args.get(1) else {
+                return usage();
+            };
             let Some(a) = find_arch(an) else {
                 eprintln!("unknown architecture");
                 return ExitCode::FAILURE;
@@ -154,12 +160,18 @@ fn main() -> ExitCode {
             );
             println!(
                 "  clock: {:.2} ns (PE path {:.1}, switch {:.1}, wire {:.2}) — {:.1}% vs base",
-                dr.clock_ns, dr.pe_path_ns, dr.switch_ns, dr.wire_ns, -dr.reduction_pct()
+                dr.clock_ns,
+                dr.pe_path_ns,
+                dr.switch_ns,
+                dr.wire_ns,
+                -dr.reduction_pct()
             );
             ExitCode::SUCCESS
         }
         "schedule" => {
-            let Some(kn) = args.get(1) else { return usage() };
+            let Some(kn) = args.get(1) else {
+                return usage();
+            };
             let Some(k) = find_kernel(kn) else {
                 eprintln!("unknown kernel");
                 return ExitCode::FAILURE;
@@ -182,7 +194,10 @@ fn main() -> ExitCode {
                     }
                 }
             };
-            print!("{}", ctx.render_schedule(&cycles, |i| i.op.mnemonic().to_string()));
+            print!(
+                "{}",
+                ctx.render_schedule(&cycles, |i| i.op.mnemonic().to_string())
+            );
             ExitCode::SUCCESS
         }
         "explore" => {
@@ -225,10 +240,7 @@ fn main() -> ExitCode {
             let (Some(kn), Some(an)) = (args.get(1), args.get(2)) else {
                 return usage();
             };
-            let seed: u64 = args
-                .get(3)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(0xC0FFEE);
+            let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0xC0FFEE);
             let (Some(k), Some(a)) = (find_kernel(kn), find_arch(an)) else {
                 eprintln!("unknown kernel or architecture");
                 return ExitCode::FAILURE;

@@ -45,7 +45,12 @@ fn single_pe_array_still_computes() {
             &Default::default(),
         )
         .unwrap();
-        assert_eq!(sim.memory, evaluate(&k, &input, &params).unwrap(), "{}", k.name());
+        assert_eq!(
+            sim.memory,
+            evaluate(&k, &input, &params).unwrap(),
+            "{}",
+            k.name()
+        );
     }
 }
 
@@ -77,7 +82,12 @@ fn single_row_array_handles_dataflow_kernels() {
             &Default::default(),
         )
         .unwrap();
-        assert_eq!(sim.memory, evaluate(&k, &input, &params).unwrap(), "{}", k.name());
+        assert_eq!(
+            sim.memory,
+            evaluate(&k, &input, &params).unwrap(),
+            "{}",
+            k.name()
+        );
     }
 }
 
@@ -116,14 +126,7 @@ fn single_column_array_serializes_lockstep_groups() {
 #[test]
 fn max_depth_pipeline_still_legal() {
     // MAX_STAGES-deep shared multiplier: extreme latency, still correct.
-    let arch = rsp::arch::presets::shared_multiplier(
-        "deep8",
-        4,
-        4,
-        2,
-        2,
-        rsp::arch::MAX_STAGES,
-    );
+    let arch = rsp::arch::presets::shared_multiplier("deep8", 4, 4, 2, 2, rsp::arch::MAX_STAGES);
     let k = suite::matmul(4);
     let ctx = map(arch.base(), &k, &MapOptions::default()).unwrap();
     let r = rearrange(&ctx, &arch, &Default::default()).unwrap();

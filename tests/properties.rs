@@ -69,7 +69,11 @@ fn build_kernel(
     steps: usize,
     style: MappingStyle,
 ) -> Option<Kernel> {
-    let steps = if style == MappingStyle::Dataflow { 1 } else { steps };
+    let steps = if style == MappingStyle::Dataflow {
+        1
+    } else {
+        steps
+    };
     let mut kb = KernelBuilder::new("generated", elements);
     let input = kb.array("in", elements * steps + 64);
     let param = kb.param("p", 3);
@@ -120,12 +124,16 @@ fn build_kernel(
                 emitted_value = true;
             }
             GenOp::Unary(kind, a) => {
-                let Some(opa) = pick(*a, &value_nodes) else { continue };
+                let Some(opa) = pick(*a, &value_nodes) else {
+                    continue;
+                };
                 let n = b.op(*kind, vec![opa]);
                 value_nodes.push(n);
             }
             GenOp::Binary(kind, a, bb) => {
-                let Some(opa) = pick(*a, &value_nodes) else { continue };
+                let Some(opa) = pick(*a, &value_nodes) else {
+                    continue;
+                };
                 // Sometimes read the dual word of a load.
                 let opb = if *bb % 3 == 0 && !pairs.is_empty() {
                     Operand::Pair(pairs[bb % pairs.len()])
@@ -136,23 +144,26 @@ fn build_kernel(
                 value_nodes.push(n);
             }
             GenOp::MulParam(a) => {
-                let Some(opa) = pick(*a, &value_nodes) else { continue };
+                let Some(opa) = pick(*a, &value_nodes) else {
+                    continue;
+                };
                 let n = b.mult(opa, Operand::Param(param));
                 value_nodes.push(n);
             }
             GenOp::AccumAdd(a) => {
-                let Some(opa) = pick(*a, &value_nodes) else { continue };
+                let Some(opa) = pick(*a, &value_nodes) else {
+                    continue;
+                };
                 let n = b.accum_add(opa, 1);
                 value_nodes.push(n);
             }
             GenOp::Store(a) => {
-                let Some(opa) = pick(*a, &value_nodes) else { continue };
+                let Some(opa) = pick(*a, &value_nodes) else {
+                    continue;
+                };
                 let dst = out_arrays[store_idx];
                 store_idx += 1;
-                b.store(
-                    AddrExpr::affine(dst, 0, steps as i64, 0, 1),
-                    opa,
-                );
+                b.store(AddrExpr::affine(dst, 0, steps as i64, 0, 1), opa);
             }
         }
     }

@@ -45,7 +45,12 @@ fn all_kernels_all_architectures_three_seeds() {
 fn strict_bus_mapping_stays_equivalent_and_bus_legal() {
     // Lockstep kernels mapped in strict-bus mode must simulate correctly
     // even with the simulator's bus checking enabled.
-    for k in [suite::inner_product(), suite::sad(), suite::mvm(), suite::matmul(8)] {
+    for k in [
+        suite::inner_product(),
+        suite::sad(),
+        suite::mvm(),
+        suite::matmul(8),
+    ] {
         let ctx = map(
             presets::base_8x8().base(),
             &k,
@@ -126,7 +131,12 @@ fn base_simulation_equals_reference_on_alternate_geometries() {
                 &Default::default(),
             )
             .unwrap();
-            assert_eq!(sim.memory, reference, "{rows}x{cols} {} rearranged", k.name());
+            assert_eq!(
+                sim.memory,
+                reference,
+                "{rows}x{cols} {} rearranged",
+                k.name()
+            );
         }
     }
 }

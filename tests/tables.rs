@@ -53,11 +53,10 @@ fn headline_numbers_reproduce() {
 fn table4_5_stall_classes_match_paper() {
     // Kernels that stall on RS#1 in the paper must stall here, and
     // vice versa.
-    for (k, p) in suite::all().iter().zip(
-        paper::TABLE4
-            .iter()
-            .chain(paper::TABLE5.iter()),
-    ) {
+    for (k, p) in suite::all()
+        .iter()
+        .zip(paper::TABLE4.iter().chain(paper::TABLE5.iter()))
+    {
         assert_eq!(k.name(), p.kernel, "suite order matches paper tables");
         let ours = perf_rows(k);
         let our_rs1 = ours.iter().find(|r| r.arch == "RS#1").unwrap();
@@ -81,11 +80,10 @@ fn rs_rows_always_slower_rsp_rows_faster_where_paper_says_so() {
     // there the outcome hinges on the *magnitude* of sharing stalls, and
     // our mapper's slacker schedules stall far less than the authors' on
     // State/2D-FDCT/FFT (see EXPERIMENTS.md, deviation D3).
-    for (k, p) in suite::all().iter().zip(
-        paper::TABLE4
-            .iter()
-            .chain(paper::TABLE5.iter()),
-    ) {
+    for (k, p) in suite::all()
+        .iter()
+        .zip(paper::TABLE4.iter().chain(paper::TABLE5.iter()))
+    {
         let ours = perf_rows(k);
         let base_paper = p.cells[0].et_ns;
         for (our, cell) in ours.iter().zip(&p.cells) {
@@ -148,11 +146,10 @@ fn cycle_counts_within_band_of_paper() {
     // Absolute cycles depend on the authors' mapper, which is not
     // available; ours must stay in the same band (0.4x..1.6x) on the base
     // architecture.
-    for (k, p) in suite::all().iter().zip(
-        paper::TABLE4
-            .iter()
-            .chain(paper::TABLE5.iter()),
-    ) {
+    for (k, p) in suite::all()
+        .iter()
+        .zip(paper::TABLE4.iter().chain(paper::TABLE5.iter()))
+    {
         let ours = perf_rows(k)[0].cycles as f64;
         let theirs = p.cells[0].cycles as f64;
         let ratio = ours / theirs;
@@ -175,7 +172,10 @@ fn table3_operation_sets_cover_paper_sets() {
         ("Tri-diagonal", &[OpKind::Mult, OpKind::Sub]),
         ("Inner product", &[OpKind::Mult, OpKind::Add]),
         ("State", &[OpKind::Mult, OpKind::Add]),
-        ("2D-FDCT", &[OpKind::Mult, OpKind::Asr, OpKind::Add, OpKind::Sub]),
+        (
+            "2D-FDCT",
+            &[OpKind::Mult, OpKind::Asr, OpKind::Add, OpKind::Sub],
+        ),
         ("SAD", &[OpKind::Abs, OpKind::Add]),
         ("MVM", &[OpKind::Mult, OpKind::Add]),
         ("FFT", &[OpKind::Add, OpKind::Sub, OpKind::Mult]),

@@ -1,0 +1,128 @@
+//! Vendored, offline subset of the `criterion` API.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness shape plus
+//! `Criterion`, `BenchmarkGroup`, and `Bencher::iter` with a simple
+//! warmup + median-of-samples timer printing one line per benchmark.
+//! No statistics, plots, or baselines — the workspace's tracked numbers
+//! come from `rsp-bench`'s own JSON harness instead.
+
+use std::time::Instant;
+
+/// Re-export for convenience parity with criterion.
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Parses CLI args (accepted and ignored in this stub).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: if self.sample_size == 0 {
+                10
+            } else {
+                self.sample_size
+            },
+            _parent: self,
+        }
+    }
+
+    /// Runs one benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        run_bench(&name.into(), 10, f);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        run_bench(
+            &format!("{}/{}", self.name, name.into()),
+            self.sample_size,
+            f,
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting `sample_size` samples after one warmup.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    b.samples.sort_by(f64::total_cmp);
+    let median = b.samples[b.samples.len() / 2];
+    println!(
+        "{label}: median {:.3} ms ({} samples)",
+        median * 1e3,
+        b.samples.len()
+    );
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,46 @@
+//! Vendored, offline subset of the `proptest` API.
+//!
+//! Deterministic (fixed per-test seeds derived from the test name — no
+//! ambient randomness, no persistence files) and without shrinking:
+//! a failing case panics with its inputs' debug representation instead.
+//! The supported surface is exactly what this workspace's property tests
+//! use: integer-range and tuple strategies, `Just`, `any::<T>()`,
+//! `prop_oneof!`, `prop::collection::vec`, `prop_map`/`prop_filter_map`,
+//! and the `proptest!` macro with `ProptestConfig::with_cases`.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.below(self.len.end - self.len.start) + self.len.start;
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// The `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

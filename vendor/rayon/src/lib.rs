@@ -1,0 +1,300 @@
+//! Vendored, offline subset of the `rayon` API.
+//!
+//! Backed by `std::thread::scope` instead of a work-stealing runtime: a
+//! parallel map distributes items round-robin over `N` OS threads and
+//! reassembles results **by original index**, so `collect()` ordering is
+//! always identical to the sequential iterator — the determinism the
+//! exploration engine's bit-identical guarantee relies on.
+//!
+//! Supported surface: `into_par_iter()` / `par_iter()` on ranges, `Vec`,
+//! and slices; `map(..).collect::<Vec<_>>()`; `ThreadPoolBuilder` +
+//! `ThreadPool::install` to bound the thread count (thread-local, like
+//! rayon's pool scoping).
+
+use std::cell::Cell;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Re-exports matching `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Threads a parallel call will use: the installed pool's size, else the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (infallible in this stub).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a bounded [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the pool to `n` threads (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+            }),
+        })
+    }
+}
+
+/// A scoped thread-count context: parallel iterators inside
+/// [`ThreadPool::install`] use this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with this pool's thread count installed.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        POOL_THREADS.with(|c| {
+            let prev = c.replace(Some(self.num_threads));
+            let out = f();
+            c.set(prev);
+            out
+        })
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// `par_iter()` on collections of cloneable/cheap items by reference is
+/// not supported by this stub; instead `par_iter()` clones references'
+/// targets into the item vector only for `Copy`-like usage through
+/// [`IntoParallelIterator`] on `&[T]` yielding `&T` items.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: Send;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// An eager parallel iterator (items are buffered up front).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// Minimal `ParallelIterator`: `map` then `collect`.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Maps each element through `f` in parallel.
+    fn map<O, F>(self, f: F) -> ParMap<Self::Item, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync;
+
+    /// Collects into a `Vec`, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParIter<Self::Item>;
+}
+
+impl<I: Send> ParallelIterator for ParIter<I> {
+    type Item = I;
+
+    fn map<O, F>(self, f: F) -> ParMap<I, F>
+    where
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParIter<I>,
+    {
+        C::from_vec(self.items)
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, O, F> ParMap<I, F>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    /// Runs the map over the installed thread count and collects results
+    /// in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParIter<O>,
+    {
+        C::from_vec(par_map_vec(self.items, current_num_threads(), self.f))
+    }
+}
+
+/// Collection target for the stub's `collect`.
+pub trait FromParIter<T> {
+    /// Builds the collection from an ordered `Vec`.
+    fn from_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParIter<T> for Vec<T> {
+    fn from_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// Order-preserving parallel map: item `i` of the result is `f(items[i])`
+/// regardless of thread count or scheduling.
+pub fn par_map_vec<I, O, F>(items: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let threads = threads.min(n);
+    // Round-robin assignment balances heterogeneous item costs without a
+    // work-stealing queue; results carry their original index home.
+    let mut lanes: Vec<Vec<(usize, I)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        lanes[i % threads].push((i, item));
+    }
+    let f = &f;
+    let mut slots: Vec<Option<O>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = lanes
+            .into_iter()
+            .map(|lane| {
+                scope.spawn(move || {
+                    lane.into_iter()
+                        .map(|(i, item)| (i, f(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, out) in h.join().expect("parallel worker panicked") {
+                slots[i] = Some(out);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ordered_collect_matches_serial() {
+        let serial: Vec<usize> = (0..100).map(|i| i * i).collect();
+        let parallel: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 2));
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+}
