@@ -1,47 +1,107 @@
 //! Regenerates the paper's headline claims *and* the tracked exploration
-//! benchmark (`BENCH_explore.json`).
+//! benchmark (`BENCH_explore.json`), and gates CI against it.
 //!
 //! ```sh
 //! cargo run --release -p rsp-bench --bin headline            # stdout only
 //! cargo run --release -p rsp-bench --bin headline -- --json BENCH_explore.json
 //! cargo run --release -p rsp-bench --bin headline -- --samples 15
+//! cargo run --release -p rsp-bench --bin headline -- --check BENCH_explore.json --tolerance 0.15
 //! ```
 //!
 //! The JSON artifact is rebar-style: engine rows with median-of-N
-//! wall-clock (one warmup discarded) and speedups versus the serial
-//! reference engine, so future PRs diff performance against a recorded
-//! trajectory.
+//! wall-clock (one warmup discarded), speedups versus the serial
+//! reference engine, and pruning-efficacy counters
+//! (`candidates_pruned`, `bound_tightness`), over the `extended` space
+//! (the speedup trajectory) and the `deep` space (where pruning bites).
+//!
+//! `--check <artifact>` is the CI benchmark-regression gate: it re-runs
+//! every committed report (same spaces and sample counts) and exits
+//! non-zero when any engine's median **and** best-of-N wall-clock —
+//! both normalized by the same run's `serial-reference` row, so
+//! host-speed differences between the artifact's origin and the CI
+//! runner cancel — regress by more than `--tolerance` (default
+//! 0.15 = 15 %; requiring both statistics keeps the gate stable against
+//! scheduler noise), when a feasible-design count drifts, or when a
+//! committed engine configuration is no longer measured.
 
 use rsp_bench::explore_bench;
-use rsp_core::DesignSpace;
 
 fn main() {
     let mut json_path: Option<String> = None;
-    let mut samples: u32 = 11;
+    let mut check_path: Option<String> = None;
+    let mut tolerance: Option<f64> = None;
+    let mut samples: Option<u32> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--check" => check_path = Some(args.next().expect("--check needs a path")),
+            "--tolerance" => {
+                let t: f64 = args
+                    .next()
+                    .expect("--tolerance needs a fraction")
+                    .parse()
+                    .expect("--tolerance needs a number");
+                assert!(t >= 0.0, "--tolerance must be non-negative");
+                tolerance = Some(t);
+            }
             "--samples" => {
-                samples = args
+                let n: u32 = args
                     .next()
                     .expect("--samples needs a count")
                     .parse()
                     .expect("--samples needs a number");
-                assert!(samples >= 1, "--samples must be at least 1");
+                assert!(n >= 1, "--samples must be at least 1");
+                samples = Some(n);
             }
             other => panic!("unknown argument {other:?}"),
         }
     }
 
+    if let Some(path) = check_path {
+        // Checking replays the committed reports at their recorded
+        // sample counts and writes nothing; flags that only make sense
+        // for a measuring run are a usage error, not something to drop
+        // silently.
+        assert!(
+            json_path.is_none() && samples.is_none(),
+            "--check is exclusive: it neither writes --json nor takes --samples \
+             (it re-runs each committed report at its recorded sample count)"
+        );
+        let tolerance = tolerance.unwrap_or(0.15);
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read committed artifact {path}: {e}"));
+        let committed: explore_bench::BenchArtifact =
+            serde_json::from_str(&raw).expect("committed artifact parses");
+        println!("benchmark-regression gate: {path} (tolerance {tolerance})");
+        let outcome = explore_bench::check(&committed, tolerance);
+        for line in &outcome.lines {
+            println!("  {line}");
+        }
+        if outcome.passed() {
+            println!("gate PASSED");
+            return;
+        }
+        eprintln!("gate FAILED:");
+        for r in &outcome.regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+
+    assert!(
+        tolerance.is_none(),
+        "--tolerance only applies to --check mode"
+    );
+
     print!("{}", rsp_bench::headline());
     println!();
 
-    let report = explore_bench::run(&DesignSpace::extended(), "extended", samples);
-    print!("{}", explore_bench::render(&report));
+    let artifact = explore_bench::run_all(samples.unwrap_or(11));
+    print!("{}", explore_bench::render_all(&artifact));
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
         std::fs::write(&path, json + "\n").expect("write benchmark artifact");
         println!("wrote {path}");
     }

@@ -4,33 +4,56 @@
 //! run plus `samples` measured runs, and the *median* wall-clock is
 //! reported (robust against scheduler noise). The JSON artifact is
 //! committed so future changes can be checked against the recorded
-//! trajectory instead of a vibe.
+//! trajectory instead of a vibe — and CI enforces it: the `headline`
+//! binary's `--check` mode ([`check`]) re-runs the benchmark and fails
+//! when any engine's median *and* best-of-N wall-clock — both
+//! normalized by the same run's `serial-reference` row, so host speed
+//! cancels — regress beyond a tolerance versus the committed artifact,
+//! or when a feasible-design count drifts (a correctness anchor, not a
+//! timing).
 //!
-//! Engines measured, all over one workload (a design space × the full
-//! kernel suite, uniform weights):
+//! The artifact holds one report per design space:
+//!
+//! * `extended` — the engine-speedup trajectory tracked since the engine
+//!   rebuild.
+//! * `deep` — the pruning-efficacy benchmark: a 480-candidate space
+//!   where the per-row residual bound plus area-ordered enumeration make
+//!   [`PruneStrategy::Dominated`] skip a large fraction of candidate
+//!   estimations (`candidates_pruned` / `bound_tightness` per row).
+//!
+//! Engines measured per space, all over the full kernel suite with
+//! uniform weights:
 //!
 //! * `serial-reference` — [`rsp_core::explore_reference`], the paper-
 //!   faithful baseline: clones the base per candidate, re-synthesizes
 //!   every report, rebuilds dense demand histograms.
 //! * `engine-1-thread` — the allocation-free engine pinned to one thread
 //!   (isolates the algorithmic win from parallel speedup).
+//! * `engine-1-thread-pruned` — one thread plus Dominated pruning with
+//!   the per-row bound: the core-count-independent row the cross-host
+//!   timing gate always holds, so the pruning machinery itself can never
+//!   silently regress.
 //! * `engine-parallel` — the engine on all cores, no pruning.
-//! * `engine-parallel-pruned` — all cores plus admissible lower-bound and
-//!   dominated-candidate pruning (frontier-preserving).
+//! * `engine-parallel-pruned` — all cores plus lower-bound and
+//!   dominated-candidate pruning with the default
+//!   [`BoundKind::PerRowResidual`] (frontier-preserving).
+//! * `engine-pruned-aggregate` — same, with the looser
+//!   [`BoundKind::Aggregate`] bound (the ablation that shows what the
+//!   per-row residual buys).
 
 use rsp_arch::presets;
 use rsp_core::{
-    explore_reference, explore_with, Constraints, DesignSpace, ExploreOptions, Objective,
-    PruneStrategy,
+    explore_reference, explore_with, BoundKind, Constraints, DesignSpace, ExploreOptions,
+    Objective, PruneStrategy,
 };
 use rsp_kernel::suite;
 use rsp_mapper::{map, MapOptions};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::time::Instant;
 
 /// One engine's timing row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineRow {
     /// Engine configuration name.
     pub name: String,
@@ -46,16 +69,19 @@ pub struct EngineRow {
     /// Feasible designs the run produced (sanity anchor: engines must
     /// agree unless pruning legitimately drops dominated points).
     pub feasible: usize,
-    /// Candidates skipped by pruning.
-    pub pruned: usize,
+    /// Candidate plans enumerated from the space.
+    pub candidates_seen: usize,
+    /// Candidates whose full estimation pruning skipped.
+    pub candidates_pruned: usize,
+    /// Mean lower-bound / full-estimate ratio over estimated candidates
+    /// (1.0 = exact bound; 0.0 = pruning disabled, no bounds computed).
+    pub bound_tightness: f64,
 }
 
-/// The whole benchmark artifact.
-#[derive(Debug, Clone, Serialize)]
+/// Timings of every engine over one design space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
-    /// Artifact schema/benchmark id.
-    pub benchmark: String,
-    /// Design space description.
+    /// Design space label (`extended`, `deep`, ...).
     pub space: String,
     /// Candidate plans enumerated per exploration.
     pub candidates: usize,
@@ -67,6 +93,15 @@ pub struct BenchReport {
     pub samples: u32,
     /// Timing rows, reference first.
     pub engines: Vec<EngineRow>,
+}
+
+/// The whole committed artifact (`BENCH_explore.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchArtifact {
+    /// Artifact schema/benchmark id.
+    pub benchmark: String,
+    /// One report per tracked design space.
+    pub reports: Vec<BenchReport>,
 }
 
 fn time_median<F: FnMut()>(samples: u32, mut f: F) -> (u64, u64) {
@@ -81,6 +116,17 @@ fn time_median<F: FnMut()>(samples: u32, mut f: F) -> (u64, u64) {
         .collect();
     times.sort_unstable();
     (times[times.len() / 2], times[0])
+}
+
+/// The design space a report label names; checking mode re-runs the
+/// committed labels through this.
+fn space_for(label: &str) -> Option<DesignSpace> {
+    match label {
+        "paper" => Some(DesignSpace::paper()),
+        "extended" => Some(DesignSpace::extended()),
+        "deep" => Some(DesignSpace::deep()),
+        _ => None,
+    }
 }
 
 /// Runs the exploration benchmark on `space` with `samples` measured
@@ -98,13 +144,15 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
 
     // Each engine run gets a fresh run-local cache (`cache: None`) so the
     // rows measure full cost, not a warmed memo.
-    let engine_opts = |parallelism: Option<usize>, prune: PruneStrategy| ExploreOptions {
-        parallelism,
-        prune,
-        constraints,
-        objective,
-        cache: None,
-    };
+    let engine_opts =
+        |parallelism: Option<usize>, prune: PruneStrategy, bound: BoundKind| ExploreOptions {
+            parallelism,
+            prune,
+            bound,
+            constraints,
+            objective,
+            cache: None,
+        };
 
     let mut rows: Vec<EngineRow> = Vec::new();
 
@@ -133,18 +181,53 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
             samples,
             speedup_vs_reference: 1.0,
             feasible: last.feasible.len(),
-            pruned: 0,
+            candidates_seen: last.stats.candidates_seen,
+            candidates_pruned: 0,
+            bound_tightness: 0.0,
         });
         median
     };
 
     let configs = [
-        ("engine-1-thread", Some(1), PruneStrategy::None),
-        ("engine-parallel", None, PruneStrategy::None),
-        ("engine-parallel-pruned", None, PruneStrategy::Dominated),
+        (
+            "engine-1-thread",
+            Some(1),
+            PruneStrategy::None,
+            BoundKind::PerRowResidual,
+        ),
+        // Single-threaded pruned row: its ratio to the serial reference
+        // is core-count-independent, so the cross-host timing gate can
+        // always hold it — the row that keeps the pruning machinery
+        // (bound computation, area ordering, streaming frontier) from
+        // silently rotting even when the artifact and the CI runner
+        // disagree on core count.
+        (
+            "engine-1-thread-pruned",
+            Some(1),
+            PruneStrategy::Dominated,
+            BoundKind::PerRowResidual,
+        ),
+        (
+            "engine-parallel",
+            None,
+            PruneStrategy::None,
+            BoundKind::PerRowResidual,
+        ),
+        (
+            "engine-parallel-pruned",
+            None,
+            PruneStrategy::Dominated,
+            BoundKind::PerRowResidual,
+        ),
+        (
+            "engine-pruned-aggregate",
+            None,
+            PruneStrategy::Dominated,
+            BoundKind::Aggregate,
+        ),
     ];
-    for (name, parallelism, prune) in configs {
-        let opts = engine_opts(parallelism, prune);
+    for (name, parallelism, prune, bound) in configs {
+        let opts = engine_opts(parallelism, prune, bound);
         let mut last = None;
         let (median, min) = time_median(samples, || {
             last = Some(
@@ -167,12 +250,13 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
             samples,
             speedup_vs_reference: reference_median as f64 / median as f64,
             feasible: last.feasible.len(),
-            pruned: last.pruned,
+            candidates_seen: last.stats.candidates_seen,
+            candidates_pruned: last.stats.candidates_pruned,
+            bound_tightness: last.stats.bound_tightness,
         });
     }
 
     BenchReport {
-        benchmark: "rsp/explore".into(),
         space: space_label.into(),
         candidates: space.plans().count(),
         kernels: kernels.len(),
@@ -182,7 +266,19 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
     }
 }
 
-/// Renders a human-readable summary table.
+/// Runs the full tracked benchmark: the `extended` speedup trajectory
+/// plus the `deep` pruning-efficacy report.
+pub fn run_all(samples: u32) -> BenchArtifact {
+    BenchArtifact {
+        benchmark: "rsp/explore".into(),
+        reports: vec![
+            run(&DesignSpace::extended(), "extended", samples),
+            run(&DesignSpace::deep(), "deep", samples),
+        ],
+    }
+}
+
+/// Renders a human-readable summary table of one report.
 pub fn render(report: &BenchReport) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
@@ -194,15 +290,173 @@ pub fn render(report: &BenchReport) -> String {
     for e in &report.engines {
         let _ = writeln!(
             s,
-            "  {:<24} {:>10.3} ms   {:>6.2}x   ({} feasible, {} pruned)",
+            "  {:<24} {:>10.3} ms   {:>6.2}x   ({} feasible, {}/{} pruned, tightness {:.3})",
             e.name,
             e.median_ns as f64 / 1e6,
             e.speedup_vs_reference,
             e.feasible,
-            e.pruned
+            e.candidates_pruned,
+            e.candidates_seen,
+            e.bound_tightness
         );
     }
     s
+}
+
+/// Renders every report of an artifact.
+pub fn render_all(artifact: &BenchArtifact) -> String {
+    artifact
+        .reports
+        .iter()
+        .map(render)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Outcome of a benchmark-regression check ([`check`]).
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// One status line per compared engine row.
+    pub lines: Vec<String>,
+    /// Human-readable failures; empty means the gate passes.
+    pub regressions: Vec<String>,
+}
+
+impl CheckOutcome {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// The benchmark-regression gate: re-runs every report of the committed
+/// artifact (same spaces, same sample counts) and compares engine rows
+/// by name.
+///
+/// Engine timings are compared **normalized by the same run's
+/// `serial-reference` median/min** — the committed artifact's absolute
+/// nanoseconds came from whatever host generated it, so comparing raw
+/// wall-clock across hosts would gate on host speed, not regressions;
+/// the reference is measured in the same process seconds earlier, so
+/// systematic host-speed differences cancel in the ratio. A row
+/// regresses when its normalized median **and** its normalized best-of-N
+/// (minimum) both exceed the committed ratios by more than `tolerance`
+/// (e.g. `0.15` = +15 %) — a genuine engine slowdown raises both
+/// statistics, while scheduler noise rarely inflates the minimum, so
+/// requiring both keeps the gate stable on busy hosts without letting
+/// real regressions through. A row also regresses when its
+/// feasible-design count drifts (correctness anchor — this is
+/// host-independent) or when a committed engine configuration
+/// disappears. The `serial-reference` row itself is the yardstick and is
+/// checked for feasible-count drift only.
+///
+/// Normalization cancels host *speed* but not host *core count*: a
+/// parallel engine's ratio to the serial reference legitimately depends
+/// on how many cores it fanned out over. When the committed report's
+/// recorded `threads` differs from this host's, timing is therefore
+/// gated only for the rows whose ratio is core-count-independent
+/// (`engine-1-thread` and `engine-1-thread-pruned` — the latter keeps
+/// the pruning machinery gated cross-host); parallel rows keep their
+/// correctness anchors and are reported informationally.
+pub fn check(committed: &BenchArtifact, tolerance: f64) -> CheckOutcome {
+    let mut outcome = CheckOutcome {
+        lines: Vec::new(),
+        regressions: Vec::new(),
+    };
+    for old in &committed.reports {
+        let Some(space) = space_for(&old.space) else {
+            outcome
+                .regressions
+                .push(format!("unknown committed space label {:?}", old.space));
+            continue;
+        };
+        let new = run(&space, &old.space, old.samples);
+        let reference = |report: &BenchReport| {
+            report
+                .engines
+                .iter()
+                .find(|e| e.name == "serial-reference")
+                .map(|e| (e.median_ns as f64, e.min_ns as f64))
+        };
+        let Some(old_ref) = reference(old) else {
+            outcome.regressions.push(format!(
+                "{}: committed report lacks the serial-reference yardstick",
+                old.space
+            ));
+            continue;
+        };
+        let new_ref = reference(&new).expect("run() always measures the reference");
+        let threads_match = old.threads == new.threads;
+        if !threads_match {
+            outcome.lines.push(format!(
+                "{}: committed threads {} != host threads {} — timing gated for \
+                 core-count-independent rows only",
+                old.space, old.threads, new.threads
+            ));
+        }
+        for old_row in &old.engines {
+            let Some(new_row) = new.engines.iter().find(|e| e.name == old_row.name) else {
+                outcome.regressions.push(format!(
+                    "{}/{}: engine configuration no longer measured",
+                    old.space, old_row.name
+                ));
+                continue;
+            };
+            // Reference-normalized timings: fraction of the same run's
+            // serial-reference cost.
+            let old_med = old_row.median_ns as f64 / old_ref.0;
+            let new_med = new_row.median_ns as f64 / new_ref.0;
+            let old_min = old_row.min_ns as f64 / old_ref.1;
+            let new_min = new_row.min_ns as f64 / new_ref.1;
+            let med_ratio = new_med / old_med;
+            let min_ratio = new_min / old_min;
+            let is_reference = old_row.name == "serial-reference";
+            // Parallel rows' ratio to the reference scales with core
+            // count; only gate them when the host matches the artifact.
+            // Single-threaded rows are core-count-independent and stay
+            // gated either way.
+            let single_threaded = matches!(
+                old_row.name.as_str(),
+                "engine-1-thread" | "engine-1-thread-pruned"
+            );
+            let timing_gated = !is_reference && (threads_match || single_threaded);
+            let verdict = if new_row.feasible != old_row.feasible {
+                outcome.regressions.push(format!(
+                    "{}/{}: feasible count drifted {} -> {}",
+                    old.space, old_row.name, old_row.feasible, new_row.feasible
+                ));
+                "FEASIBLE-DRIFT"
+            } else if timing_gated && med_ratio > 1.0 + tolerance && min_ratio > 1.0 + tolerance {
+                outcome.regressions.push(format!(
+                    "{}/{}: normalized median {:.3}x-ref -> {:.3}x-ref (+{:.0} %) and \
+                     normalized min (+{:.0} %) both exceed the {:.0} % tolerance",
+                    old.space,
+                    old_row.name,
+                    old_med,
+                    new_med,
+                    (med_ratio - 1.0) * 100.0,
+                    (min_ratio - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            outcome.lines.push(format!(
+                "{}/{}: median {:.3} ms ({:.3}x-ref, committed {:.3}x-ref, {:+.1} %), \
+                 min {:+.1} % {}",
+                old.space,
+                old_row.name,
+                new_row.median_ns as f64 / 1e6,
+                new_med,
+                old_med,
+                (med_ratio - 1.0) * 100.0,
+                (min_ratio - 1.0) * 100.0,
+                verdict
+            ));
+        }
+    }
+    outcome
 }
 
 #[cfg(test)]
@@ -212,12 +466,114 @@ mod tests {
     #[test]
     fn benchmark_runs_and_engines_agree() {
         let report = run(&DesignSpace::paper(), "paper", 2);
-        assert_eq!(report.engines.len(), 4);
-        let feas: Vec<usize> = report.engines.iter().map(|e| e.feasible).collect();
+        assert_eq!(report.engines.len(), 6);
         // No-prune engines agree exactly with the reference.
-        assert_eq!(feas[0], feas[1]);
-        assert_eq!(feas[0], feas[2]);
+        let feasible_of = |name: &str| {
+            report
+                .engines
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap()
+                .feasible
+        };
+        assert_eq!(
+            feasible_of("serial-reference"),
+            feasible_of("engine-1-thread")
+        );
+        assert_eq!(
+            feasible_of("serial-reference"),
+            feasible_of("engine-parallel")
+        );
+        // Pruned engines report their efficacy.
+        let pruned_row = report
+            .engines
+            .iter()
+            .find(|e| e.name == "engine-parallel-pruned")
+            .unwrap();
+        assert_eq!(pruned_row.candidates_seen, report.candidates);
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("serial-reference"));
+        assert!(json.contains("bound_tightness"));
+    }
+
+    #[test]
+    fn artifact_roundtrips_through_json() {
+        let artifact = BenchArtifact {
+            benchmark: "rsp/explore".into(),
+            reports: vec![run(&DesignSpace::paper(), "paper", 1)],
+        };
+        let json = serde_json::to_string_pretty(&artifact).unwrap();
+        let back: BenchArtifact = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.benchmark, artifact.benchmark);
+        assert_eq!(back.reports.len(), 1);
+        assert_eq!(back.reports[0].engines.len(), 6);
+        assert_eq!(
+            back.reports[0].engines[0].median_ns,
+            artifact.reports[0].engines[0].median_ns
+        );
+    }
+
+    #[test]
+    fn check_passes_against_fresh_run_and_fails_on_fabricated_regression() {
+        let mut artifact = BenchArtifact {
+            benchmark: "rsp/explore".into(),
+            reports: vec![run(&DesignSpace::paper(), "paper", 2)],
+        };
+        // Generous tolerance: the second run happens moments later on the
+        // same host, so a 10x envelope only fails on real breakage.
+        let outcome = check(&artifact, 9.0);
+        assert!(outcome.passed(), "regressions: {:?}", outcome.regressions);
+
+        // A fabricated 'the committed engines were 1000x faster relative
+        // to the reference' artifact must trip the gate (both normalized
+        // statistics regress). Scaling every row equally would cancel in
+        // the reference-normalized ratios, so only engine rows shrink.
+        for row in &mut artifact.reports[0].engines {
+            if row.name != "serial-reference" {
+                row.median_ns = 1.max(row.median_ns / 1000);
+                row.min_ns = 1.max(row.min_ns / 1000);
+            }
+        }
+        let outcome = check(&artifact, 0.15);
+        assert!(!outcome.passed());
+
+        // An artifact recorded on a host with a different core count
+        // must not timing-gate the parallel rows (their ratio to the
+        // serial reference legitimately scales with cores) — even when
+        // those committed ratios look 1000x better than this host's.
+        let mut cross_host = BenchArtifact {
+            benchmark: "rsp/explore".into(),
+            reports: vec![run(&DesignSpace::paper(), "paper", 1)],
+        };
+        cross_host.reports[0].threads += 7;
+        let single_threaded = [
+            "serial-reference",
+            "engine-1-thread",
+            "engine-1-thread-pruned",
+        ];
+        for row in &mut cross_host.reports[0].engines {
+            if !single_threaded.contains(&row.name.as_str()) {
+                row.median_ns = 1.max(row.median_ns / 1000);
+                row.min_ns = 1.max(row.min_ns / 1000);
+            }
+        }
+        let outcome = check(&cross_host, 9.0);
+        assert!(
+            outcome.passed(),
+            "parallel rows must not be timing-gated across core counts: {:?}",
+            outcome.regressions
+        );
+
+        // And a feasible-count drift must trip it regardless of timing.
+        let mut drifted = BenchArtifact {
+            benchmark: "rsp/explore".into(),
+            reports: vec![run(&DesignSpace::paper(), "paper", 1)],
+        };
+        for row in &mut drifted.reports[0].engines {
+            row.median_ns *= 1000;
+            row.feasible += 1;
+        }
+        let outcome = check(&drifted, 9.0);
+        assert!(!outcome.passed());
     }
 }

@@ -5,6 +5,17 @@
 //! published value. Thin binaries (`cargo run -p rsp-bench --bin table2`)
 //! wrap each function; `--bin all` prints everything (the source of
 //! `EXPERIMENTS.md`'s measured columns).
+//!
+//! The crate also owns the tracked exploration benchmark
+//! ([`explore_bench`], emitted as `BENCH_explore.json` by the
+//! `headline` binary). `headline -- --check BENCH_explore.json
+//! --tolerance 0.15` is the CI benchmark-regression gate: it re-runs
+//! every committed report and fails when an engine's median *and*
+//! best-of-N wall-clock both regress beyond the tolerance, when a
+//! feasible-design count drifts, or when a committed engine
+//! configuration disappears. The per-row rows also track pruning
+//! efficacy (`candidates_pruned`, `bound_tightness`) so the
+//! exploration engine's pruning can never silently rot.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

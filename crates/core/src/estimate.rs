@@ -22,9 +22,12 @@
 //! reusable scratch budgets — no per-candidate allocation, no dense
 //! `cycles × rows × cols` histogram.
 //! [`ContextProfile::rs_stalls_lower_bound`] additionally yields an
-//! admissible O(non-empty cycles) lower bound on the RS stalls (per-cycle
+//! admissible O(non-zero cells) lower bound on the RS stalls (per-cycle
 //! demand minus the capacity its touched rows/columns can reach), which
-//! the exploration engine uses to skip hopeless candidates early.
+//! the exploration engine uses to skip hopeless candidates early. Two
+//! bound strengths are offered ([`BoundKind`]): the original aggregate
+//! capacity credit, and the tighter per-row residual form that caps each
+//! row's (column's) credit at its own demand.
 
 use rsp_arch::{FuKind, RspArchitecture, SharingPlan};
 use rsp_kernel::Kernel;
@@ -43,14 +46,75 @@ pub struct StallEstimate {
     pub total_cycles: u32,
 }
 
+/// Which admissible lower bound on the RS stalls the exploration engine
+/// computes per candidate (see
+/// [`ContextProfile::rs_stalls_lower_bound`]).
+///
+/// Both bounds never exceed the full greedy estimate
+/// ([`ContextProfile::rs_stalls`]), so either is safe for
+/// result-preserving pruning; [`BoundKind::PerRowResidual`] is tighter
+/// (term-wise at least as large) and is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BoundKind {
+    /// Per cycle, `demand − (rows_touched·shr + cols_touched·shc)`:
+    /// every touched row/column is credited its full bank. Loose when
+    /// demand spreads thinly across many rows (a row demanding one
+    /// operation still gets credited all `shr`).
+    Aggregate,
+    /// Per cycle, `demand − Σᵣ min(rowᵣ, shr) − Σ꜀ min(col꜀, shc)`: a
+    /// row (column) can absorb at most its own demand, so row-local
+    /// peaks are no longer hidden by idle capacity elsewhere. Term-wise
+    /// ≥ [`BoundKind::Aggregate`] and still admissible.
+    #[default]
+    PerRowResidual,
+}
+
 /// Per-cycle summary backing the admissible RS lower bound: total demand
 /// plus how many distinct rows/columns it touches (the only banks greedy
-/// absorption can draw from).
+/// absorption can draw from), and the lengths of this cycle's capacity
+/// prefix tables in [`LbProfile`].
 #[derive(Debug, Clone, Copy)]
 struct LbCycle {
     demand: u32,
     rows_touched: u32,
     cols_touched: u32,
+    row_caps_len: u32,
+    col_caps_len: u32,
+}
+
+/// Lower-bound profile of one shared kind: the per-cycle aggregate
+/// summaries plus flattened *capacity prefix tables* (cycle-major). A
+/// cycle's row table holds `cap(s) = Σᵣ min(rowᵣ, s)` for
+/// `s = 1 ..= max(rowᵣ)` — the most that row banks of size `s` can
+/// absorb — and analogously for columns, so the per-row residual bound
+/// reduces each cycle in O(1) for any `(shr, shc)`: same per-candidate
+/// cost as the aggregate bound, zero per-candidate allocation. Bank
+/// sizes beyond the table saturate at its last entry (`Σ rowᵣ`, the
+/// cycle demand).
+#[derive(Debug, Clone, Default)]
+struct LbProfile {
+    cycles: Vec<LbCycle>,
+    row_caps: Vec<u32>,
+    col_caps: Vec<u32>,
+}
+
+/// `Σ min(d, s)` for `s = 1 ..= max(d)` appended to `caps`; returns the
+/// number of entries written. Sorts `demands` in place and builds the
+/// table incrementally from `cap(s) = cap(s−1) + #{d ≥ s}`, so the cost
+/// is O(n log n + max(d)) instead of O(n · max(d)).
+fn push_caps(caps: &mut Vec<u32>, demands: &mut [u32]) -> u32 {
+    demands.sort_unstable();
+    let max = demands.last().copied().unwrap_or(0);
+    let mut cap = 0u32;
+    let mut below = 0usize; // demands[..below] are < s
+    for s in 1..=max {
+        while below < demands.len() && demands[below] < s {
+            below += 1;
+        }
+        cap += (demands.len() - below) as u32;
+        caps.push(cap);
+    }
+    max
 }
 
 /// Everything the estimator needs about one `(kernel, context)` pair,
@@ -59,7 +123,7 @@ struct LbCycle {
 pub struct ContextProfile {
     /// Sparse demand per profiled shared kind, in `kinds` order, with the
     /// per-cycle lower-bound summaries.
-    kinds: Vec<(FuKind, CycleDemand, Vec<LbCycle>)>,
+    kinds: Vec<(FuKind, CycleDemand, LbProfile)>,
     /// Base-schedule length.
     total_cycles: u32,
     /// Sequential body repetitions the schedule serializes (see
@@ -77,28 +141,34 @@ impl ContextProfile {
     /// Profiles `ctx` for the shared-resource `kinds` an exploration will
     /// offer.
     pub fn new(ctx: &ConfigContext, kernel: &Kernel, kinds: &[FuKind]) -> Self {
-        let mut profiled: Vec<(FuKind, CycleDemand, Vec<LbCycle>)> =
-            Vec::with_capacity(kinds.len());
+        let mut profiled: Vec<(FuKind, CycleDemand, LbProfile)> = Vec::with_capacity(kinds.len());
+        let mut col_scratch: Vec<(u16, u32)> = Vec::new();
+        let mut row_scratch: Vec<u32> = Vec::new();
+        let mut col_demand_scratch: Vec<u32> = Vec::new();
         for &kind in kinds {
             if profiled.iter().any(|(k, ..)| *k == kind) {
                 continue;
             }
             let demand = ctx.cycle_demand(|op| op.fu() == Some(kind));
-            let lb = demand
-                .cycles()
-                .map(|(cells, total)| {
-                    let mut rows: Vec<u16> = cells.iter().map(|c| c.row).collect();
-                    rows.dedup();
-                    let mut cols: Vec<u16> = cells.iter().map(|c| c.col).collect();
-                    cols.sort_unstable();
-                    cols.dedup();
-                    LbCycle {
-                        demand: total,
-                        rows_touched: rows.len() as u32,
-                        cols_touched: cols.len() as u32,
-                    }
-                })
-                .collect();
+            let mut lb = LbProfile::default();
+            for (cells, total) in demand.cycles() {
+                row_scratch.clear();
+                row_scratch.extend(CycleDemand::row_totals(cells).map(|(_, t)| t));
+                CycleDemand::col_totals(cells, &mut col_scratch);
+                let rows_touched = row_scratch.len() as u32;
+                let cols_touched = col_scratch.len() as u32;
+                let row_caps_len = push_caps(&mut lb.row_caps, &mut row_scratch);
+                col_demand_scratch.clear();
+                col_demand_scratch.extend(col_scratch.iter().map(|&(_, t)| t));
+                let col_caps_len = push_caps(&mut lb.col_caps, &mut col_demand_scratch);
+                lb.cycles.push(LbCycle {
+                    demand: total,
+                    rows_touched,
+                    cols_touched,
+                    row_caps_len,
+                    col_caps_len,
+                });
+            }
             profiled.push((kind, demand, lb));
         }
         ContextProfile {
@@ -119,11 +189,11 @@ impl ContextProfile {
             .map(|(_, d, _)| d)
     }
 
-    fn lb_cycles(&self, kind: FuKind) -> Option<&[LbCycle]> {
+    fn lb_profile(&self, kind: FuKind) -> Option<&LbProfile> {
         self.kinds
             .iter()
             .find(|(k, ..)| *k == kind)
-            .map(|(.., lb)| lb.as_slice())
+            .map(|(.., lb)| lb)
     }
 
     /// Base-schedule cycles of the profiled context.
@@ -163,23 +233,62 @@ impl ContextProfile {
 
     /// Admissible lower bound on [`ContextProfile::rs_stalls`]: in each
     /// cycle, greedy absorption can only draw from the row banks of rows
-    /// that actually demand (`rows_touched · shr`) and the column banks
-    /// of columns that actually demand (`cols_touched · shc`), so any
-    /// demand beyond that capacity stalls no matter how it is laid out.
-    pub fn rs_stalls_lower_bound(&self, plan: &SharingPlan) -> u32 {
+    /// that actually demand and the column banks of columns that
+    /// actually demand, so any demand beyond that capacity stalls no
+    /// matter how it is laid out.
+    ///
+    /// With [`BoundKind::Aggregate`] every touched row/column is
+    /// credited its full bank (`rows_touched·shr + cols_touched·shc`);
+    /// with [`BoundKind::PerRowResidual`] each row (column) is credited
+    /// at most its own demand (`Σ min(rowᵣ, shr) + Σ min(col꜀, shc)`),
+    /// which is still an over-estimate of what greedy absorption can
+    /// take — a row bank never absorbs more than the row demands, a
+    /// column bank never more than the column demands — and therefore
+    /// still admissible, while no longer crediting idle capacity on
+    /// lightly-loaded rows. Both reductions cost O(non-empty cycles) per
+    /// candidate with zero allocation: the per-row form reads capacity
+    /// prefix tables (`cap(s) = Σ min(d, s)`, precomputed per cycle at
+    /// profile-build time) in O(1) per cycle instead of re-scanning
+    /// demand cells.
+    pub fn rs_stalls_lower_bound(&self, plan: &SharingPlan, bound: BoundKind) -> u32 {
         plan.groups()
             .iter()
             .map(|g| {
                 let lb = self
-                    .lb_cycles(g.kind())
+                    .lb_profile(g.kind())
                     .expect("shared kind was profiled for this exploration");
                 let (shr, shc) = (g.per_row() as u32, g.per_col() as u32);
-                lb.iter()
-                    .map(|c| {
-                        c.demand
-                            .saturating_sub(c.rows_touched * shr + c.cols_touched * shc)
-                    })
-                    .sum::<u32>()
+                match bound {
+                    BoundKind::Aggregate => lb
+                        .cycles
+                        .iter()
+                        .map(|c| {
+                            c.demand
+                                .saturating_sub(c.rows_touched * shr + c.cols_touched * shc)
+                        })
+                        .sum::<u32>(),
+                    BoundKind::PerRowResidual => {
+                        let cap_at = |caps: &[u32], banks: u32| -> u32 {
+                            if banks == 0 || caps.is_empty() {
+                                0
+                            } else {
+                                caps[(banks as usize).min(caps.len()) - 1]
+                            }
+                        };
+                        let (mut ri, mut ci) = (0usize, 0usize);
+                        lb.cycles
+                            .iter()
+                            .map(|c| {
+                                let rows = &lb.row_caps[ri..ri + c.row_caps_len as usize];
+                                let cols = &lb.col_caps[ci..ci + c.col_caps_len as usize];
+                                ri += rows.len();
+                                ci += cols.len();
+                                c.demand
+                                    .saturating_sub(cap_at(rows, shr) + cap_at(cols, shc))
+                            })
+                            .sum::<u32>()
+                    }
+                }
             })
             .sum()
     }
@@ -491,23 +600,71 @@ mod tests {
 
     #[test]
     fn lower_bound_is_admissible_for_suite() {
-        // For every kernel × architecture, lb_rs <= exact rs estimate.
+        // For every kernel × architecture × bound kind, lb_rs <= exact
+        // rs estimate.
         for k in suite::all() {
             let ctx = ctx_for(&k);
             let profile = ContextProfile::new(&ctx, &k, &[FuKind::Multiplier]);
             for arch in presets::table_architectures() {
-                let lb = profile.rs_stalls_lower_bound(arch.plan());
-                let exact = profile.rs_stalls(arch.plan());
-                assert!(
-                    lb <= exact,
-                    "{} on {}: lb {} > rs {}",
-                    k.name(),
-                    arch.name(),
-                    lb,
-                    exact
-                );
+                for bound in [BoundKind::Aggregate, BoundKind::PerRowResidual] {
+                    let lb = profile.rs_stalls_lower_bound(arch.plan(), bound);
+                    let exact = profile.rs_stalls(arch.plan());
+                    assert!(
+                        lb <= exact,
+                        "{} on {} ({:?}): lb {} > rs {}",
+                        k.name(),
+                        arch.name(),
+                        bound,
+                        lb,
+                        exact
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn per_row_residual_bound_dominates_aggregate_bound() {
+        // The per-row residual bound is term-wise at least the aggregate
+        // bound — for every kernel, every sharable kind, and a grid of
+        // bank shapes — and strictly beats it somewhere (on this suite
+        // the strict wins come from ALU sharing, whose per-row demand is
+        // the most unbalanced).
+        let mut strictly_tighter_somewhere = false;
+        for k in suite::all() {
+            let ctx = ctx_for(&k);
+            for kind in [FuKind::Multiplier, FuKind::Alu, FuKind::Shifter] {
+                let profile = ContextProfile::new(&ctx, &k, &[kind]);
+                for shr in 1..=4usize {
+                    for shc in 0..=4usize {
+                        let Ok(g) = rsp_arch::SharedGroup::new(kind, shr, shc, 1) else {
+                            continue;
+                        };
+                        let plan = rsp_arch::SharingPlan::none().with_group(g).unwrap();
+                        let agg = profile.rs_stalls_lower_bound(&plan, BoundKind::Aggregate);
+                        let per_row =
+                            profile.rs_stalls_lower_bound(&plan, BoundKind::PerRowResidual);
+                        let exact = profile.rs_stalls(&plan);
+                        assert!(
+                            per_row >= agg && per_row <= exact,
+                            "{} {:?} shr={} shc={}: agg={} perrow={} exact={}",
+                            k.name(),
+                            kind,
+                            shr,
+                            shc,
+                            agg,
+                            per_row,
+                            exact
+                        );
+                        strictly_tighter_somewhere |= per_row > agg;
+                    }
+                }
+            }
+        }
+        assert!(
+            strictly_tighter_somewhere,
+            "per-row residual bound never beat the aggregate bound"
+        );
     }
 
     #[test]

@@ -36,25 +36,42 @@
 //!   for any thread count, including `parallelism = Some(1)`.
 //! * **Admissible pruning** — before full estimation, a candidate's
 //!   weighted execution time is bounded from below using the exact RP
-//!   overhead plus the per-cycle capacity bound
-//!   ([`crate::ContextProfile::rs_stalls_lower_bound`]).
+//!   overhead plus a per-cycle capacity bound
+//!   ([`crate::ContextProfile::rs_stalls_lower_bound`]); the bound's
+//!   strength is selectable via [`ExploreOptions::bound`]
+//!   ([`BoundKind::PerRowResidual`], the default, caps each row's and
+//!   column's capacity credit at its own demand and is strictly tighter
+//!   than the original [`BoundKind::Aggregate`] credit).
 //!   [`PruneStrategy::LowerBound`] (the default) skips candidates whose
 //!   *lower bound* already violates `max_slowdown` — such candidates are
 //!   provably rejected by the reference too (the bound is term-wise
 //!   monotone under IEEE-754 rounding), so pruning never changes the
-//!   result. [`PruneStrategy::Dominated`] additionally maintains an
-//!   incremental `(area, lb_et)` frontier and skips candidates whose
-//!   lower bound is already strictly dominated; these can never join the
-//!   Pareto frontier or be selected, but they do silently vanish from
-//!   [`Exploration::feasible`] — hence opt-in.
+//!   result. [`PruneStrategy::Dominated`] additionally skips candidates
+//!   whose lower bound is already strictly dominated by an accepted
+//!   point; these can never join the Pareto frontier or be selected, but
+//!   they do silently vanish from [`Exploration::feasible`] — hence
+//!   opt-in.
+//! * **Area-ordered enumeration** — under [`PruneStrategy::Dominated`]
+//!   candidates are enumerated in ascending synthesized-area order
+//!   (areas come from the memoized [`ModelCache`] area-only fast path),
+//!   so small, strong designs populate the frontier first and the
+//!   dominated test starts cutting almost immediately instead of after
+//!   most of the space has been estimated.
+//! * **Streaming frontier** — feasible points stream into a
+//!   [`crate::ParetoFrontier`], which both answers the dominated-pruning
+//!   queries in O(log frontier) and emits the final Pareto set
+//!   incrementally. Its emission is proven (and property-tested)
+//!   bit-identical to the batch [`pareto_indices`] sweep the reference
+//!   performs — frontier *equality*, not merely equivalence — including
+//!   the sweep's `1e-12` epsilon and NaN handling.
 //!
-//! The final frontier is still computed by the same NaN-safe
-//! [`pareto_indices`] sweep the reference uses (O(F log F) over feasible
-//! points, negligible next to estimation), which is what guarantees
-//! frontier equality rather than merely frontier equivalence.
+//! Pruning efficacy is observable: [`Exploration::stats`] reports
+//! candidates seen/pruned and the measured mean tightness of the lower
+//! bound against the full estimate ([`PruneStats`]).
 
 use crate::error::RspError;
-use crate::estimate::{estimate_stalls_dense, ContextProfile};
+use crate::estimate::{estimate_stalls_dense, BoundKind, ContextProfile};
+use crate::frontier::{pareto_indices_of, ParetoFrontier};
 use rayon::prelude::*;
 use rsp_arch::{BaseArchitecture, FuKind, RspArchitecture, SharedGroup, SharingPlan};
 use rsp_kernel::Kernel;
@@ -101,7 +118,9 @@ impl DesignSpace {
     /// A deep space stressing the engine: every sharable kind, pipeline
     /// depths up to the template's maximum of 8, and wide bank ranges —
     /// the SHP-style deep-pipelining sweep the 12-point paper grid only
-    /// hints at. Enumerates lazily; never materialized as a list.
+    /// hints at. Enumerates lazily under the result-preserving prune
+    /// strategies; [`PruneStrategy::Dominated`] materializes the plan
+    /// list once to sort candidates by synthesized area.
     pub fn deep() -> Self {
         Self {
             shared_kinds: vec![FuKind::Multiplier, FuKind::Alu, FuKind::Shifter],
@@ -191,6 +210,11 @@ pub struct ExploreOptions {
     pub parallelism: Option<usize>,
     /// Pruning aggressiveness (default [`PruneStrategy::LowerBound`]).
     pub prune: PruneStrategy,
+    /// Strength of the admissible execution-time lower bound pruning
+    /// works with (default [`BoundKind::PerRowResidual`], the tighter
+    /// one). Either kind is result-preserving; the knob exists so the
+    /// aggregate bound stays measurable as a baseline.
+    pub bound: BoundKind,
     /// Feasibility constraints.
     pub constraints: Constraints,
     /// Selection objective.
@@ -208,11 +232,29 @@ impl Default for ExploreOptions {
         Self {
             parallelism: None,
             prune: PruneStrategy::default(),
+            bound: BoundKind::default(),
             constraints: Constraints::default(),
             objective: Objective::AreaDelayProduct,
             cache: None,
         }
     }
+}
+
+/// Pruning efficacy counters of one exploration (see
+/// [`Exploration::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PruneStats {
+    /// Candidate plans enumerated from the design space (including ones
+    /// later rejected by constraints).
+    pub candidates_seen: usize,
+    /// Candidates whose full estimation was skipped — by the lower-bound
+    /// slowdown test or, under [`PruneStrategy::Dominated`], the
+    /// dominated-candidate test.
+    pub candidates_pruned: usize,
+    /// Mean of `lower_bound_et / estimated_et` over the candidates that
+    /// *were* fully estimated (1.0 = the bound is exact; 0.0 when
+    /// pruning was disabled, so no bounds were computed).
+    pub bound_tightness: f64,
 }
 
 /// One evaluated candidate.
@@ -245,8 +287,11 @@ pub struct Exploration {
     pub best: usize,
     /// Weighted estimated execution time of the base architecture (ns).
     pub base_et_ns: f64,
-    /// Candidates whose full estimation was skipped by pruning.
+    /// Candidates whose full estimation was skipped by pruning
+    /// (equals `stats.candidates_pruned`; kept as a convenience).
     pub pruned: usize,
+    /// Pruning efficacy counters.
+    pub stats: PruneStats,
 }
 
 impl Exploration {
@@ -331,10 +376,13 @@ pub fn explore(
 /// every `parallelism` setting takes identical decisions.
 const CHUNK: usize = 64;
 
-/// Verdict of the cheap pre-estimation pass on one candidate.
+/// Verdict of the cheap pre-estimation pass on one candidate. The
+/// `Evaluate` payload is `(arch, area, clock, cost_ok, lb_et)`; the
+/// lower bound rides along so the merge phase can measure its tightness
+/// against the full estimate.
 enum Screen {
     /// Estimate fully.
-    Evaluate(RspArchitecture, f64, f64, bool),
+    Evaluate(RspArchitecture, f64, f64, bool, f64),
     /// Provably infeasible or dominated; skip silently.
     Prune,
     /// Fails a hard constraint the reference also applies pre-push.
@@ -415,18 +463,54 @@ pub fn explore_with(
         .build()
         .expect("thread pool");
 
-    let mut feasible: Vec<DesignPoint> = Vec::new();
-    let mut pruned = 0usize;
-    // Incremental (area, lb_et) frontier for Dominated pruning, kept
-    // sorted by area ascending / et descending.
-    let mut frontier: Vec<(f64, f64)> = Vec::new();
+    // Candidate stream: enumeration order by default (which is what the
+    // bit-identical guarantee for result-preserving strategies rests
+    // on); under Dominated pruning — which already opts into a reordered
+    // `feasible` — ascending synthesized-area order, computed through
+    // the memoized area-only fast path. Small strong designs then enter
+    // the frontier first, so the dominated test cuts from the start
+    // instead of after most of the space has been estimated. The sort is
+    // stable (enumeration index breaks area ties), which keeps tied
+    // plans in reference order.
+    let mut plans: Box<dyn Iterator<Item = SharingPlan> + '_> =
+        if options.prune == PruneStrategy::Dominated {
+            let all: Vec<SharingPlan> = space.plans().collect();
+            let areas: Vec<f64> = pool.install(|| {
+                all.par_iter()
+                    .map(|plan| {
+                        RspArchitecture::new("", Arc::clone(&base), plan.clone())
+                            .map(|arch| models.area_report(&arch).synthesized_slices)
+                            .unwrap_or(f64::INFINITY)
+                    })
+                    .collect()
+            });
+            let mut order: Vec<usize> = (0..all.len()).collect();
+            order.sort_by(|&a, &b| areas[a].total_cmp(&areas[b]).then(a.cmp(&b)));
+            let mut slots: Vec<Option<SharingPlan>> = all.into_iter().map(Some).collect();
+            Box::new(
+                order
+                    .into_iter()
+                    .map(move |i| slots[i].take().expect("each plan yielded once")),
+            )
+        } else {
+            Box::new(space.plans())
+        };
 
-    let mut plans = space.plans();
+    let mut feasible: Vec<DesignPoint> = Vec::new();
+    let mut stats = PruneStats::default();
+    // Tightness accumulator: Σ (lb_et / est_et) over fully estimated
+    // candidates, and how many contributed.
+    let mut tightness = (0.0f64, 0usize);
+    // Streaming frontier: answers Dominated-pruning queries and emits
+    // the final Pareto set, bit-identical to the reference batch sweep.
+    let mut frontier = ParetoFrontier::new();
+
     loop {
         let chunk: Vec<SharingPlan> = plans.by_ref().take(CHUNK).collect();
         if chunk.is_empty() {
             break;
         }
+        stats.candidates_seen += chunk.len();
 
         // Phase A (parallel): construct candidates and synthesize their
         // reports plus the admissible lower bound — all pure per-plan
@@ -447,7 +531,7 @@ pub fn explore_with(
                         // rounding.
                         for (profile, w) in profiles.iter().zip(weights) {
                             let lb_cycles = profile.total_cycles()
-                                + profile.rs_stalls_lower_bound(arch.plan())
+                                + profile.rs_stalls_lower_bound(arch.plan(), options.bound)
                                 + profile.rp_overhead(arch.plan());
                             lb_et += w * lb_cycles as f64 * delay.clock_ns;
                         }
@@ -479,22 +563,29 @@ pub fn explore_with(
             if options.prune != PruneStrategy::None
                 && (lb_et > et_bound
                     || (options.prune == PruneStrategy::Dominated
-                        && dominated(&frontier, area_slices, lb_et)))
+                        && frontier.dominates(area_slices, lb_et)))
             {
-                pruned += 1;
+                stats.candidates_pruned += 1;
                 screened.push(Screen::Prune);
                 continue;
             }
-            screened.push(Screen::Evaluate(arch, area_slices, clock_ns, cost_ok));
+            screened.push(Screen::Evaluate(
+                arch,
+                area_slices,
+                clock_ns,
+                cost_ok,
+                lb_et,
+            ));
         }
 
         // Phase C (parallel): full estimation of the survivors; results
-        // come back in enumeration order.
-        let evaluated: Vec<Option<DesignPoint>> = pool.install(|| {
+        // come back in enumeration order, each with its lower bound for
+        // the tightness statistic.
+        let evaluated: Vec<Option<(DesignPoint, f64)>> = pool.install(|| {
             screened
                 .into_par_iter()
                 .map(|screen| match screen {
-                    Screen::Evaluate(arch, area_slices, clock_ns, cost_bound_ok) => {
+                    Screen::Evaluate(arch, area_slices, clock_ns, cost_bound_ok, lb_et) => {
                         let mut est_cycles = Vec::with_capacity(profiles.len());
                         let mut est_et = 0.0;
                         for (profile, w) in profiles.iter().zip(weights) {
@@ -502,14 +593,17 @@ pub fn explore_with(
                             est_cycles.push(est.total_cycles);
                             est_et += w * est.total_cycles as f64 * clock_ns;
                         }
-                        Some(DesignPoint {
-                            arch,
-                            area_slices,
-                            clock_ns,
-                            est_cycles,
-                            est_et_ns: est_et,
-                            cost_bound_ok,
-                        })
+                        Some((
+                            DesignPoint {
+                                arch,
+                                area_slices,
+                                clock_ns,
+                                est_cycles,
+                                est_et_ns: est_et,
+                                cost_bound_ok,
+                            },
+                            lb_et,
+                        ))
                     }
                     Screen::Prune | Screen::Reject => None,
                 })
@@ -518,11 +612,17 @@ pub fn explore_with(
 
         // Ordered merge: identical to what the serial reference pushes.
         for point in evaluated.into_iter() {
-            let Some(point) = point else { continue };
+            let Some((point, lb_et)) = point else {
+                continue;
+            };
+            if options.prune != PruneStrategy::None && point.est_et_ns > 0.0 {
+                tightness.0 += lb_et / point.est_et_ns;
+                tightness.1 += 1;
+            }
             if point.est_et_ns > et_bound {
                 continue;
             }
-            frontier_insert(&mut frontier, point.area_slices, point.est_et_ns);
+            frontier.insert(point.area_slices, point.est_et_ns, feasible.len());
             feasible.push(point);
         }
     }
@@ -531,47 +631,24 @@ pub fn explore_with(
         return Err(RspError::NoFeasibleDesign);
     }
 
-    let pareto = pareto_indices(&feasible);
+    // The streaming frontier's emission is bit-identical to
+    // `pareto_indices(&feasible)` (see `crate::frontier`'s module docs
+    // and property tests), so no batch re-sweep is needed here.
+    let pareto = frontier.indices();
     let best = select(&feasible, &pareto, options.objective);
+    stats.bound_tightness = if tightness.1 > 0 {
+        tightness.0 / tightness.1 as f64
+    } else {
+        0.0
+    };
     Ok(Exploration {
         feasible,
         pareto,
         best,
         base_et_ns: base_et,
-        pruned,
+        pruned: stats.candidates_pruned,
+        stats,
     })
-}
-
-/// Whether `(area, lb_et)` is strictly dominated by an accepted point:
-/// some point has area ≤ `area` **and** et strictly below the candidate's
-/// admissible lower bound — the candidate can then never enter the
-/// frontier (its true et is ≥ the lower bound).
-fn dominated(frontier: &[(f64, f64)], area: f64, lb_et: f64) -> bool {
-    // `frontier` is sorted by area ascending; find the best (lowest) et
-    // among points with area <= candidate area.
-    let idx = frontier.partition_point(|&(a, _)| a <= area);
-    frontier[..idx].iter().any(|&(_, et)| et < lb_et)
-}
-
-/// Inserts an accepted point into the incremental frontier, dropping
-/// entries it dominates. Used only to make [`dominated`] cheap.
-fn frontier_insert(frontier: &mut Vec<(f64, f64)>, area: f64, et: f64) {
-    if dominated(frontier, area, et) {
-        // Not frontier material; but keep nothing extra — the full pareto
-        // set is recomputed at the end.
-        return;
-    }
-    let idx = frontier.partition_point(|&(a, _)| a < area);
-    frontier.insert(idx, (area, et));
-    // Remove now-dominated successors (area >= ours, et >= ours).
-    let mut keep = idx + 1;
-    while keep < frontier.len() {
-        if frontier[keep].1 >= et {
-            frontier.remove(keep);
-        } else {
-            keep += 1;
-        }
-    }
 }
 
 /// The original serial implementation from the paper reproduction, kept
@@ -611,7 +688,9 @@ pub fn explore_reference(
         .sum();
 
     let mut feasible = Vec::new();
+    let mut candidates_seen = 0usize;
     for plan in space.plans() {
+        candidates_seen += 1;
         let name = plan_name(&plan);
         let Ok(arch) = RspArchitecture::new(name, base.clone(), plan) else {
             continue;
@@ -656,6 +735,11 @@ pub fn explore_reference(
         best,
         base_et_ns: base_et,
         pruned: 0,
+        stats: PruneStats {
+            candidates_seen,
+            candidates_pruned: 0,
+            bound_tightness: 0.0,
+        },
     })
 }
 
@@ -673,24 +757,15 @@ fn plan_name(plan: &SharingPlan) -> String {
 /// Indices of non-dominated points in (area, estimated time), sorted by
 /// area ascending. NaN-safe: comparisons use `f64::total_cmp`, so a
 /// degenerate candidate (NaN area or time) sorts last instead of
-/// panicking, and can never displace a finite frontier point.
+/// panicking, and can never displace a finite frontier point. This is
+/// the batch sweep the reference uses; the engine's streaming
+/// [`ParetoFrontier`] emits the identical result.
 fn pareto_indices(points: &[DesignPoint]) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..points.len()).collect();
-    idx.sort_by(|&a, &b| {
-        points[a]
-            .area_slices
-            .total_cmp(&points[b].area_slices)
-            .then(points[a].est_et_ns.total_cmp(&points[b].est_et_ns))
-    });
-    let mut out = Vec::new();
-    let mut best_et = f64::INFINITY;
-    for i in idx {
-        if points[i].est_et_ns < best_et - 1e-12 {
-            out.push(i);
-            best_et = points[i].est_et_ns;
-        }
-    }
-    out
+    let pairs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.area_slices, p.est_et_ns))
+        .collect();
+    pareto_indices_of(&pairs)
 }
 
 fn select(points: &[DesignPoint], pareto: &[usize], objective: Objective) -> usize {
@@ -965,6 +1040,64 @@ mod tests {
             full.best_point().est_et_ns.to_bits(),
             pruned.best_point().est_et_ns.to_bits()
         );
+    }
+
+    #[test]
+    fn deep_space_dominated_pruning_is_frontier_identical_and_bites() {
+        // The pruning-efficacy regression test: on the deep space the
+        // per-row bound + area-ordered enumeration must skip at least
+        // 20 % of candidate estimations while leaving the Pareto
+        // frontier bit-identical to the unpruned engine.
+        let (base, kernels, contexts, weights) = setup();
+        let run = |prune, bound| {
+            explore_with(
+                &base,
+                &kernels,
+                &contexts,
+                &weights,
+                &DesignSpace::deep(),
+                &ExploreOptions {
+                    prune,
+                    bound,
+                    ..ExploreOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let full = run(PruneStrategy::None, BoundKind::PerRowResidual);
+        let pruned = run(PruneStrategy::Dominated, BoundKind::PerRowResidual);
+
+        let frontier = |r: &Exploration| -> Vec<(String, u64, u64)> {
+            r.pareto_points()
+                .map(|p| {
+                    (
+                        p.arch.name().to_string(),
+                        p.area_slices.to_bits(),
+                        p.est_et_ns.to_bits(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(frontier(&full), frontier(&pruned));
+        assert_eq!(
+            full.best_point().arch.name(),
+            pruned.best_point().arch.name()
+        );
+
+        assert_eq!(pruned.stats.candidates_seen, full.stats.candidates_seen);
+        assert!(
+            pruned.stats.candidates_pruned * 5 >= pruned.stats.candidates_seen,
+            "pruned only {} of {} candidates (< 20 %)",
+            pruned.stats.candidates_pruned,
+            pruned.stats.candidates_seen
+        );
+        // The tightness statistic is a meaningful ratio: admissible
+        // (≤ 1) and non-trivial on this space.
+        assert!(pruned.stats.bound_tightness > 0.5);
+        assert!(pruned.stats.bound_tightness <= 1.0);
+        // The unpruned engine computes no bounds and says so.
+        assert_eq!(full.stats.candidates_pruned, 0);
+        assert_eq!(full.stats.bound_tightness, 0.0);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! the requested coverage of total weight is reached.
 
 use crate::error::RspError;
+use crate::estimate::BoundKind;
 use crate::explore::{
     explore_with, Constraints, DesignSpace, Exploration, ExploreOptions, Objective, PruneStrategy,
 };
@@ -79,6 +80,8 @@ pub struct FlowConfig {
     pub parallelism: Option<usize>,
     /// Exploration pruning aggressiveness.
     pub prune: PruneStrategy,
+    /// Strength of the admissible lower bound exploration pruning uses.
+    pub bound: BoundKind,
 }
 
 impl Default for FlowConfig {
@@ -94,6 +97,7 @@ impl Default for FlowConfig {
             rearrange_options: RearrangeOptions::default(),
             parallelism: None,
             prune: PruneStrategy::default(),
+            bound: BoundKind::default(),
         }
     }
 }
@@ -240,6 +244,7 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
         &ExploreOptions {
             parallelism: config.parallelism,
             prune: config.prune,
+            bound: config.bound,
             constraints: config.constraints,
             objective: config.objective,
             cache: None,

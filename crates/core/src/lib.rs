@@ -12,7 +12,16 @@
 //!   uses instead of exact remapping.
 //! * [`explore`] — enumerates RSP parameters (`shr`, `shc`, stages,
 //!   resource kinds), applies the eq. (2) cost bound, keeps Pareto points,
-//!   selects an optimum.
+//!   selects an optimum. The engine behind it ([`explore_with`]) prunes
+//!   provably hopeless candidates using an admissible execution-time
+//!   lower bound whose strength is selectable via
+//!   [`ExploreOptions::bound`] ([`BoundKind::PerRowResidual`], the
+//!   tighter default, caps each row's and column's capacity credit at
+//!   its own demand; [`BoundKind::Aggregate`] is the looser baseline),
+//!   streams feasible points through a [`ParetoFrontier`] whose
+//!   emission is bit-identical to the reference batch sweep, and
+//!   reports pruning efficacy — candidates seen/pruned and measured
+//!   bound tightness — in [`Exploration::stats`] ([`PruneStats`]).
 //! * [`run_flow`] — the whole Fig. 7 flow: profiling → critical loops →
 //!   base architecture → pipeline mapping → RSP exploration → RSP mapping
 //!   with exact performance.
@@ -45,18 +54,20 @@ mod error;
 mod estimate;
 mod explore;
 mod flow;
+mod frontier;
 mod perf;
 mod power;
 mod rearrange;
 mod utilization;
 
 pub use error::RspError;
-pub use estimate::{estimate_stalls, ContextProfile, StallEstimate};
+pub use estimate::{estimate_stalls, BoundKind, ContextProfile, StallEstimate};
 pub use explore::{
     explore, explore_reference, explore_with, Constraints, DesignPoint, DesignSpace, Exploration,
-    ExploreOptions, Objective, PruneStrategy,
+    ExploreOptions, Objective, PruneStats, PruneStrategy,
 };
 pub use flow::{run_flow, AppProfile, CriticalLoop, FlowConfig, FlowReport};
+pub use frontier::ParetoFrontier;
 pub use perf::{evaluate_perf, perf_from_rearranged, KernelPerf};
 pub use power::{activity_of, evaluate_energy};
 pub use rearrange::{rearrange, RearrangeOptions, Rearranged};

@@ -8,8 +8,8 @@
 use proptest::prelude::*;
 use rsp_arch::{presets, BaseArchitecture};
 use rsp_core::{
-    explore_reference, explore_with, Constraints, DesignSpace, Exploration, ExploreOptions,
-    Objective, PruneStrategy,
+    explore_reference, explore_with, BoundKind, Constraints, DesignSpace, Exploration,
+    ExploreOptions, Objective, PruneStrategy,
 };
 use rsp_kernel::Kernel;
 use rsp_mapper::{map, ConfigContext, MapOptions};
@@ -77,15 +77,21 @@ fn arb_space() -> impl Strategy<Value = DesignSpace> {
     prop_oneof![Just(DesignSpace::paper()), Just(DesignSpace::extended())]
 }
 
+fn arb_bound() -> impl Strategy<Value = BoundKind> {
+    prop_oneof![Just(BoundKind::Aggregate), Just(BoundKind::PerRowResidual)]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Any thread count × result-preserving prune strategy × objective ×
-    /// slowdown bound reproduces the reference exploration bit for bit.
+    /// Any thread count × result-preserving prune strategy × bound kind
+    /// × objective × slowdown bound reproduces the reference exploration
+    /// bit for bit.
     #[test]
     fn engine_is_bit_identical_to_reference(
         threads in 1usize..=8,
         lb_prune in any::<bool>(),
+        bound in arb_bound(),
         objective in arb_objective(),
         space in arb_space(),
         slowdown_pct in 101u32..=300,
@@ -105,6 +111,7 @@ proptest! {
             &ExploreOptions {
                 parallelism: Some(threads),
                 prune: if lb_prune { PruneStrategy::LowerBound } else { PruneStrategy::None },
+                bound,
                 constraints,
                 objective,
                 cache: None,
@@ -118,11 +125,14 @@ proptest! {
         }
     }
 
-    /// Dominated pruning may shrink `feasible` but must preserve the
-    /// frontier (as a point set) and the selected optimum.
+    /// Dominated pruning (with either bound kind, and with the
+    /// area-ordered enumeration it enables) may shrink `feasible` but
+    /// must preserve the streamed frontier — bit for bit, as a point
+    /// sequence — and the selected optimum.
     #[test]
     fn dominated_pruning_preserves_frontier(
         threads in 1usize..=8,
+        bound in arb_bound(),
         objective in arb_objective(),
         space in arb_space(),
     ) {
@@ -136,6 +146,7 @@ proptest! {
             &ExploreOptions {
                 parallelism: Some(threads),
                 prune: PruneStrategy::Dominated,
+                bound,
                 constraints: Constraints::default(),
                 objective,
                 cache: None,
@@ -151,5 +162,7 @@ proptest! {
             reference.best_point().arch.name(),
             engine.best_point().arch.name()
         );
+        prop_assert_eq!(engine.stats.candidates_pruned, engine.pruned);
+        prop_assert_eq!(engine.stats.candidates_seen, reference.stats.candidates_seen);
     }
 }

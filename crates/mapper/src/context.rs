@@ -158,6 +158,59 @@ impl CycleDemand {
     pub fn cycle_totals(&self) -> &[u32] {
         &self.totals
     }
+
+    /// Aggregates one cycle's cells (as yielded by
+    /// [`CycleDemand::cycles`]) into per-row `(row, total)` pairs, in row
+    /// order. Cells within a cycle are row-major, so rows group
+    /// contiguously and the aggregation is a zero-allocation scan.
+    ///
+    /// This is the accessor behind the exploration engine's per-row
+    /// residual lower bound: a row demanding `total` operations can draw
+    /// at most `min(total, shr)` from its row bank, which is strictly
+    /// tighter than crediting the full `shr` to every touched row.
+    pub fn row_totals(cells: &[DemandCell]) -> RowTotals<'_> {
+        RowTotals { cells }
+    }
+
+    /// Aggregates one cycle's cells into per-column `(col, total)` pairs,
+    /// sorted by column, written into `out` (cleared first; its capacity
+    /// is reused across calls). Columns repeat across rows within a
+    /// cycle, so — unlike [`CycleDemand::row_totals`] — this needs a
+    /// sort-and-merge over a caller-provided scratch buffer.
+    pub fn col_totals(cells: &[DemandCell], out: &mut Vec<(u16, u32)>) {
+        out.clear();
+        for cell in cells {
+            out.push((cell.col, cell.count));
+        }
+        out.sort_unstable_by_key(|&(col, _)| col);
+        out.dedup_by(|b, a| {
+            if a.0 == b.0 {
+                a.1 += b.1;
+                true
+            } else {
+                false
+            }
+        });
+    }
+}
+
+/// Iterator over per-row `(row, total)` aggregates of one cycle's demand
+/// cells. Created by [`CycleDemand::row_totals`].
+#[derive(Debug, Clone)]
+pub struct RowTotals<'a> {
+    cells: &'a [DemandCell],
+}
+
+impl Iterator for RowTotals<'_> {
+    type Item = (u16, u32);
+
+    fn next(&mut self) -> Option<(u16, u32)> {
+        let first = *self.cells.first()?;
+        let run = self.cells.iter().take_while(|c| c.row == first.row).count();
+        let total = self.cells[..run].iter().map(|c| c.count).sum();
+        self.cells = &self.cells[run..];
+        Some((first.row, total))
+    }
 }
 
 /// Peak per-row and total demand profile of a context (used by the RSP

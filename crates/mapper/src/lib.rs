@@ -45,7 +45,7 @@ mod validate;
 
 pub use context::{
     ConfigContext, CycleDemand, DemandCell, DemandProfile, InstanceId, MemAccess, OpInstance,
-    SrcOperand,
+    RowTotals, SrcOperand,
 };
 pub use encode::{encode_context, ConfigImage, ConfigWord, EncodeError};
 pub use error::{MapError, ScheduleViolation};

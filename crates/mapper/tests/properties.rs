@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 use rsp_arch::{ArrayGeometry, BaseArchitecture, BusSpec, OpKind, PeDesign};
 use rsp_kernel::{suite, Kernel, MappingStyle};
-use rsp_mapper::{check_buses, encode_context, map, validate_base_schedule, MapOptions};
+use rsp_mapper::{
+    check_buses, encode_context, map, validate_base_schedule, CycleDemand, MapOptions,
+};
 
 fn base(rows: usize, cols: usize) -> BaseArchitecture {
     BaseArchitecture::new(
@@ -23,6 +25,46 @@ fn kernels() -> Vec<Kernel> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The per-row and per-column aggregation accessors on [`CycleDemand`]
+    /// conserve the cycle total, never exceed it per row/column, and agree
+    /// with a naive recount of the raw cells.
+    #[test]
+    fn cycle_demand_row_and_col_totals_are_consistent(
+        ki in 0usize..10,
+        mult_only in any::<bool>(),
+    ) {
+        let k = &kernels()[ki];
+        let Ok(ctx) = map(&base(8, 8), k, &MapOptions::default()) else {
+            return Ok(());
+        };
+        let demand = ctx.cycle_demand(|op| !mult_only || op == OpKind::Mult);
+        let mut col_scratch: Vec<(u16, u32)> = Vec::new();
+        for (cells, total) in demand.cycles() {
+            let rows: Vec<(u16, u32)> = CycleDemand::row_totals(cells).collect();
+            CycleDemand::col_totals(cells, &mut col_scratch);
+
+            // Conservation: both aggregations sum to the cycle total.
+            prop_assert_eq!(rows.iter().map(|&(_, t)| t).sum::<u32>(), total);
+            prop_assert_eq!(col_scratch.iter().map(|&(_, t)| t).sum::<u32>(), total);
+
+            // Row/column keys are unique and sorted (rows by first
+            // appearance order of row-major cells = ascending; cols sorted
+            // by construction).
+            prop_assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+            prop_assert!(col_scratch.windows(2).all(|w| w[0].0 < w[1].0));
+
+            // Agreement with a naive recount of the raw cells.
+            for &(row, t) in &rows {
+                let naive: u32 = cells.iter().filter(|c| c.row == row).map(|c| c.count).sum();
+                prop_assert_eq!(t, naive);
+            }
+            for &(col, t) in &col_scratch {
+                let naive: u32 = cells.iter().filter(|c| c.col == col).map(|c| c.count).sum();
+                prop_assert_eq!(t, naive);
+            }
+        }
+    }
 
     #[test]
     fn mapping_is_total_and_legal_on_any_geometry(

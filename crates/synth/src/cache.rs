@@ -26,6 +26,10 @@ pub struct ModelCache {
     delay: DelayModel,
     #[allow(clippy::type_complexity)]
     memo: Mutex<HashMap<(ArrayGeometry, SharingPlan), (AreaReport, DelayReport)>>,
+    /// Area-only memo for the fast path ([`ModelCache::area_report`]):
+    /// candidate-ordering passes need every plan's area before any plan's
+    /// delay, and must not pay for delay synthesis to get it.
+    area_memo: Mutex<HashMap<(ArrayGeometry, SharingPlan), AreaReport>>,
 }
 
 impl ModelCache {
@@ -40,6 +44,7 @@ impl ModelCache {
             area,
             delay,
             memo: Mutex::new(HashMap::new()),
+            area_memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -75,17 +80,58 @@ impl ModelCache {
         }
         // Computed outside the lock: synthesis is the expensive part and
         // duplicate computation on a race is harmless (reports are pure).
-        let reports = (self.area.report(arch), self.delay.report(arch));
-        self.memo.lock().unwrap().insert(key, reports);
+        // An area already synthesized through the fast path is promoted
+        // (removed, not copied) into the full memo — the full entry
+        // shadows the area memo on every read path, so keeping both
+        // would just duplicate the key for the cache's lifetime. The
+        // insert+remove happens under the full-memo lock (nesting order
+        // memo → area_memo, same as `area_report`'s publish) so a racing
+        // fast-path publish cannot resurrect the area entry afterwards.
+        let area_hit = self.area_memo.lock().unwrap().get(&key).copied();
+        let area = area_hit.unwrap_or_else(|| self.area.report(arch));
+        let reports = (area, self.delay.report(arch));
+        {
+            let mut memo = self.memo.lock().unwrap();
+            let mut area_memo = self.area_memo.lock().unwrap();
+            area_memo.remove(&key);
+            memo.insert(key, reports);
+        }
         reports
     }
 
-    /// Number of distinct plans synthesized so far.
+    /// Area report only — the fast path for passes that need every
+    /// candidate's area before (or without) its delay, such as the
+    /// exploration engine's area-ordered candidate enumeration. Memoized
+    /// separately from [`ModelCache::reports`]; a later full query reuses
+    /// the area instead of re-synthesizing it.
+    pub fn area_report(&self, arch: &RspArchitecture) -> AreaReport {
+        let key = (arch.geometry(), arch.plan().clone());
+        if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+            return hit.0;
+        }
+        if let Some(hit) = self.area_memo.lock().unwrap().get(&key) {
+            return *hit;
+        }
+        let report = self.area.report(arch);
+        // Publish under the same memo → area_memo nesting as `reports`'s
+        // promotion: if the full report landed while we synthesized, the
+        // area entry would only duplicate it, so skip the insert.
+        let memo = self.memo.lock().unwrap();
+        if !memo.contains_key(&key) {
+            self.area_memo.lock().unwrap().insert(key, report);
+        }
+        report
+    }
+
+    /// Number of distinct plans with *full* (area + delay) reports so
+    /// far. Plans touched only through the [`ModelCache::area_report`]
+    /// fast path are not counted until a full query promotes them.
     pub fn len(&self) -> usize {
         self.memo.lock().unwrap().len()
     }
 
-    /// Whether nothing has been synthesized yet.
+    /// Whether no full report has been computed yet (see
+    /// [`ModelCache::len`] — area-only entries are not counted).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -113,6 +159,21 @@ mod tests {
             let (a, d) = cache.reports(&arch);
             assert_eq!(a, AreaModel::new().report(&arch));
             assert_eq!(d, DelayModel::new().report(&arch));
+        }
+    }
+
+    #[test]
+    fn area_fast_path_matches_full_reports() {
+        let cache = ModelCache::new();
+        for arch in presets::table_architectures() {
+            // Fast path first, full query second: the area must agree and
+            // be served from the area memo, never re-synthesized.
+            let fast = cache.area_report(&arch);
+            assert_eq!(fast, AreaModel::new().report(&arch));
+            let (full, _) = cache.reports(&arch);
+            assert_eq!(fast, full);
+            // Once the full report exists, the fast path reads it.
+            assert_eq!(cache.area_report(&arch), full);
         }
     }
 
