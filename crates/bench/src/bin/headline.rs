@@ -1,41 +1,57 @@
-//! Regenerates the paper's headline claims *and* the tracked exploration
-//! benchmark (`BENCH_explore.json`), and gates CI against it.
+//! Regenerates the paper's headline claims *and* the tracked benchmarks
+//! (`BENCH_explore.json`, `BENCH_flow.json`), and gates CI against them.
 //!
 //! ```sh
 //! cargo run --release -p rsp-bench --bin headline            # stdout only
 //! cargo run --release -p rsp-bench --bin headline -- --json BENCH_explore.json
+//! cargo run --release -p rsp-bench --bin headline -- --flow --json BENCH_flow.json
 //! cargo run --release -p rsp-bench --bin headline -- --samples 15
-//! cargo run --release -p rsp-bench --bin headline -- --check BENCH_explore.json --tolerance 0.15
+//! cargo run --release -p rsp-bench --bin headline -- \
+//!     --check BENCH_explore.json --check BENCH_flow.json \
+//!     --tolerance 0.15 --emit bench-regen
 //! ```
 //!
-//! The JSON artifact is rebar-style: engine rows with median-of-N
+//! The JSON artifacts are rebar-style: engine rows with median-of-N
 //! wall-clock (one warmup discarded), speedups versus the serial
-//! reference engine, and pruning-efficacy counters
-//! (`candidates_pruned`, `bound_tightness`), over the `extended` space
-//! (the speedup trajectory) and the `deep` space (where pruning bites).
+//! reference row, and pruning-efficacy counters (`candidates_pruned`,
+//! `clock_bound_cuts`, `rearrangements_skipped`, `bound_tightness`).
+//! Without `--flow` the exploration benchmark runs (`extended` +
+//! `deep` spaces); with `--flow` the end-to-end Fig. 7 flow benchmark
+//! runs (`flow-paper` + `flow-deep`).
 //!
-//! `--check <artifact>` is the CI benchmark-regression gate: it re-runs
-//! every committed report (same spaces and sample counts) and exits
-//! non-zero when any engine's median **and** best-of-N wall-clock —
-//! both normalized by the same run's `serial-reference` row, so
-//! host-speed differences between the artifact's origin and the CI
-//! runner cancel — regress by more than `--tolerance` (default
-//! 0.15 = 15 %; requiring both statistics keeps the gate stable against
-//! scheduler noise), when a feasible-design count drifts, or when a
-//! committed engine configuration is no longer measured.
+//! `--check <artifact>` is the CI benchmark-regression gate; it may be
+//! repeated to gate several artifacts in one invocation, and each
+//! artifact is dispatched to its own benchmark by its `benchmark` id
+//! (`rsp/explore`, `rsp/flow`). The gate re-runs every committed report
+//! (same configurations and sample counts) and exits non-zero when any
+//! engine's median **and** best-of-N wall-clock — both normalized by
+//! the same run's `serial-reference` row, so host-speed differences
+//! between the artifact's origin and the CI runner cancel — regress by
+//! more than `--tolerance` (default 0.15 = 15 %; requiring both
+//! statistics keeps the gate stable against scheduler noise), when a
+//! feasible-design count drifts, or when a committed engine
+//! configuration is no longer measured. `--emit <dir>` additionally
+//! writes each freshly re-run artifact to `<dir>/<artifact filename>`,
+//! so CI can upload them for diffing when the gate fails.
 
-use rsp_bench::explore_bench;
+use rsp_bench::gate::CheckOutcome;
+use rsp_bench::{explore_bench, flow_bench, gate};
+use std::path::Path;
 
 fn main() {
     let mut json_path: Option<String> = None;
-    let mut check_path: Option<String> = None;
+    let mut check_paths: Vec<String> = Vec::new();
+    let mut emit_dir: Option<String> = None;
     let mut tolerance: Option<f64> = None;
     let mut samples: Option<u32> = None;
+    let mut flow = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json_path = Some(args.next().expect("--json needs a path")),
-            "--check" => check_path = Some(args.next().expect("--check needs a path")),
+            "--check" => check_paths.push(args.next().expect("--check needs a path")),
+            "--emit" => emit_dir = Some(args.next().expect("--emit needs a directory")),
+            "--flow" => flow = true,
             "--tolerance" => {
                 let t: f64 = args
                     .next()
@@ -58,47 +74,82 @@ fn main() {
         }
     }
 
-    if let Some(path) = check_path {
+    if !check_paths.is_empty() {
         // Checking replays the committed reports at their recorded
-        // sample counts and writes nothing; flags that only make sense
+        // sample counts and writes no --json; flags that only make sense
         // for a measuring run are a usage error, not something to drop
         // silently.
         assert!(
-            json_path.is_none() && samples.is_none(),
-            "--check is exclusive: it neither writes --json nor takes --samples \
-             (it re-runs each committed report at its recorded sample count)"
+            json_path.is_none() && samples.is_none() && !flow,
+            "--check is exclusive: it neither writes --json nor takes --samples/--flow \
+             (each committed artifact selects its own benchmark and sample counts)"
         );
         let tolerance = tolerance.unwrap_or(0.15);
-        let raw = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read committed artifact {path}: {e}"));
-        let committed: explore_bench::BenchArtifact =
-            serde_json::from_str(&raw).expect("committed artifact parses");
-        println!("benchmark-regression gate: {path} (tolerance {tolerance})");
-        let outcome = explore_bench::check(&committed, tolerance);
-        for line in &outcome.lines {
-            println!("  {line}");
+        let mut failed = false;
+        for path in &check_paths {
+            let raw = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read committed artifact {path}: {e}"));
+            let committed: gate::BenchArtifact =
+                serde_json::from_str(&raw).expect("committed artifact parses");
+            println!("benchmark-regression gate: {path} (tolerance {tolerance})");
+            let outcome: CheckOutcome = match committed.benchmark.as_str() {
+                "rsp/explore" => explore_bench::check(&committed, tolerance),
+                "rsp/flow" => flow_bench::check(&committed, tolerance),
+                other => panic!("{path}: unknown benchmark id {other:?}"),
+            };
+            for line in &outcome.lines {
+                println!("  {line}");
+            }
+            if let Some(dir) = &emit_dir {
+                std::fs::create_dir_all(dir).expect("create --emit directory");
+                let name = Path::new(path)
+                    .file_name()
+                    .expect("--check path has a file name");
+                let out = Path::new(dir).join(name);
+                let json =
+                    serde_json::to_string_pretty(&outcome.fresh).expect("artifact serializes");
+                std::fs::write(&out, json + "\n").expect("write regenerated artifact");
+                println!("  regenerated artifact written to {}", out.display());
+            }
+            if outcome.passed() {
+                println!("  PASSED");
+            } else {
+                failed = true;
+                eprintln!("  FAILED:");
+                for r in &outcome.regressions {
+                    eprintln!("    {r}");
+                }
+            }
         }
-        if outcome.passed() {
-            println!("gate PASSED");
-            return;
+        if failed {
+            eprintln!("gate FAILED");
+            std::process::exit(1);
         }
-        eprintln!("gate FAILED:");
-        for r in &outcome.regressions {
-            eprintln!("  {r}");
-        }
-        std::process::exit(1);
+        println!("gate PASSED");
+        return;
     }
 
     assert!(
-        tolerance.is_none(),
-        "--tolerance only applies to --check mode"
+        tolerance.is_none() && emit_dir.is_none(),
+        "--tolerance/--emit only apply to --check mode"
     );
+
+    if flow {
+        let artifact = flow_bench::run_all(samples.unwrap_or(11));
+        print!("{}", gate::render_all(&artifact));
+        if let Some(path) = json_path {
+            let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
+            std::fs::write(&path, json + "\n").expect("write benchmark artifact");
+            println!("wrote {path}");
+        }
+        return;
+    }
 
     print!("{}", rsp_bench::headline());
     println!();
 
     let artifact = explore_bench::run_all(samples.unwrap_or(11));
-    print!("{}", explore_bench::render_all(&artifact));
+    print!("{}", gate::render_all(&artifact));
 
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");

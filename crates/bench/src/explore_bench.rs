@@ -10,16 +10,19 @@
 //! normalized by the same run's `serial-reference` row, so host speed
 //! cancels — regress beyond a tolerance versus the committed artifact,
 //! or when a feasible-design count drifts (a correctness anchor, not a
-//! timing).
+//! timing). The artifact schema and the gate logic live in
+//! [`crate::gate`], shared with the flow benchmark
+//! ([`crate::flow_bench`], `BENCH_flow.json`).
 //!
 //! The artifact holds one report per design space:
 //!
 //! * `extended` — the engine-speedup trajectory tracked since the engine
 //!   rebuild.
 //! * `deep` — the pruning-efficacy benchmark: a 480-candidate space
-//!   where the per-row residual bound plus area-ordered enumeration make
-//!   [`PruneStrategy::Dominated`] skip a large fraction of candidate
-//!   estimations (`candidates_pruned` / `bound_tightness` per row).
+//!   where the per-row residual bound, area-ordered enumeration, and the
+//!   stage-floor clock bound make [`PruneStrategy::Dominated`] skip a
+//!   large fraction of candidate estimations (`candidates_pruned` /
+//!   `clock_bound_cuts` / `bound_tightness` per row).
 //!
 //! Engines measured per space, all over the full kernel suite with
 //! uniform weights:
@@ -30,93 +33,29 @@
 //! * `engine-1-thread` — the allocation-free engine pinned to one thread
 //!   (isolates the algorithmic win from parallel speedup).
 //! * `engine-1-thread-pruned` — one thread plus Dominated pruning with
-//!   the per-row bound: the core-count-independent row the cross-host
-//!   timing gate always holds, so the pruning machinery itself can never
-//!   silently regress.
+//!   the per-row bound and the stage-floor clock cut: the
+//!   core-count-independent row the cross-host timing gate always
+//!   holds, so the pruning machinery itself can never silently regress.
 //! * `engine-parallel` — the engine on all cores, no pruning.
 //! * `engine-parallel-pruned` — all cores plus lower-bound and
 //!   dominated-candidate pruning with the default
-//!   [`BoundKind::PerRowResidual`] (frontier-preserving).
+//!   [`BoundKind::PerRowResidual`] and [`ClockBound::StageFloor`]
+//!   (frontier-preserving).
 //! * `engine-pruned-aggregate` — same, with the looser
 //!   [`BoundKind::Aggregate`] bound (the ablation that shows what the
 //!   per-row residual buys).
 
+pub use crate::gate::{render, render_all, BenchArtifact, BenchReport, CheckOutcome, EngineRow};
+
+use crate::gate::{check_with, time_median};
 use rsp_arch::presets;
 use rsp_core::{
-    explore_reference, explore_with, BoundKind, Constraints, DesignSpace, ExploreOptions,
-    Objective, PruneStrategy,
+    explore_reference, explore_with, BoundKind, ClockBound, Constraints, DesignSpace,
+    ExploreOptions, Objective, PruneStrategy,
 };
 use rsp_kernel::suite;
 use rsp_mapper::{map, MapOptions};
-use serde::{Deserialize, Serialize};
 use std::hint::black_box;
-use std::time::Instant;
-
-/// One engine's timing row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct EngineRow {
-    /// Engine configuration name.
-    pub name: String,
-    /// Median wall-clock per exploration (nanoseconds).
-    pub median_ns: u64,
-    /// Minimum observed (nanoseconds).
-    pub min_ns: u64,
-    /// Measured samples (after one warmup).
-    pub samples: u32,
-    /// Speedup versus the serial reference (reference median / this
-    /// median).
-    pub speedup_vs_reference: f64,
-    /// Feasible designs the run produced (sanity anchor: engines must
-    /// agree unless pruning legitimately drops dominated points).
-    pub feasible: usize,
-    /// Candidate plans enumerated from the space.
-    pub candidates_seen: usize,
-    /// Candidates whose full estimation pruning skipped.
-    pub candidates_pruned: usize,
-    /// Mean lower-bound / full-estimate ratio over estimated candidates
-    /// (1.0 = exact bound; 0.0 = pruning disabled, no bounds computed).
-    pub bound_tightness: f64,
-}
-
-/// Timings of every engine over one design space.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct BenchReport {
-    /// Design space label (`extended`, `deep`, ...).
-    pub space: String,
-    /// Candidate plans enumerated per exploration.
-    pub candidates: usize,
-    /// Kernels in the workload.
-    pub kernels: usize,
-    /// Worker threads available to the parallel engines.
-    pub threads: usize,
-    /// Measured samples per engine (after one warmup).
-    pub samples: u32,
-    /// Timing rows, reference first.
-    pub engines: Vec<EngineRow>,
-}
-
-/// The whole committed artifact (`BENCH_explore.json`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct BenchArtifact {
-    /// Artifact schema/benchmark id.
-    pub benchmark: String,
-    /// One report per tracked design space.
-    pub reports: Vec<BenchReport>,
-}
-
-fn time_median<F: FnMut()>(samples: u32, mut f: F) -> (u64, u64) {
-    assert!(samples >= 1, "need at least one sample");
-    f(); // warmup
-    let mut times: Vec<u64> = (0..samples)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_nanos() as u64
-        })
-        .collect();
-    times.sort_unstable();
-    (times[times.len() / 2], times[0])
-}
 
 /// The design space a report label names; checking mode re-runs the
 /// committed labels through this.
@@ -144,15 +83,18 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
 
     // Each engine run gets a fresh run-local cache (`cache: None`) so the
     // rows measure full cost, not a warmed memo.
-    let engine_opts =
-        |parallelism: Option<usize>, prune: PruneStrategy, bound: BoundKind| ExploreOptions {
-            parallelism,
-            prune,
-            bound,
-            constraints,
-            objective,
-            cache: None,
-        };
+    let engine_opts = |parallelism: Option<usize>,
+                       prune: PruneStrategy,
+                       bound: BoundKind,
+                       clock_bound: ClockBound| ExploreOptions {
+        parallelism,
+        prune,
+        bound,
+        clock_bound,
+        constraints,
+        objective,
+        cache: None,
+    };
 
     let mut rows: Vec<EngineRow> = Vec::new();
 
@@ -184,6 +126,8 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
             candidates_seen: last.stats.candidates_seen,
             candidates_pruned: 0,
             bound_tightness: 0.0,
+            clock_bound_cuts: 0,
+            rearrangements_skipped: 0,
         });
         median
     };
@@ -194,40 +138,45 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
             Some(1),
             PruneStrategy::None,
             BoundKind::PerRowResidual,
+            ClockBound::Off,
         ),
         // Single-threaded pruned row: its ratio to the serial reference
         // is core-count-independent, so the cross-host timing gate can
         // always hold it — the row that keeps the pruning machinery
-        // (bound computation, area ordering, streaming frontier) from
-        // silently rotting even when the artifact and the CI runner
-        // disagree on core count.
+        // (bound computation, clock floor, area ordering, streaming
+        // frontier) from silently rotting even when the artifact and
+        // the CI runner disagree on core count.
         (
             "engine-1-thread-pruned",
             Some(1),
             PruneStrategy::Dominated,
             BoundKind::PerRowResidual,
+            ClockBound::StageFloor,
         ),
         (
             "engine-parallel",
             None,
             PruneStrategy::None,
             BoundKind::PerRowResidual,
+            ClockBound::Off,
         ),
         (
             "engine-parallel-pruned",
             None,
             PruneStrategy::Dominated,
             BoundKind::PerRowResidual,
+            ClockBound::StageFloor,
         ),
         (
             "engine-pruned-aggregate",
             None,
             PruneStrategy::Dominated,
             BoundKind::Aggregate,
+            ClockBound::StageFloor,
         ),
     ];
-    for (name, parallelism, prune, bound) in configs {
-        let opts = engine_opts(parallelism, prune, bound);
+    for (name, parallelism, prune, bound, clock_bound) in configs {
+        let opts = engine_opts(parallelism, prune, bound, clock_bound);
         let mut last = None;
         let (median, min) = time_median(samples, || {
             last = Some(
@@ -253,6 +202,8 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
             candidates_seen: last.stats.candidates_seen,
             candidates_pruned: last.stats.candidates_pruned,
             bound_tightness: last.stats.bound_tightness,
+            clock_bound_cuts: last.stats.clock_bound_cuts,
+            rearrangements_skipped: 0,
         });
     }
 
@@ -278,185 +229,14 @@ pub fn run_all(samples: u32) -> BenchArtifact {
     }
 }
 
-/// Renders a human-readable summary table of one report.
-pub fn render(report: &BenchReport) -> String {
-    use std::fmt::Write as _;
-    let mut s = String::new();
-    let _ = writeln!(
-        s,
-        "explore benchmark — {} ({} candidates x {} kernels, {} threads, median of {}):",
-        report.space, report.candidates, report.kernels, report.threads, report.samples
-    );
-    for e in &report.engines {
-        let _ = writeln!(
-            s,
-            "  {:<24} {:>10.3} ms   {:>6.2}x   ({} feasible, {}/{} pruned, tightness {:.3})",
-            e.name,
-            e.median_ns as f64 / 1e6,
-            e.speedup_vs_reference,
-            e.feasible,
-            e.candidates_pruned,
-            e.candidates_seen,
-            e.bound_tightness
-        );
-    }
-    s
-}
-
-/// Renders every report of an artifact.
-pub fn render_all(artifact: &BenchArtifact) -> String {
-    artifact
-        .reports
-        .iter()
-        .map(render)
-        .collect::<Vec<_>>()
-        .join("\n")
-}
-
-/// Outcome of a benchmark-regression check ([`check`]).
-#[derive(Debug, Clone)]
-pub struct CheckOutcome {
-    /// One status line per compared engine row.
-    pub lines: Vec<String>,
-    /// Human-readable failures; empty means the gate passes.
-    pub regressions: Vec<String>,
-}
-
-impl CheckOutcome {
-    /// Whether the gate passes.
-    pub fn passed(&self) -> bool {
-        self.regressions.is_empty()
-    }
-}
-
-/// The benchmark-regression gate: re-runs every report of the committed
-/// artifact (same spaces, same sample counts) and compares engine rows
-/// by name.
-///
-/// Engine timings are compared **normalized by the same run's
-/// `serial-reference` median/min** — the committed artifact's absolute
-/// nanoseconds came from whatever host generated it, so comparing raw
-/// wall-clock across hosts would gate on host speed, not regressions;
-/// the reference is measured in the same process seconds earlier, so
-/// systematic host-speed differences cancel in the ratio. A row
-/// regresses when its normalized median **and** its normalized best-of-N
-/// (minimum) both exceed the committed ratios by more than `tolerance`
-/// (e.g. `0.15` = +15 %) — a genuine engine slowdown raises both
-/// statistics, while scheduler noise rarely inflates the minimum, so
-/// requiring both keeps the gate stable on busy hosts without letting
-/// real regressions through. A row also regresses when its
-/// feasible-design count drifts (correctness anchor — this is
-/// host-independent) or when a committed engine configuration
-/// disappears. The `serial-reference` row itself is the yardstick and is
-/// checked for feasible-count drift only.
-///
-/// Normalization cancels host *speed* but not host *core count*: a
-/// parallel engine's ratio to the serial reference legitimately depends
-/// on how many cores it fanned out over. When the committed report's
-/// recorded `threads` differs from this host's, timing is therefore
-/// gated only for the rows whose ratio is core-count-independent
-/// (`engine-1-thread` and `engine-1-thread-pruned` — the latter keeps
-/// the pruning machinery gated cross-host); parallel rows keep their
-/// correctness anchors and are reported informationally.
+/// The exploration benchmark-regression gate: re-runs every report of
+/// the committed artifact (same spaces, same sample counts) through
+/// [`crate::gate::check_with`] — see there for the median-AND-best-of-N
+/// normalized comparison rule and the cross-host core-count handling.
 pub fn check(committed: &BenchArtifact, tolerance: f64) -> CheckOutcome {
-    let mut outcome = CheckOutcome {
-        lines: Vec::new(),
-        regressions: Vec::new(),
-    };
-    for old in &committed.reports {
-        let Some(space) = space_for(&old.space) else {
-            outcome
-                .regressions
-                .push(format!("unknown committed space label {:?}", old.space));
-            continue;
-        };
-        let new = run(&space, &old.space, old.samples);
-        let reference = |report: &BenchReport| {
-            report
-                .engines
-                .iter()
-                .find(|e| e.name == "serial-reference")
-                .map(|e| (e.median_ns as f64, e.min_ns as f64))
-        };
-        let Some(old_ref) = reference(old) else {
-            outcome.regressions.push(format!(
-                "{}: committed report lacks the serial-reference yardstick",
-                old.space
-            ));
-            continue;
-        };
-        let new_ref = reference(&new).expect("run() always measures the reference");
-        let threads_match = old.threads == new.threads;
-        if !threads_match {
-            outcome.lines.push(format!(
-                "{}: committed threads {} != host threads {} — timing gated for \
-                 core-count-independent rows only",
-                old.space, old.threads, new.threads
-            ));
-        }
-        for old_row in &old.engines {
-            let Some(new_row) = new.engines.iter().find(|e| e.name == old_row.name) else {
-                outcome.regressions.push(format!(
-                    "{}/{}: engine configuration no longer measured",
-                    old.space, old_row.name
-                ));
-                continue;
-            };
-            // Reference-normalized timings: fraction of the same run's
-            // serial-reference cost.
-            let old_med = old_row.median_ns as f64 / old_ref.0;
-            let new_med = new_row.median_ns as f64 / new_ref.0;
-            let old_min = old_row.min_ns as f64 / old_ref.1;
-            let new_min = new_row.min_ns as f64 / new_ref.1;
-            let med_ratio = new_med / old_med;
-            let min_ratio = new_min / old_min;
-            let is_reference = old_row.name == "serial-reference";
-            // Parallel rows' ratio to the reference scales with core
-            // count; only gate them when the host matches the artifact.
-            // Single-threaded rows are core-count-independent and stay
-            // gated either way.
-            let single_threaded = matches!(
-                old_row.name.as_str(),
-                "engine-1-thread" | "engine-1-thread-pruned"
-            );
-            let timing_gated = !is_reference && (threads_match || single_threaded);
-            let verdict = if new_row.feasible != old_row.feasible {
-                outcome.regressions.push(format!(
-                    "{}/{}: feasible count drifted {} -> {}",
-                    old.space, old_row.name, old_row.feasible, new_row.feasible
-                ));
-                "FEASIBLE-DRIFT"
-            } else if timing_gated && med_ratio > 1.0 + tolerance && min_ratio > 1.0 + tolerance {
-                outcome.regressions.push(format!(
-                    "{}/{}: normalized median {:.3}x-ref -> {:.3}x-ref (+{:.0} %) and \
-                     normalized min (+{:.0} %) both exceed the {:.0} % tolerance",
-                    old.space,
-                    old_row.name,
-                    old_med,
-                    new_med,
-                    (med_ratio - 1.0) * 100.0,
-                    (min_ratio - 1.0) * 100.0,
-                    tolerance * 100.0
-                ));
-                "REGRESSED"
-            } else {
-                "ok"
-            };
-            outcome.lines.push(format!(
-                "{}/{}: median {:.3} ms ({:.3}x-ref, committed {:.3}x-ref, {:+.1} %), \
-                 min {:+.1} % {}",
-                old.space,
-                old_row.name,
-                new_row.median_ns as f64 / 1e6,
-                new_med,
-                old_med,
-                (med_ratio - 1.0) * 100.0,
-                (min_ratio - 1.0) * 100.0,
-                verdict
-            ));
-        }
-    }
-    outcome
+    check_with(committed, tolerance, |old| {
+        space_for(&old.space).map(|space| run(&space, &old.space, old.samples))
+    })
 }
 
 #[cfg(test)]
@@ -491,9 +271,11 @@ mod tests {
             .find(|e| e.name == "engine-parallel-pruned")
             .unwrap();
         assert_eq!(pruned_row.candidates_seen, report.candidates);
+        assert!(pruned_row.clock_bound_cuts <= pruned_row.candidates_pruned);
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("serial-reference"));
         assert!(json.contains("bound_tightness"));
+        assert!(json.contains("clock_bound_cuts"));
     }
 
     #[test]
@@ -523,6 +305,9 @@ mod tests {
         // same host, so a 10x envelope only fails on real breakage.
         let outcome = check(&artifact, 9.0);
         assert!(outcome.passed(), "regressions: {:?}", outcome.regressions);
+        // The fresh rerun rides along for --emit.
+        assert_eq!(outcome.fresh.benchmark, "rsp/explore");
+        assert_eq!(outcome.fresh.reports.len(), 1);
 
         // A fabricated 'the committed engines were 1000x faster relative
         // to the reference' artifact must trip the gate (both normalized

@@ -1,0 +1,241 @@
+//! Tracked end-to-end flow benchmark — the `BENCH_flow.json` artifact.
+//!
+//! Times the complete Fig. 7 flow ([`rsp_core::run_flow`]: profiling →
+//! base-architecture exploration over three candidate geometries →
+//! pipeline mapping → RSP exploration → exact RSP mapping) over the full
+//! kernel suite, in the same rebar style as the exploration benchmark:
+//! median-of-N plus best-of-N per configuration, normalized against the
+//! same run's `serial-reference` row, with correctness anchors. The
+//! schema and the median-AND-best-of-N regression gate are shared with
+//! `BENCH_explore.json` (see [`crate::gate`]); CI checks both artifacts.
+//!
+//! The artifact holds one report per flow configuration:
+//!
+//! * `flow-paper` — the paper's 12-point space over **three candidate
+//!   geometries** (4×4, 6×6, 8×8): measures the flow scaffolding —
+//!   geometry fan-out (the full suite turns out to fit the 4×4, so the
+//!   serial oracle early-exits after one attempt while the parallel
+//!   path maps all three) and exact-stage refinement — where
+//!   exploration itself is cheap.
+//! * `flow-deep` — the 480-candidate deep space pinned to the paper's
+//!   8×8 base: where estimation-phase pruning, the stage-floor clock
+//!   cut, and the exact-stage dominance cut all bite
+//!   (`candidates_pruned`, `clock_bound_cuts`,
+//!   `rearrangements_skipped` per row).
+//!
+//! Flow configurations measured per space:
+//!
+//! * `serial-reference` — `parallelism: Some(1)`, no pruning: the serial
+//!   geometry oracle, unpruned exploration, and exact rearrangement of
+//!   every frontier candidate. The normalization yardstick.
+//! * `flow-1-thread-pruned` — one thread plus Dominated pruning, the
+//!   per-row residual bound, the stage-floor clock cut, and the
+//!   exact-stage dominance cut: the core-count-independent row the
+//!   cross-host timing gate always holds.
+//! * `flow-parallel` — all cores, no pruning (isolates the fan-out win).
+//! * `flow-parallel-pruned` — all cores plus every cut (the
+//!   production configuration).
+//!
+//! All rows produce bit-identical flow outputs (property-tested in
+//! `rsp-core`); only the work they perform differs.
+
+pub use crate::gate::{BenchArtifact, BenchReport, CheckOutcome, EngineRow};
+
+use crate::gate::{check_with, time_median};
+use rsp_core::{
+    run_flow, AppProfile, BoundKind, ClockBound, DesignSpace, FlowConfig, FlowReport, Objective,
+    PruneStrategy,
+};
+use rsp_kernel::suite;
+use std::hint::black_box;
+
+/// The benchmark workload: the full kernel suite as one domain, coverage
+/// 1.0 so every kernel becomes a critical loop.
+fn workload() -> Vec<AppProfile> {
+    vec![AppProfile::new(
+        "full-suite",
+        suite::all().into_iter().map(|k| (k, 1)).collect(),
+    )]
+}
+
+/// The design space and geometry list a report label names.
+fn space_for(label: &str) -> Option<(DesignSpace, Vec<(usize, usize)>)> {
+    match label {
+        // Multi-geometry: base-architecture exploration has real work to
+        // fan out (the serial oracle walks them smallest first).
+        "flow-paper" => Some((DesignSpace::paper(), vec![(4, 4), (6, 6), (8, 8)])),
+        // Pinned to the paper's 8×8 so the deep space's wide frontier
+        // (and with it all three pruning counters) stays exercised — on
+        // the 4×4 the smallest feasible base, which the flow would
+        // otherwise select, the frontier collapses to two points.
+        "flow-deep" => Some((DesignSpace::deep(), vec![(8, 8)])),
+        _ => None,
+    }
+}
+
+fn config(
+    label: &str,
+    parallelism: Option<usize>,
+    prune: PruneStrategy,
+    clock_bound: ClockBound,
+) -> FlowConfig {
+    let (space, geometries) = space_for(label).expect("known flow label");
+    FlowConfig {
+        coverage: 1.0,
+        geometries,
+        space,
+        objective: Objective::AreaDelayProduct,
+        parallelism,
+        prune,
+        bound: BoundKind::PerRowResidual,
+        clock_bound,
+        ..FlowConfig::default()
+    }
+}
+
+fn row_from(
+    name: &str,
+    median: u64,
+    min: u64,
+    samples: u32,
+    reference_median: u64,
+    report: &FlowReport,
+) -> EngineRow {
+    EngineRow {
+        name: name.into(),
+        median_ns: median,
+        min_ns: min,
+        samples,
+        speedup_vs_reference: reference_median as f64 / median as f64,
+        feasible: report.exploration.feasible.len(),
+        candidates_seen: report.exploration.stats.candidates_seen,
+        candidates_pruned: report.stats.candidates_pruned,
+        bound_tightness: report.exploration.stats.bound_tightness,
+        clock_bound_cuts: report.stats.clock_bound_cuts,
+        rearrangements_skipped: report.stats.rearrangements_skipped,
+    }
+}
+
+/// Runs the flow benchmark for a tracked label (`flow-paper` /
+/// `flow-deep`) with `samples` measured repetitions per configuration;
+/// `None` for an unknown label.
+pub fn run(label: &str, samples: u32) -> Option<BenchReport> {
+    let (space, _) = space_for(label)?;
+    let apps = workload();
+    let mut rows: Vec<EngineRow> = Vec::new();
+
+    let reference_median = {
+        let cfg = config(label, Some(1), PruneStrategy::None, ClockBound::Off);
+        let mut last = None;
+        let (median, min) = time_median(samples, || {
+            last = Some(run_flow(black_box(&apps), &cfg).expect("flow runs"));
+        });
+        let last = last.unwrap();
+        rows.push(row_from(
+            "serial-reference",
+            median,
+            min,
+            samples,
+            median,
+            &last,
+        ));
+        median
+    };
+
+    let configs = [
+        (
+            "flow-1-thread-pruned",
+            Some(1),
+            PruneStrategy::Dominated,
+            ClockBound::StageFloor,
+        ),
+        ("flow-parallel", None, PruneStrategy::None, ClockBound::Off),
+        (
+            "flow-parallel-pruned",
+            None,
+            PruneStrategy::Dominated,
+            ClockBound::StageFloor,
+        ),
+    ];
+    for (name, parallelism, prune, clock_bound) in configs {
+        let cfg = config(label, parallelism, prune, clock_bound);
+        let mut last = None;
+        let (median, min) = time_median(samples, || {
+            last = Some(run_flow(black_box(&apps), &cfg).expect("flow runs"));
+        });
+        rows.push(row_from(
+            name,
+            median,
+            min,
+            samples,
+            reference_median,
+            &last.unwrap(),
+        ));
+    }
+
+    Some(BenchReport {
+        space: label.into(),
+        candidates: space.plans().count(),
+        kernels: suite::all().len(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        samples,
+        engines: rows,
+    })
+}
+
+/// Runs the full tracked flow benchmark: the paper space plus the deep
+/// space.
+pub fn run_all(samples: u32) -> BenchArtifact {
+    BenchArtifact {
+        benchmark: "rsp/flow".into(),
+        reports: ["flow-paper", "flow-deep"]
+            .iter()
+            .map(|label| run(label, samples).expect("tracked label"))
+            .collect(),
+    }
+}
+
+/// The flow benchmark-regression gate — [`crate::gate::check_with`] with
+/// the flow runner: same normalized median-AND-best-of-N rule, same
+/// feasible-count anchor, same cross-host core-count handling as the
+/// exploration gate.
+pub fn check(committed: &BenchArtifact, tolerance: f64) -> CheckOutcome {
+    check_with(committed, tolerance, |old| run(&old.space, old.samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_benchmark_runs_and_reports_cut_counters() {
+        let report = run("flow-paper", 1).unwrap();
+        assert_eq!(report.engines.len(), 4);
+        assert_eq!(report.engines[0].name, "serial-reference");
+        // Unpruned rows report no cuts; pruned rows may.
+        let row = |name: &str| report.engines.iter().find(|e| e.name == name).unwrap();
+        assert_eq!(row("serial-reference").candidates_pruned, 0);
+        assert_eq!(row("serial-reference").rearrangements_skipped, 0);
+        assert_eq!(row("flow-parallel").rearrangements_skipped, 0);
+        let pruned = row("flow-parallel-pruned");
+        assert!(pruned.clock_bound_cuts <= pruned.candidates_pruned);
+        // Same artifact schema as the exploration benchmark.
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("rearrangements_skipped"));
+    }
+
+    #[test]
+    fn flow_check_passes_against_fresh_rerun_and_catches_unknown_label() {
+        let artifact = BenchArtifact {
+            benchmark: "rsp/flow".into(),
+            reports: vec![run("flow-paper", 1).unwrap()],
+        };
+        let outcome = check(&artifact, 9.0);
+        assert!(outcome.passed(), "regressions: {:?}", outcome.regressions);
+        assert_eq!(outcome.fresh.benchmark, "rsp/flow");
+
+        let mut unknown = artifact;
+        unknown.reports[0].space = "flow-imaginary".into();
+        assert!(!check(&unknown, 9.0).passed());
+    }
+}

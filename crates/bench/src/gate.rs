@@ -1,0 +1,281 @@
+//! Shared benchmark-artifact schema and the CI regression gate.
+//!
+//! Both tracked artifacts — `BENCH_explore.json` (the exploration-engine
+//! trajectory) and `BENCH_flow.json` (the end-to-end Fig. 7 flow) — use
+//! the same rebar-style shape: [`BenchReport`]s of [`EngineRow`]s with
+//! median-of-N and best-of-N wall-clock plus correctness anchors, and
+//! one `serial-reference` row per report serving as the normalization
+//! yardstick. [`check_with`] implements the gate shared by both: a row
+//! regresses only when its reference-normalized median **and**
+//! best-of-N both exceed the tolerance (the median-AND-best rule that
+//! keeps the gate stable on noisy 1-CPU hosts), or when a correctness
+//! anchor drifts.
+
+use serde::{Deserialize, Serialize};
+
+/// One engine's timing row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineRow {
+    /// Engine configuration name.
+    pub name: String,
+    /// Median wall-clock per run (nanoseconds).
+    pub median_ns: u64,
+    /// Minimum observed (nanoseconds).
+    pub min_ns: u64,
+    /// Measured samples (after one warmup).
+    pub samples: u32,
+    /// Speedup versus the serial reference (reference median / this
+    /// median).
+    pub speedup_vs_reference: f64,
+    /// Feasible designs the run produced (sanity anchor: engines must
+    /// agree unless pruning legitimately drops dominated points).
+    pub feasible: usize,
+    /// Candidate plans enumerated from the space.
+    pub candidates_seen: usize,
+    /// Candidates whose full estimation pruning skipped.
+    pub candidates_pruned: usize,
+    /// Mean lower-bound / full-estimate ratio over estimated candidates
+    /// (1.0 = exact bound; 0.0 = pruning disabled, no bounds computed).
+    pub bound_tightness: f64,
+    /// Candidates the stage-floor clock bound cut before delay
+    /// synthesis (subset of `candidates_pruned`).
+    pub clock_bound_cuts: usize,
+    /// Flow rows only: frontier candidates whose exact rearrangement
+    /// the dominance cut skipped (0 for pure-exploration rows).
+    pub rearrangements_skipped: usize,
+}
+
+/// Timings of every engine over one benchmark configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Configuration label (`extended`, `deep`, `flow-paper`, ...).
+    pub space: String,
+    /// Candidate plans enumerated per run.
+    pub candidates: usize,
+    /// Kernels in the workload.
+    pub kernels: usize,
+    /// Worker threads available to the parallel engines.
+    pub threads: usize,
+    /// Measured samples per engine (after one warmup).
+    pub samples: u32,
+    /// Timing rows, reference first.
+    pub engines: Vec<EngineRow>,
+}
+
+/// One whole committed artifact (`BENCH_explore.json` /
+/// `BENCH_flow.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchArtifact {
+    /// Artifact schema/benchmark id (`rsp/explore`, `rsp/flow`).
+    pub benchmark: String,
+    /// One report per tracked configuration.
+    pub reports: Vec<BenchReport>,
+}
+
+/// Renders a human-readable summary table of one report.
+pub fn render(report: &BenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{} ({} candidates x {} kernels, {} threads, median of {}):",
+        report.space, report.candidates, report.kernels, report.threads, report.samples
+    );
+    for e in &report.engines {
+        let _ = writeln!(
+            s,
+            "  {:<24} {:>10.3} ms   {:>6.2}x   ({} feasible, {}/{} pruned \
+             [{} clock-cut], {} rearr. skipped, tightness {:.3})",
+            e.name,
+            e.median_ns as f64 / 1e6,
+            e.speedup_vs_reference,
+            e.feasible,
+            e.candidates_pruned,
+            e.candidates_seen,
+            e.clock_bound_cuts,
+            e.rearrangements_skipped,
+            e.bound_tightness
+        );
+    }
+    s
+}
+
+/// Renders every report of an artifact.
+pub fn render_all(artifact: &BenchArtifact) -> String {
+    artifact
+        .reports
+        .iter()
+        .map(render)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Outcome of a benchmark-regression check ([`check_with`]).
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// One status line per compared engine row.
+    pub lines: Vec<String>,
+    /// Human-readable failures; empty means the gate passes.
+    pub regressions: Vec<String>,
+    /// The freshly re-run reports (same labels and sample counts as the
+    /// committed artifact) — written out by `headline --emit` so CI can
+    /// upload them for diffing when the gate fails.
+    pub fresh: BenchArtifact,
+}
+
+impl CheckOutcome {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// The shared benchmark-regression gate: re-runs every report of the
+/// committed artifact through `rerun` (which maps a committed report's
+/// label back to a fresh measurement at the same sample count, or `None`
+/// for an unknown label) and compares engine rows by name.
+///
+/// Engine timings are compared **normalized by the same run's
+/// `serial-reference` median/min** — the committed artifact's absolute
+/// nanoseconds came from whatever host generated it, so comparing raw
+/// wall-clock across hosts would gate on host speed, not regressions;
+/// the reference is measured in the same process seconds earlier, so
+/// systematic host-speed differences cancel in the ratio. A row
+/// regresses when its normalized median **and** its normalized best-of-N
+/// (minimum) both exceed the committed ratios by more than `tolerance`
+/// (e.g. `0.15` = +15 %) — a genuine slowdown raises both statistics,
+/// while scheduler noise rarely inflates the minimum, so requiring both
+/// keeps the gate stable on busy hosts without letting real regressions
+/// through. A row also regresses when its feasible-design count drifts
+/// (correctness anchor — host-independent) or when a committed engine
+/// configuration disappears. The `serial-reference` row itself is the
+/// yardstick and is checked for feasible-count drift only.
+///
+/// Normalization cancels host *speed* but not host *core count*: a
+/// parallel engine's ratio to the serial reference legitimately depends
+/// on how many cores it fanned out over. When the committed report's
+/// recorded `threads` differs from this host's, timing is therefore
+/// gated only for rows whose ratio is core-count-independent — by
+/// convention, rows whose name contains `1-thread`; parallel rows keep
+/// their correctness anchors and are reported informationally.
+pub fn check_with(
+    committed: &BenchArtifact,
+    tolerance: f64,
+    rerun: impl Fn(&BenchReport) -> Option<BenchReport>,
+) -> CheckOutcome {
+    let mut outcome = CheckOutcome {
+        lines: Vec::new(),
+        regressions: Vec::new(),
+        fresh: BenchArtifact {
+            benchmark: committed.benchmark.clone(),
+            reports: Vec::new(),
+        },
+    };
+    for old in &committed.reports {
+        let Some(new) = rerun(old) else {
+            outcome
+                .regressions
+                .push(format!("unknown committed label {:?}", old.space));
+            continue;
+        };
+        let reference = |report: &BenchReport| {
+            report
+                .engines
+                .iter()
+                .find(|e| e.name == "serial-reference")
+                .map(|e| (e.median_ns as f64, e.min_ns as f64))
+        };
+        let Some(old_ref) = reference(old) else {
+            outcome.regressions.push(format!(
+                "{}: committed report lacks the serial-reference yardstick",
+                old.space
+            ));
+            continue;
+        };
+        let new_ref = reference(&new).expect("rerun always measures the reference");
+        let threads_match = old.threads == new.threads;
+        if !threads_match {
+            outcome.lines.push(format!(
+                "{}: committed threads {} != host threads {} — timing gated for \
+                 core-count-independent rows only",
+                old.space, old.threads, new.threads
+            ));
+        }
+        for old_row in &old.engines {
+            let Some(new_row) = new.engines.iter().find(|e| e.name == old_row.name) else {
+                outcome.regressions.push(format!(
+                    "{}/{}: engine configuration no longer measured",
+                    old.space, old_row.name
+                ));
+                continue;
+            };
+            // Reference-normalized timings: fraction of the same run's
+            // serial-reference cost.
+            let old_med = old_row.median_ns as f64 / old_ref.0;
+            let new_med = new_row.median_ns as f64 / new_ref.0;
+            let old_min = old_row.min_ns as f64 / old_ref.1;
+            let new_min = new_row.min_ns as f64 / new_ref.1;
+            let med_ratio = new_med / old_med;
+            let min_ratio = new_min / old_min;
+            let is_reference = old_row.name == "serial-reference";
+            // Parallel rows' ratio to the reference scales with core
+            // count; only gate them when the host matches the artifact.
+            // Single-threaded rows are core-count-independent and stay
+            // gated either way.
+            let single_threaded = old_row.name.contains("1-thread");
+            let timing_gated = !is_reference && (threads_match || single_threaded);
+            let verdict = if new_row.feasible != old_row.feasible {
+                outcome.regressions.push(format!(
+                    "{}/{}: feasible count drifted {} -> {}",
+                    old.space, old_row.name, old_row.feasible, new_row.feasible
+                ));
+                "FEASIBLE-DRIFT"
+            } else if timing_gated && med_ratio > 1.0 + tolerance && min_ratio > 1.0 + tolerance {
+                outcome.regressions.push(format!(
+                    "{}/{}: normalized median {:.3}x-ref -> {:.3}x-ref (+{:.0} %) and \
+                     normalized min (+{:.0} %) both exceed the {:.0} % tolerance",
+                    old.space,
+                    old_row.name,
+                    old_med,
+                    new_med,
+                    (med_ratio - 1.0) * 100.0,
+                    (min_ratio - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            outcome.lines.push(format!(
+                "{}/{}: median {:.3} ms ({:.3}x-ref, committed {:.3}x-ref, {:+.1} %), \
+                 min {:+.1} % {}",
+                old.space,
+                old_row.name,
+                new_row.median_ns as f64 / 1e6,
+                new_med,
+                old_med,
+                (med_ratio - 1.0) * 100.0,
+                (min_ratio - 1.0) * 100.0,
+                verdict
+            ));
+        }
+        outcome.fresh.reports.push(new);
+    }
+    outcome
+}
+
+/// Times `f` with one warmup plus `samples` measured runs; returns
+/// `(median, min)` nanoseconds.
+pub(crate) fn time_median<F: FnMut()>(samples: u32, mut f: F) -> (u64, u64) {
+    assert!(samples >= 1, "need at least one sample");
+    f(); // warmup
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    (times[times.len() / 2], times[0])
+}

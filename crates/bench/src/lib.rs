@@ -21,6 +21,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod explore_bench;
+pub mod flow_bench;
+pub mod gate;
 
 use rsp_arch::{presets, OpKind, RspArchitecture};
 use rsp_core::{estimate_stalls, rearrange, run_flow, AppProfile, FlowConfig, KernelPerf};

@@ -69,6 +69,31 @@ pub enum BoundKind {
     PerRowResidual,
 }
 
+/// Which admissible lower bound on a candidate's *clock period* the
+/// exploration engine consults **before** paying for full delay
+/// synthesis — the clock-side sibling of [`BoundKind`] (which bounds the
+/// cycle count). Multiplying the cycle lower bound by an admissible
+/// clock floor yields an execution-time floor; when that floor already
+/// violates `max_slowdown`, the candidate is cut without ever touching
+/// the `ModelCache` delay path. Both settings are result-preserving: a
+/// candidate the floor cuts has `est_et ≥ lb_et ≥ lb_floor_et >
+/// bound` term-wise under IEEE-754 rounding, so the reference rejects it
+/// too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ClockBound {
+    /// Always synthesize the clock before any pruning decision.
+    Off,
+    /// Lower-bound the clock from the plan's stage structure alone
+    /// (`rsp_synth::DelayModel::clock_floor_ns`, served through the
+    /// `ModelCache::clock_floor` fast path): each pipeline stage costs at
+    /// least `fu/stages + register + switch + interconnect`, each
+    /// combinational shared resource at least `mux + switch + fu +
+    /// interconnect`, and synthesis refinements only add non-negative
+    /// terms on top.
+    #[default]
+    StageFloor,
+}
+
 /// Per-cycle summary backing the admissible RS lower bound: total demand
 /// plus how many distinct rows/columns it touches (the only banks greedy
 /// absorption can draw from), and the lengths of this cycle's capacity

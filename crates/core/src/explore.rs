@@ -56,7 +56,20 @@
 //!   (areas come from the memoized [`ModelCache`] area-only fast path),
 //!   so small, strong designs populate the frontier first and the
 //!   dominated test starts cutting almost immediately instead of after
-//!   most of the space has been estimated.
+//!   most of the space has been estimated. The ordering pre-pass
+//!   constructs each candidate's [`RspArchitecture`] exactly once and
+//!   carries it (with its area report) through to estimation — the
+//!   stream sorts *indices*, so no candidate is rebuilt downstream.
+//! * **Pre-synthesis clock cut** — before a candidate's delay is
+//!   synthesized, its execution time is floored using the admissible
+//!   stage-structure clock bound ([`ClockBound::StageFloor`], served by
+//!   the `ModelCache::clock_floor` fast path) times the admissible
+//!   cycle lower bound. A candidate whose *floored* time already
+//!   violates `max_slowdown` is cut without ever paying for delay
+//!   synthesis — the cheapest possible rejection, counted separately in
+//!   [`PruneStats::clock_bound_cuts`]. Result-preserving for the same
+//!   reason the lower-bound prune is: `est_et ≥ lb_et ≥ lb_floor_et`
+//!   term-wise under IEEE-754 rounding.
 //! * **Streaming frontier** — feasible points stream into a
 //!   [`crate::ParetoFrontier`], which both answers the dominated-pruning
 //!   queries in O(log frontier) and emits the final Pareto set
@@ -70,13 +83,13 @@
 //! bound against the full estimate ([`PruneStats`]).
 
 use crate::error::RspError;
-use crate::estimate::{estimate_stalls_dense, BoundKind, ContextProfile};
+use crate::estimate::{estimate_stalls_dense, BoundKind, ClockBound, ContextProfile};
 use crate::frontier::{pareto_indices_of, ParetoFrontier};
 use rayon::prelude::*;
 use rsp_arch::{BaseArchitecture, FuKind, RspArchitecture, SharedGroup, SharingPlan};
 use rsp_kernel::Kernel;
 use rsp_mapper::ConfigContext;
-use rsp_synth::{AreaModel, DelayModel, ModelCache};
+use rsp_synth::{AreaModel, AreaReport, DelayModel, ModelCache};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -215,6 +228,14 @@ pub struct ExploreOptions {
     /// one). Either kind is result-preserving; the knob exists so the
     /// aggregate bound stays measurable as a baseline.
     pub bound: BoundKind,
+    /// Whether to consult the admissible stage-structure clock floor
+    /// before delay synthesis (default [`ClockBound::StageFloor`]).
+    /// Candidates whose floored execution time already violates
+    /// `max_slowdown` are cut without synthesizing their clock; both
+    /// settings are result-preserving, the knob keeps the no-floor
+    /// baseline measurable. Only consulted when `prune` is not
+    /// [`PruneStrategy::None`].
+    pub clock_bound: ClockBound,
     /// Feasibility constraints.
     pub constraints: Constraints,
     /// Selection objective.
@@ -233,6 +254,7 @@ impl Default for ExploreOptions {
             parallelism: None,
             prune: PruneStrategy::default(),
             bound: BoundKind::default(),
+            clock_bound: ClockBound::default(),
             constraints: Constraints::default(),
             objective: Objective::AreaDelayProduct,
             cache: None,
@@ -255,6 +277,11 @@ pub struct PruneStats {
     /// *were* fully estimated (1.0 = the bound is exact; 0.0 when
     /// pruning was disabled, so no bounds were computed).
     pub bound_tightness: f64,
+    /// Subset of `candidates_pruned` cut by the stage-structure clock
+    /// floor ([`ClockBound::StageFloor`]) *before* delay synthesis —
+    /// these candidates never reached the `ModelCache` delay path at
+    /// all.
+    pub clock_bound_cuts: usize,
 }
 
 /// One evaluated candidate.
@@ -376,10 +403,35 @@ pub fn explore(
 /// every `parallelism` setting takes identical decisions.
 const CHUNK: usize = 64;
 
-/// Verdict of the cheap pre-estimation pass on one candidate. The
-/// `Evaluate` payload is `(arch, area, clock, cost_ok, lb_et)`; the
-/// lower bound rides along so the merge phase can measure its tightness
-/// against the full estimate.
+/// One candidate entering the evaluation pipeline.
+enum Seed {
+    /// Lazy enumeration order: the architecture is constructed in
+    /// phase A.
+    Plan(SharingPlan),
+    /// Prebuilt by the Dominated area-ordering pre-pass, carried through
+    /// (with its area report) so phase A never constructs the same
+    /// candidate twice.
+    Built(Box<RspArchitecture>, AreaReport),
+    /// Invalid parameter combination found by the pre-pass; rejected in
+    /// phase A exactly like the lazy path would reject it.
+    Invalid,
+}
+
+/// Phase-A verdict on one candidate. The `Ready` payload is
+/// `(arch, area, clock, cost_ok, lb_et)`; the lower bound rides along so
+/// the merge phase can measure its tightness against the full estimate.
+enum Prepared {
+    /// Survived the pre-synthesis checks; clock synthesized.
+    Ready(RspArchitecture, f64, f64, bool, f64),
+    /// The stage-floor clock bound alone proves the candidate violates
+    /// `max_slowdown`; its delay was never synthesized.
+    ClockCut,
+    /// Construction failed or the eq. (2) cost bound rejects it — the
+    /// reference rejects it too.
+    Reject,
+}
+
+/// Serial-screen verdict on one prepared candidate.
 enum Screen {
     /// Estimate fully.
     Evaluate(RspArchitecture, f64, f64, bool, f64),
@@ -471,29 +523,41 @@ pub fn explore_with(
     // the frontier first, so the dominated test cuts from the start
     // instead of after most of the space has been estimated. The sort is
     // stable (enumeration index breaks area ties), which keeps tied
-    // plans in reference order.
-    let mut plans: Box<dyn Iterator<Item = SharingPlan> + '_> =
+    // plans in reference order. The pre-pass constructs each candidate
+    // architecture exactly once and the stream carries it — sorted by
+    // index — into phase A, so ordering costs no second construction.
+    let mut seeds: Box<dyn Iterator<Item = Seed> + '_> =
         if options.prune == PruneStrategy::Dominated {
             let all: Vec<SharingPlan> = space.plans().collect();
-            let areas: Vec<f64> = pool.install(|| {
-                all.par_iter()
+            let mut built: Vec<Option<(Box<RspArchitecture>, AreaReport)>> = pool.install(|| {
+                all.into_par_iter()
                     .map(|plan| {
-                        RspArchitecture::new("", Arc::clone(&base), plan.clone())
-                            .map(|arch| models.area_report(&arch).synthesized_slices)
-                            .unwrap_or(f64::INFINITY)
+                        let name = plan_name(&plan);
+                        RspArchitecture::new(name, Arc::clone(&base), plan)
+                            .ok()
+                            .map(|arch| {
+                                let area = models.area_report(&arch);
+                                (Box::new(arch), area)
+                            })
                     })
                     .collect()
             });
-            let mut order: Vec<usize> = (0..all.len()).collect();
-            order.sort_by(|&a, &b| areas[a].total_cmp(&areas[b]).then(a.cmp(&b)));
-            let mut slots: Vec<Option<SharingPlan>> = all.into_iter().map(Some).collect();
-            Box::new(
-                order
-                    .into_iter()
-                    .map(move |i| slots[i].take().expect("each plan yielded once")),
-            )
+            let mut order: Vec<usize> = (0..built.len()).collect();
+            let area_of = |slot: &Option<(Box<RspArchitecture>, AreaReport)>| {
+                slot.as_ref()
+                    .map_or(f64::INFINITY, |(_, a)| a.synthesized_slices)
+            };
+            order.sort_by(|&a, &b| {
+                area_of(&built[a])
+                    .total_cmp(&area_of(&built[b]))
+                    .then(a.cmp(&b))
+            });
+            Box::new(order.into_iter().map(move |i| match built[i].take() {
+                Some((arch, area)) => Seed::Built(arch, area),
+                None => Seed::Invalid,
+            }))
         } else {
-            Box::new(space.plans())
+            Box::new(space.plans().map(Seed::Plan))
         };
 
     let mut feasible: Vec<DesignPoint> = Vec::new();
@@ -506,76 +570,116 @@ pub fn explore_with(
     let mut frontier = ParetoFrontier::new();
 
     loop {
-        let chunk: Vec<SharingPlan> = plans.by_ref().take(CHUNK).collect();
+        let chunk: Vec<Seed> = seeds.by_ref().take(CHUNK).collect();
         if chunk.is_empty() {
             break;
         }
         stats.candidates_seen += chunk.len();
 
-        // Phase A (parallel): construct candidates and synthesize their
-        // reports plus the admissible lower bound — all pure per-plan
-        // work, fanned out in enumeration order.
-        type Prepared = Option<(RspArchitecture, f64, f64, bool, f64)>;
+        // Phase A (parallel): construct candidates (unless the ordering
+        // pre-pass already did), query areas through the memoized fast
+        // path, compute the admissible cycle lower bound, consult the
+        // stage-floor clock bound, and only then synthesize the clock —
+        // all pure per-plan work, fanned out in stream order.
         let prepared: Vec<Prepared> = pool.install(|| {
             chunk
                 .into_par_iter()
-                .map(|plan| {
-                    let name = plan_name(&plan);
-                    let arch = RspArchitecture::new(name, Arc::clone(&base), plan).ok()?;
-                    let (area, delay) = models.reports(&arch);
-                    let mut lb_et = 0.0;
+                .map(|seed| {
+                    let (arch, area) = match seed {
+                        Seed::Plan(plan) => {
+                            let name = plan_name(&plan);
+                            let Ok(arch) = RspArchitecture::new(name, Arc::clone(&base), plan)
+                            else {
+                                return Prepared::Reject;
+                            };
+                            let area = models.area_report(&arch);
+                            (arch, area)
+                        }
+                        Seed::Built(arch, area) => (*arch, area),
+                        Seed::Invalid => return Prepared::Reject,
+                    };
+                    let cost_ok = area.satisfies_cost_bound();
+                    if constraints.enforce_cost_bound && !cost_ok {
+                        // The reference rejects this candidate pre-push,
+                        // so its delay need never be synthesized.
+                        return Prepared::Reject;
+                    }
+                    // Term-wise identical arithmetic to the full
+                    // estimate, with rs replaced by its admissible lower
+                    // bound, so lb_et <= est_et under IEEE-754 rounding.
+                    let mut lb_cycles: Vec<u32> = Vec::new();
                     if options.prune != PruneStrategy::None {
-                        // Term-wise identical arithmetic to the full
-                        // estimate, with rs replaced by its admissible
-                        // lower bound, so lb_et <= est_et under IEEE-754
-                        // rounding.
-                        for (profile, w) in profiles.iter().zip(weights) {
-                            let lb_cycles = profile.total_cycles()
-                                + profile.rs_stalls_lower_bound(arch.plan(), options.bound)
-                                + profile.rp_overhead(arch.plan());
-                            lb_et += w * lb_cycles as f64 * delay.clock_ns;
+                        lb_cycles.reserve_exact(profiles.len());
+                        for profile in profiles.iter() {
+                            lb_cycles.push(
+                                profile.total_cycles()
+                                    + profile.rs_stalls_lower_bound(arch.plan(), options.bound)
+                                    + profile.rp_overhead(arch.plan()),
+                            );
+                        }
+                        if options.clock_bound == ClockBound::StageFloor {
+                            // Clock floor from the stage structure alone:
+                            // floor <= clock, so term-wise lb_floor_et <=
+                            // lb_et <= est_et — a candidate cut here is
+                            // provably rejected by the reference, and its
+                            // delay synthesis is skipped entirely.
+                            let floor = models.clock_floor(&arch);
+                            let mut lb_floor_et = 0.0;
+                            for (c, w) in lb_cycles.iter().zip(weights) {
+                                lb_floor_et += w * *c as f64 * floor;
+                            }
+                            if lb_floor_et > et_bound {
+                                return Prepared::ClockCut;
+                            }
                         }
                     }
-                    Some((
+                    let (_, delay) = models.reports(&arch);
+                    let mut lb_et = 0.0;
+                    for (c, w) in lb_cycles.iter().zip(weights) {
+                        lb_et += w * *c as f64 * delay.clock_ns;
+                    }
+                    Prepared::Ready(
                         arch,
                         area.synthesized_slices,
                         delay.clock_ns,
-                        area.satisfies_cost_bound(),
+                        cost_ok,
                         lb_et,
-                    ))
+                    )
                 })
                 .collect()
         });
 
-        // Phase B (serial, enumeration order): prune decisions against
-        // the frontier built from earlier chunks only — identical for
-        // every thread count.
+        // Phase B (serial, stream order): prune decisions against the
+        // frontier built from earlier chunks only — identical for every
+        // thread count.
         let mut screened: Vec<Screen> = Vec::with_capacity(prepared.len());
         for p in prepared {
-            let Some((arch, area_slices, clock_ns, cost_ok, lb_et)) = p else {
-                screened.push(Screen::Reject);
-                continue;
-            };
-            if constraints.enforce_cost_bound && !cost_ok {
-                screened.push(Screen::Reject);
-                continue;
+            match p {
+                Prepared::Reject => screened.push(Screen::Reject),
+                Prepared::ClockCut => {
+                    stats.candidates_pruned += 1;
+                    stats.clock_bound_cuts += 1;
+                    screened.push(Screen::Prune);
+                }
+                Prepared::Ready(arch, area_slices, clock_ns, cost_ok, lb_et) => {
+                    if options.prune != PruneStrategy::None
+                        && (lb_et > et_bound
+                            || (options.prune == PruneStrategy::Dominated
+                                && frontier.dominates(area_slices, lb_et)))
+                    {
+                        stats.candidates_pruned += 1;
+                        screened.push(Screen::Prune);
+                    } else {
+                        screened.push(Screen::Evaluate(
+                            arch,
+                            area_slices,
+                            clock_ns,
+                            cost_ok,
+                            lb_et,
+                        ));
+                    }
+                }
             }
-            if options.prune != PruneStrategy::None
-                && (lb_et > et_bound
-                    || (options.prune == PruneStrategy::Dominated
-                        && frontier.dominates(area_slices, lb_et)))
-            {
-                stats.candidates_pruned += 1;
-                screened.push(Screen::Prune);
-                continue;
-            }
-            screened.push(Screen::Evaluate(
-                arch,
-                area_slices,
-                clock_ns,
-                cost_ok,
-                lb_et,
-            ));
         }
 
         // Phase C (parallel): full estimation of the survivors; results
@@ -739,6 +843,7 @@ pub fn explore_reference(
             candidates_seen,
             candidates_pruned: 0,
             bound_tightness: 0.0,
+            clock_bound_cuts: 0,
         },
     })
 }
@@ -1098,6 +1203,54 @@ mod tests {
         // The unpruned engine computes no bounds and says so.
         assert_eq!(full.stats.candidates_pruned, 0);
         assert_eq!(full.stats.bound_tightness, 0.0);
+    }
+
+    #[test]
+    fn clock_floor_cut_is_result_preserving_and_bites() {
+        // The stage-floor clock bound must never change any output —
+        // feasible set, frontier, best — while cutting some candidates
+        // before delay synthesis on a space that offers hopeless
+        // ALU-sharing designs.
+        let (base, kernels, contexts, weights) = setup();
+        let space = DesignSpace::deep();
+        let run = |clock_bound, prune| {
+            explore_with(
+                &base,
+                &kernels,
+                &contexts,
+                &weights,
+                &space,
+                &ExploreOptions {
+                    prune,
+                    clock_bound,
+                    ..ExploreOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        for prune in [PruneStrategy::LowerBound, PruneStrategy::Dominated] {
+            let off = run(ClockBound::Off, prune);
+            let floor = run(ClockBound::StageFloor, prune);
+            assert_eq!(off.feasible.len(), floor.feasible.len(), "{prune:?}");
+            for (a, b) in off.feasible.iter().zip(&floor.feasible) {
+                assert_eq!(a.arch.name(), b.arch.name());
+                assert_eq!(a.est_et_ns.to_bits(), b.est_et_ns.to_bits());
+            }
+            assert_eq!(off.pareto, floor.pareto, "{prune:?}");
+            assert_eq!(off.best, floor.best, "{prune:?}");
+            // Every clock cut is one of the pruned candidates, and the
+            // Off run reports none.
+            assert!(floor.stats.clock_bound_cuts <= floor.stats.candidates_pruned);
+            assert_eq!(off.stats.clock_bound_cuts, 0);
+        }
+        // On the deep space the floor must actually fire: ALU/shifter
+        // sharing with one resource per row stalls nearly every cycle,
+        // and even the floored clock proves those candidates hopeless.
+        let floor = run(ClockBound::StageFloor, PruneStrategy::LowerBound);
+        assert!(
+            floor.stats.clock_bound_cuts > 0,
+            "stage-floor clock bound never cut a candidate pre-synthesis"
+        );
     }
 
     #[test]

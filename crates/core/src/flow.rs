@@ -1,33 +1,67 @@
-//! The Fig. 7 design flow, end to end.
+//! The Fig. 7 design flow, end to end — pruned and parallel.
 //!
 //! ```text
 //! applications ──> Profiling ──> critical loops
 //!                      │
 //!                      v
 //!        Base Architecture Exploration ──> base architecture
-//!                      │
+//!                      │    (parallel fan-out over candidate
+//!                      │     geometries; serial early-exit path kept
+//!                      │     as the property-tested oracle)
 //!                      v
 //!              Pipeline Mapping ──> initial configuration contexts
 //!                      │
 //!                      v
-//!               RSP Exploration ──> RSP parameters (estimation-driven)
-//!                      │
+//!               RSP Exploration ──> estimation Pareto frontier
+//!                      │    (admissible cycle + stage-floor clock
+//!                      │     bounds prune before delay synthesis;
+//!                      │     dominated candidates never estimated)
 //!                      v
 //!                 RSP Mapping ──> RSP configuration contexts
-//!                                  (+ exact performance, Tables 4/5)
+//!                           (+ exact performance, Tables 4/5)
+//!                      ^    exact rearrangement refines the frontier:
+//!                      │    candidates fan out per kernel, and the
+//!                      │    dominance cut — seeded by estimation-phase
+//!                      │    points — skips rearranging candidates that
+//!                      │    provably cannot win (FlowStats counts the
+//!                      │    skips)
 //! ```
 //!
 //! Profiling is modelled on synthetic application profiles: each
 //! application lists its kernels with execution counts; a kernel's weight
 //! is `count × operations`, and the flow keeps the hottest kernels until
 //! the requested coverage of total weight is reached.
+//!
+//! # The exact stage and its dominance cut
+//!
+//! Estimation upper-bounds the exact rearranged cycle count, so the
+//! estimation-phase optimum is not necessarily the *exact* optimum. The
+//! RSP-mapping stage therefore rearranges the estimation Pareto
+//! candidates in ascending-area order and selects the best under the
+//! flow objective from their **exact** weighted execution times. Under
+//! [`PruneStrategy::Dominated`] a candidate is skipped — its (expensive)
+//! exact rearrangement never runs — when the streaming
+//! [`ParetoFrontier`] already proves it dominated: some stored point has
+//! no more area and strictly less time than the candidate's admissible
+//! exact-time floor `(Σ w·base_cycles) × clock` (rearrangement never
+//! issues an instance before its base-schedule cycle, so the floor is
+//! sound). The frontier stores the **exact** point of every evaluated
+//! candidate and the **estimation-phase** point of every skipped one;
+//! estimation points of not-yet-processed candidates are never used, so
+//! every skip is transitively witnessed by an exactly-evaluated
+//! candidate with strictly smaller area and strictly better time — which
+//! is why the pruned flow's outputs (contexts, Tables 4/5 performance,
+//! chosen design) are bit-identical to the unpruned flow's, even when a
+//! frontier candidate turns out to be exactly infeasible (a failed
+//! candidate inserts no witness and can suppress nothing).
 
 use crate::error::RspError;
-use crate::estimate::BoundKind;
+use crate::estimate::{BoundKind, ClockBound};
 use crate::explore::{
     explore_with, Constraints, DesignSpace, Exploration, ExploreOptions, Objective, PruneStrategy,
 };
-use crate::perf::{perf_from_rearranged, KernelPerf};
+use crate::frontier::ParetoFrontier;
+use crate::perf::{perf_from_rearranged_with, KernelPerf};
 use crate::rearrange::{rearrange, RearrangeOptions, Rearranged};
 use rayon::prelude::*;
 use rsp_arch::{ArrayGeometry, BaseArchitecture, BusSpec, PeDesign, RspArchitecture, SharingPlan};
@@ -75,13 +109,19 @@ pub struct FlowConfig {
     pub map_options: MapOptions,
     /// Rearrangement options.
     pub rearrange_options: RearrangeOptions,
-    /// Worker threads for exploration and RSP mapping (`None` = all
-    /// cores, `Some(1)` = serial; results are identical either way).
+    /// Worker threads for geometry exploration, RSP exploration, and
+    /// exact RSP mapping (`None` = all cores; `Some(1)` runs the serial
+    /// oracle paths; results are identical either way).
     pub parallelism: Option<usize>,
-    /// Exploration pruning aggressiveness.
+    /// Exploration pruning aggressiveness. [`PruneStrategy::Dominated`]
+    /// additionally enables the exact-stage dominance cut (see the
+    /// module docs) — outputs stay bit-identical.
     pub prune: PruneStrategy,
     /// Strength of the admissible lower bound exploration pruning uses.
     pub bound: BoundKind,
+    /// Whether exploration consults the stage-floor clock bound before
+    /// delay synthesis (default [`ClockBound::StageFloor`]).
+    pub clock_bound: ClockBound,
 }
 
 impl Default for FlowConfig {
@@ -98,6 +138,7 @@ impl Default for FlowConfig {
             parallelism: None,
             prune: PruneStrategy::default(),
             bound: BoundKind::default(),
+            clock_bound: ClockBound::default(),
         }
     }
 }
@@ -111,6 +152,38 @@ pub struct CriticalLoop {
     pub weight: f64,
 }
 
+/// Per-stage work counters of one flow run (see the module docs for the
+/// stages). Counters describe *work performed*, not results: the serial
+/// geometry oracle early-exits while the parallel fan-out maps every
+/// geometry, so `geometries_explored` may differ between the two even
+/// though every result field of the [`FlowReport`] is bit-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Candidate geometries the configuration offered.
+    pub geometries_considered: usize,
+    /// Geometries whose pipeline mapping was actually attempted.
+    pub geometries_explored: usize,
+    /// Estimation Pareto candidates offered to the exact stage.
+    pub frontier_candidates: usize,
+    /// Frontier candidates whose exact rearrangement ran and succeeded.
+    pub rearranged_candidates: usize,
+    /// Frontier candidates the dominance cut skipped — their exact
+    /// rearrangement (one per critical loop) never ran.
+    pub rearrangements_skipped: usize,
+    /// Frontier candidates whose exact rearrangement was attempted but
+    /// failed (e.g. the rearranged schedule no longer fits the
+    /// configuration cache). `rearranged_candidates +
+    /// rearrangements_skipped + rearrangements_failed ==
+    /// frontier_candidates` always holds.
+    pub rearrangements_failed: usize,
+    /// Candidate estimations the exploration stage skipped
+    /// (`Exploration::stats`, repeated here for one-stop reporting).
+    pub candidates_pruned: usize,
+    /// Exploration candidates cut by the stage-floor clock bound before
+    /// delay synthesis.
+    pub clock_bound_cuts: usize,
+}
+
 /// Everything the flow produces.
 #[derive(Debug, Clone)]
 pub struct FlowReport {
@@ -122,9 +195,12 @@ pub struct FlowReport {
     pub contexts: Vec<ConfigContext>,
     /// The RSP exploration (estimation-driven).
     pub exploration: Exploration,
-    /// The selected RSP architecture.
+    /// The selected RSP architecture: the estimation Pareto candidate
+    /// with the best **exact** objective score after the RSP-mapping
+    /// stage refined the frontier.
     pub chosen: RspArchitecture,
-    /// Final RSP configuration contexts, parallel to `critical_loops`.
+    /// Final RSP configuration contexts of the chosen design, parallel
+    /// to `critical_loops`.
     pub rsp_contexts: Vec<Rearranged>,
     /// Exact performance of each critical loop on the chosen design.
     pub perf: Vec<KernelPerf>,
@@ -132,6 +208,8 @@ pub struct FlowReport {
     pub area_slices: f64,
     /// Area of the base design (slices).
     pub base_area_slices: f64,
+    /// Per-stage pruning/parallelism work counters.
+    pub stats: FlowStats,
 }
 
 impl FlowReport {
@@ -157,12 +235,81 @@ impl FlowReport {
     }
 }
 
+/// Attempts one candidate geometry: builds the base array and maps every
+/// critical loop onto it. `None` when any loop fails to map (the
+/// geometry is infeasible for this workload).
+fn map_geometry(
+    rows: usize,
+    cols: usize,
+    config: &FlowConfig,
+    loops: &[CriticalLoop],
+) -> Option<(BaseArchitecture, Vec<ConfigContext>)> {
+    let base = BaseArchitecture::new(
+        ArrayGeometry::new(rows, cols),
+        PeDesign::full(),
+        BusSpec::paper_default(),
+        config.config_cache_depth,
+    );
+    let mapped: Result<Vec<_>, _> = loops
+        .iter()
+        .map(|cl| map(&base, &cl.kernel, &config.map_options))
+        .collect();
+    mapped.ok().map(|contexts| (base, contexts))
+}
+
+/// Base-architecture exploration: the smallest candidate geometry whose
+/// mapped schedules fit the configuration cache. `Some(1)` parallelism
+/// runs the serial early-exit oracle; otherwise every geometry is mapped
+/// concurrently on the pool and the first feasible one in ascending-size
+/// order is selected — the same choice the oracle makes, property-tested
+/// bit-identical. Returns the choice plus how many geometries were
+/// actually attempted.
+#[allow(clippy::type_complexity)]
+fn select_base(
+    config: &FlowConfig,
+    loops: &[CriticalLoop],
+    pool: &rayon::ThreadPool,
+) -> Option<(BaseArchitecture, Vec<ConfigContext>, usize)> {
+    let mut geometries = config.geometries.clone();
+    geometries.sort_by_key(|&(r, c)| r * c);
+    if config.parallelism == Some(1) {
+        // Serial oracle: stop at the first feasible geometry.
+        for (attempted, &(r, c)) in geometries.iter().enumerate() {
+            if let Some((base, contexts)) = map_geometry(r, c, config, loops) {
+                return Some((base, contexts, attempted + 1));
+            }
+        }
+        None
+    } else {
+        // Maps every geometry: the vendored rayon subset has no
+        // `find_first`, so the tail cannot be cancelled once an
+        // earlier-indexed geometry succeeds. On a 1-CPU host this makes
+        // the fan-out a measured net cost when the smallest geometry is
+        // feasible (see BENCH_flow.json's flow-paper report); switch to
+        // `find_first` if the real rayon ever backs the stub.
+        let attempted = geometries.len();
+        let candidates: Vec<Option<(BaseArchitecture, Vec<ConfigContext>)>> = pool.install(|| {
+            geometries
+                .into_par_iter()
+                .map(|(r, c)| map_geometry(r, c, config, loops))
+                .collect()
+        });
+        candidates
+            .into_iter()
+            .flatten()
+            .next()
+            .map(|(base, contexts)| (base, contexts, attempted))
+    }
+}
+
 /// Runs the complete Fig. 7 flow over a set of domain applications.
 ///
 /// # Errors
 ///
 /// * [`RspError::EmptyProfile`] when no application lists a kernel.
-/// * Mapping, exploration, and rearrangement errors are propagated.
+/// * Mapping, exploration, and rearrangement errors are propagated; when
+///   every estimation Pareto candidate fails exact rearrangement, the
+///   first failure (in ascending-area order) is returned.
 ///
 /// # Examples
 ///
@@ -179,6 +326,8 @@ impl FlowReport {
 /// # Ok::<(), rsp_core::RspError>(())
 /// ```
 pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, RspError> {
+    let mut stats = FlowStats::default();
+
     // 1. Profiling: weight = executions x operations.
     let mut weights: Vec<(Kernel, f64)> = Vec::new();
     for app in apps {
@@ -209,28 +358,17 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
         });
     }
 
-    // 2. Base architecture exploration: smallest candidate geometry whose
-    //    mapped schedules fit the configuration cache.
-    let mut chosen_base: Option<(BaseArchitecture, Vec<ConfigContext>)> = None;
-    let mut geometries = config.geometries.clone();
-    geometries.sort_by_key(|&(r, c)| r * c);
-    for (r, c) in geometries {
-        let base = BaseArchitecture::new(
-            ArrayGeometry::new(r, c),
-            PeDesign::full(),
-            BusSpec::paper_default(),
-            config.config_cache_depth,
-        );
-        let mapped: Result<Vec<_>, _> = critical_loops
-            .iter()
-            .map(|cl| map(&base, &cl.kernel, &config.map_options))
-            .collect();
-        if let Ok(contexts) = mapped {
-            chosen_base = Some((base, contexts));
-            break;
-        }
-    }
-    let (base, contexts) = chosen_base.ok_or(RspError::NoFeasibleDesign)?;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(config.parallelism.unwrap_or(0))
+        .build()
+        .expect("thread pool");
+
+    // 2. Base architecture exploration (parallel fan-out over candidate
+    //    geometries; serial early-exit oracle under `Some(1)`).
+    stats.geometries_considered = config.geometries.len();
+    let (base, contexts, geometries_explored) =
+        select_base(config, &critical_loops, &pool).ok_or(RspError::NoFeasibleDesign)?;
+    stats.geometries_explored = geometries_explored;
 
     // 3. RSP exploration on the estimates.
     let kernels: Vec<Kernel> = critical_loops.iter().map(|c| c.kernel.clone()).collect();
@@ -245,38 +383,112 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
             parallelism: config.parallelism,
             prune: config.prune,
             bound: config.bound,
+            clock_bound: config.clock_bound,
             constraints: config.constraints,
             objective: config.objective,
             cache: None,
         },
     )?;
-    let chosen = exploration.best_point().arch.clone();
+    stats.candidates_pruned = exploration.stats.candidates_pruned;
+    stats.clock_bound_cuts = exploration.stats.clock_bound_cuts;
 
-    // 4. RSP mapping: exact rearrangement + exact performance, fanned out
-    //    per kernel (results merged in kernel order — deterministic).
+    // 4. RSP mapping: exact rearrangement refines the estimation Pareto
+    //    frontier. Candidates are processed serially in ascending-area
+    //    order (so dominance decisions only ever depend on earlier
+    //    candidates — deterministic for every thread count); each
+    //    candidate's per-kernel rearrangements fan out over the pool.
     let delay = DelayModel::new();
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(config.parallelism.unwrap_or(0))
-        .build()
-        .expect("thread pool");
-    let ctx_refs: Vec<&ConfigContext> = contexts.iter().collect();
-    let rearranged: Vec<Result<(Rearranged, KernelPerf), RspError>> = pool.install(|| {
-        ctx_refs
-            .into_par_iter()
-            .map(|ctx| {
-                let r = rearrange(ctx, &chosen, &config.rearrange_options)?;
-                let p = perf_from_rearranged(ctx, &chosen, &delay, &r);
-                Ok((r, p))
-            })
-            .collect()
-    });
-    let mut rsp_contexts = Vec::with_capacity(contexts.len());
-    let mut perf = Vec::with_capacity(contexts.len());
-    for item in rearranged {
-        let (r, p) = item?;
-        rsp_contexts.push(r);
-        perf.push(p);
+    let score_of = |area: f64, et: f64| match config.objective {
+        Objective::AreaDelayProduct => area * et,
+        Objective::ExecutionTime => et,
+        Objective::Area => area,
+    };
+    let pareto: Vec<_> = exploration.pareto_points().collect();
+    stats.frontier_candidates = pareto.len();
+    let mut exact_frontier = ParetoFrontier::new();
+    let mut best: Option<(usize, f64)> = None;
+    let mut best_outputs: Option<(Vec<Rearranged>, Vec<KernelPerf>)> = None;
+    let mut first_err: Option<RspError> = None;
+    for (ci, point) in pareto.iter().enumerate() {
+        if config.prune == PruneStrategy::Dominated {
+            // Admissible exact-time floor: rearrangement never issues an
+            // instance before its base-schedule cycle, so the exact
+            // weighted time is at least Σ base_cycles·clock·w — written
+            // in exactly the association order the exact sum below uses
+            // ((cycles × clock) × weight), so with base ≤ exact cycles
+            // the floor is term-wise ≤ the exact time under IEEE-754
+            // rounding, never merely in real arithmetic.
+            let mut lb_exact = 0.0;
+            for (ctx, cl) in contexts.iter().zip(&critical_loops) {
+                lb_exact += ctx.total_cycles() as f64 * point.clock_ns * cl.weight;
+            }
+            if exact_frontier.dominates(point.area_slices, lb_exact) {
+                stats.rearrangements_skipped += 1;
+                // The skipped candidate's estimation-phase point stays
+                // in the frontier as a dominance witness for later
+                // candidates (est ≥ exact, so it is a sound stand-in;
+                // see the module docs for why the chain always grounds
+                // in an exactly-evaluated candidate).
+                exact_frontier.insert(point.area_slices, point.est_et_ns, ci);
+                continue;
+            }
+        }
+        // One delay synthesis per candidate, shared by every kernel.
+        let delay_report = delay.report(&point.arch);
+        let ctx_refs: Vec<&ConfigContext> = contexts.iter().collect();
+        let rearranged: Vec<Result<(Rearranged, KernelPerf), RspError>> = pool.install(|| {
+            ctx_refs
+                .into_par_iter()
+                .map(|ctx| {
+                    let r = rearrange(ctx, &point.arch, &config.rearrange_options)?;
+                    let p = perf_from_rearranged_with(ctx, &point.arch, &delay_report, &r);
+                    Ok((r, p))
+                })
+                .collect()
+        });
+        let mut rsp = Vec::with_capacity(contexts.len());
+        let mut perf = Vec::with_capacity(contexts.len());
+        let mut failure = None;
+        for item in rearranged {
+            match item {
+                Ok((r, p)) => {
+                    rsp.push(r);
+                    perf.push(p);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failure {
+            // Exactly infeasible candidate: it joins no frontier (a
+            // failed design must never suppress a feasible one) and is
+            // reported only if nothing succeeds.
+            stats.rearrangements_failed += 1;
+            if first_err.is_none() {
+                first_err = Some(e);
+            }
+            continue;
+        }
+        stats.rearranged_candidates += 1;
+        let exact_et: f64 = perf
+            .iter()
+            .zip(&critical_loops)
+            .map(|(p, c)| p.et_ns * c.weight)
+            .sum();
+        exact_frontier.insert(point.area_slices, exact_et, ci);
+        let score = score_of(point.area_slices, exact_et);
+        if best.is_none_or(|(_, s)| score.total_cmp(&s).is_lt()) {
+            best = Some((ci, score));
+            best_outputs = Some((rsp, perf));
+        }
     }
+    let Some((best_ci, _)) = best else {
+        return Err(first_err.unwrap_or(RspError::NoFeasibleDesign));
+    };
+    let chosen = pareto[best_ci].arch.clone();
+    let (rsp_contexts, perf) = best_outputs.expect("outputs accompany the best score");
 
     let area_model = AreaModel::new();
     let area = area_model.report(&chosen);
@@ -291,12 +503,14 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
         perf,
         area_slices: area.synthesized_slices,
         base_area_slices: area.base_synthesized_slices,
+        stats,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::perf::perf_from_rearranged;
     use rsp_kernel::suite;
 
     fn domain_apps() -> Vec<AppProfile> {
@@ -327,6 +541,13 @@ mod tests {
         // comparable.
         assert!(report.area_slices < report.base_area_slices);
         assert!(report.weighted_et_ns() < report.weighted_base_et_ns() * 1.2);
+        // The exact stage evaluated at least the chosen candidate and
+        // reported its work.
+        assert!(report.stats.rearranged_candidates >= 1);
+        assert_eq!(
+            report.stats.frontier_candidates,
+            report.exploration.pareto.len()
+        );
     }
 
     #[test]
@@ -372,5 +593,59 @@ mod tests {
         let apps = vec![AppProfile::new("me", vec![(suite::sad(), 1)])];
         let report = run_flow(&apps, &cfg).unwrap();
         assert_eq!(report.base.geometry().pe_count(), 16);
+        assert_eq!(report.stats.geometries_considered, 2);
+    }
+
+    #[test]
+    fn serial_oracle_early_exits_but_chooses_identically() {
+        // The serial path stops at the first feasible geometry; the
+        // parallel path maps them all. Same base either way.
+        let cfg = |parallelism| FlowConfig {
+            geometries: vec![(4, 4), (6, 6), (8, 8)],
+            parallelism,
+            ..FlowConfig::default()
+        };
+        let apps = domain_apps();
+        let serial = run_flow(&apps, &cfg(Some(1))).unwrap();
+        let parallel = run_flow(&apps, &cfg(None)).unwrap();
+        assert_eq!(
+            serial.base.geometry().pe_count(),
+            parallel.base.geometry().pe_count()
+        );
+        assert_eq!(parallel.stats.geometries_explored, 3);
+        assert!(serial.stats.geometries_explored <= 3);
+    }
+
+    #[test]
+    fn exact_stage_chooses_best_exact_objective_on_frontier() {
+        // The chosen design must carry the minimum exact objective score
+        // among every frontier candidate that rearranges successfully.
+        let report = run_flow(&domain_apps(), &FlowConfig::default()).unwrap();
+        let exact_et = report.weighted_et_ns();
+        let chosen_score = report.area_slices * exact_et;
+        for p in report.exploration.pareto_points() {
+            let delay = DelayModel::new();
+            let mut et = 0.0;
+            let mut ok = true;
+            for (ctx, cl) in report.contexts.iter().zip(&report.critical_loops) {
+                match rearrange(ctx, &p.arch, &RearrangeOptions::default()) {
+                    Ok(r) => {
+                        et += perf_from_rearranged(ctx, &p.arch, &delay, &r).et_ns * cl.weight;
+                    }
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                assert!(
+                    chosen_score <= p.area_slices * et + 1e-9,
+                    "{} beats the chosen {}",
+                    p.arch.name(),
+                    report.chosen.name()
+                );
+            }
+        }
     }
 }

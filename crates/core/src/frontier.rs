@@ -27,6 +27,19 @@
 //! within `1e-12` of each other, ties, NaN areas). `NaN` execution times
 //! can never be accepted by the sweep (`NaN < x` is false) and cannot
 //! influence the running minimum, so they are dropped on arrival.
+//!
+//! # Seeding across estimation fidelities
+//!
+//! Because [`ParetoFrontier::dominates`] only ever *strictly* compares a
+//! stored point against a candidate's **lower bound**, the store may
+//! safely mix points of different fidelity: inserting an **upper bound**
+//! on a point's true time (e.g. an estimation-phase value standing in
+//! for an exact one) keeps every `dominates` answer sound — `stored_et <
+//! candidate_lb` with `true_et ≤ stored_et` still proves the candidate
+//! strictly dominated by the stored point's true value. The flow's exact
+//! RSP-mapping stage uses exactly this: exact execution times for
+//! rearranged candidates, estimation-phase stand-ins for skipped ones
+//! ([`crate::run_flow`]).
 
 /// The sweep epsilon: a point joins the emitted frontier only if its
 /// execution time beats the running best by more than this.

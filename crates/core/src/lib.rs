@@ -23,8 +23,12 @@
 //!   reports pruning efficacy — candidates seen/pruned and measured
 //!   bound tightness — in [`Exploration::stats`] ([`PruneStats`]).
 //! * [`run_flow`] — the whole Fig. 7 flow: profiling → critical loops →
-//!   base architecture → pipeline mapping → RSP exploration → RSP mapping
-//!   with exact performance.
+//!   base architecture (parallel fan-out over candidate geometries) →
+//!   pipeline mapping → RSP exploration → RSP mapping with exact
+//!   performance, where the exact stage refines the estimation Pareto
+//!   frontier and — under [`PruneStrategy::Dominated`] — skips
+//!   rearranging provably dominated candidates. Per-stage work counters
+//!   surface in [`FlowStats`].
 //!
 //! # Examples
 //!
@@ -61,14 +65,14 @@ mod rearrange;
 mod utilization;
 
 pub use error::RspError;
-pub use estimate::{estimate_stalls, BoundKind, ContextProfile, StallEstimate};
+pub use estimate::{estimate_stalls, BoundKind, ClockBound, ContextProfile, StallEstimate};
 pub use explore::{
     explore, explore_reference, explore_with, Constraints, DesignPoint, DesignSpace, Exploration,
     ExploreOptions, Objective, PruneStats, PruneStrategy,
 };
-pub use flow::{run_flow, AppProfile, CriticalLoop, FlowConfig, FlowReport};
+pub use flow::{run_flow, AppProfile, CriticalLoop, FlowConfig, FlowReport, FlowStats};
 pub use frontier::ParetoFrontier;
-pub use perf::{evaluate_perf, perf_from_rearranged, KernelPerf};
+pub use perf::{evaluate_perf, perf_from_rearranged, perf_from_rearranged_with, KernelPerf};
 pub use power::{activity_of, evaluate_energy};
 pub use rearrange::{rearrange, RearrangeOptions, Rearranged};
 pub use utilization::{utilization_of, FuUtilization, UtilizationReport};

@@ -69,14 +69,29 @@ pub fn evaluate_perf(
 }
 
 /// Converts an existing rearrangement into a performance row (avoids
-/// re-rearranging when the caller needs both).
+/// re-rearranging when the caller needs both). Synthesizes the delay
+/// report internally; callers evaluating many kernels on one
+/// architecture should synthesize once and use
+/// [`perf_from_rearranged_with`].
 pub fn perf_from_rearranged(
     ctx: &ConfigContext,
     arch: &RspArchitecture,
     delay: &DelayModel,
     r: &Rearranged,
 ) -> KernelPerf {
-    let d = delay.report(arch);
+    perf_from_rearranged_with(ctx, arch, &delay.report(arch), r)
+}
+
+/// [`perf_from_rearranged`] with a pre-synthesized delay report — the
+/// per-kernel fast path for callers (the flow's exact RSP-mapping
+/// stage) that evaluate a whole kernel suite on one architecture: the
+/// clock is synthesized once per architecture, not once per kernel.
+pub fn perf_from_rearranged_with(
+    ctx: &ConfigContext,
+    arch: &RspArchitecture,
+    d: &rsp_synth::DelayReport,
+    r: &Rearranged,
+) -> KernelPerf {
     let et = r.total_cycles as f64 * d.clock_ns;
     let base_et = r.base_cycles as f64 * d.base_clock_ns;
     KernelPerf {

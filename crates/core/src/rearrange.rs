@@ -47,7 +47,12 @@ pub struct Rearranged {
     /// Shared-resource binding per instance (multiplications on RS/RSP
     /// architectures; `None` for local operations).
     pub bindings: Vec<Option<SharedResourceId>>,
-    /// Total cycles of the rearranged schedule.
+    /// Total cycles of the rearranged schedule. Never less than
+    /// `base_cycles`: the scheduler issues no instance before its
+    /// base-schedule cycle, so rearrangement only *delays* — the
+    /// invariant behind the flow's admissible exact-time floor
+    /// (`base_cycles × clock`) that lets [`crate::run_flow`] skip
+    /// rearranging dominated candidates.
     pub total_cycles: u32,
     /// Total cycles of the base schedule.
     pub base_cycles: u32,
@@ -281,6 +286,28 @@ mod tests {
             assert_eq!(r.rp_overhead, 0);
             assert_eq!(r.rs_stalls, 0);
             assert!(r.bindings.iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn rearrangement_only_delays() {
+        // The admissibility property the flow's exact-stage dominance
+        // cut rests on: no architecture can finish a kernel in fewer
+        // cycles than the base schedule, because instances never issue
+        // before their base-schedule cycle.
+        for k in suite::all() {
+            let ctx = ctx_for(&k);
+            for arch in presets::table_architectures() {
+                let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+                assert!(
+                    r.total_cycles >= r.base_cycles,
+                    "{} on {}: {} < base {}",
+                    k.name(),
+                    arch.name(),
+                    r.total_cycles,
+                    r.base_cycles
+                );
+            }
         }
     }
 

@@ -1,0 +1,185 @@
+//! Property tests for the pruned, parallel Fig. 7 flow:
+//!
+//! * **Parallel ≡ serial oracle** — `run_flow` with the rayon geometry
+//!   fan-out and parallel exact stage produces bit-identical *results*
+//!   (base, contexts, chosen design, RSP contexts, Tables 4/5
+//!   performance) to the `Some(1)` serial oracle path for any thread
+//!   count. Work counters (`FlowStats`) may legitimately differ — the
+//!   serial geometry oracle early-exits.
+//! * **Pruned ≡ unpruned** — the exact-stage dominance cut plus the
+//!   exploration-side dominated/clock-floor pruning leave every flow
+//!   output bit-identical to the unpruned flow; only the work counters
+//!   move.
+
+use proptest::prelude::*;
+use rsp_core::{
+    run_flow, AppProfile, BoundKind, ClockBound, DesignSpace, FlowConfig, FlowReport, Objective,
+    PruneStrategy,
+};
+use rsp_kernel::suite;
+
+/// The full kernel suite as one domain (coverage 1.0 keeps every
+/// kernel — the acceptance workload for pruned-vs-unpruned identity).
+fn suite_apps() -> Vec<AppProfile> {
+    vec![AppProfile::new(
+        "full-suite",
+        suite::all().into_iter().map(|k| (k, 1)).collect(),
+    )]
+}
+
+fn mixed_apps() -> Vec<AppProfile> {
+    vec![
+        AppProfile::new(
+            "H.263 encoder",
+            vec![(suite::fdct(), 99), (suite::sad(), 396)],
+        ),
+        AppProfile::new(
+            "scientific",
+            vec![(suite::hydro(), 50), (suite::inner_product(), 80)],
+        ),
+        AppProfile::new("fft", vec![(suite::fft_mult_loop(), 64)]),
+    ]
+}
+
+/// Bit-exact equality of every *result* field of two flow reports
+/// (work-counter stats excluded by design).
+fn assert_reports_identical(a: &FlowReport, b: &FlowReport) {
+    assert_eq!(a.critical_loops.len(), b.critical_loops.len());
+    for (x, y) in a.critical_loops.iter().zip(&b.critical_loops) {
+        assert_eq!(x.kernel.name(), y.kernel.name());
+        assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+    }
+    assert_eq!(a.base.geometry(), b.base.geometry());
+    assert_eq!(a.contexts, b.contexts, "initial configuration contexts");
+    assert_eq!(a.chosen.name(), b.chosen.name());
+    assert_eq!(a.chosen.plan(), b.chosen.plan());
+    assert_eq!(a.rsp_contexts, b.rsp_contexts, "RSP configuration contexts");
+    assert_eq!(a.perf.len(), b.perf.len());
+    for (x, y) in a.perf.iter().zip(&b.perf) {
+        assert_eq!(x.kernel, y.kernel);
+        assert_eq!(x.cycles, y.cycles, "{}", x.kernel);
+        assert_eq!(x.clock_ns.to_bits(), y.clock_ns.to_bits(), "{}", x.kernel);
+        assert_eq!(x.et_ns.to_bits(), y.et_ns.to_bits(), "{}", x.kernel);
+        assert_eq!(x.rs_stalls, y.rs_stalls, "{}", x.kernel);
+        assert_eq!(x.rp_overhead, y.rp_overhead, "{}", x.kernel);
+    }
+    assert_eq!(a.area_slices.to_bits(), b.area_slices.to_bits());
+    assert_eq!(a.base_area_slices.to_bits(), b.base_area_slices.to_bits());
+    // The estimation phase itself must agree too.
+    assert_eq!(a.exploration.pareto.len(), b.exploration.pareto.len());
+}
+
+fn arb_space() -> impl Strategy<Value = DesignSpace> {
+    prop_oneof![
+        Just(DesignSpace::paper()),
+        Just(DesignSpace::extended()),
+        Just(DesignSpace::deep()),
+    ]
+}
+
+fn arb_objective() -> impl Strategy<Value = Objective> {
+    prop_oneof![
+        Just(Objective::AreaDelayProduct),
+        Just(Objective::ExecutionTime),
+        Just(Objective::Area),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The rayon fan-out (geometries, exploration, exact stage) is
+    /// bit-identical to the serial oracle for any thread count,
+    /// multi-geometry configurations included.
+    #[test]
+    fn parallel_flow_matches_serial_oracle(
+        threads in 2usize..=6,
+        space in arb_space(),
+        objective in arb_objective(),
+        multi_geometry in any::<bool>(),
+    ) {
+        let geometries = if multi_geometry {
+            vec![(4, 4), (6, 6), (8, 8)]
+        } else {
+            vec![(8, 8)]
+        };
+        let cfg = |parallelism| FlowConfig {
+            geometries: geometries.clone(),
+            space: space.clone(),
+            objective,
+            parallelism,
+            ..FlowConfig::default()
+        };
+        let apps = mixed_apps();
+        let serial = run_flow(&apps, &cfg(Some(1))).unwrap();
+        let parallel = run_flow(&apps, &cfg(Some(threads))).unwrap();
+        assert_reports_identical(&serial, &parallel);
+    }
+
+    /// Dominated pruning + the stage-floor clock bound leave every flow
+    /// output bit-identical to the unpruned flow over the full kernel
+    /// suite — contexts, chosen design, and the Tables 4/5 numbers.
+    #[test]
+    fn pruned_flow_output_is_bit_identical_to_unpruned(
+        space in arb_space(),
+        objective in arb_objective(),
+    ) {
+        let cfg = |prune, clock_bound| FlowConfig {
+            coverage: 1.0,
+            space: space.clone(),
+            objective,
+            prune,
+            clock_bound,
+            ..FlowConfig::default()
+        };
+        let apps = suite_apps();
+        let unpruned = run_flow(&apps, &cfg(PruneStrategy::None, ClockBound::Off)).unwrap();
+        let pruned = run_flow(
+            &apps,
+            &cfg(PruneStrategy::Dominated, ClockBound::StageFloor),
+        )
+        .unwrap();
+        assert_reports_identical(&unpruned, &pruned);
+        // The unpruned flow rearranges every frontier candidate; the
+        // pruned flow rearranges the survivors and skips the rest.
+        assert_eq!(
+            unpruned.stats.rearranged_candidates + unpruned.stats.rearrangements_failed,
+            unpruned.stats.frontier_candidates
+        );
+        assert_eq!(unpruned.stats.rearrangements_skipped, 0);
+        assert_eq!(
+            pruned.stats.rearranged_candidates
+                + pruned.stats.rearrangements_skipped
+                + pruned.stats.rearrangements_failed,
+            pruned.stats.frontier_candidates
+        );
+    }
+}
+
+/// The per-row residual bound in the flow defaults plus the dominance
+/// cut must actually skip exact rearrangements somewhere — otherwise the
+/// cut is dead code. The deep space has the widest frontier, so it is
+/// the place the cut must bite.
+#[test]
+fn dominance_cut_bites_on_deep_space() {
+    let report = run_flow(
+        &suite_apps(),
+        &FlowConfig {
+            coverage: 1.0,
+            space: DesignSpace::deep(),
+            prune: PruneStrategy::Dominated,
+            bound: BoundKind::PerRowResidual,
+            clock_bound: ClockBound::StageFloor,
+            ..FlowConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        report.stats.rearrangements_skipped > 0,
+        "exact-stage dominance cut never fired on the deep space \
+         ({} frontier candidates, {} rearranged)",
+        report.stats.frontier_candidates,
+        report.stats.rearranged_candidates
+    );
+    assert!(report.stats.candidates_pruned > 0);
+}

@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 use rsp_arch::{presets, BaseArchitecture};
 use rsp_core::{
-    explore_reference, explore_with, BoundKind, Constraints, DesignSpace, Exploration,
+    explore_reference, explore_with, BoundKind, ClockBound, Constraints, DesignSpace, Exploration,
     ExploreOptions, Objective, PruneStrategy,
 };
 use rsp_kernel::Kernel;
@@ -81,6 +81,10 @@ fn arb_bound() -> impl Strategy<Value = BoundKind> {
     prop_oneof![Just(BoundKind::Aggregate), Just(BoundKind::PerRowResidual)]
 }
 
+fn arb_clock_bound() -> impl Strategy<Value = ClockBound> {
+    prop_oneof![Just(ClockBound::Off), Just(ClockBound::StageFloor)]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -92,6 +96,7 @@ proptest! {
         threads in 1usize..=8,
         lb_prune in any::<bool>(),
         bound in arb_bound(),
+        clock_bound in arb_clock_bound(),
         objective in arb_objective(),
         space in arb_space(),
         slowdown_pct in 101u32..=300,
@@ -112,6 +117,7 @@ proptest! {
                 parallelism: Some(threads),
                 prune: if lb_prune { PruneStrategy::LowerBound } else { PruneStrategy::None },
                 bound,
+                clock_bound,
                 constraints,
                 objective,
                 cache: None,
@@ -133,6 +139,7 @@ proptest! {
     fn dominated_pruning_preserves_frontier(
         threads in 1usize..=8,
         bound in arb_bound(),
+        clock_bound in arb_clock_bound(),
         objective in arb_objective(),
         space in arb_space(),
     ) {
@@ -147,6 +154,7 @@ proptest! {
                 parallelism: Some(threads),
                 prune: PruneStrategy::Dominated,
                 bound,
+                clock_bound,
                 constraints: Constraints::default(),
                 objective,
                 cache: None,

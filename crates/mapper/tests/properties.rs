@@ -23,6 +23,34 @@ fn kernels() -> Vec<Kernel> {
     v
 }
 
+/// Mapping is a pure function of `(base, kernel, options)`: repeated
+/// calls — including calls racing on separate threads — produce
+/// identical contexts. This is the property the flow's parallel
+/// multi-geometry fan-out rests on: fanning `map` out over candidate
+/// geometries cannot produce a different context than the serial oracle
+/// obtains for the same geometry.
+#[test]
+fn mapping_is_deterministic_across_threads_and_geometries() {
+    let geometries = [(4usize, 4usize), (6, 6), (8, 8)];
+    for k in kernels() {
+        let serial: Vec<Option<rsp_mapper::ConfigContext>> = geometries
+            .iter()
+            .map(|&(r, c)| map(&base(r, c), &k, &MapOptions::default()).ok())
+            .collect();
+        let threaded: Vec<Option<rsp_mapper::ConfigContext>> = std::thread::scope(|s| {
+            let handles: Vec<_> = geometries
+                .iter()
+                .map(|&(r, c)| {
+                    let k = &k;
+                    s.spawn(move || map(&base(r, c), k, &MapOptions::default()).ok())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(serial, threaded, "{}", k.name());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

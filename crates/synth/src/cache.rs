@@ -123,6 +123,23 @@ impl ModelCache {
         report
     }
 
+    /// Admissible lower bound on `arch`'s clock period — the clock-bound
+    /// fast path. A plan already holding a full report answers with its
+    /// *exact* synthesized clock (the tightest admissible bound there
+    /// is); otherwise the structural
+    /// [`DelayModel::clock_floor_ns`] floor is computed from the sharing
+    /// plan alone, without triggering delay synthesis. Exploration
+    /// engines call this before [`ModelCache::reports`] so candidates
+    /// whose clock floor already proves them infeasible never pay for
+    /// synthesis.
+    pub fn clock_floor(&self, arch: &RspArchitecture) -> f64 {
+        let key = (arch.geometry(), arch.plan().clone());
+        if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+            return hit.1.clock_ns;
+        }
+        self.delay.clock_floor_ns(arch.plan())
+    }
+
     /// Number of distinct plans with *full* (area + delay) reports so
     /// far. Plans touched only through the [`ModelCache::area_report`]
     /// fast path are not counted until a full query promotes them.
@@ -174,6 +191,24 @@ mod tests {
             assert_eq!(fast, full);
             // Once the full report exists, the fast path reads it.
             assert_eq!(cache.area_report(&arch), full);
+        }
+    }
+
+    #[test]
+    fn clock_floor_is_admissible_and_tightens_after_synthesis() {
+        let cache = ModelCache::new();
+        for arch in presets::table_architectures() {
+            let floor = cache.clock_floor(&arch);
+            let (_, delay) = cache.reports(&arch);
+            assert!(
+                floor <= delay.clock_ns,
+                "{}: floor {} > clock {}",
+                arch.name(),
+                floor,
+                delay.clock_ns
+            );
+            // Once synthesized, the fast path serves the exact clock.
+            assert_eq!(cache.clock_floor(&arch), delay.clock_ns);
         }
     }
 

@@ -122,6 +122,57 @@ impl DelayModel {
         mux + widest + shifter
     }
 
+    /// Admissible lower bound on [`DelayModel::report`]'s `clock_ns`,
+    /// computable from the sharing plan's *stage structure alone* — no
+    /// PE-path extraction, no wire-load model, no whole-plan switch
+    /// fan-in. Exploration engines consult this before paying for full
+    /// delay synthesis: when the bound already proves a candidate
+    /// infeasible, the [`crate::ModelCache`] never sees it.
+    ///
+    /// The bound keeps, per shared group, only the clock term that
+    /// survives every synthesis refinement: a pipeline stage
+    /// (`fu/stages + register`) or a combinational round trip
+    /// (`mux + fu`), each plus the *group's own* switch traversal (the
+    /// whole plan's fan-in can only be larger, and switch delay is
+    /// monotone in fan-in) and the interconnect margin — dropping the
+    /// wire load and local shifter, both non-negative. Every retained
+    /// term is one of the candidates `report` maximizes over, evaluated
+    /// with equal-or-smaller addends in the same association order, so
+    /// the bound never exceeds the synthesized clock under IEEE-754
+    /// rounding (property-tested in this crate's test suite).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arch::presets;
+    /// use rsp_synth::DelayModel;
+    ///
+    /// let model = DelayModel::new();
+    /// for arch in presets::table_architectures() {
+    ///     let floor = model.clock_floor_ns(arch.plan());
+    ///     assert!(floor <= model.report(&arch).clock_ns);
+    /// }
+    /// ```
+    pub fn clock_floor_ns(&self, plan: &SharingPlan) -> f64 {
+        let mux = self.lib.spec(FuKind::Mux).delay_ns;
+        let mut floor: f64 = 0.0;
+        for (kind, stages) in plan.local_pipelines() {
+            let stage = self.fu_path(kind) / stages as f64 + cal::PIPE_REG_SETUP_NS;
+            floor = floor.max(mux + stage + cal::INTERCONNECT_NS);
+        }
+        for g in plan.groups() {
+            let sw = cal::switch_delay_ns(g.switch_fan_in());
+            let cand = if g.is_pipelined() {
+                let stage = self.fu_path(g.kind()) / g.stages() as f64 + cal::PIPE_REG_SETUP_NS;
+                stage + sw + cal::INTERCONNECT_NS
+            } else {
+                mux + sw + self.fu_path(g.kind()) + cal::INTERCONNECT_NS
+            };
+            floor = floor.max(cand);
+        }
+        floor
+    }
+
     /// Full clock-period report for an architecture.
     ///
     /// # Examples
@@ -296,6 +347,63 @@ mod tests {
         let two = m.report(&presets::rp_only(2)).clock_ns;
         let four = m.report(&presets::rp_only(4)).clock_ns;
         assert!(four <= two + 1e-9);
+    }
+
+    #[test]
+    fn clock_floor_admissible_across_plan_grid() {
+        // The stage-structure floor never exceeds the synthesized clock
+        // for any (kind, shr, shc, stages) combination the spaces can
+        // enumerate, and is exact for single-group pipelined plans whose
+        // stage path limits the clock.
+        let m = DelayModel::new();
+        for kind in [FuKind::Multiplier, FuKind::Alu, FuKind::Shifter] {
+            for stages in 1..=8u8 {
+                for shr in 0..=4usize {
+                    for shc in 0..=4usize {
+                        let Ok(g) = rsp_arch::SharedGroup::new(kind, shr, shc, stages) else {
+                            continue;
+                        };
+                        let Ok(plan) = rsp_arch::SharingPlan::none().with_group(g) else {
+                            continue;
+                        };
+                        let Ok(arch) = rsp_arch::RspArchitecture::new(
+                            "grid",
+                            presets::base_8x8().base().clone(),
+                            plan,
+                        ) else {
+                            continue;
+                        };
+                        let floor = m.clock_floor_ns(arch.plan());
+                        let clock = m.report(&arch).clock_ns;
+                        assert!(
+                            floor <= clock,
+                            "{kind:?} shr={shr} shc={shc} st={stages}: floor {floor} > {clock}"
+                        );
+                        assert!(floor > 0.0, "floor must be positive for shared plans");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clock_floor_exact_when_stage_path_limits() {
+        // RSP#k single-group plans: the floor keeps the stage + switch +
+        // interconnect term verbatim, so whenever that term limits the
+        // clock the bound is tight.
+        let m = DelayModel::new();
+        for k in 1..=4 {
+            let arch = presets::rsp(k);
+            let r = m.report(&arch);
+            let floor = m.clock_floor_ns(arch.plan());
+            assert!(floor <= r.clock_ns);
+            if matches!(r.limiting, LimitingPath::SharedStage(_)) {
+                assert!(
+                    r.clock_ns - floor < r.clock_ns * 0.5,
+                    "floor uselessly loose"
+                );
+            }
+        }
     }
 
     #[test]
