@@ -1,13 +1,15 @@
 //! Regenerates the paper's headline claims *and* the tracked benchmarks
-//! (`BENCH_explore.json`, `BENCH_flow.json`), and gates CI against them.
+//! (`BENCH_explore.json`, `BENCH_flow.json`, `BENCH_workload.json`), and
+//! gates CI against them.
 //!
 //! ```sh
 //! cargo run --release -p rsp-bench --bin headline            # stdout only
 //! cargo run --release -p rsp-bench --bin headline -- --json BENCH_explore.json
 //! cargo run --release -p rsp-bench --bin headline -- --flow --json BENCH_flow.json
+//! cargo run --release -p rsp-bench --bin headline -- --workload --json BENCH_workload.json
 //! cargo run --release -p rsp-bench --bin headline -- --samples 15
 //! cargo run --release -p rsp-bench --bin headline -- \
-//!     --check BENCH_explore.json --check BENCH_flow.json \
+//!     --check BENCH_explore.json --check BENCH_flow.json --check BENCH_workload.json \
 //!     --tolerance 0.15 --emit bench-regen
 //! ```
 //!
@@ -15,28 +17,43 @@
 //! wall-clock (one warmup discarded), speedups versus the serial
 //! reference row, and pruning-efficacy counters (`candidates_pruned`,
 //! `clock_bound_cuts`, `rearrangements_skipped`, `bound_tightness`).
-//! Without `--flow` the exploration benchmark runs (`extended` +
-//! `deep` spaces); with `--flow` the end-to-end Fig. 7 flow benchmark
-//! runs (`flow-paper` + `flow-deep`).
+//! Without `--flow`/`--workload` the exploration benchmark runs
+//! (`extended` + `deep` spaces); `--flow` runs the end-to-end Fig. 7
+//! flow benchmark (`flow-paper` + `flow-deep`); `--workload` runs the
+//! flow over the generated workload suite (`flow-workload`, whose
+//! multi-geometry exploration selects the 8×8 base — anchored by
+//! `selected_pe_count`).
 //!
 //! `--check <artifact>` is the CI benchmark-regression gate; it may be
 //! repeated to gate several artifacts in one invocation, and each
 //! artifact is dispatched to its own benchmark by its `benchmark` id
-//! (`rsp/explore`, `rsp/flow`). The gate re-runs every committed report
-//! (same configurations and sample counts) and exits non-zero when any
-//! engine's median **and** best-of-N wall-clock — both normalized by
-//! the same run's `serial-reference` row, so host-speed differences
-//! between the artifact's origin and the CI runner cancel — regress by
-//! more than `--tolerance` (default 0.15 = 15 %; requiring both
-//! statistics keeps the gate stable against scheduler noise), when a
-//! feasible-design count drifts, or when a committed engine
-//! configuration is no longer measured. `--emit <dir>` additionally
-//! writes each freshly re-run artifact to `<dir>/<artifact filename>`,
-//! so CI can upload them for diffing when the gate fails.
+//! (`rsp/explore`, `rsp/flow`, `rsp/workload`) — an id with no handler
+//! fails the gate with the known ids listed. The gate re-runs every
+//! committed report (same configurations and sample counts) and exits
+//! non-zero when any engine's median **and** best-of-N wall-clock —
+//! both normalized by the same run's `serial-reference` row, so
+//! host-speed differences between the artifact's origin and the CI
+//! runner cancel — regress by more than `--tolerance` (default 0.15 =
+//! 15 %; requiring both statistics keeps the gate stable against
+//! scheduler noise), when a feasible-design count or selected base
+//! geometry drifts, or when a committed engine configuration is no
+//! longer measured. `--emit <dir>` additionally writes each freshly
+//! re-run artifact to `<dir>/<artifact filename>`, so CI can upload
+//! them for diffing when the gate fails.
 
 use rsp_bench::gate::CheckOutcome;
-use rsp_bench::{explore_bench, flow_bench, gate};
+use rsp_bench::{explore_bench, flow_bench, gate, workload_bench};
 use std::path::Path;
+
+/// A benchmark's `--check` gate entry point.
+type CheckFn = fn(&gate::BenchArtifact, f64) -> CheckOutcome;
+
+/// Benchmark ids `--check` can dispatch, with their gate entry points.
+const CHECK_HANDLERS: [(&str, CheckFn); 3] = [
+    ("rsp/explore", explore_bench::check),
+    ("rsp/flow", flow_bench::check),
+    ("rsp/workload", workload_bench::check),
+];
 
 fn main() {
     let mut json_path: Option<String> = None;
@@ -45,6 +62,7 @@ fn main() {
     let mut tolerance: Option<f64> = None;
     let mut samples: Option<u32> = None;
     let mut flow = false;
+    let mut workload = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,6 +70,7 @@ fn main() {
             "--check" => check_paths.push(args.next().expect("--check needs a path")),
             "--emit" => emit_dir = Some(args.next().expect("--emit needs a directory")),
             "--flow" => flow = true,
+            "--workload" => workload = true,
             "--tolerance" => {
                 let t: f64 = args
                     .next()
@@ -73,6 +92,10 @@ fn main() {
             other => panic!("unknown argument {other:?}"),
         }
     }
+    assert!(
+        !(flow && workload),
+        "--flow and --workload are exclusive (each writes its own artifact)"
+    );
 
     if !check_paths.is_empty() {
         // Checking replays the committed reports at their recorded
@@ -80,8 +103,8 @@ fn main() {
         // for a measuring run are a usage error, not something to drop
         // silently.
         assert!(
-            json_path.is_none() && samples.is_none() && !flow,
-            "--check is exclusive: it neither writes --json nor takes --samples/--flow \
+            json_path.is_none() && samples.is_none() && !flow && !workload,
+            "--check is exclusive: it neither writes --json nor takes --samples/--flow/--workload \
              (each committed artifact selects its own benchmark and sample counts)"
         );
         let tolerance = tolerance.unwrap_or(0.15);
@@ -92,11 +115,21 @@ fn main() {
             let committed: gate::BenchArtifact =
                 serde_json::from_str(&raw).expect("committed artifact parses");
             println!("benchmark-regression gate: {path} (tolerance {tolerance})");
-            let outcome: CheckOutcome = match committed.benchmark.as_str() {
-                "rsp/explore" => explore_bench::check(&committed, tolerance),
-                "rsp/flow" => flow_bench::check(&committed, tolerance),
-                other => panic!("{path}: unknown benchmark id {other:?}"),
+            let handler = CHECK_HANDLERS
+                .iter()
+                .find(|(id, _)| *id == committed.benchmark)
+                .map(|(_, check)| check);
+            let Some(handler) = handler else {
+                let known: Vec<&str> = CHECK_HANDLERS.iter().map(|(id, _)| *id).collect();
+                eprintln!(
+                    "  FAILED: {path}: no check handler for benchmark id {:?} (known ids: {})",
+                    committed.benchmark,
+                    known.join(", ")
+                );
+                failed = true;
+                continue;
             };
+            let outcome = handler(&committed, tolerance);
             for line in &outcome.lines {
                 println!("  {line}");
             }
@@ -134,8 +167,12 @@ fn main() {
         "--tolerance/--emit only apply to --check mode"
     );
 
-    if flow {
-        let artifact = flow_bench::run_all(samples.unwrap_or(11));
+    if flow || workload {
+        let artifact = if flow {
+            flow_bench::run_all(samples.unwrap_or(11))
+        } else {
+            workload_bench::run_all(samples.unwrap_or(11))
+        };
         print!("{}", gate::render_all(&artifact));
         if let Some(path) = json_path {
             let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");

@@ -213,6 +213,7 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
         kernels: kernels.len(),
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         samples,
+        selected_pe_count: 0, // exploration is pinned to the 8×8 base
         engines: rows,
     }
 }

@@ -7,16 +7,19 @@
 //! median-of-N plus best-of-N per configuration, normalized against the
 //! same run's `serial-reference` row, with correctness anchors. The
 //! schema and the median-AND-best-of-N regression gate are shared with
-//! `BENCH_explore.json` (see [`crate::gate`]); CI checks both artifacts.
+//! `BENCH_explore.json` and `BENCH_workload.json` (see [`crate::gate`]);
+//! CI checks all three artifacts.
 //!
 //! The artifact holds one report per flow configuration:
 //!
 //! * `flow-paper` — the paper's 12-point space over **three candidate
-//!   geometries** (4×4, 6×6, 8×8): measures the flow scaffolding —
-//!   geometry fan-out (the full suite turns out to fit the 4×4, so the
-//!   serial oracle early-exits after one attempt while the parallel
-//!   path maps all three) and exact-stage refinement — where
-//!   exploration itself is cheap.
+//!   geometries** (4×4, 6×6, 8×8) and the paper suite *plus* the
+//!   generated `matmul11` (`rsp_workload::generators`), which overflows
+//!   the 4×4 configuration cache: the serial geometry oracle no longer
+//!   early-exits at 4×4 — both paths walk to the 6×6 (the
+//!   `selected_pe_count: 36` anchor) — so the report measures real
+//!   multi-geometry work plus exact-stage refinement where exploration
+//!   itself is cheap.
 //! * `flow-deep` — the 480-candidate deep space pinned to the paper's
 //!   8×8 base: where estimation-phase pruning, the stage-floor clock
 //!   cut, and the exact-stage dominance cut all bite
@@ -49,13 +52,13 @@ use rsp_core::{
 use rsp_kernel::suite;
 use std::hint::black_box;
 
-/// The benchmark workload: the full kernel suite as one domain, coverage
+/// The benchmark workload: the full kernel suite plus the generated
+/// `matmul11` (which a 4×4 array cannot hold) as one domain, coverage
 /// 1.0 so every kernel becomes a critical loop.
 fn workload() -> Vec<AppProfile> {
-    vec![AppProfile::new(
-        "full-suite",
-        suite::all().into_iter().map(|k| (k, 1)).collect(),
-    )]
+    let mut kernels: Vec<_> = suite::all().into_iter().map(|k| (k, 1)).collect();
+    kernels.push((rsp_workload::generators::matmul(11), 1));
+    vec![AppProfile::new("full-suite+generated", kernels)]
 }
 
 /// The design space and geometry list a report label names.
@@ -116,21 +119,28 @@ fn row_from(
     }
 }
 
-/// Runs the flow benchmark for a tracked label (`flow-paper` /
-/// `flow-deep`) with `samples` measured repetitions per configuration;
-/// `None` for an unknown label.
-pub fn run(label: &str, samples: u32) -> Option<BenchReport> {
-    let (space, _) = space_for(label)?;
-    let apps = workload();
+/// Measures the four tracked flow configurations (`serial-reference`,
+/// `flow-1-thread-pruned`, `flow-parallel`, `flow-parallel-pruned`)
+/// over `apps` and assembles the report — the scaffold shared with the
+/// workload benchmark ([`crate::workload_bench`]); only the workload
+/// and the [`FlowConfig`] constructor differ between the artifacts.
+pub(crate) fn measure(
+    label: &str,
+    apps: &[AppProfile],
+    candidates: usize,
+    samples: u32,
+    config: &dyn Fn(Option<usize>, PruneStrategy, ClockBound) -> FlowConfig,
+) -> BenchReport {
     let mut rows: Vec<EngineRow> = Vec::new();
 
-    let reference_median = {
-        let cfg = config(label, Some(1), PruneStrategy::None, ClockBound::Off);
+    let (reference_median, selected_pe_count) = {
+        let cfg = config(Some(1), PruneStrategy::None, ClockBound::Off);
         let mut last = None;
         let (median, min) = time_median(samples, || {
-            last = Some(run_flow(black_box(&apps), &cfg).expect("flow runs"));
+            last = Some(run_flow(black_box(apps), &cfg).expect("flow runs"));
         });
         let last = last.unwrap();
+        let selected = last.base.geometry().pe_count();
         rows.push(row_from(
             "serial-reference",
             median,
@@ -139,7 +149,7 @@ pub fn run(label: &str, samples: u32) -> Option<BenchReport> {
             median,
             &last,
         ));
-        median
+        (median, selected)
     };
 
     let configs = [
@@ -158,10 +168,10 @@ pub fn run(label: &str, samples: u32) -> Option<BenchReport> {
         ),
     ];
     for (name, parallelism, prune, clock_bound) in configs {
-        let cfg = config(label, parallelism, prune, clock_bound);
+        let cfg = config(parallelism, prune, clock_bound);
         let mut last = None;
         let (median, min) = time_median(samples, || {
-            last = Some(run_flow(black_box(&apps), &cfg).expect("flow runs"));
+            last = Some(run_flow(black_box(apps), &cfg).expect("flow runs"));
         });
         rows.push(row_from(
             name,
@@ -173,14 +183,30 @@ pub fn run(label: &str, samples: u32) -> Option<BenchReport> {
         ));
     }
 
-    Some(BenchReport {
+    BenchReport {
         space: label.into(),
-        candidates: space.plans().count(),
-        kernels: suite::all().len(),
+        candidates,
+        kernels: apps.iter().map(|a| a.kernels.len()).sum(),
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         samples,
+        selected_pe_count,
         engines: rows,
-    })
+    }
+}
+
+/// Runs the flow benchmark for a tracked label (`flow-paper` /
+/// `flow-deep`) with `samples` measured repetitions per configuration;
+/// `None` for an unknown label.
+pub fn run(label: &str, samples: u32) -> Option<BenchReport> {
+    let (space, _) = space_for(label)?;
+    let apps = workload();
+    Some(measure(
+        label,
+        &apps,
+        space.plans().count(),
+        samples,
+        &|parallelism, prune, clock_bound| config(label, parallelism, prune, clock_bound),
+    ))
 }
 
 /// Runs the full tracked flow benchmark: the paper space plus the deep
@@ -212,6 +238,9 @@ mod tests {
         let report = run("flow-paper", 1).unwrap();
         assert_eq!(report.engines.len(), 4);
         assert_eq!(report.engines[0].name, "serial-reference");
+        // The generated matmul11 overflows the 4×4, so the multi-geometry
+        // exploration escalates to the 6×6 — no more 4×4 early exit.
+        assert_eq!(report.selected_pe_count, 36);
         // Unpruned rows report no cuts; pruned rows may.
         let row = |name: &str| report.engines.iter().find(|e| e.name == name).unwrap();
         assert_eq!(row("serial-reference").candidates_pruned, 0);

@@ -1,15 +1,17 @@
 //! Shared benchmark-artifact schema and the CI regression gate.
 //!
-//! Both tracked artifacts — `BENCH_explore.json` (the exploration-engine
-//! trajectory) and `BENCH_flow.json` (the end-to-end Fig. 7 flow) — use
-//! the same rebar-style shape: [`BenchReport`]s of [`EngineRow`]s with
-//! median-of-N and best-of-N wall-clock plus correctness anchors, and
-//! one `serial-reference` row per report serving as the normalization
-//! yardstick. [`check_with`] implements the gate shared by both: a row
-//! regresses only when its reference-normalized median **and**
-//! best-of-N both exceed the tolerance (the median-AND-best rule that
-//! keeps the gate stable on noisy 1-CPU hosts), or when a correctness
-//! anchor drifts.
+//! All three tracked artifacts — `BENCH_explore.json` (the
+//! exploration-engine trajectory), `BENCH_flow.json` (the end-to-end
+//! Fig. 7 flow), and `BENCH_workload.json` (the flow over the generated
+//! workload suite) — use the same rebar-style shape: [`BenchReport`]s of
+//! [`EngineRow`]s with median-of-N and best-of-N wall-clock plus
+//! correctness anchors (feasible-design counts and, for flow
+//! benchmarks, the selected base geometry), and one `serial-reference`
+//! row per report serving as the normalization yardstick. [`check_with`]
+//! implements the gate shared by all of them: a row regresses only when
+//! its reference-normalized median **and** best-of-N both exceed the
+//! tolerance (the median-AND-best rule that keeps the gate stable on
+//! noisy 1-CPU hosts), or when a correctness anchor drifts.
 
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +60,12 @@ pub struct BenchReport {
     pub threads: usize,
     /// Measured samples per engine (after one warmup).
     pub samples: u32,
+    /// PE count of the base geometry the flow's multi-geometry
+    /// exploration selected (`0` for benchmarks that do not explore
+    /// geometries). A correctness anchor: the `flow-workload` report
+    /// records `64` — the generated suite genuinely selects the paper's
+    /// 8×8 — and the gate fails if that selection ever drifts.
+    pub selected_pe_count: usize,
     /// Timing rows, reference first.
     pub engines: Vec<EngineRow>,
 }
@@ -76,10 +84,15 @@ pub struct BenchArtifact {
 pub fn render(report: &BenchReport) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
+    let geometry = if report.selected_pe_count > 0 {
+        format!(", selects {}-PE base", report.selected_pe_count)
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         s,
-        "{} ({} candidates x {} kernels, {} threads, median of {}):",
-        report.space, report.candidates, report.kernels, report.threads, report.samples
+        "{} ({} candidates x {} kernels, {} threads, median of {}{}):",
+        report.space, report.candidates, report.kernels, report.threads, report.samples, geometry
     );
     for e in &report.engines {
         let _ = writeln!(
@@ -193,6 +206,12 @@ pub fn check_with(
             continue;
         };
         let new_ref = reference(&new).expect("rerun always measures the reference");
+        if new.selected_pe_count != old.selected_pe_count {
+            outcome.regressions.push(format!(
+                "{}: selected base geometry drifted {} -> {} PEs",
+                old.space, old.selected_pe_count, new.selected_pe_count
+            ));
+        }
         let threads_match = old.threads == new.threads;
         if !threads_match {
             outcome.lines.push(format!(

@@ -1,0 +1,98 @@
+//! Golden-render test for `Trace::render` and unit coverage for
+//! `peak_parallelism` — the trace API frozen against an exact expected
+//! waveform so formatting regressions are caught, not just smoke-tested.
+
+use rsp_arch::presets;
+use rsp_core::rearrange;
+use rsp_kernel::{AddrExpr, Bindings, DfgBuilder, Kernel, KernelBuilder, MemoryImage, Operand};
+use rsp_mapper::{map, MapOptions};
+use rsp_sim::{simulate, SimOptions, SimReport};
+
+/// Two elements of `out[e] = in[e] + 7` — deterministic lockstep
+/// placement on rows 0/1 of column 0, one operation per cycle.
+fn tiny_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("tiny", 2);
+    let input = kb.array("in", 2);
+    let out = kb.array("out", 2);
+    let mut b = DfgBuilder::new();
+    let l = b.load(AddrExpr::flat(input, 0, 1));
+    let a = b.add(Operand::Node(l), Operand::Const(7));
+    b.store(AddrExpr::flat(out, 0, 1), Operand::Node(a));
+    kb.body(b.finish()).build().unwrap()
+}
+
+fn traced_report(kernel: &Kernel, arch: &rsp_arch::RspArchitecture) -> SimReport {
+    let ctx = map(arch.base(), kernel, &MapOptions::default()).unwrap();
+    let mut input = MemoryImage::zeroed(kernel);
+    input.write(0, 0, 10);
+    input.write(0, 1, 20);
+    let (cycles, bindings);
+    if arch.is_base() {
+        cycles = ctx.cycles().to_vec();
+        bindings = vec![None; ctx.instances().len()];
+    } else {
+        let r = rearrange(&ctx, arch, &Default::default()).unwrap();
+        cycles = r.cycles;
+        bindings = r.bindings;
+    }
+    simulate(
+        &ctx,
+        arch,
+        &cycles,
+        &bindings,
+        kernel,
+        &input,
+        &Bindings::defaults(kernel),
+        &SimOptions {
+            record_trace: true,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn render_matches_golden_waveform() {
+    let report = traced_report(&tiny_kernel(), &presets::base_8x8());
+    let trace = report.trace.expect("trace recorded");
+    // One trailing column: the waveform reserves a cycle for the last
+    // operation's pipeline drain (`total_cycles = cycles + 1`).
+    let golden = concat!(
+        "    cycle |    1 |    2 |    3 |    4 |\n",
+        "  PE[0,0] |   Ld |    + |   St |      |\n",
+        "  PE[1,0] |   Ld |    + |   St |      |\n",
+    );
+    assert_eq!(trace.render(), golden);
+}
+
+#[test]
+fn render_marks_shared_multiplications_with_a_tick() {
+    // On RS#1 every multiplication is served by a shared row resource;
+    // the waveform marks those issues with a trailing apostrophe.
+    let k = rsp_kernel::suite::mvm();
+    let report = traced_report(&k, &presets::rs1());
+    let text = report.trace.expect("trace recorded").render();
+    assert!(text.contains("*'"), "no shared-mult tick in:\n{text}");
+    assert!(!text.contains("ld'"), "loads are never shared:\n{text}");
+}
+
+#[test]
+fn peak_parallelism_counts_simultaneously_active_pes() {
+    let report = traced_report(&tiny_kernel(), &presets::base_8x8());
+    let trace = report.trace.expect("trace recorded");
+    // Both elements run in lockstep on rows 0 and 1 of column 0.
+    assert_eq!(trace.peak_parallelism(), 2);
+    assert_eq!(trace.total_cycles(), report.cycles + 1);
+    assert_eq!(trace.events().len(), 6);
+    assert_eq!(trace.at_cycle(0).count(), 2);
+}
+
+#[test]
+fn peak_parallelism_saturates_at_the_array_width() {
+    // MVM occupies whole 8-PE columns; peak concurrency can never
+    // exceed the 64 PEs of the array and must reach a full column.
+    let report = traced_report(&rsp_kernel::suite::mvm(), &presets::base_8x8());
+    let trace = report.trace.expect("trace recorded");
+    let peak = trace.peak_parallelism();
+    assert!((8..=64).contains(&peak), "peak {peak}");
+}

@@ -1,0 +1,51 @@
+//! Regenerates the committed `workloads/` directory from the fixed
+//! registry ([`rsp_workload::registry`]).
+//!
+//! ```sh
+//! cargo run -p rsp-workload --bin workloadgen                 # writes workloads/
+//! cargo run -p rsp-workload --bin workloadgen -- --out DIR    # custom directory
+//! cargo run -p rsp-workload --bin workloadgen -- --check      # verify, write nothing
+//! ```
+//!
+//! `--check` exits non-zero when any committed file differs from its
+//! regenerated form (the same comparison the test suite performs).
+
+use rsp_workload::{registry, render_workload_file};
+use std::path::Path;
+
+fn main() {
+    let mut out_dir = "workloads".to_string();
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_dir = args.next().expect("--out needs a directory"),
+            "--check" => check = true,
+            other => panic!("unknown argument {other:?} (use --out DIR or --check)"),
+        }
+    }
+
+    let dir = Path::new(&out_dir);
+    let mut drifted = 0usize;
+    for kernel in registry() {
+        let path = dir.join(format!("{}.dfg", kernel.name()));
+        let content = render_workload_file(&kernel);
+        if check {
+            let on_disk = std::fs::read_to_string(&path).unwrap_or_default();
+            if on_disk == content {
+                println!("ok       {}", path.display());
+            } else {
+                drifted += 1;
+                eprintln!("DRIFTED  {}", path.display());
+            }
+        } else {
+            std::fs::create_dir_all(dir).expect("create output directory");
+            std::fs::write(&path, &content).expect("write workload file");
+            println!("wrote    {}", path.display());
+        }
+    }
+    if drifted > 0 {
+        eprintln!("{drifted} workload file(s) drifted — regenerate with `cargo run -p rsp-workload --bin workloadgen`");
+        std::process::exit(1);
+    }
+}

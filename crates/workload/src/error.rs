@@ -1,0 +1,44 @@
+//! Parse diagnostics for the textual DFG format.
+
+use std::fmt;
+
+/// A parse diagnostic carrying a 1-based line/column source position.
+///
+/// # Examples
+///
+/// ```
+/// let err = rsp_workload::parse_kernel("kernel \"x\" {").unwrap_err();
+/// assert_eq!(err.line, 1);
+/// assert!(err.to_string().contains("line 1"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line of the offending token.
+    pub line: u32,
+    /// 1-based source column of the offending token.
+    pub col: u32,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: u32, col: u32, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}

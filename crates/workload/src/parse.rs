@@ -1,0 +1,832 @@
+//! Parser for the textual DFG format (grammar in the crate docs).
+//!
+//! Hand-rolled lexer + recursive-descent parser. Every diagnostic carries
+//! the 1-based line/column of the offending token ([`ParseError`]). The
+//! parser is deliberately more liberal than the canonical printer: address
+//! terms may appear in any order and zero terms may be omitted
+//! (`X[i + 3]` means `X[3 + 1*i + 0*j + 0*s]`), names may be bare
+//! identifiers or quoted strings, and `//` starts a line comment.
+
+use crate::error::ParseError;
+use crate::print::op_keyword;
+use rsp_arch::OpKind;
+use rsp_kernel::{
+    AddrExpr, ArrayId, Dfg, DfgBuilder, Kernel, KernelBuilder, MappingStyle, NodeId, Operand,
+    ParamId,
+};
+
+#[derive(Debug, Clone, PartialEq)]
+enum TokKind {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Eq,
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Dot,
+    Hash,
+    Dollar,
+    Eof,
+}
+
+impl TokKind {
+    fn describe(&self) -> String {
+        match self {
+            TokKind::Ident(s) => format!("identifier `{s}`"),
+            TokKind::Int(v) => format!("integer `{v}`"),
+            TokKind::Str(_) => "string literal".into(),
+            TokKind::LBrace => "`{`".into(),
+            TokKind::RBrace => "`}`".into(),
+            TokKind::LBracket => "`[`".into(),
+            TokKind::RBracket => "`]`".into(),
+            TokKind::LParen => "`(`".into(),
+            TokKind::RParen => "`)`".into(),
+            TokKind::Eq => "`=`".into(),
+            TokKind::Comma => "`,`".into(),
+            TokKind::Plus => "`+`".into(),
+            TokKind::Minus => "`-`".into(),
+            TokKind::Star => "`*`".into(),
+            TokKind::Dot => "`.`".into(),
+            TokKind::Hash => "`#`".into(),
+            TokKind::Dollar => "`$`".into(),
+            TokKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Tok {
+    kind: TokKind,
+    line: u32,
+    col: u32,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, ParseError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let (mut line, mut col) = (1u32, 1u32);
+    let mut i = 0usize;
+    while i < chars.len() {
+        let (l, c) = (line, col);
+        let ch = chars[i];
+        let advance = |i: &mut usize, col: &mut u32| {
+            *i += 1;
+            *col += 1;
+        };
+        match ch {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ch if ch.is_whitespace() => advance(&mut i, &mut col),
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                advance(&mut i, &mut col);
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => return Err(ParseError::new(l, c, "unterminated string literal")),
+                        Some('\n') => {
+                            return Err(ParseError::new(
+                                l,
+                                c,
+                                "unterminated string literal (strings may not span lines)",
+                            ))
+                        }
+                        Some('"') => {
+                            advance(&mut i, &mut col);
+                            break;
+                        }
+                        Some('\\') => {
+                            advance(&mut i, &mut col);
+                            let esc = chars.get(i).copied();
+                            advance(&mut i, &mut col);
+                            match esc {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                other => {
+                                    return Err(ParseError::new(
+                                        line,
+                                        col - 1,
+                                        format!(
+                                            "unknown escape `\\{}`",
+                                            other.map(String::from).unwrap_or_default()
+                                        ),
+                                    ))
+                                }
+                            }
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            advance(&mut i, &mut col);
+                        }
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str(s),
+                    line: l,
+                    col: c,
+                });
+            }
+            ch if ch.is_ascii_digit() => {
+                let mut v: i64 = 0;
+                while let Some(d) = chars.get(i).and_then(|c| c.to_digit(10)) {
+                    v = v
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(i64::from(d)))
+                        .ok_or_else(|| ParseError::new(l, c, "integer literal overflows i64"))?;
+                    advance(&mut i, &mut col);
+                }
+                toks.push(Tok {
+                    kind: TokKind::Int(v),
+                    line: l,
+                    col: c,
+                });
+            }
+            ch if ch.is_ascii_alphabetic() || ch == '_' => {
+                let mut s = String::new();
+                while let Some(&ch) = chars.get(i) {
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        advance(&mut i, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident(s),
+                    line: l,
+                    col: c,
+                });
+            }
+            _ => {
+                let kind = match ch {
+                    '{' => TokKind::LBrace,
+                    '}' => TokKind::RBrace,
+                    '[' => TokKind::LBracket,
+                    ']' => TokKind::RBracket,
+                    '(' => TokKind::LParen,
+                    ')' => TokKind::RParen,
+                    '=' => TokKind::Eq,
+                    ',' => TokKind::Comma,
+                    '+' => TokKind::Plus,
+                    '-' => TokKind::Minus,
+                    '*' => TokKind::Star,
+                    '.' => TokKind::Dot,
+                    '#' => TokKind::Hash,
+                    '$' => TokKind::Dollar,
+                    other => {
+                        return Err(ParseError::new(
+                            l,
+                            c,
+                            format!("unexpected character `{other}`"),
+                        ))
+                    }
+                };
+                toks.push(Tok {
+                    kind,
+                    line: l,
+                    col: c,
+                });
+                advance(&mut i, &mut col);
+            }
+        }
+    }
+    toks.push(Tok {
+        kind: TokKind::Eof,
+        line,
+        col,
+    });
+    Ok(toks)
+}
+
+/// An `acc(..)`/`carry(..)` reference whose target index can only be
+/// bounds-checked once the body graph is complete.
+struct DeferredRef {
+    index: usize,
+    line: u32,
+    col: u32,
+    what: &'static str,
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    arrays: Vec<(String, usize)>,
+    params: Vec<(String, i32)>,
+    deferred: Vec<DeferredRef>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, t: &Tok, msg: impl Into<String>) -> ParseError {
+        ParseError::new(t.line, t.col, msg)
+    }
+
+    fn expect(&mut self, kind: &TokKind, what: &str) -> Result<Tok, ParseError> {
+        let t = self.next();
+        if &t.kind == kind {
+            Ok(t)
+        } else {
+            Err(self.err(&t, format!("expected {what}, found {}", t.kind.describe())))
+        }
+    }
+
+    /// A bare identifier or quoted string (array / param / kernel names).
+    fn name(&mut self, what: &str) -> Result<(String, Tok), ParseError> {
+        let t = self.next();
+        match &t.kind {
+            TokKind::Ident(s) => Ok((s.clone(), t.clone())),
+            TokKind::Str(s) => Ok((s.clone(), t.clone())),
+            other => Err(self.err(&t, format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    /// A possibly negated integer literal.
+    fn int(&mut self, what: &str) -> Result<i64, ParseError> {
+        let t = self.next();
+        match t.kind {
+            TokKind::Int(v) => Ok(v),
+            TokKind::Minus => match self.next() {
+                Tok {
+                    kind: TokKind::Int(v),
+                    ..
+                } => Ok(-v),
+                t => Err(self.err(&t, format!("expected {what}, found {}", t.kind.describe()))),
+            },
+            ref other => Err(self.err(&t, format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    fn int_in(&mut self, what: &str, lo: i64, hi: i64) -> Result<i64, ParseError> {
+        let t = self.peek().clone();
+        let v = self.int(what)?;
+        if v < lo || v > hi {
+            return Err(self.err(&t, format!("{what} {v} out of range ({lo}..={hi})")));
+        }
+        Ok(v)
+    }
+
+    /// `nK` node reference; `limit` is the exclusive upper bound enforced
+    /// immediately (`None` defers the bounds check).
+    fn node_ref(&mut self, limit: Option<usize>) -> Result<(NodeId, Tok), ParseError> {
+        let t = self.next();
+        let TokKind::Ident(s) = &t.kind else {
+            return Err(self.err(
+                &t,
+                format!("expected node reference `nK`, found {}", t.kind.describe()),
+            ));
+        };
+        let idx = s
+            .strip_prefix('n')
+            .and_then(|d| {
+                if d.is_empty() {
+                    None
+                } else {
+                    d.parse::<u32>().ok()
+                }
+            })
+            .ok_or_else(|| self.err(&t, format!("expected node reference `nK`, found `{s}`")))?;
+        if let Some(limit) = limit {
+            if idx as usize >= limit {
+                return Err(self.err(
+                    &t,
+                    format!("node n{idx} is not defined yet (operands may only reference earlier nodes)"),
+                ));
+            }
+        }
+        Ok((NodeId(idx), t.clone()))
+    }
+
+    fn array_id(&mut self) -> Result<ArrayId, ParseError> {
+        let (name, t) = self.name("array name")?;
+        let idx = self
+            .arrays
+            .iter()
+            .position(|(n, _)| *n == name)
+            .ok_or_else(|| {
+                self.err(
+                    &t,
+                    format!("unknown array `{name}` (arrays must be declared before use)"),
+                )
+            })?;
+        Ok(ArrayId(idx as u32))
+    }
+
+    /// `Array[base + cd*i + cm*j + cs*s]` — terms in any order, each a
+    /// plain integer, `coef*var`, or a bare variable (`i`, `j`, `s`).
+    fn addr(&mut self) -> Result<AddrExpr, ParseError> {
+        let array = self.array_id()?;
+        self.expect(&TokKind::LBracket, "`[`")?;
+        let (mut base, mut cd, mut cm, mut cs) = (0i64, 0i64, 0i64, 0i64);
+        loop {
+            let mut sign = 1i64;
+            if self.peek().kind == TokKind::Minus {
+                self.next();
+                sign = -1;
+            }
+            let t = self.next();
+            match t.kind {
+                TokKind::Int(v) => {
+                    if self.peek().kind == TokKind::Star {
+                        self.next();
+                        let (vt, var) = {
+                            let t = self.next();
+                            match &t.kind {
+                                TokKind::Ident(s) => (t.clone(), s.clone()),
+                                other => {
+                                    return Err(self.err(
+                                        &t,
+                                        format!(
+                                            "expected `i`, `j`, or `s`, found {}",
+                                            other.describe()
+                                        ),
+                                    ))
+                                }
+                            }
+                        };
+                        match var.as_str() {
+                            "i" => cd += sign * v,
+                            "j" => cm += sign * v,
+                            "s" => cs += sign * v,
+                            other => {
+                                return Err(self.err(
+                                    &vt,
+                                    format!(
+                                        "unknown address variable `{other}` (use `i`, `j`, or `s`)"
+                                    ),
+                                ))
+                            }
+                        }
+                    } else {
+                        base += sign * v;
+                    }
+                }
+                TokKind::Ident(ref s) => match s.as_str() {
+                    "i" => cd += sign,
+                    "j" => cm += sign,
+                    "s" => cs += sign,
+                    other => {
+                        return Err(self.err(
+                            &t,
+                            format!("unknown address variable `{other}` (use `i`, `j`, or `s`)"),
+                        ))
+                    }
+                },
+                ref other => {
+                    return Err(self.err(
+                        &t,
+                        format!("expected address term, found {}", other.describe()),
+                    ))
+                }
+            }
+            match self.peek().kind {
+                TokKind::Plus => {
+                    self.next();
+                }
+                TokKind::Minus => {} // consumed as the next term's sign
+                _ => break,
+            }
+        }
+        self.expect(&TokKind::RBracket, "`]`")?;
+        Ok(AddrExpr::affine(array, base, cd, cm, cs))
+    }
+
+    fn operand(&mut self, defined: usize, in_tail: bool) -> Result<Operand, ParseError> {
+        let t = self.peek().clone();
+        match &t.kind {
+            TokKind::Hash => {
+                self.next();
+                let v = self.int_in("constant", i64::from(i32::MIN), i64::from(i32::MAX))?;
+                Ok(Operand::Const(v as i32))
+            }
+            TokKind::Dollar => {
+                self.next();
+                let (name, nt) = self.name("parameter name")?;
+                let idx = self
+                    .params
+                    .iter()
+                    .position(|(n, _)| *n == name)
+                    .ok_or_else(|| {
+                        self.err(&nt, format!("unknown parameter `{name}` (parameters must be declared before use)"))
+                    })?;
+                Ok(Operand::Param(ParamId(idx as u32)))
+            }
+            TokKind::Ident(s) if s == "acc" => {
+                if in_tail {
+                    return Err(self.err(
+                        &t,
+                        "acc(..) is only valid in the body (use carry(..) in the tail)",
+                    ));
+                }
+                self.next();
+                self.expect(&TokKind::LParen, "`(`")?;
+                let (node, nt) = self.node_ref(None)?;
+                self.deferred.push(DeferredRef {
+                    index: node.index(),
+                    line: nt.line,
+                    col: nt.col,
+                    what: "acc",
+                });
+                self.expect(&TokKind::Comma, "`,`")?;
+                let init = self.int_in(
+                    "accumulator initial value",
+                    i64::from(i32::MIN),
+                    i64::from(i32::MAX),
+                )?;
+                self.expect(&TokKind::RParen, "`)`")?;
+                Ok(Operand::Accum {
+                    node,
+                    init: init as i32,
+                })
+            }
+            TokKind::Ident(s) if s == "carry" => {
+                if !in_tail {
+                    return Err(self.err(&t, "carry(..) is only valid in the tail"));
+                }
+                self.next();
+                self.expect(&TokKind::LParen, "`(`")?;
+                let (node, nt) = self.node_ref(None)?;
+                self.deferred.push(DeferredRef {
+                    index: node.index(),
+                    line: nt.line,
+                    col: nt.col,
+                    what: "carry",
+                });
+                self.expect(&TokKind::RParen, "`)`")?;
+                Ok(Operand::Carry(node))
+            }
+            TokKind::Ident(_) => {
+                let (node, _) = self.node_ref(Some(defined))?;
+                if self.peek().kind == TokKind::Dot {
+                    self.next();
+                    let (field, ft) = self.name("`hi`")?;
+                    if field != "hi" {
+                        return Err(
+                            self.err(&ft, format!("unknown node field `.{field}` (only `.hi`)"))
+                        );
+                    }
+                    Ok(Operand::Pair(node))
+                } else {
+                    Ok(Operand::Node(node))
+                }
+            }
+            other => Err(self.err(&t, format!("expected operand, found {}", other.describe()))),
+        }
+    }
+
+    /// One `nK = op ...` statement appended to `builder`.
+    fn node_stmt(
+        &mut self,
+        builder: &mut DfgBuilder,
+        count: usize,
+        in_tail: bool,
+    ) -> Result<(), ParseError> {
+        let (label, lt) = self.node_ref(None)?;
+        if label.index() != count {
+            return Err(self.err(
+                &lt,
+                format!("node label n{} out of order (expected n{count})", label.0),
+            ));
+        }
+        self.expect(&TokKind::Eq, "`=`")?;
+        let (op_name, ot) = self.name("operation keyword")?;
+        let op = OpKind::ALL
+            .into_iter()
+            .find(|&op| op_keyword(op) == op_name)
+            .ok_or_else(|| self.err(&ot, format!("unknown operation `{op_name}`")))?;
+        match op {
+            OpKind::Load => {
+                let a = self.addr()?;
+                if self.peek().kind == TokKind::Comma {
+                    self.next();
+                    let a2 = self.addr()?;
+                    builder.load_pair(a, a2);
+                } else {
+                    builder.load(a);
+                }
+            }
+            OpKind::Store => {
+                let a = self.addr()?;
+                self.expect(&TokKind::Comma, "`,`")?;
+                let value = self.operand(count, in_tail)?;
+                builder.store(a, value);
+            }
+            op => {
+                let mut operands = Vec::new();
+                if op.arity() > 0 {
+                    operands.push(self.operand(count, in_tail)?);
+                    while self.peek().kind == TokKind::Comma {
+                        self.next();
+                        operands.push(self.operand(count, in_tail)?);
+                    }
+                }
+                if operands.len() != op.arity() {
+                    return Err(self.err(
+                        &ot,
+                        format!(
+                            "`{op_name}` takes {} operand(s), found {}",
+                            op.arity(),
+                            operands.len()
+                        ),
+                    ));
+                }
+                builder.op(op, operands);
+            }
+        }
+        Ok(())
+    }
+
+    fn dfg(&mut self, in_tail: bool) -> Result<Dfg, ParseError> {
+        self.expect(&TokKind::LBrace, "`{`")?;
+        let mut builder = DfgBuilder::new();
+        let mut count = 0usize;
+        while self.peek().kind != TokKind::RBrace {
+            if self.peek().kind == TokKind::Eof {
+                let t = self.peek().clone();
+                return Err(self.err(&t, "unexpected end of input inside graph (missing `}`?)"));
+            }
+            self.node_stmt(&mut builder, count, in_tail)?;
+            count += 1;
+        }
+        self.next(); // `}`
+        Ok(builder.finish())
+    }
+}
+
+/// Parses one kernel in the textual DFG format.
+///
+/// # Errors
+///
+/// A [`ParseError`] with the 1-based line/column of the first offending
+/// token — lexical errors, structural errors (unknown arrays/operations,
+/// out-of-order node labels, arity mismatches, references to undefined
+/// nodes), and kernel-level validation failures (out-of-bounds
+/// addresses, dataflow-shape violations) are all reported this way.
+///
+/// # Examples
+///
+/// ```
+/// let text = r#"
+/// kernel "saxpy" {
+///   elements 8
+///   array x[8]
+///   array y[8]
+///   array out[8]
+///   param a = 3
+///   body {
+///     n0 = load x[i], y[i]
+///     n1 = mult n0, $a
+///     n2 = add n1, n0.hi
+///     n3 = store out[i], n2
+///   }
+/// }
+/// "#;
+/// let k = rsp_workload::parse_kernel(text).unwrap();
+/// assert_eq!(k.name(), "saxpy");
+/// assert_eq!(k.total_ops(), 32);
+/// ```
+pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        arrays: Vec::new(),
+        params: Vec::new(),
+        deferred: Vec::new(),
+    };
+
+    let kw = p.peek().clone();
+    let (kw_name, _) = p.name("`kernel`")?;
+    if kw_name != "kernel" {
+        return Err(p.err(&kw, format!("expected `kernel`, found `{kw_name}`")));
+    }
+    let (name, _) = p.name("kernel name")?;
+    p.expect(&TokKind::LBrace, "`{`")?;
+
+    let mut description: Option<String> = None;
+    let mut elements: Option<usize> = None;
+    let mut steps: Option<usize> = None;
+    let mut divisor: Option<usize> = None;
+    let mut style: Option<MappingStyle> = None;
+    let mut body: Option<Dfg> = None;
+    let mut tail: Option<Dfg> = None;
+
+    loop {
+        let t = p.peek().clone();
+        match &t.kind {
+            TokKind::RBrace => {
+                p.next();
+                break;
+            }
+            TokKind::Ident(section) => {
+                let section = section.clone();
+                p.next();
+                match section.as_str() {
+                    "description" => {
+                        if description.is_some() {
+                            return Err(p.err(&t, "duplicate `description`"));
+                        }
+                        let (text, _) = p.name("description string")?;
+                        description = Some(text);
+                    }
+                    "elements" => {
+                        if elements.is_some() {
+                            return Err(p.err(&t, "duplicate `elements`"));
+                        }
+                        elements = Some(p.int_in("element count", 1, 1 << 24)? as usize);
+                    }
+                    "steps" => {
+                        if steps.is_some() {
+                            return Err(p.err(&t, "duplicate `steps`"));
+                        }
+                        steps = Some(p.int_in("step count", 1, 1 << 24)? as usize);
+                    }
+                    "divisor" => {
+                        if divisor.is_some() {
+                            return Err(p.err(&t, "duplicate `divisor`"));
+                        }
+                        divisor = Some(p.int_in("element divisor", 1, 1 << 24)? as usize);
+                    }
+                    "style" => {
+                        if style.is_some() {
+                            return Err(p.err(&t, "duplicate `style`"));
+                        }
+                        let (s, st) = p.name("`lockstep` or `dataflow`")?;
+                        style = Some(match s.as_str() {
+                            "lockstep" => MappingStyle::Lockstep,
+                            "dataflow" => MappingStyle::Dataflow,
+                            other => {
+                                return Err(p.err(
+                                    &st,
+                                    format!(
+                                        "unknown style `{other}` (use `lockstep` or `dataflow`)"
+                                    ),
+                                ))
+                            }
+                        });
+                    }
+                    "array" => {
+                        let (aname, at) = p.name("array name")?;
+                        if p.arrays.iter().any(|(n, _)| *n == aname) {
+                            return Err(p.err(&at, format!("duplicate array `{aname}`")));
+                        }
+                        p.expect(&TokKind::LBracket, "`[`")?;
+                        let len = p.int_in("array length", 1, 1 << 24)? as usize;
+                        p.expect(&TokKind::RBracket, "`]`")?;
+                        p.arrays.push((aname, len));
+                    }
+                    "param" => {
+                        let (pname, pt) = p.name("parameter name")?;
+                        if p.params.iter().any(|(n, _)| *n == pname) {
+                            return Err(p.err(&pt, format!("duplicate parameter `{pname}`")));
+                        }
+                        p.expect(&TokKind::Eq, "`=`")?;
+                        let v = p.int_in(
+                            "parameter default",
+                            i64::from(i32::MIN),
+                            i64::from(i32::MAX),
+                        )?;
+                        p.params.push((pname, v as i32));
+                    }
+                    "body" => {
+                        if body.is_some() {
+                            return Err(p.err(&t, "duplicate `body`"));
+                        }
+                        body = Some(p.dfg(false)?);
+                        // `acc(nK, ..)` may reference any body node
+                        // (including later ones); check now that the
+                        // graph is complete.
+                        let len = body.as_ref().map(Dfg::len).unwrap_or(0);
+                        for d in p.deferred.drain(..) {
+                            if d.index >= len {
+                                return Err(ParseError::new(
+                                    d.line,
+                                    d.col,
+                                    format!("{}(n{}) references a node outside the body (body has {len} nodes)", d.what, d.index),
+                                ));
+                            }
+                        }
+                    }
+                    "tail" => {
+                        if tail.is_some() {
+                            return Err(p.err(&t, "duplicate `tail`"));
+                        }
+                        if body.is_none() {
+                            return Err(p.err(
+                                &t,
+                                "`tail` must come after `body` (carry(..) references body nodes)",
+                            ));
+                        }
+                        tail = Some(p.dfg(true)?);
+                        let len = body.as_ref().map(Dfg::len).unwrap_or(0);
+                        for d in p.deferred.drain(..) {
+                            if d.index >= len {
+                                return Err(ParseError::new(
+                                    d.line,
+                                    d.col,
+                                    format!("{}(n{}) references a node outside the body (body has {len} nodes)", d.what, d.index),
+                                ));
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(p.err(
+                            &t,
+                            format!(
+                                "unknown section `{other}` (expected description, elements, steps, \
+                                 divisor, style, array, param, body, or tail)"
+                            ),
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(p.err(
+                    &t,
+                    format!(
+                        "expected a section keyword or `}}`, found {}",
+                        other.describe()
+                    ),
+                ))
+            }
+        }
+    }
+    let t = p.peek().clone();
+    if t.kind != TokKind::Eof {
+        return Err(p.err(
+            &t,
+            format!(
+                "expected end of input after `}}`, found {}",
+                t.kind.describe()
+            ),
+        ));
+    }
+
+    let Some(elements) = elements else {
+        return Err(p.err(&kw, "missing `elements` section"));
+    };
+    let Some(body) = body else {
+        return Err(p.err(&kw, "missing `body` section"));
+    };
+    let steps = steps.unwrap_or(1);
+    let divisor = divisor.unwrap_or(1);
+    let style = style.unwrap_or(MappingStyle::Lockstep);
+    // Kernel validation sweeps the whole `elements × steps` space per
+    // address expression; bound the product so a typo'd (or hostile)
+    // file cannot wedge the parser for hours.
+    if (elements as u64) * (steps as u64) > 1 << 24 {
+        return Err(p.err(
+            &kw,
+            format!(
+                "iteration space elements × steps = {elements} × {steps} exceeds the \
+                 supported maximum (2^24 body iterations)"
+            ),
+        ));
+    }
+
+    let mut kb = KernelBuilder::new(name, elements);
+    for (aname, len) in &p.arrays {
+        kb.array(aname.clone(), *len);
+    }
+    for (pname, v) in &p.params {
+        kb.param(pname.clone(), *v);
+    }
+    let mut kb = kb
+        .steps(steps)
+        .elem_divisor(divisor)
+        .style(style)
+        .description(description.unwrap_or_default())
+        .body(body);
+    if let Some(tail) = tail {
+        kb = kb.tail(tail);
+    }
+    kb.build()
+        .map_err(|e| ParseError::new(kw.line, kw.col, format!("invalid kernel: {e}")))
+}

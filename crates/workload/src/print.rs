@@ -1,0 +1,154 @@
+//! Pretty-printer: renders a [`Kernel`] in the textual DFG format.
+//!
+//! The printer emits the *canonical* form — quoted kernel name, every
+//! scalar section present, full four-term address expressions — which the
+//! parser round-trips exactly ([`parse_kernel`](crate::parse_kernel)`(`[`print_kernel`]`(k)) == k`
+//! for every valid kernel, property-tested in `tests/roundtrip.rs`).
+
+use rsp_arch::OpKind;
+use rsp_kernel::{AddrExpr, Dfg, Kernel, Operand};
+use std::fmt::Write as _;
+
+/// The textual keyword of an operation kind (lower-case mnemonic set).
+pub(crate) fn op_keyword(op: OpKind) -> &'static str {
+    match op {
+        OpKind::Add => "add",
+        OpKind::Sub => "sub",
+        OpKind::Abs => "abs",
+        OpKind::Min => "min",
+        OpKind::Max => "max",
+        OpKind::And => "and",
+        OpKind::Or => "or",
+        OpKind::Xor => "xor",
+        OpKind::Shl => "shl",
+        OpKind::Shr => "shr",
+        OpKind::Asr => "asr",
+        OpKind::Mult => "mult",
+        OpKind::Load => "load",
+        OpKind::Store => "store",
+        OpKind::Mov => "mov",
+        OpKind::Nop => "nop",
+    }
+}
+
+/// Whether a name can be printed as a bare identifier
+/// (`[A-Za-z_][A-Za-z0-9_]*`); anything else is printed quoted.
+pub(crate) fn ident_safe(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escapes a string for a quoted literal (`"` and `\` are escaped; tabs
+/// and newlines become `\t` / `\n`).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn name_token(name: &str) -> String {
+    if ident_safe(name) {
+        name.to_string()
+    } else {
+        format!("\"{}\"", escape(name))
+    }
+}
+
+fn addr_text(kernel: &Kernel, a: &AddrExpr) -> String {
+    let name = &kernel.arrays()[a.array.index()].name;
+    format!(
+        "{}[{} + {}*i + {}*j + {}*s]",
+        name_token(name),
+        a.base,
+        a.coef_div,
+        a.coef_mod,
+        a.coef_step
+    )
+}
+
+fn operand_text(kernel: &Kernel, o: &Operand) -> String {
+    match *o {
+        Operand::Node(n) => format!("n{}", n.0),
+        Operand::Pair(n) => format!("n{}.hi", n.0),
+        Operand::Const(c) => format!("#{c}"),
+        Operand::Param(p) => {
+            let name = &kernel.params()[p.index()].name;
+            format!("${}", name_token(name))
+        }
+        Operand::Accum { node, init } => format!("acc(n{}, {init})", node.0),
+        Operand::Carry(n) => format!("carry(n{})", n.0),
+    }
+}
+
+fn write_dfg(out: &mut String, kernel: &Kernel, label: &str, dfg: &Dfg) {
+    let _ = writeln!(out, "  {label} {{");
+    for (id, node) in dfg.iter() {
+        let _ = write!(out, "    n{} = {}", id.0, op_keyword(node.op()));
+        let mut args: Vec<String> = Vec::new();
+        if let Some(a) = node.addr() {
+            args.push(addr_text(kernel, a));
+        }
+        if let Some(a2) = node.addr2() {
+            args.push(addr_text(kernel, a2));
+        }
+        for o in node.operands() {
+            args.push(operand_text(kernel, o));
+        }
+        if !args.is_empty() {
+            let _ = write!(out, " {}", args.join(", "));
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "  }}");
+}
+
+/// Renders a kernel in the canonical textual DFG format.
+///
+/// The output parses back to an identical [`Kernel`]:
+/// `parse_kernel(&print_kernel(&k)).unwrap() == k`.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_workload::{parse_kernel, print_kernel};
+///
+/// let k = rsp_kernel::suite::sad();
+/// let text = print_kernel(&k);
+/// assert!(text.starts_with("kernel \"SAD\""));
+/// assert_eq!(parse_kernel(&text).unwrap(), k);
+/// ```
+pub fn print_kernel(kernel: &Kernel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel \"{}\" {{", escape(kernel.name()));
+    if !kernel.description().is_empty() {
+        let _ = writeln!(out, "  description \"{}\"", escape(kernel.description()));
+    }
+    let _ = writeln!(out, "  elements {}", kernel.elements());
+    let _ = writeln!(out, "  steps {}", kernel.steps());
+    let _ = writeln!(out, "  divisor {}", kernel.elem_divisor());
+    let _ = writeln!(out, "  style {}", kernel.style());
+    for a in kernel.arrays() {
+        let _ = writeln!(out, "  array {}[{}]", name_token(&a.name), a.len);
+    }
+    for p in kernel.params() {
+        let _ = writeln!(out, "  param {} = {}", name_token(&p.name), p.default);
+    }
+    write_dfg(&mut out, kernel, "body", kernel.body());
+    if let Some(tail) = kernel.tail() {
+        write_dfg(&mut out, kernel, "tail", tail);
+    }
+    out.push_str("}\n");
+    out
+}

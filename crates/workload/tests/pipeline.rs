@@ -1,0 +1,98 @@
+//! The workload contract: every workload — committed, generated, or
+//! random — maps, rearranges, and simulates with a final memory image
+//! bit-identical to the reference evaluator (`rsp_kernel::evaluate`).
+//! This is the issue's "rsp-sim becomes the functional oracle" pipeline.
+
+use proptest::prelude::*;
+use rsp_arch::presets;
+use rsp_core::rearrange;
+use rsp_kernel::{evaluate, Bindings, Kernel, MemoryImage};
+use rsp_mapper::{map, MapOptions};
+use rsp_sim::{simulate_base, simulate_rearranged};
+use rsp_workload::{random_kernel, registry, RandomKernelConfig};
+
+/// Maps `kernel` onto the paper's 8×8 base, simulates the base schedule
+/// and every Table 4/5 RS/RSP rearrangement, and checks each final
+/// memory image against the evaluator.
+fn oracle(kernel: &Kernel, seed: u64) {
+    let base = presets::base_8x8();
+    let ctx = map(base.base(), kernel, &MapOptions::default())
+        .unwrap_or_else(|e| panic!("{}: mapping failed: {e}", kernel.name()));
+    let input = MemoryImage::random(kernel, seed);
+    let params = Bindings::defaults(kernel);
+    let reference = evaluate(kernel, &input, &params).unwrap();
+
+    let report = simulate_base(&ctx, &base, kernel, &input, &params)
+        .unwrap_or_else(|e| panic!("{}: base simulation failed: {e}", kernel.name()));
+    assert_eq!(report.memory, reference, "{}: base schedule", kernel.name());
+
+    for arch in presets::table_architectures() {
+        let r = rearrange(&ctx, &arch, &Default::default()).unwrap_or_else(|e| {
+            panic!(
+                "{} on {}: rearrange failed: {e}",
+                kernel.name(),
+                arch.name()
+            )
+        });
+        let report =
+            simulate_rearranged(&ctx, &arch, &r, kernel, &input, &params).unwrap_or_else(|e| {
+                panic!(
+                    "{} on {}: simulation failed: {e}",
+                    kernel.name(),
+                    arch.name()
+                )
+            });
+        assert_eq!(
+            report.memory,
+            reference,
+            "{} on {}",
+            kernel.name(),
+            arch.name()
+        );
+    }
+}
+
+#[test]
+fn every_registry_workload_passes_the_oracle() {
+    for k in registry() {
+        oracle(&k, 0xC0FFEE);
+    }
+}
+
+#[test]
+fn committed_workload_files_match_the_generators() {
+    // The committed `workloads/` directory must be bit-identical to the
+    // regenerated registry (the reproducibility contract documented in
+    // workloads/README.md), and every committed file must parse back to
+    // the generator's kernel.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../workloads");
+    let suite = registry();
+    for k in &suite {
+        let path = dir.join(format!("{}.dfg", k.name()));
+        let on_disk = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: unreadable ({e}) — run workloadgen", path.display()));
+        assert_eq!(
+            on_disk,
+            rsp_workload::render_workload_file(k),
+            "{} drifted — regenerate with `cargo run -p rsp-workload --bin workloadgen`",
+            path.display()
+        );
+        assert_eq!(&rsp_workload::parse_kernel(&on_disk).unwrap(), k);
+    }
+    // And nothing extra lives there.
+    let mut stray: Vec<String> = std::fs::read_dir(&dir)
+        .expect("workloads/ exists")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|f| f.ends_with(".dfg"))
+        .filter(|f| !suite.iter().any(|k| format!("{}.dfg", k.name()) == *f))
+        .collect();
+    stray.sort();
+    assert!(stray.is_empty(), "unexpected workload files: {stray:?}");
+}
+
+proptest! {
+    #[test]
+    fn random_workloads_pass_the_oracle(seed in any::<u64>()) {
+        oracle(&random_kernel(seed, &RandomKernelConfig::default()), seed);
+    }
+}

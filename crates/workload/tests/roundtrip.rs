@@ -1,0 +1,205 @@
+//! Round-trip property: `parse_kernel ∘ print_kernel = id` over the
+//! paper suite, every parametric generator family, and the seeded
+//! random-DFG generator — plus diagnostics and liberal-syntax checks.
+
+use proptest::prelude::*;
+use rsp_workload::{generators, parse_kernel, print_kernel, random_kernel, RandomKernelConfig};
+
+fn assert_roundtrip(k: &rsp_kernel::Kernel) {
+    let text = print_kernel(k);
+    let parsed = parse_kernel(&text)
+        .unwrap_or_else(|e| panic!("{}: printed form fails to parse: {e}\n{text}", k.name()));
+    assert_eq!(parsed, *k, "{} does not round-trip:\n{text}", k.name());
+}
+
+#[test]
+fn paper_suite_round_trips() {
+    for k in rsp_kernel::suite::all() {
+        assert_roundtrip(&k);
+    }
+    assert_roundtrip(&rsp_kernel::suite::matmul(4));
+}
+
+#[test]
+fn generator_families_round_trip() {
+    for k in [
+        generators::matmul(2),
+        generators::matmul(16),
+        generators::fir(32, 4),
+        generators::fir(128, 8),
+        generators::conv2d(8, 6, 3),
+        generators::conv2d(12, 12, 3),
+        generators::fft(1),
+        generators::fft(64),
+        generators::reduction(64, 2, 1),
+        generators::reduction(256, 8, 1),
+        generators::reduction(8192, 8, 8),
+    ] {
+        assert_roundtrip(&k);
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_kernels_round_trip(seed in any::<u64>()) {
+        let k = random_kernel(seed, &RandomKernelConfig::default());
+        let text = print_kernel(&k);
+        let parsed = parse_kernel(&text);
+        prop_assert!(parsed.is_ok(), "seed {seed}: {:?}\n{text}", parsed.err());
+        prop_assert_eq!(parsed.unwrap(), k);
+    }
+}
+
+#[test]
+fn parser_accepts_liberal_term_syntax() {
+    // Omitted zero terms, reordered terms, bare variables, negative
+    // terms, and comments all normalize to the same affine form.
+    let canonical = parse_kernel(
+        "kernel k { elements 4 array x[12] body { n0 = load x[3 + 2*i + 0*j + 0*s] \
+         n1 = store x[0 + 2*i + 0*j + 0*s], n0 } }",
+    )
+    .unwrap();
+    let liberal = parse_kernel(
+        "// a comment\nkernel k {\n  elements 4\n  array x[12]\n  body {\n    \
+         n0 = load x[2*i + 5 - 2] // trailing comment\n    n1 = store x[i + i], n0\n  }\n}\n",
+    )
+    .unwrap();
+    assert_eq!(canonical, liberal);
+}
+
+#[test]
+fn quoted_names_and_escapes_survive() {
+    let text = "kernel \"odd name \\\"x\\\"\" {\n  description \"line\\nbreak\\t!\"\n  \
+                elements 2\n  array \"out words\"[2]\n  param \"c-1\" = -3\n  body {\n    \
+                n0 = load \"out words\"[i]\n    n1 = mult n0, $\"c-1\"\n    \
+                n2 = store \"out words\"[i], n1\n  }\n}\n";
+    let k = parse_kernel(text).unwrap();
+    assert_eq!(k.name(), "odd name \"x\"");
+    assert_eq!(k.description(), "line\nbreak\t!");
+    assert_eq!(k.params()[0].name, "c-1");
+    assert_roundtrip(&k);
+}
+
+#[test]
+fn diagnostics_carry_positions() {
+    // (source, expected line, expected column, message fragment)
+    let cases: &[(&str, u32, u32, &str)] = &[
+        ("kernel", 1, 7, "kernel name"),
+        ("kernel k {\n  bogus 1\n}", 2, 3, "unknown section"),
+        (
+            "kernel k {\n  elements 2\n  body {\n    n1 = nop\n  }\n}",
+            4,
+            5,
+            "out of order",
+        ),
+        (
+            "kernel k {\n  elements 2\n  body {\n    n0 = load q[i]\n  }\n}",
+            4,
+            15,
+            "unknown array",
+        ),
+        (
+            "kernel k {\n  elements 2\n  array x[4]\n  body {\n    n0 = add n1, #2\n  }\n}",
+            5,
+            14,
+            "not defined yet",
+        ),
+        (
+            "kernel k {\n  elements 2\n  array x[4]\n  body {\n    n0 = load x[i]\n    n1 = add n0\n  }\n}",
+            6,
+            10,
+            "takes 2 operand(s)",
+        ),
+        (
+            "kernel k {\n  elements 2\n  array x[4]\n  body {\n    n0 = frob #1\n  }\n}",
+            5,
+            10,
+            "unknown operation",
+        ),
+        (
+            "kernel k {\n  elements 2\n  array x[4]\n  body {\n    n0 = load x[w]\n  }\n}",
+            5,
+            17,
+            "address variable",
+        ),
+        (
+            "kernel k {\n  elements 2\n  steps 3\n  steps 4\n  body { n0 = nop }\n}",
+            4,
+            3,
+            "duplicate `steps`",
+        ),
+        (
+            "kernel k {\n  elements 2\n  style lockstep\n  style dataflow\n  body { n0 = nop }\n}",
+            4,
+            3,
+            "duplicate `style`",
+        ),
+        ("kernel k {\n  elements 2\n}", 1, 1, "missing `body`"),
+        ("kernel k {\n  body { n0 = nop }\n}", 1, 1, "missing `elements`"),
+        (
+            "kernel k {\n  elements 2\n  array x[1]\n  body {\n    n0 = load x[i]\n  }\n}",
+            1,
+            1,
+            "invalid kernel",
+        ),
+    ];
+    for (src, line, col, fragment) in cases {
+        let err = parse_kernel(src).unwrap_err();
+        assert!(
+            err.message.contains(fragment),
+            "{src:?}: message {:?} lacks {fragment:?}",
+            err.message
+        );
+        assert_eq!(
+            (err.line, err.col),
+            (*line, *col),
+            "{src:?}: {}",
+            err.message
+        );
+    }
+}
+
+#[test]
+fn oversized_iteration_spaces_are_rejected_before_validation() {
+    // Kernel-level validation sweeps elements × steps per address
+    // expression; the parser must bound the product so a hostile or
+    // typo'd file errors immediately instead of spinning for hours.
+    let src = "kernel k {\n  elements 16777216\n  steps 16777216\n  array x[16777216]\n  \
+               body {\n    n0 = load x[i]\n    n1 = store x[i], n0\n  }\n}";
+    let t = std::time::Instant::now();
+    let err = parse_kernel(src).unwrap_err();
+    assert!(
+        err.message.contains("exceeds the supported maximum"),
+        "{}",
+        err.message
+    );
+    assert!(t.elapsed().as_secs() < 2, "rejection must be immediate");
+}
+
+#[test]
+fn acc_and_carry_placement_is_enforced() {
+    let acc_in_tail =
+        "kernel k {\n  elements 2\n  array x[2]\n  body {\n    n0 = load x[i]\n  }\n  \
+                       tail {\n    n0 = add acc(n0, 0), #1\n  }\n}";
+    let err = parse_kernel(acc_in_tail).unwrap_err();
+    assert!(
+        err.message.contains("only valid in the body"),
+        "{}",
+        err.message
+    );
+
+    let carry_in_body =
+        "kernel k {\n  elements 2\n  array x[2]\n  body {\n    n0 = add carry(n0), #1\n  }\n}";
+    let err = parse_kernel(carry_in_body).unwrap_err();
+    assert!(
+        err.message.contains("only valid in the tail"),
+        "{}",
+        err.message
+    );
+
+    let carry_oob = "kernel k {\n  elements 2\n  array x[2]\n  body {\n    n0 = load x[i]\n  }\n  \
+                     tail {\n    n0 = add carry(n7), #1\n  }\n}";
+    let err = parse_kernel(carry_oob).unwrap_err();
+    assert!(err.message.contains("outside the body"), "{}", err.message);
+    assert_eq!(err.line, 8);
+}

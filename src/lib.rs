@@ -13,6 +13,7 @@
 //! | [`synth`] | `rsp-synth` | eq. (2) area model and calibrated clock model (Synplify/Virtex-II substitute) |
 //! | [`core`] | `rsp-core` | RS/RP/RSP context rearrangement, stall estimation, design-space exploration, the Fig. 7 flow |
 //! | [`sim`] | `rsp-sim` | cycle-accurate structural simulator and functional oracle |
+//! | [`workload`] | `rsp-workload` | textual DFG format, parametric kernel generators, seeded random DFGs, the committed `workloads/` suite |
 //!
 //! # Quickstart
 //!
@@ -43,3 +44,4 @@ pub use rsp_kernel as kernel;
 pub use rsp_mapper as mapper;
 pub use rsp_sim as sim;
 pub use rsp_synth as synth;
+pub use rsp_workload as workload;
