@@ -128,6 +128,8 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
             bound_tightness: 0.0,
             clock_bound_cuts: 0,
             rearrangements_skipped: 0,
+            refill_segments: 0,
+            refill_stall_cycles: 0,
         });
         median
     };
@@ -204,6 +206,8 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
             bound_tightness: last.stats.bound_tightness,
             clock_bound_cuts: last.stats.clock_bound_cuts,
             rearrangements_skipped: 0,
+            refill_segments: 0,
+            refill_stall_cycles: 0,
         });
     }
 

@@ -116,6 +116,8 @@ fn row_from(
         bound_tightness: report.exploration.stats.bound_tightness,
         clock_bound_cuts: report.stats.clock_bound_cuts,
         rearrangements_skipped: report.stats.rearrangements_skipped,
+        refill_segments: report.stats.refill_segments,
+        refill_stall_cycles: report.stats.refill_stall_cycles,
     }
 }
 

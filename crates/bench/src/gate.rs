@@ -45,6 +45,15 @@ pub struct EngineRow {
     /// Flow rows only: frontier candidates whose exact rearrangement
     /// the dominance cut skipped (0 for pure-exploration rows).
     pub rearrangements_skipped: usize,
+    /// Flow rows only: configuration-cache refills performed across the
+    /// exact rearrangements (schedule segments beyond the first). A
+    /// correctness anchor: the `flow-workload` report records a nonzero
+    /// count — matmul16's stall-heavy schedules split instead of
+    /// overflowing — and the gate fails on any drift.
+    pub refill_segments: usize,
+    /// Flow rows only: refill-stall cycles those splits charged
+    /// (anchored against drift together with `refill_segments`).
+    pub refill_stall_cycles: u64,
 }
 
 /// Timings of every engine over one benchmark configuration.
@@ -98,7 +107,7 @@ pub fn render(report: &BenchReport) -> String {
         let _ = writeln!(
             s,
             "  {:<24} {:>10.3} ms   {:>6.2}x   ({} feasible, {}/{} pruned \
-             [{} clock-cut], {} rearr. skipped, tightness {:.3})",
+             [{} clock-cut], {} rearr. skipped, {} refills/{} stall-cyc, tightness {:.3})",
             e.name,
             e.median_ns as f64 / 1e6,
             e.speedup_vs_reference,
@@ -107,6 +116,8 @@ pub fn render(report: &BenchReport) -> String {
             e.candidates_seen,
             e.clock_bound_cuts,
             e.rearrangements_skipped,
+            e.refill_segments,
+            e.refill_stall_cycles,
             e.bound_tightness
         );
     }
@@ -159,10 +170,14 @@ impl CheckOutcome {
 /// (e.g. `0.15` = +15 %) — a genuine slowdown raises both statistics,
 /// while scheduler noise rarely inflates the minimum, so requiring both
 /// keeps the gate stable on busy hosts without letting real regressions
-/// through. A row also regresses when its feasible-design count drifts
-/// (correctness anchor — host-independent) or when a committed engine
-/// configuration disappears. The `serial-reference` row itself is the
-/// yardstick and is checked for feasible-count drift only.
+/// through. A row also regresses when a correctness anchor drifts —
+/// its feasible-design count, or its configuration-cache refill
+/// counters (`refill_segments` / `refill_stall_cycles`, the anchors
+/// that keep the schedule splitter honest: the flows are deterministic,
+/// so any change in how many segments were split or how many stall
+/// cycles they charged is a behavior change, not noise) — or when a
+/// committed engine configuration disappears. The `serial-reference`
+/// row itself is the yardstick and is checked for anchor drift only.
 ///
 /// Normalization cancels host *speed* but not host *core count*: a
 /// parallel engine's ratio to the serial reference legitimately depends
@@ -249,6 +264,19 @@ pub fn check_with(
                     old.space, old_row.name, old_row.feasible, new_row.feasible
                 ));
                 "FEASIBLE-DRIFT"
+            } else if new_row.refill_segments != old_row.refill_segments
+                || new_row.refill_stall_cycles != old_row.refill_stall_cycles
+            {
+                outcome.regressions.push(format!(
+                    "{}/{}: refill anchors drifted {} segments/{} stall-cycles -> {}/{}",
+                    old.space,
+                    old_row.name,
+                    old_row.refill_segments,
+                    old_row.refill_stall_cycles,
+                    new_row.refill_segments,
+                    new_row.refill_stall_cycles
+                ));
+                "REFILL-DRIFT"
             } else if timing_gated && med_ratio > 1.0 + tolerance && min_ratio > 1.0 + tolerance {
                 outcome.regressions.push(format!(
                     "{}/{}: normalized median {:.3}x-ref -> {:.3}x-ref (+{:.0} %) and \

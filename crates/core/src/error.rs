@@ -19,12 +19,16 @@ pub enum RspError {
     Map(rsp_mapper::MapError),
     /// The application profile is empty.
     EmptyProfile,
-    /// The rearranged schedule exceeds the configuration cache.
-    ConfigCacheExceeded {
-        /// Contexts required.
-        needed: u32,
-        /// Cache capacity.
-        available: u32,
+    /// The rearranged schedule exceeds the configuration cache *and*
+    /// cannot be split: some cache-sized window contains no legal cut
+    /// point (an operation is in flight across every boundary). A
+    /// schedule that merely exceeds the cache is not an error — it is
+    /// split across refills ([`crate::Rearranged::refill`]).
+    UnsplittableSchedule {
+        /// First cycle of the segment that could not be closed.
+        start_cycle: u32,
+        /// The cache depth bounding the window.
+        cache_depth: u32,
     },
 }
 
@@ -45,9 +49,13 @@ impl fmt::Display for RspError {
             }
             RspError::Map(e) => write!(f, "mapping failed: {e}"),
             RspError::EmptyProfile => write!(f, "application profile contains no kernels"),
-            RspError::ConfigCacheExceeded { needed, available } => write!(
+            RspError::UnsplittableSchedule {
+                start_cycle,
+                cache_depth,
+            } => write!(
                 f,
-                "rearranged schedule needs {needed} contexts but the cache holds {available}"
+                "oversized schedule has no legal refill cut within {cache_depth} cycles \
+                 of cycle {start_cycle}"
             ),
         }
     }

@@ -83,7 +83,9 @@
 //! bound against the full estimate ([`PruneStats`]).
 
 use crate::error::RspError;
-use crate::estimate::{estimate_stalls_dense, BoundKind, ClockBound, ContextProfile};
+use crate::estimate::{
+    estimate_stalls_dense, refill_stall_estimate, BoundKind, ClockBound, ContextProfile,
+};
 use crate::frontier::{pareto_indices_of, ParetoFrontier};
 use rayon::prelude::*;
 use rsp_arch::{BaseArchitecture, FuKind, RspArchitecture, SharedGroup, SharingPlan};
@@ -491,6 +493,7 @@ pub fn explore_with(
         .cache
         .clone()
         .unwrap_or_else(|| Arc::new(ModelCache::new()));
+    let cache_depth = base.config_cache_depth() as u32;
     let base = Arc::new(base.clone());
 
     let base_arch = RspArchitecture::new("Base", Arc::clone(&base), SharingPlan::none())
@@ -606,16 +609,19 @@ pub fn explore_with(
                     }
                     // Term-wise identical arithmetic to the full
                     // estimate, with rs replaced by its admissible lower
-                    // bound, so lb_et <= est_et under IEEE-754 rounding.
+                    // bound and refill by its lower bound (integer
+                    // cycles: lb_exec <= est_exec implies
+                    // lb_exec - depth <= est_exec - 1 whenever the
+                    // estimate refills at all), so lb_et <= est_et under
+                    // IEEE-754 rounding.
                     let mut lb_cycles: Vec<u32> = Vec::new();
                     if options.prune != PruneStrategy::None {
                         lb_cycles.reserve_exact(profiles.len());
                         for profile in profiles.iter() {
-                            lb_cycles.push(
-                                profile.total_cycles()
-                                    + profile.rs_stalls_lower_bound(arch.plan(), options.bound)
-                                    + profile.rp_overhead(arch.plan()),
-                            );
+                            let lb_exec = profile.total_cycles()
+                                + profile.rs_stalls_lower_bound(arch.plan(), options.bound)
+                                + profile.rp_overhead(arch.plan());
+                            lb_cycles.push(lb_exec + refill_stall_estimate(lb_exec, cache_depth));
                         }
                         if options.clock_bound == ClockBound::StageFloor {
                             // Clock floor from the stage structure alone:
@@ -693,7 +699,7 @@ pub fn explore_with(
                         let mut est_cycles = Vec::with_capacity(profiles.len());
                         let mut est_et = 0.0;
                         for (profile, w) in profiles.iter().zip(weights) {
-                            let est = profile.estimate(arch.plan());
+                            let est = profile.estimate(arch.plan(), cache_depth);
                             est_cycles.push(est.total_cycles);
                             est_et += w * est.total_cycles as f64 * clock_ns;
                         }

@@ -34,8 +34,10 @@
 //!
 //! # The exact stage and its dominance cut
 //!
-//! Estimation upper-bounds the exact rearranged cycle count, so the
-//! estimation-phase optimum is not necessarily the *exact* optimum. The
+//! Estimation upper-bounds the exact rearranged *execution* cycle count
+//! (the refill charge on top is a model estimate, see
+//! [`crate::refill_stall_estimate`]), so the estimation-phase optimum
+//! is not necessarily the *exact* optimum. The
 //! RSP-mapping stage therefore rearranges the estimation Pareto
 //! candidates in ascending-area order and selects the best under the
 //! flow objective from their **exact** weighted execution times. Under
@@ -44,8 +46,9 @@
 //! [`ParetoFrontier`] already proves it dominated: some stored point has
 //! no more area and strictly less time than the candidate's admissible
 //! exact-time floor `(Σ w·base_cycles) × clock` (rearrangement never
-//! issues an instance before its base-schedule cycle, so the floor is
-//! sound). The frontier stores the **exact** point of every evaluated
+//! issues an instance before its base-schedule cycle, and
+//! configuration-cache refill stalls only *add* elapsed cycles on top,
+//! so the floor stays sound for split schedules too). The frontier stores the **exact** point of every evaluated
 //! candidate and the **estimation-phase** point of every skipped one;
 //! estimation points of not-yet-processed candidates are never used, so
 //! every skip is transitively witnessed by an exactly-evaluated
@@ -182,6 +185,14 @@ pub struct FlowStats {
     /// Exploration candidates cut by the stage-floor clock bound before
     /// delay synthesis.
     pub clock_bound_cuts: usize,
+    /// Configuration-cache refills across every exact rearrangement the
+    /// flow performed (schedule segments beyond the first, summed over
+    /// candidates × kernels). Nonzero means some rearranged schedule
+    /// outgrew the cache and was split instead of rejected.
+    pub refill_segments: usize,
+    /// Refill-stall cycles across those rearrangements (the latency the
+    /// refill model charged instead of declaring candidates infeasible).
+    pub refill_stall_cycles: u64,
 }
 
 /// Everything the flow produces.
@@ -426,9 +437,16 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
                 stats.rearrangements_skipped += 1;
                 // The skipped candidate's estimation-phase point stays
                 // in the frontier as a dominance witness for later
-                // candidates (est ≥ exact, so it is a sound stand-in;
-                // see the module docs for why the chain always grounds
-                // in an exactly-evaluated candidate).
+                // candidates. Soundness needs only est ≥ this
+                // candidate's own floor (est cycles ≥ base cycles,
+                // term-wise): any later skip through this stand-in is
+                // then also a skip through whatever witnessed *this*
+                // skip, so the chain always grounds in an
+                // exactly-evaluated candidate — no est ≥ exact
+                // assumption, which the refill charge does not provide
+                // for splittable pipelined schedules (see
+                // `refill_stall_estimate`). Module docs carry the full
+                // argument.
                 exact_frontier.insert(point.area_slices, point.est_et_ns, ci);
                 continue;
             }
@@ -472,6 +490,10 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
             continue;
         }
         stats.rearranged_candidates += 1;
+        for r in &rsp {
+            stats.refill_segments += r.refill_count();
+            stats.refill_stall_cycles += u64::from(r.refill_stalls());
+        }
         let exact_et: f64 = perf
             .iter()
             .zip(&critical_loops)

@@ -8,6 +8,13 @@
 //!   contexts under the paper's two rules: shared resources granted in
 //!   loop-iteration order (RS stalls on shortage), and multi-cycle
 //!   pipelined operations with overlap between consecutive issues (RP).
+//!   Schedules deeper than the per-PE configuration cache are split
+//!   into cache-sized segments at legal cut points
+//!   (`rsp_mapper::split_schedule`) and charged refill stalls
+//!   ([`Rearranged::refill`]) instead of being rejected; the flow and
+//!   [`estimate_stalls`] charge the same penalty
+//!   ([`refill_stall_estimate`]), admissibly — the pruning floors stay
+//!   lower bounds, so pruned flows remain bit-identical.
 //! * [`estimate_stalls`] — the cheap upper bound the exploration stage
 //!   uses instead of exact remapping.
 //! * [`explore`] — enumerates RSP parameters (`shr`, `shc`, stages,
@@ -65,7 +72,9 @@ mod rearrange;
 mod utilization;
 
 pub use error::RspError;
-pub use estimate::{estimate_stalls, BoundKind, ClockBound, ContextProfile, StallEstimate};
+pub use estimate::{
+    estimate_stalls, refill_stall_estimate, BoundKind, ClockBound, ContextProfile, StallEstimate,
+};
 pub use explore::{
     explore, explore_reference, explore_with, Constraints, DesignPoint, DesignSpace, Exploration,
     ExploreOptions, Objective, PruneStats, PruneStrategy,

@@ -14,7 +14,9 @@ pub struct KernelPerf {
     pub arch: String,
     /// Kernel name.
     pub kernel: String,
-    /// Execution cycles after rearrangement.
+    /// Elapsed cycles after rearrangement, configuration-cache refill
+    /// stalls included (equal to the execution cycles for every kernel
+    /// that fits the cache — all of Tables 4/5).
     pub cycles: u32,
     /// Array clock period.
     pub clock_ns: f64,
@@ -27,6 +29,11 @@ pub struct KernelPerf {
     pub rs_stalls: u32,
     /// Cycles added by pipelined-operation latency.
     pub rp_overhead: u32,
+    /// Cycles stalled reloading the configuration caches (0 when the
+    /// schedule fits).
+    pub refill_stalls: u32,
+    /// Cache refills performed (schedule segments beyond the first).
+    pub refill_segments: u32,
 }
 
 impl KernelPerf {
@@ -92,17 +99,20 @@ pub fn perf_from_rearranged_with(
     d: &rsp_synth::DelayReport,
     r: &Rearranged,
 ) -> KernelPerf {
-    let et = r.total_cycles as f64 * d.clock_ns;
+    let elapsed = r.elapsed_cycles();
+    let et = elapsed as f64 * d.clock_ns;
     let base_et = r.base_cycles as f64 * d.base_clock_ns;
     KernelPerf {
         arch: arch.name().to_string(),
         kernel: ctx.kernel_name().to_string(),
-        cycles: r.total_cycles,
+        cycles: elapsed,
         clock_ns: d.clock_ns,
         et_ns: et,
         dr_pct: 100.0 * (1.0 - et / base_et),
         rs_stalls: r.rs_stalls,
         rp_overhead: r.rp_overhead,
+        refill_stalls: r.refill_stalls(),
+        refill_segments: r.refill_count() as u32,
     }
 }
 

@@ -21,12 +21,27 @@
 //! cycle (rearrangement only delays), each PE issues its instances in
 //! base-schedule order (the configuration stream is a FIFO), and shared
 //! resources accept one issue per cycle.
+//!
+//! # Configuration-cache refill
+//!
+//! A rearranged schedule deeper than the per-PE configuration cache is
+//! no longer rejected: it is split into cache-sized segments at legal
+//! cut points ([`rsp_mapper::split_schedule`]) and the resulting
+//! [`RefillPlan`] rides on the [`Rearranged`] output. Each segment after
+//! the first charges a refill stall of one cycle per context word
+//! (derived from the `ConfigImage` byte size; see the mapper's refill
+//! module docs), so [`Rearranged::elapsed_cycles`] =
+//! `total_cycles + refill_stalls`. The stalls are pure delay — the
+//! compact schedule, bindings, and therefore memory effects are
+//! untouched — which keeps `base_cycles` an admissible floor on the
+//! elapsed cycles (`elapsed ≥ total ≥ base`), exactly the invariant the
+//! flow's pruning cuts rest on.
 
 use crate::error::RspError;
 #[cfg(test)]
 use rsp_arch::OpKind;
 use rsp_arch::{RspArchitecture, SharedResourceId};
-use rsp_mapper::{ConfigContext, InstanceId};
+use rsp_mapper::{split_schedule, ConfigContext, InstanceId, RefillPlan, SplitError};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -62,6 +77,10 @@ pub struct Rearranged {
     /// Additional cycles lost to shared-resource shortage — the paper's
     /// "stall" column.
     pub rs_stalls: u32,
+    /// How the schedule maps onto the per-PE configuration caches: one
+    /// segment with zero refill when it fits, cache-sized segments with
+    /// per-segment reload stalls when it does not (see the module docs).
+    pub refill: RefillPlan,
 }
 
 impl Rearranged {
@@ -69,6 +88,23 @@ impl Rearranged {
     /// (the paper's criterion for RSP#2 in §5.3).
     pub fn is_stall_free(&self) -> bool {
         self.rs_stalls == 0
+    }
+
+    /// Refill-stall cycles the split schedule spends reloading the
+    /// configuration caches (0 when the schedule fits).
+    pub fn refill_stalls(&self) -> u32 {
+        self.refill.total_refill_cycles()
+    }
+
+    /// Cache refills the schedule performs (segments beyond the first).
+    pub fn refill_count(&self) -> usize {
+        self.refill.refill_count()
+    }
+
+    /// Wall-clock cycles including refill stalls: what the kernel's
+    /// execution time is charged with.
+    pub fn elapsed_cycles(&self) -> u32 {
+        self.total_cycles + self.refill_stalls()
     }
 }
 
@@ -78,12 +114,18 @@ impl Rearranged {
 /// already legal); for RS it inserts sharing stalls; for RP it stretches
 /// multi-cycle operations; for RSP it does both.
 ///
+/// A schedule deeper than the configuration cache is split into
+/// cache-sized segments and charged refill stalls instead of being
+/// rejected (see the module docs); [`Rearranged::refill`] carries the
+/// plan.
+///
 /// # Errors
 ///
 /// * [`RspError::RearrangeDiverged`] on internal inconsistency (never
 ///   expected for validated inputs).
-/// * [`RspError::ConfigCacheExceeded`] if the rearranged schedule no
-///   longer fits the per-PE configuration cache.
+/// * [`RspError::UnsplittableSchedule`] if the oversized schedule has no
+///   legal cut point within some cache window (only possible when
+///   pipeline latencies tile an entire window).
 ///
 /// # Examples
 ///
@@ -120,12 +162,22 @@ pub fn rearrange(
     let total_cycles = total(&cycles);
 
     let available = arch.base().config_cache_depth() as u32;
-    if total_cycles > available {
-        return Err(RspError::ConfigCacheExceeded {
-            needed: total_cycles,
-            available,
-        });
-    }
+    let refill = split_schedule(
+        ctx,
+        &cycles,
+        |i| u32::from(arch.op_latency(ctx.instances()[i].op)),
+        available,
+    )
+    .map_err(|e| match e {
+        SplitError::NoLegalCut {
+            start_cycle,
+            cache_depth,
+        } => RspError::UnsplittableSchedule {
+            start_cycle,
+            cache_depth,
+        },
+        other => unreachable!("schedule is parallel to the context: {other}"),
+    })?;
 
     Ok(Rearranged {
         cycles,
@@ -134,6 +186,7 @@ pub fn rearrange(
         base_cycles,
         rp_overhead: rp_total.saturating_sub(base_cycles),
         rs_stalls: total_cycles.saturating_sub(rp_total),
+        refill,
     })
 }
 
@@ -287,6 +340,56 @@ mod tests {
             assert_eq!(r.rs_stalls, 0);
             assert!(r.bindings.iter().all(Option::is_none));
         }
+    }
+
+    #[test]
+    fn fitting_schedules_carry_single_segment_plans() {
+        // The split path is the only path: a schedule that fits the
+        // cache gets a one-segment plan with zero refill, so elapsed
+        // cycles equal execution cycles everywhere in Tables 4/5.
+        for k in suite::all() {
+            let ctx = ctx_for(&k);
+            for arch in presets::table_architectures() {
+                let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+                assert!(!r.refill.is_split(), "{} on {}", k.name(), arch.name());
+                assert_eq!(r.refill_stalls(), 0);
+                assert_eq!(r.refill_count(), 0);
+                assert_eq!(r.elapsed_cycles(), r.total_cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_rearrangement_splits_instead_of_failing() {
+        // Shrink the cache below the rearranged schedule: rearrange used
+        // to return ConfigCacheExceeded here; now it must produce a
+        // split plan whose segments fit the cache and whose stalls
+        // follow the byte-derived cost model.
+        use rsp_arch::{BaseArchitecture, RspArchitecture};
+        let k = suite::fdct();
+        let ctx = ctx_for(&k);
+        let big = presets::rs1();
+        let probe = rearrange(&ctx, &big, &Default::default()).unwrap();
+        let depth = (probe.total_cycles / 2 + 1) as usize;
+        let b = big.base();
+        let small = BaseArchitecture::new(b.geometry(), b.pe().clone(), b.buses(), depth);
+        let arch = RspArchitecture::new("RS#1-small", small, big.plan().clone()).unwrap();
+
+        let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+        // Same compact schedule — splitting repackages, never reschedules.
+        assert_eq!(r.cycles, probe.cycles);
+        assert_eq!(r.bindings, probe.bindings);
+        assert!(r.refill.is_split());
+        assert_eq!(r.refill.segments().len(), 2);
+        assert!(r
+            .refill
+            .segments()
+            .iter()
+            .all(|s| s.depth() as usize <= depth));
+        // Cost model: segment k>0 reloads depth words at 1 word/cycle.
+        let expected: u32 = r.refill.segments()[1..].iter().map(|s| s.depth()).sum();
+        assert_eq!(r.refill_stalls(), expected);
+        assert_eq!(r.elapsed_cycles(), r.total_cycles + expected);
     }
 
     #[test]

@@ -166,6 +166,24 @@ impl ConfigImage {
         self.words[(pe.row * self.cols + pe.col) * self.depth + cycle]
     }
 
+    /// A copy keeping only the first `depth` contexts of every PE's
+    /// stream (used by segment encoding, where instances outside the
+    /// segment are parked beyond the window).
+    pub(crate) fn truncated(&self, depth: usize) -> ConfigImage {
+        assert!(depth <= self.depth);
+        let mut words = Vec::with_capacity(self.rows * self.cols * depth);
+        for pe in 0..self.rows * self.cols {
+            let start = pe * self.depth;
+            words.extend_from_slice(&self.words[start..start + depth]);
+        }
+        ConfigImage {
+            rows: self.rows,
+            cols: self.cols,
+            depth,
+            words,
+        }
+    }
+
     /// Fraction of non-NOP slots (configuration-cache utilization).
     pub fn utilization(&self) -> f64 {
         let busy = self.words.iter().filter(|w| w.op().is_some()).count();

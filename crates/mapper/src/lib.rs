@@ -17,6 +17,20 @@
 //! addresses and the dependence graph, ready for RSP rearrangement
 //! (`rsp-core`) and cycle-accurate simulation (`rsp-sim`).
 //!
+//! # Configuration-cache refill
+//!
+//! Schedules deeper than the per-PE configuration cache are no longer a
+//! feasibility cliff: [`split_schedule`] partitions any schedule into
+//! cache-sized segments at legal cut points (no operation in flight — and
+//! therefore no bus transfer or shared-resource binding — across a cut)
+//! and returns a [`RefillPlan`] with the per-PE reload cost of every
+//! segment, derived from the [`ConfigImage`] encoding: a segment of `d`
+//! contexts occupies `d × 8` bytes per PE and reloads at 8 bytes per PE
+//! per stall cycle, so its refill stalls the array `d` cycles. The first
+//! segment's load is the initial configuration load the unsplit model
+//! already assumes, so only later segments charge stalls. See the
+//! [`refill`](split_schedule) module docs for the full model.
+//!
 //! # Examples
 //!
 //! ```
@@ -41,6 +55,7 @@ mod encode;
 mod error;
 mod lockstep;
 mod mapper;
+mod refill;
 mod validate;
 
 pub use context::{
@@ -50,4 +65,8 @@ pub use context::{
 pub use encode::{encode_context, ConfigImage, ConfigWord, EncodeError};
 pub use error::{MapError, ScheduleViolation};
 pub use mapper::{map, MapOptions};
+pub use refill::{
+    encode_segments, min_splittable_depth, refill_cycles_for_depth, split_schedule, RefillPlan,
+    RefillSegment, SplitError, CONFIG_WORD_BYTES, REFILL_BYTES_PER_CYCLE,
+};
 pub use validate::{check_buses, validate_base_schedule, validate_schedule};

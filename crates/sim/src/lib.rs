@@ -16,6 +16,21 @@
 //! reference evaluator's ([`rsp_kernel::evaluate`]) for every legal
 //! schedule — the strongest functional oracle in this reproduction.
 //!
+//! # Configuration-cache refill
+//!
+//! Schedules deeper than the per-PE configuration cache arrive split
+//! into cache-sized segments (`rsp_mapper::RefillPlan`, built by the
+//! mapper's `split_schedule` and carried on `rsp_core::Rearranged`).
+//! [`simulate_split`] executes them on the *stalled* timeline: each
+//! segment after the first is preceded by an idle refill window of one
+//! cycle per context word (the cost the plan derived from the
+//! `ConfigImage` byte size), during which no operation issues. Because
+//! a legal cut point has nothing in flight, PE registers and memory
+//! simply persist across the window, so the final memory image stays
+//! bit-identical to the compact schedule's — and to
+//! [`rsp_kernel::evaluate`]. [`SimReport::refill_stalls`] counts the
+//! stall cycles and [`Trace::refill_windows`] exposes the windows.
+//!
 //! # Examples
 //!
 //! ```
@@ -48,5 +63,7 @@ mod sim;
 mod trace;
 
 pub use error::SimError;
-pub use sim::{simulate, simulate_base, simulate_rearranged, SimOptions, SimReport};
+pub use sim::{
+    simulate, simulate_base, simulate_rearranged, simulate_split, SimOptions, SimReport,
+};
 pub use trace::{Trace, TraceEvent};

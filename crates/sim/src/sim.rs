@@ -5,7 +5,7 @@ use crate::trace::{Trace, TraceEvent};
 use rsp_arch::{OpKind, RspArchitecture, SharedResourceId};
 use rsp_core::Rearranged;
 use rsp_kernel::{apply_op, Bindings, Kernel, MemoryImage};
-use rsp_mapper::{ConfigContext, SrcOperand};
+use rsp_mapper::{ConfigContext, RefillPlan, SrcOperand};
 use std::collections::HashMap;
 
 /// Simulation options.
@@ -21,8 +21,13 @@ pub struct SimOptions {
 /// Result of a successful simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
-    /// Total executed cycles.
+    /// Total executed cycles (refill-stall cycles included for split
+    /// schedules).
     pub cycles: u32,
+    /// Cycles the array spent stalled reloading its configuration
+    /// caches (0 unless the schedule was executed through
+    /// [`simulate_split`] with a split [`RefillPlan`]).
+    pub refill_stalls: u32,
     /// Final memory image (loads observed the input snapshot; stores
     /// landed here).
     pub memory: MemoryImage,
@@ -217,6 +222,7 @@ pub fn simulate(
 
     Ok(SimReport {
         cycles,
+        refill_stalls: 0,
         memory,
         ops_executed: n,
         shared_issues,
@@ -225,7 +231,63 @@ pub fn simulate(
     })
 }
 
-/// Simulates a rearranged context (schedule + bindings from `rsp-core`).
+/// Simulates a `(schedule, bindings)` pair whose configuration stream is
+/// loaded per `plan`: the compact schedule is stretched onto the
+/// executed timeline ([`RefillPlan::stalled_schedule`]) so every refill
+/// stall becomes an explicit idle window, and the structural rules are
+/// checked on that timeline. Memory effects are bit-identical to the
+/// compact schedule's — refill stalls only delay, they never reorder —
+/// so the [`rsp_kernel::evaluate`] oracle holds for split schedules
+/// exactly as it does for fitting ones. The report counts the stall
+/// cycles and, when tracing, the [`Trace`] exposes the refill windows.
+///
+/// # Errors
+///
+/// See [`simulate`]; additionally, a `plan` whose segments do not cover
+/// the schedule's cycle span (it was built for a different schedule) is
+/// a [`SimError::ShapeMismatch`].
+#[allow(clippy::too_many_arguments)] // the full hardware state is the point
+pub fn simulate_split(
+    ctx: &ConfigContext,
+    arch: &RspArchitecture,
+    schedule: &[u32],
+    bindings: &[Option<SharedResourceId>],
+    plan: &RefillPlan,
+    kernel: &Kernel,
+    input: &MemoryImage,
+    params: &Bindings,
+    opts: &SimOptions,
+) -> Result<SimReport, SimError> {
+    if schedule.len() != ctx.instances().len() {
+        return Err(SimError::ShapeMismatch {
+            expected: ctx.instances().len(),
+            actual: schedule.len(),
+        });
+    }
+    // The plan must cover the schedule it is applied to: a plan built
+    // for a shorter schedule cannot place the later cycles in any
+    // segment. Reported as a shape mismatch (planned vs actual cycle
+    // span) rather than panicking inside `RefillPlan::stalled_cycle`.
+    let total = schedule.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let planned = plan.segments().last().map_or(0, |s| s.end_cycle as usize);
+    if total > planned {
+        return Err(SimError::ShapeMismatch {
+            expected: planned,
+            actual: total,
+        });
+    }
+    let stalled = plan.stalled_schedule(schedule);
+    let mut report = simulate(ctx, arch, &stalled, bindings, kernel, input, params, opts)?;
+    report.refill_stalls = plan.total_refill_cycles();
+    if let Some(trace) = &mut report.trace {
+        trace.set_refill_windows(plan.stall_windows());
+    }
+    Ok(report)
+}
+
+/// Simulates a rearranged context (schedule + bindings from `rsp-core`),
+/// executing its [`RefillPlan`]: split schedules run with explicit
+/// refill-stall windows, fitting schedules run unchanged.
 ///
 /// # Errors
 ///
@@ -238,11 +300,12 @@ pub fn simulate_rearranged(
     input: &MemoryImage,
     params: &Bindings,
 ) -> Result<SimReport, SimError> {
-    simulate(
+    simulate_split(
         ctx,
         arch,
         &rearranged.cycles,
         &rearranged.bindings,
+        &rearranged.refill,
         kernel,
         input,
         params,
@@ -538,6 +601,119 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SimError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn split_schedule_memory_is_bit_identical_and_counts_stalls() {
+        // Force a split of a fitting schedule through an artificially
+        // small cache: memory must stay bit-identical to the evaluator
+        // and the report must charge exactly the plan's stall cycles.
+        use rsp_mapper::{min_splittable_depth, split_schedule};
+        for k in [suite::sad(), suite::matmul(8), suite::fdct()] {
+            let (ctx, img, params) = setup(&k);
+            let reference = evaluate(&k, &img, &params).unwrap();
+            for arch in [presets::base_8x8(), presets::rs1(), presets::rsp2()] {
+                let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+                let lat = |i: usize| u32::from(arch.op_latency(ctx.instances()[i].op));
+                // Smallest depth that still has a legal cut in every
+                // window; bump toward thirds for multi-way splits.
+                let depth = min_splittable_depth(&ctx, &r.cycles, lat)
+                    .unwrap()
+                    .max(r.total_cycles / 3)
+                    .max(8);
+                if depth >= r.total_cycles {
+                    continue; // pipelined issues tile the schedule: unsplittable
+                }
+                let plan = split_schedule(&ctx, &r.cycles, lat, depth).unwrap();
+                assert!(plan.is_split(), "{} on {}", k.name(), arch.name());
+                let report = simulate_split(
+                    &ctx,
+                    &arch,
+                    &r.cycles,
+                    &r.bindings,
+                    &plan,
+                    &k,
+                    &img,
+                    &params,
+                    &SimOptions {
+                        record_trace: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(report.memory, reference, "{} on {}", k.name(), arch.name());
+                assert_eq!(report.refill_stalls, plan.total_refill_cycles());
+                assert!(report.cycles >= r.total_cycles + report.refill_stalls - 1);
+                let trace = report.trace.unwrap();
+                assert_eq!(trace.refill_windows(), plan.stall_windows());
+                // No operation issues inside a refill window.
+                for e in trace.events() {
+                    assert!(
+                        !trace.is_refill_cycle(e.cycle),
+                        "{} issued during refill at cycle {}",
+                        e.instance,
+                        e.cycle
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_refill_plan_is_a_shape_error_not_a_panic() {
+        // A plan built for a shorter schedule cannot place the longer
+        // schedule's tail cycles in any segment: SimError, not a panic.
+        use rsp_mapper::split_schedule;
+        let k = suite::mvm();
+        let (ctx, img, params) = setup(&k);
+        let arch = presets::base_8x8();
+        let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+        let short: Vec<u32> = r.cycles.iter().map(|&c| c / 2).collect();
+        let short_plan = split_schedule(&ctx, &short, |_| 1, 8).unwrap();
+        let err = simulate_split(
+            &ctx,
+            &arch,
+            &r.cycles, // longer than the plan covers
+            &r.bindings,
+            &short_plan,
+            &k,
+            &img,
+            &params,
+            &Default::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn rearranged_split_schedules_pass_the_oracle() {
+        // End-to-end: rearrange against architectures whose cache is too
+        // small, so `rearrange` itself splits, and `simulate_rearranged`
+        // executes the split plan.
+        use rsp_arch::{BaseArchitecture, RspArchitecture};
+        let k = suite::fdct();
+        let (ctx, img, params) = setup(&k);
+        let reference = evaluate(&k, &img, &params).unwrap();
+        for big in [presets::rs1(), presets::rsp2()] {
+            // Size the cache so rearrangement must split: just over half
+            // the rearranged length, rounded up to a splittable depth.
+            let probe = rearrange(&ctx, &big, &Default::default()).unwrap();
+            let lat = |i: usize| u32::from(big.op_latency(ctx.instances()[i].op));
+            let depth = rsp_mapper::min_splittable_depth(&ctx, &probe.cycles, lat)
+                .unwrap()
+                .max(probe.total_cycles / 2 + 1) as usize;
+            assert!(depth < probe.total_cycles as usize, "{}", big.name());
+            let b = big.base();
+            let small = BaseArchitecture::new(b.geometry(), b.pe().clone(), b.buses(), depth);
+            let arch =
+                RspArchitecture::new(big.name().to_string(), small, big.plan().clone()).unwrap();
+            let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+            assert!(r.refill.is_split(), "{}", arch.name());
+            assert!(r.refill_stalls() > 0);
+            let report = simulate_rearranged(&ctx, &arch, &r, &k, &img, &params).unwrap();
+            assert_eq!(report.memory, reference, "{}", arch.name());
+            assert_eq!(report.refill_stalls, r.refill_stalls());
+        }
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub struct TraceEvent {
 pub struct Trace {
     events: Vec<TraceEvent>,
     total_cycles: u32,
+    /// Configuration-cache refill windows on the executed timeline, as
+    /// `(first_stall_cycle, stall_cycles)` pairs (empty for schedules
+    /// that fit the cache).
+    refill_windows: Vec<(u32, u32)>,
 }
 
 impl Trace {
@@ -41,12 +45,32 @@ impl Trace {
         Self {
             events,
             total_cycles,
+            refill_windows: Vec::new(),
         }
+    }
+
+    pub(crate) fn set_refill_windows(&mut self, windows: Vec<(u32, u32)>) {
+        self.refill_windows = windows;
     }
 
     /// All events, cycle order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Configuration-cache refill windows on the executed timeline, as
+    /// `(first_stall_cycle, stall_cycles)` pairs. Empty unless the
+    /// schedule was split across cache refills.
+    pub fn refill_windows(&self) -> &[(u32, u32)] {
+        &self.refill_windows
+    }
+
+    /// Whether `cycle` falls inside a refill stall (the array is idle,
+    /// reloading its configuration caches).
+    pub fn is_refill_cycle(&self, cycle: u32) -> bool {
+        self.refill_windows
+            .iter()
+            .any(|&(start, len)| cycle >= start && cycle < start + len)
     }
 
     /// Events of one cycle.
@@ -61,6 +85,8 @@ impl Trace {
 
     /// Renders a waveform-style text view: one lane per PE that executed
     /// anything, one column per cycle, shared operations marked with `'`.
+    /// When the trace carries refill windows, a `refill` lane marks every
+    /// cache-reload stall cycle with `##`.
     ///
     /// # Examples
     ///
@@ -95,6 +121,14 @@ impl Trace {
             let _ = write!(out, "{t:>5} |");
         }
         out.push('\n');
+        if !self.refill_windows.is_empty() {
+            let _ = write!(out, "{:>9} |", "refill");
+            for t in 0..total as u32 {
+                let cell = if self.is_refill_cycle(t) { "##" } else { "" };
+                let _ = write!(out, "{cell:>5} |");
+            }
+            out.push('\n');
+        }
         for pe in lanes {
             let mut cells = vec![String::new(); total];
             for e in self.events.iter().filter(|e| e.pe == pe) {

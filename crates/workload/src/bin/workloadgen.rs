@@ -1,28 +1,87 @@
 //! Regenerates the committed `workloads/` directory from the fixed
-//! registry ([`rsp_workload::registry`]).
+//! registry ([`rsp_workload::registry`]) and canonicalizes hand-written
+//! workload files.
 //!
 //! ```sh
 //! cargo run -p rsp-workload --bin workloadgen                 # writes workloads/
 //! cargo run -p rsp-workload --bin workloadgen -- --out DIR    # custom directory
 //! cargo run -p rsp-workload --bin workloadgen -- --check      # verify, write nothing
+//! cargo run -p rsp-workload --bin workloadgen -- --fmt FILE…  # canonicalize in place
+//! cargo run -p rsp-workload --bin workloadgen -- --fmt --check FILE…
 //! ```
 //!
 //! `--check` exits non-zero when any committed file differs from its
 //! regenerated form (the same comparison the test suite performs).
+//!
+//! `--fmt` is the *workloadfmt* mode: each named file is parsed with the
+//! liberal grammar (term omission/reordering in addresses, bare names,
+//! comments) and rewritten in the canonical form the printer emits — the
+//! form the round-trip property tests cover. With `--check` it only
+//! reports files that are not canonical, rewriting nothing. Parse errors
+//! print the file name plus the 1-based line/column diagnostic and fail
+//! the run.
 
-use rsp_workload::{registry, render_workload_file};
+use rsp_workload::{canonicalize, registry, render_workload_file};
 use std::path::Path;
+use std::process::ExitCode;
 
-fn main() {
+fn fmt_mode(files: &[String], check: bool) -> ExitCode {
+    let mut bad = 0usize;
+    for file in files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ERROR    {file}: {e}");
+                bad += 1;
+                continue;
+            }
+        };
+        let canon = match canonicalize(&src) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("ERROR    {file}: {e}");
+                bad += 1;
+                continue;
+            }
+        };
+        if canon == src {
+            println!("ok       {file}");
+        } else if check {
+            println!("NONCANON {file}");
+            bad += 1;
+        } else {
+            std::fs::write(file, &canon).expect("rewrite workload file");
+            println!("fmt      {file}");
+        }
+    }
+    if bad > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
     let mut out_dir = "workloads".to_string();
     let mut check = false;
+    let mut fmt = false;
+    let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_dir = args.next().expect("--out needs a directory"),
             "--check" => check = true,
-            other => panic!("unknown argument {other:?} (use --out DIR or --check)"),
+            "--fmt" => fmt = true,
+            other if fmt && !other.starts_with("--") => files.push(other.to_string()),
+            other => {
+                panic!("unknown argument {other:?} (use --out DIR, --check, or --fmt FILE...)")
+            }
         }
+    }
+
+    if fmt {
+        assert!(!files.is_empty(), "--fmt needs at least one file");
+        return fmt_mode(&files, check);
     }
 
     let dir = Path::new(&out_dir);
@@ -46,6 +105,7 @@ fn main() {
     }
     if drifted > 0 {
         eprintln!("{drifted} workload file(s) drifted — regenerate with `cargo run -p rsp-workload --bin workloadgen`");
-        std::process::exit(1);
+        return ExitCode::FAILURE;
     }
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,188 @@
+//! Table-driven diagnostics contract for the textual DFG parser: every
+//! malformed input maps to an **exact** 1-based line/column and an
+//! **exact** message. The round-trip tests only cover the canonical
+//! form; this file pins the error surface for hand-written workloads —
+//! duplicate sections, bad addresses, bounds violations, and the
+//! iteration-space cap.
+
+use rsp_workload::parse_kernel;
+
+struct Case {
+    name: &'static str,
+    input: &'static str,
+    line: u32,
+    col: u32,
+    message: &'static str,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "duplicate elements section",
+        input: "kernel \"k\" {\n  elements 4\n  elements 5\n  body { n0 = nop }\n}\n",
+        line: 3,
+        col: 3,
+        message: "duplicate `elements`",
+    },
+    Case {
+        name: "duplicate body section",
+        input: "kernel \"k\" {\n  elements 4\n  body { n0 = nop }\n  body { n0 = nop }\n}\n",
+        line: 4,
+        col: 3,
+        message: "duplicate `body`",
+    },
+    Case {
+        name: "duplicate style section",
+        input: "kernel \"k\" {\n  elements 4\n  style lockstep\n  style dataflow\n  body { n0 = nop }\n}\n",
+        line: 4,
+        col: 3,
+        message: "duplicate `style`",
+    },
+    Case {
+        name: "duplicate array declaration",
+        input: "kernel \"k\" {\n  elements 4\n  array x[8]\n  array x[8]\n  body { n0 = nop }\n}\n",
+        line: 4,
+        col: 9,
+        message: "duplicate array `x`",
+    },
+    Case {
+        name: "duplicate parameter declaration",
+        input: "kernel \"k\" {\n  elements 4\n  param a = 1\n  param a = 2\n  body { n0 = nop }\n}\n",
+        line: 4,
+        col: 9,
+        message: "duplicate parameter `a`",
+    },
+    Case {
+        name: "unknown array in address",
+        input: "kernel \"k\" {\n  elements 4\n  array x[8]\n  body {\n    n0 = load y[i]\n  }\n}\n",
+        line: 5,
+        col: 15,
+        message: "unknown array `y` (arrays must be declared before use)",
+    },
+    Case {
+        name: "unknown address variable",
+        input: "kernel \"k\" {\n  elements 4\n  array x[8]\n  body {\n    n0 = load x[2*k]\n  }\n}\n",
+        line: 5,
+        col: 19,
+        message: "unknown address variable `k` (use `i`, `j`, or `s`)",
+    },
+    Case {
+        name: "empty address expression",
+        input: "kernel \"k\" {\n  elements 4\n  array x[8]\n  body {\n    n0 = load x[]\n  }\n}\n",
+        line: 5,
+        col: 17,
+        message: "expected address term, found `]`",
+    },
+    Case {
+        name: "address walks out of its array",
+        input: "kernel \"k\" {\n  elements 4\n  array x[2]\n  body {\n    n0 = load x[i]\n  }\n}\n",
+        line: 1,
+        col: 1,
+        message: "invalid kernel: address 2 into array 0 out of bounds at element 2, step 0",
+    },
+    Case {
+        name: "oversized iteration space",
+        input: "kernel \"k\" {\n  elements 70000\n  steps 300\n  body { n0 = nop }\n}\n",
+        line: 1,
+        col: 1,
+        message: "iteration space elements × steps = 70000 × 300 exceeds the supported \
+                  maximum (2^24 body iterations)",
+    },
+    Case {
+        name: "node label out of order",
+        input: "kernel \"k\" {\n  elements 4\n  body {\n    n0 = nop\n    n2 = nop\n  }\n}\n",
+        line: 5,
+        col: 5,
+        message: "node label n2 out of order (expected n1)",
+    },
+    Case {
+        name: "forward operand reference",
+        input: "kernel \"k\" {\n  elements 4\n  body {\n    n0 = add n1, n1\n    n1 = nop\n  }\n}\n",
+        line: 4,
+        col: 14,
+        message: "node n1 is not defined yet (operands may only reference earlier nodes)",
+    },
+    Case {
+        name: "unknown operation keyword",
+        input: "kernel \"k\" {\n  elements 4\n  body {\n    n0 = fma n0, n0\n  }\n}\n",
+        line: 4,
+        col: 10,
+        message: "unknown operation `fma`",
+    },
+    Case {
+        name: "arity mismatch",
+        input: "kernel \"k\" {\n  elements 4\n  body {\n    n0 = nop\n    n1 = add n0\n  }\n}\n",
+        line: 5,
+        col: 10,
+        message: "`add` takes 2 operand(s), found 1",
+    },
+    Case {
+        name: "unknown section keyword",
+        input: "kernel \"k\" {\n  elements 4\n  bodies { n0 = nop }\n}\n",
+        line: 3,
+        col: 3,
+        message: "unknown section `bodies` (expected description, elements, steps, divisor, \
+                  style, array, param, body, or tail)",
+    },
+    Case {
+        name: "tail before body",
+        input: "kernel \"k\" {\n  elements 4\n  tail { n0 = nop }\n  body { n0 = nop }\n}\n",
+        line: 3,
+        col: 3,
+        message: "`tail` must come after `body` (carry(..) references body nodes)",
+    },
+    Case {
+        name: "accumulator reference outside the body",
+        input: "kernel \"k\" {\n  elements 4\n  body {\n    n0 = nop\n    n1 = add acc(n9, 0), n0\n  }\n}\n",
+        line: 5,
+        col: 18,
+        message: "acc(n9) references a node outside the body (body has 2 nodes)",
+    },
+    Case {
+        name: "unterminated string literal",
+        input: "kernel \"k {\n  elements 4\n}\n",
+        line: 1,
+        col: 8,
+        message: "unterminated string literal (strings may not span lines)",
+    },
+    Case {
+        name: "missing body section",
+        input: "kernel \"k\" {\n  elements 4\n}\n",
+        line: 1,
+        col: 1,
+        message: "missing `body` section",
+    },
+    Case {
+        name: "missing elements section",
+        input: "kernel \"k\" {\n  body { n0 = nop }\n}\n",
+        line: 1,
+        col: 1,
+        message: "missing `elements` section",
+    },
+];
+
+#[test]
+fn every_malformed_input_reports_exact_position_and_message() {
+    let mut failures = Vec::new();
+    for case in CASES {
+        let err = match parse_kernel(case.input) {
+            Err(e) => e,
+            Ok(_) => {
+                failures.push(format!("{}: unexpectedly parsed", case.name));
+                continue;
+            }
+        };
+        if (err.line, err.col) != (case.line, case.col) || err.message != case.message {
+            failures.push(format!(
+                "{}:\n  expected {}:{} {:?}\n  actual   {}:{} {:?}",
+                case.name, case.line, case.col, case.message, err.line, err.col, err.message
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn display_includes_position() {
+    let err = parse_kernel("kernel \"k\" {\n  elements 4\n  elements 5\n}").unwrap_err();
+    assert_eq!(err.to_string(), "line 3, column 3: duplicate `elements`");
+}

@@ -3,8 +3,8 @@
 //! multi-geometry base-architecture exploration a reason to leave the
 //! 4×4 array (the standing ROADMAP note this subsystem closes).
 
-use rsp_core::{run_flow, AppProfile, FlowConfig};
-use rsp_workload::{generators, registry};
+use rsp_core::{run_flow, AppProfile, Constraints, FlowConfig};
+use rsp_workload::{generators, registry, SUITE_MAX_SLOWDOWN};
 
 fn workload_apps() -> Vec<AppProfile> {
     vec![AppProfile::new(
@@ -18,6 +18,12 @@ fn multi_geometry(parallelism: Option<usize>) -> FlowConfig {
         coverage: 1.0,
         geometries: vec![(4, 4), (6, 6), (8, 8)],
         parallelism,
+        // The suite-wide cap (rationale on the constant): matmul16's
+        // stall estimates would fail the paper's 1.5× everywhere.
+        constraints: Constraints {
+            enforce_cost_bound: true,
+            max_slowdown: SUITE_MAX_SLOWDOWN,
+        },
         ..FlowConfig::default()
     }
 }
@@ -56,6 +62,76 @@ fn generated_families_escalate_geometry_stepwise() {
     assert_eq!(r12.base.geometry().pe_count(), 36);
     let big = run_flow(&apps(generators::reduction(8192, 8, 8)), &cfg).unwrap();
     assert_eq!(big.base.geometry().pe_count(), 64);
+}
+
+#[test]
+fn workload_flow_charges_refill_instead_of_rejecting() {
+    // With matmul16 in the suite, stall-heavy frontier candidates
+    // rearrange schedules past the 256-deep cache. The flow must split
+    // them (nonzero refill counters), fail only the honestly
+    // unsplittable pipelined combinations, and still choose a design.
+    let report = run_flow(&workload_apps(), &multi_geometry(None)).unwrap();
+    assert!(
+        report.stats.refill_segments > 0,
+        "no exact rearrangement was split: {:?}",
+        report.stats
+    );
+    assert!(report.stats.refill_stall_cycles > 0);
+    // The chosen design's own contexts expose their plans.
+    let split: Vec<_> = report
+        .rsp_contexts
+        .iter()
+        .filter(|r| r.refill.is_split())
+        .collect();
+    for r in &split {
+        assert_eq!(r.refill_stalls(), r.elapsed_cycles() - r.total_cycles);
+    }
+    // Perf rows carry the refill columns consistently.
+    for (p, r) in report.perf.iter().zip(&report.rsp_contexts) {
+        assert_eq!(p.refill_stalls, r.refill_stalls(), "{}", p.kernel);
+        assert_eq!(p.refill_segments as usize, r.refill_count(), "{}", p.kernel);
+        assert_eq!(p.cycles, r.elapsed_cycles(), "{}", p.kernel);
+    }
+}
+
+#[test]
+fn pruned_workload_flow_with_refill_is_bit_identical_to_unpruned() {
+    // The satellite equivalence property on the refill-exercising
+    // workload: Dominated pruning + the stage-floor clock cut + the
+    // exact-stage dominance cut must leave every flow output
+    // bit-identical to the unpruned serial flow, refill penalties
+    // included.
+    use rsp_core::{BoundKind, ClockBound, PruneStrategy};
+    let cfg = |prune, clock_bound, parallelism| FlowConfig {
+        prune,
+        clock_bound,
+        parallelism,
+        bound: BoundKind::PerRowResidual,
+        ..multi_geometry(None)
+    };
+    let apps = workload_apps();
+    let unpruned = run_flow(&apps, &cfg(PruneStrategy::None, ClockBound::Off, Some(1))).unwrap();
+    let pruned = run_flow(
+        &apps,
+        &cfg(PruneStrategy::Dominated, ClockBound::StageFloor, None),
+    )
+    .unwrap();
+    assert_eq!(unpruned.base.geometry(), pruned.base.geometry());
+    assert_eq!(unpruned.contexts, pruned.contexts);
+    assert_eq!(unpruned.chosen.name(), pruned.chosen.name());
+    assert_eq!(unpruned.chosen.plan(), pruned.chosen.plan());
+    assert_eq!(unpruned.rsp_contexts, pruned.rsp_contexts);
+    for (a, b) in unpruned.perf.iter().zip(&pruned.perf) {
+        assert_eq!(a.cycles, b.cycles, "{}", a.kernel);
+        assert_eq!(a.et_ns.to_bits(), b.et_ns.to_bits(), "{}", a.kernel);
+        assert_eq!(a.refill_stalls, b.refill_stalls, "{}", a.kernel);
+        assert_eq!(a.refill_segments, b.refill_segments, "{}", a.kernel);
+    }
+    assert_eq!(unpruned.area_slices.to_bits(), pruned.area_slices.to_bits());
+    // Both flows exercised the splitter (the unpruned one at least as
+    // much — it rearranges every frontier candidate).
+    assert!(pruned.stats.refill_segments > 0);
+    assert!(unpruned.stats.refill_segments >= pruned.stats.refill_segments);
 }
 
 #[test]

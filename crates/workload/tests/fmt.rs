@@ -1,0 +1,90 @@
+//! The `workloadgen --fmt` (workloadfmt) canonicalizer: liberally
+//! parsed hand-written workloads are rewritten in the canonical printer
+//! form, idempotently, with parse diagnostics on bad input.
+
+use std::process::Command;
+
+/// Deliberately non-canonical: bare kernel/array names, a comment,
+/// omitted default sections, an address with omitted + reordered terms,
+/// and loose whitespace. Parses to the same kernel as its canonical
+/// form.
+const NON_CANONICAL: &str = "// a hand-written workload\n\
+kernel scale {\n\
+  elements 4\n\
+  array x[ 8 ]\n\
+  param gain=3\n\
+  body {\n\
+    n0 = load x[ i + 3 ]\n\
+    n1 = mult n0, $gain\n\
+    n2 = store x[3+1*i], n1\n\
+  }\n\
+}\n";
+
+#[test]
+fn canonicalize_normalizes_and_is_idempotent() {
+    let canon = rsp_workload::canonicalize(NON_CANONICAL).unwrap();
+    assert_ne!(canon, NON_CANONICAL);
+    // Canonical surface: quoted name, explicit scalar sections, full
+    // four-term addresses, comments dropped.
+    assert!(canon.contains("kernel \"scale\""), "{canon}");
+    assert!(canon.contains("steps 1"), "{canon}");
+    assert!(canon.contains("style lockstep"), "{canon}");
+    assert!(!canon.contains("//"), "{canon}");
+    // Same kernel either way; canonical form is a fixed point.
+    assert_eq!(
+        rsp_workload::parse_kernel(NON_CANONICAL).unwrap(),
+        rsp_workload::parse_kernel(&canon).unwrap()
+    );
+    assert_eq!(rsp_workload::canonicalize(&canon).unwrap(), canon);
+}
+
+#[test]
+fn workloadfmt_binary_rewrites_in_place_and_checks() {
+    let dir = std::env::temp_dir().join(format!("workloadfmt-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("scale.dfg");
+    std::fs::write(&file, NON_CANONICAL).unwrap();
+    let bin = env!("CARGO_BIN_EXE_workloadgen");
+
+    // --fmt --check flags the non-canonical file without touching it.
+    let out = Command::new(bin)
+        .args(["--fmt", "--check", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("NONCANON"));
+    assert_eq!(std::fs::read_to_string(&file).unwrap(), NON_CANONICAL);
+
+    // --fmt rewrites it canonically; a second run is a no-op.
+    let out = Command::new(bin)
+        .args(["--fmt", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let rewritten = std::fs::read_to_string(&file).unwrap();
+    assert_eq!(
+        rewritten,
+        rsp_workload::canonicalize(NON_CANONICAL).unwrap()
+    );
+    let out = Command::new(bin)
+        .args(["--fmt", "--check", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok"));
+
+    // A parse error surfaces the file plus the line/column diagnostic.
+    std::fs::write(&file, "kernel \"broken\" {\n  elements 4\n  elements 5\n}").unwrap();
+    let out = Command::new(bin)
+        .args(["--fmt", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 3, column 3: duplicate `elements`"),
+        "{stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

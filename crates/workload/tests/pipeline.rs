@@ -2,18 +2,39 @@
 //! random — maps, rearranges, and simulates with a final memory image
 //! bit-identical to the reference evaluator (`rsp_kernel::evaluate`).
 //! This is the issue's "rsp-sim becomes the functional oracle" pipeline.
+//!
+//! Two axes per workload:
+//!
+//! * **Natural cache** — the paper's 256-deep cache. Rearranged
+//!   schedules that outgrow it are split across configuration-cache
+//!   refills and must still simulate bit-identically; combinations with
+//!   no legal cut point (2-stage multiplications in flight across every
+//!   boundary) must report [`rsp_core::RspError::UnsplittableSchedule`]
+//!   *and* be provably unsplittable, never silently skipped.
+//! * **Forced split** — an artificially small cache (the schedule's
+//!   minimum splittable depth, bumped toward thirds) forces every
+//!   workload × sharing-variant combination through the splitter; the
+//!   refill-stalled execution must stay bit-identical to the evaluator.
 
 use proptest::prelude::*;
-use rsp_arch::presets;
-use rsp_core::rearrange;
+use rsp_arch::{presets, BaseArchitecture, RspArchitecture};
+use rsp_core::{rearrange, RspError};
 use rsp_kernel::{evaluate, Bindings, Kernel, MemoryImage};
-use rsp_mapper::{map, MapOptions};
+use rsp_mapper::{map, min_splittable_depth, MapOptions};
 use rsp_sim::{simulate_base, simulate_rearranged};
 use rsp_workload::{random_kernel, registry, RandomKernelConfig};
 
+/// The same sharing plan on a base with a different config-cache depth.
+fn with_cache_depth(arch: &RspArchitecture, depth: usize) -> RspArchitecture {
+    let b = arch.base();
+    let base = BaseArchitecture::new(b.geometry(), b.pe().clone(), b.buses(), depth);
+    RspArchitecture::new(arch.name().to_string(), base, arch.plan().clone()).unwrap()
+}
+
 /// Maps `kernel` onto the paper's 8×8 base, simulates the base schedule
 /// and every Table 4/5 RS/RSP rearrangement, and checks each final
-/// memory image against the evaluator.
+/// memory image against the evaluator. Oversized rearrangements run
+/// split with refill stalls; unsplittable ones must prove it.
 fn oracle(kernel: &Kernel, seed: u64) {
     let base = presets::base_8x8();
     let ctx = map(base.base(), kernel, &MapOptions::default())
@@ -27,17 +48,95 @@ fn oracle(kernel: &Kernel, seed: u64) {
     assert_eq!(report.memory, reference, "{}: base schedule", kernel.name());
 
     for arch in presets::table_architectures() {
-        let r = rearrange(&ctx, &arch, &Default::default()).unwrap_or_else(|e| {
-            panic!(
+        match rearrange(&ctx, &arch, &Default::default()) {
+            Ok(r) => {
+                let report = simulate_rearranged(&ctx, &arch, &r, kernel, &input, &params)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{} on {}: simulation failed: {e}",
+                            kernel.name(),
+                            arch.name()
+                        )
+                    });
+                assert_eq!(
+                    report.memory,
+                    reference,
+                    "{} on {}",
+                    kernel.name(),
+                    arch.name()
+                );
+                assert_eq!(report.refill_stalls, r.refill_stalls());
+            }
+            Err(RspError::UnsplittableSchedule { cache_depth, .. }) => {
+                // Legitimate only when no cache of this depth can hold
+                // any legal segmentation: re-derive the compact schedule
+                // on an unbounded cache and check the minimum
+                // splittable depth really exceeds the cache.
+                let unbounded = with_cache_depth(&arch, 1 << 20);
+                let r = rearrange(&ctx, &unbounded, &Default::default()).unwrap();
+                let lat = |i: usize| u32::from(arch.op_latency(ctx.instances()[i].op));
+                let min_depth = min_splittable_depth(&ctx, &r.cycles, lat).unwrap();
+                assert!(
+                    min_depth > cache_depth,
+                    "{} on {}: reported unsplittable but min depth {} fits cache {}",
+                    kernel.name(),
+                    arch.name(),
+                    min_depth,
+                    cache_depth
+                );
+            }
+            Err(e) => panic!(
                 "{} on {}: rearrange failed: {e}",
+                kernel.name(),
+                arch.name()
+            ),
+        }
+    }
+}
+
+/// The split-schedule axis: force every sharing variant through the
+/// refill splitter with an artificially small cache and prove memory
+/// stays bit-identical to the evaluator.
+fn forced_split_oracle(kernel: &Kernel, seed: u64) {
+    let base = presets::base_8x8();
+    let ctx = map(base.base(), kernel, &MapOptions::default())
+        .unwrap_or_else(|e| panic!("{}: mapping failed: {e}", kernel.name()));
+    let input = MemoryImage::random(kernel, seed);
+    let params = Bindings::defaults(kernel);
+    let reference = evaluate(kernel, &input, &params).unwrap();
+
+    let mut forced = 0usize;
+    for arch in presets::table_architectures() {
+        // Compact schedule on an unbounded cache, then the smallest
+        // legal cache for it (bumped toward thirds so multi-segment
+        // plans stay common).
+        let unbounded = with_cache_depth(&arch, 1 << 20);
+        let r = rearrange(&ctx, &unbounded, &Default::default()).unwrap();
+        let lat = |i: usize| u32::from(arch.op_latency(ctx.instances()[i].op));
+        let depth = min_splittable_depth(&ctx, &r.cycles, lat)
+            .unwrap()
+            .max(r.total_cycles / 3);
+        if depth >= r.total_cycles {
+            continue; // pipelined issues tile the schedule: honestly unsplittable
+        }
+        let small = with_cache_depth(&arch, depth as usize);
+        let split = rearrange(&ctx, &small, &Default::default()).unwrap_or_else(|e| {
+            panic!(
+                "{} on {} (cache {depth}): rearrange failed: {e}",
                 kernel.name(),
                 arch.name()
             )
         });
-        let report =
-            simulate_rearranged(&ctx, &arch, &r, kernel, &input, &params).unwrap_or_else(|e| {
+        assert!(
+            split.refill.is_split(),
+            "cache {depth} did not force a split"
+        );
+        assert!(split.refill_stalls() > 0);
+        assert_eq!(split.cycles, r.cycles, "splitting must not reschedule");
+        let report = simulate_rearranged(&ctx, &small, &split, kernel, &input, &params)
+            .unwrap_or_else(|e| {
                 panic!(
-                    "{} on {}: simulation failed: {e}",
+                    "{} on {} (cache {depth}): simulation failed: {e}",
                     kernel.name(),
                     arch.name()
                 )
@@ -45,17 +144,60 @@ fn oracle(kernel: &Kernel, seed: u64) {
         assert_eq!(
             report.memory,
             reference,
-            "{} on {}",
+            "{} on {} split at cache {depth}",
             kernel.name(),
             arch.name()
         );
+        assert_eq!(report.refill_stalls, split.refill_stalls());
+        forced += 1;
     }
+    assert!(
+        forced > 0,
+        "{}: no sharing variant could be forced through a split",
+        kernel.name()
+    );
 }
 
 #[test]
 fn every_registry_workload_passes_the_oracle() {
     for k in registry() {
         oracle(&k, 0xC0FFEE);
+    }
+}
+
+#[test]
+fn every_registry_workload_passes_the_forced_split_oracle() {
+    for k in registry() {
+        forced_split_oracle(&k, 0x5EED);
+    }
+}
+
+#[test]
+fn matmul16_splits_on_stall_heavy_variants_that_previously_overflowed() {
+    // The acceptance kernel: matmul16 maps on the 8×8 base (207
+    // contexts) but RS#1 rearrangement needs 561 — a guaranteed
+    // CacheOverflow before the refill subsystem. It must now split,
+    // charge the byte-derived stalls, and simulate bit-identically.
+    let k = rsp_workload::generators::matmul(16);
+    let base = presets::base_8x8();
+    let ctx = map(base.base(), &k, &MapOptions::default()).unwrap();
+    let input = MemoryImage::random(&k, 0xC0FFEE);
+    let params = Bindings::defaults(&k);
+    let reference = evaluate(&k, &input, &params).unwrap();
+
+    let r = rearrange(&ctx, &presets::rs1(), &Default::default()).unwrap();
+    assert_eq!(r.total_cycles, 561, "the ROADMAP's matmul16-on-RS#1 figure");
+    assert_eq!(r.refill.segments().len(), 3, "561 contexts on a 256 cache");
+    assert_eq!(r.refill_stalls(), 561 - r.refill.segments()[0].depth());
+    let report = simulate_rearranged(&ctx, &presets::rs1(), &r, &k, &input, &params).unwrap();
+    assert_eq!(report.memory, reference);
+    assert_eq!(report.refill_stalls, r.refill_stalls());
+
+    // The milder RS variants split (or just fit) too.
+    for arch in [presets::rs2(), presets::rs3(), presets::rs4()] {
+        let r = rearrange(&ctx, &arch, &Default::default()).unwrap();
+        let report = simulate_rearranged(&ctx, &arch, &r, &k, &input, &params).unwrap();
+        assert_eq!(report.memory, reference, "{}", arch.name());
     }
 }
 
@@ -94,5 +236,14 @@ proptest! {
     #[test]
     fn random_workloads_pass_the_oracle(seed in any::<u64>()) {
         oracle(&random_kernel(seed, &RandomKernelConfig::default()), seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_workloads_pass_the_forced_split_oracle(seed in any::<u64>()) {
+        forced_split_oracle(&random_kernel(seed, &RandomKernelConfig::default()), seed);
     }
 }
