@@ -1,37 +1,49 @@
 //! Regenerates the paper's headline claims *and* the tracked benchmarks
-//! (`BENCH_explore.json`, `BENCH_flow.json`, `BENCH_workload.json`), and
-//! gates CI against them.
+//! (`BENCH_explore.json`, `BENCH_flow.json`, `BENCH_workload.json`,
+//! `BENCH_soak.json`), and gates CI against them.
 //!
 //! ```sh
 //! cargo run --release -p rsp-bench --bin headline            # stdout only
 //! cargo run --release -p rsp-bench --bin headline -- --json BENCH_explore.json
 //! cargo run --release -p rsp-bench --bin headline -- --flow --json BENCH_flow.json
 //! cargo run --release -p rsp-bench --bin headline -- --workload --json BENCH_workload.json
+//! cargo run --release -p rsp-bench --bin headline -- --soak --json BENCH_soak.json
 //! cargo run --release -p rsp-bench --bin headline -- --samples 15
 //! cargo run --release -p rsp-bench --bin headline -- \
 //!     --check BENCH_explore.json --check BENCH_flow.json --check BENCH_workload.json \
-//!     --tolerance 0.15 --emit bench-regen
+//!     --check BENCH_soak.json --tolerance 0.15 --emit bench-regen
+//! cargo run --release -p rsp-bench --bin headline -- --deadline-ms 200
+//! cargo run --release -p rsp-bench --bin headline -- --deadline-ms 200 --resume soak.ckpt.json
 //! ```
 //!
 //! The JSON artifacts are rebar-style: engine rows with median-of-N
 //! wall-clock (one warmup discarded), speedups versus the serial
 //! reference row, and pruning-efficacy counters (`candidates_pruned`,
 //! `clock_bound_cuts`, `rearrangements_skipped`, `bound_tightness`).
-//! Without `--flow`/`--workload` the exploration benchmark runs
+//! Without `--flow`/`--workload`/`--soak` the exploration benchmark runs
 //! (`extended` + `deep` spaces); `--flow` runs the end-to-end Fig. 7
 //! flow benchmark (`flow-paper` + `flow-deep`); `--workload` runs the
-//! flow over the generated workload suite (`flow-workload`, whose
-//! multi-geometry exploration selects the 8×8 base — anchored by
-//! `selected_pe_count`).
+//! flow over the generated workload suite (`flow-workload`); `--soak`
+//! runs the anytime-robustness benchmark (`soak-deep`: candidate-budget
+//! truncation, fault isolation, checkpoint/resume — see
+//! [`rsp_bench::soak_bench`]).
+//!
+//! `--deadline-ms N` demonstrates the anytime layer live: one deep-space
+//! exploration under a wall-clock deadline, reporting how far it got and
+//! what it found. With `--resume <path>` the run starts from the
+//! checkpoint at `<path>` when the file exists, and — whenever the run
+//! is truncated — writes its checkpoint back there, so repeated
+//! invocations ratchet the sweep to completion. `--resume` alone (no
+//! deadline) finishes a checkpointed sweep in one go.
 //!
 //! `--check <artifact>` is the CI benchmark-regression gate; it may be
 //! repeated to gate several artifacts in one invocation, and each
 //! artifact is dispatched to its own benchmark by its `benchmark` id
-//! (`rsp/explore`, `rsp/flow`, `rsp/workload`) — an id with no handler
-//! fails the gate with the known ids listed. The gate re-runs every
-//! committed report (same configurations and sample counts) and exits
-//! non-zero when any engine's median **and** best-of-N wall-clock —
-//! both normalized by the same run's `serial-reference` row, so
+//! (`rsp/explore`, `rsp/flow`, `rsp/workload`, `rsp/soak`) — an id with
+//! no handler fails the gate with the known ids listed. The gate re-runs
+//! every committed report (same configurations and sample counts) and
+//! exits non-zero when any engine's median **and** best-of-N wall-clock
+//! — both normalized by the same run's `serial-reference` row, so
 //! host-speed differences between the artifact's origin and the CI
 //! runner cancel — regress by more than `--tolerance` (default 0.15 =
 //! 15 %; requiring both statistics keeps the gate stable against
@@ -40,20 +52,121 @@
 //! longer measured. `--emit <dir>` additionally writes each freshly
 //! re-run artifact to `<dir>/<artifact filename>`, so CI can upload
 //! them for diffing when the gate fails.
+//!
+//! I/O and JSON failures (missing artifact, malformed or schema-drifted
+//! JSON, unwritable output) exit non-zero with a one-line diagnostic
+//! naming the file — and, for schema drift, the offending field — never
+//! a panic backtrace.
 
 use rsp_bench::gate::CheckOutcome;
-use rsp_bench::{explore_bench, flow_bench, gate, workload_bench};
+use rsp_bench::{explore_bench, flow_bench, gate, soak_bench, workload_bench};
 use std::path::Path;
+use std::time::Duration;
 
 /// A benchmark's `--check` gate entry point.
 type CheckFn = fn(&gate::BenchArtifact, f64) -> CheckOutcome;
 
 /// Benchmark ids `--check` can dispatch, with their gate entry points.
-const CHECK_HANDLERS: [(&str, CheckFn); 3] = [
+const CHECK_HANDLERS: [(&str, CheckFn); 4] = [
     ("rsp/explore", explore_bench::check),
     ("rsp/flow", flow_bench::check),
     ("rsp/workload", workload_bench::check),
+    ("rsp/soak", soak_bench::check),
 ];
+
+/// One-line fatal diagnostic; exits non-zero without a backtrace.
+fn fail(msg: String) -> ! {
+    eprintln!("headline: {msg}");
+    std::process::exit(1);
+}
+
+fn usage_error(msg: &str) -> ! {
+    fail(format!("{msg} (see the module docs for usage)"))
+}
+
+/// The live anytime demo: one deep-space exploration under an optional
+/// wall-clock deadline, optionally resumed from / checkpointed to
+/// `resume_path`.
+fn run_anytime(deadline_ms: Option<u64>, resume_path: Option<&str>) {
+    use rsp_arch::presets;
+    use rsp_core::{
+        explore_resume, explore_with, Completeness, DesignSpace, ExploreControl, ExploreOptions,
+    };
+    use rsp_mapper::{map, MapOptions};
+
+    let base = presets::base_8x8().base().clone();
+    let kernels = rsp_kernel::suite::all();
+    let contexts: Vec<_> = kernels
+        .iter()
+        .map(|k| map(&base, k, &MapOptions::default()).expect("suite maps"))
+        .collect();
+    let weights = vec![1.0; kernels.len()];
+    let space = DesignSpace::deep();
+    let control = match deadline_ms {
+        Some(ms) => ExploreControl::with_deadline(Duration::from_millis(ms)),
+        None => ExploreControl::default(),
+    };
+    let options = ExploreOptions {
+        control,
+        ..ExploreOptions::default()
+    };
+
+    let checkpoint = match resume_path {
+        Some(path) if Path::new(path).exists() => {
+            let raw = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("cannot read checkpoint {path}: {e}")));
+            let ckpt: rsp_core::ExploreCheckpoint = serde_json::from_str(&raw)
+                .unwrap_or_else(|e| fail(format!("{path}: invalid checkpoint: {e}")));
+            println!(
+                "resuming from {path}: {}/{} candidates done",
+                ckpt.cursor(),
+                ckpt.candidates_total()
+            );
+            Some(ckpt)
+        }
+        _ => None,
+    };
+
+    let result = match &checkpoint {
+        Some(ckpt) => explore_resume(&base, &kernels, &contexts, &weights, &space, &options, ckpt),
+        None => explore_with(&base, &kernels, &contexts, &weights, &space, &options),
+    }
+    .unwrap_or_else(|e| fail(format!("anytime exploration failed: {e}")));
+
+    match result.completeness {
+        Completeness::Complete => {
+            println!(
+                "complete: {} candidates, {} feasible, {} on the frontier, best {}",
+                result.stats.candidates_seen,
+                result.feasible.len(),
+                result.pareto.len(),
+                result.best_point().arch.name()
+            );
+        }
+        Completeness::Truncated {
+            candidates_remaining,
+            reason,
+        } => {
+            let best = result
+                .try_best_point()
+                .map(|p| p.arch.name().to_string())
+                .unwrap_or_else(|| "none yet".into());
+            println!(
+                "truncated ({reason:?}): {} candidates done, {} remaining, {} feasible so far, best {best}",
+                result.stats.candidates_seen,
+                candidates_remaining,
+                result.feasible.len(),
+            );
+            if let Some(path) = resume_path {
+                let json = serde_json::to_string_pretty(&result.checkpoint())
+                    .unwrap_or_else(|e| fail(format!("checkpoint does not serialize: {e}")));
+                std::fs::write(path, json + "\n")
+                    .unwrap_or_else(|e| fail(format!("cannot write checkpoint {path}: {e}")));
+                println!("checkpoint written to {path} — rerun with --resume {path} to continue");
+            }
+        }
+    }
+}
 
 fn main() {
     let mut json_path: Option<String> = None;
@@ -63,57 +176,84 @@ fn main() {
     let mut samples: Option<u32> = None;
     let mut flow = false;
     let mut workload = false;
+    let mut soak = false;
+    let mut deadline_ms: Option<u64> = None;
+    let mut resume_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
+    let next = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
+        args.next()
+            .unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json_path = Some(args.next().expect("--json needs a path")),
-            "--check" => check_paths.push(args.next().expect("--check needs a path")),
-            "--emit" => emit_dir = Some(args.next().expect("--emit needs a directory")),
+            "--json" => json_path = Some(next("--json", &mut args)),
+            "--check" => check_paths.push(next("--check", &mut args)),
+            "--emit" => emit_dir = Some(next("--emit", &mut args)),
             "--flow" => flow = true,
             "--workload" => workload = true,
-            "--tolerance" => {
-                let t: f64 = args
-                    .next()
-                    .expect("--tolerance needs a fraction")
+            "--soak" => soak = true,
+            "--resume" => resume_path = Some(next("--resume", &mut args)),
+            "--deadline-ms" => {
+                let raw = next("--deadline-ms", &mut args);
+                let ms: u64 = raw
                     .parse()
-                    .expect("--tolerance needs a number");
-                assert!(t >= 0.0, "--tolerance must be non-negative");
+                    .unwrap_or_else(|_| usage_error("--deadline-ms needs a millisecond count"));
+                deadline_ms = Some(ms);
+            }
+            "--tolerance" => {
+                let raw = next("--tolerance", &mut args);
+                let t: f64 = raw
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--tolerance needs a number"));
+                if t < 0.0 {
+                    usage_error("--tolerance must be non-negative");
+                }
                 tolerance = Some(t);
             }
             "--samples" => {
-                let n: u32 = args
-                    .next()
-                    .expect("--samples needs a count")
+                let raw = next("--samples", &mut args);
+                let n: u32 = raw
                     .parse()
-                    .expect("--samples needs a number");
-                assert!(n >= 1, "--samples must be at least 1");
+                    .unwrap_or_else(|_| usage_error("--samples needs a number"));
+                if n < 1 {
+                    usage_error("--samples must be at least 1");
+                }
                 samples = Some(n);
             }
-            other => panic!("unknown argument {other:?}"),
+            other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
-    assert!(
-        !(flow && workload),
-        "--flow and --workload are exclusive (each writes its own artifact)"
-    );
+    if [flow, workload, soak].iter().filter(|b| **b).count() > 1 {
+        usage_error("--flow/--workload/--soak are exclusive (each writes its own artifact)");
+    }
+
+    if deadline_ms.is_some() || resume_path.is_some() {
+        if !check_paths.is_empty() || json_path.is_some() || flow || workload || soak {
+            usage_error("--deadline-ms/--resume run the anytime demo and take no other modes");
+        }
+        run_anytime(deadline_ms, resume_path.as_deref());
+        return;
+    }
 
     if !check_paths.is_empty() {
         // Checking replays the committed reports at their recorded
         // sample counts and writes no --json; flags that only make sense
         // for a measuring run are a usage error, not something to drop
         // silently.
-        assert!(
-            json_path.is_none() && samples.is_none() && !flow && !workload,
-            "--check is exclusive: it neither writes --json nor takes --samples/--flow/--workload \
-             (each committed artifact selects its own benchmark and sample counts)"
-        );
+        if json_path.is_some() || samples.is_some() || flow || workload || soak {
+            usage_error(
+                "--check is exclusive: it neither writes --json nor takes \
+                 --samples/--flow/--workload/--soak (each committed artifact selects its own \
+                 benchmark and sample counts)",
+            );
+        }
         let tolerance = tolerance.unwrap_or(0.15);
         let mut failed = false;
         for path in &check_paths {
             let raw = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read committed artifact {path}: {e}"));
-            let committed: gate::BenchArtifact =
-                serde_json::from_str(&raw).expect("committed artifact parses");
+                .unwrap_or_else(|e| fail(format!("cannot read committed artifact {path}: {e}")));
+            let committed: gate::BenchArtifact = serde_json::from_str(&raw)
+                .unwrap_or_else(|e| fail(format!("{path}: invalid benchmark artifact: {e}")));
             println!("benchmark-regression gate: {path} (tolerance {tolerance})");
             let handler = CHECK_HANDLERS
                 .iter()
@@ -134,14 +274,20 @@ fn main() {
                 println!("  {line}");
             }
             if let Some(dir) = &emit_dir {
-                std::fs::create_dir_all(dir).expect("create --emit directory");
-                let name = Path::new(path)
-                    .file_name()
-                    .expect("--check path has a file name");
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| fail(format!("cannot create --emit directory {dir}: {e}")));
+                let Some(name) = Path::new(path).file_name() else {
+                    fail(format!("--check path {path} has no file name"));
+                };
                 let out = Path::new(dir).join(name);
-                let json =
-                    serde_json::to_string_pretty(&outcome.fresh).expect("artifact serializes");
-                std::fs::write(&out, json + "\n").expect("write regenerated artifact");
+                let json = serde_json::to_string_pretty(&outcome.fresh)
+                    .unwrap_or_else(|e| fail(format!("artifact does not serialize: {e}")));
+                std::fs::write(&out, json + "\n").unwrap_or_else(|e| {
+                    fail(format!(
+                        "cannot write regenerated artifact {}: {e}",
+                        out.display()
+                    ))
+                });
                 println!("  regenerated artifact written to {}", out.display());
             }
             if outcome.passed() {
@@ -162,21 +308,24 @@ fn main() {
         return;
     }
 
-    assert!(
-        tolerance.is_none() && emit_dir.is_none(),
-        "--tolerance/--emit only apply to --check mode"
-    );
+    if tolerance.is_some() || emit_dir.is_some() {
+        usage_error("--tolerance/--emit only apply to --check mode");
+    }
 
-    if flow || workload {
+    if flow || workload || soak {
         let artifact = if flow {
             flow_bench::run_all(samples.unwrap_or(11))
-        } else {
+        } else if workload {
             workload_bench::run_all(samples.unwrap_or(11))
+        } else {
+            soak_bench::run_all(samples.unwrap_or(11))
         };
         print!("{}", gate::render_all(&artifact));
         if let Some(path) = json_path {
-            let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
-            std::fs::write(&path, json + "\n").expect("write benchmark artifact");
+            let json = serde_json::to_string_pretty(&artifact)
+                .unwrap_or_else(|e| fail(format!("artifact does not serialize: {e}")));
+            std::fs::write(&path, json + "\n")
+                .unwrap_or_else(|e| fail(format!("cannot write benchmark artifact {path}: {e}")));
             println!("wrote {path}");
         }
         return;
@@ -189,8 +338,10 @@ fn main() {
     print!("{}", gate::render_all(&artifact));
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
-        std::fs::write(&path, json + "\n").expect("write benchmark artifact");
+        let json = serde_json::to_string_pretty(&artifact)
+            .unwrap_or_else(|e| fail(format!("artifact does not serialize: {e}")));
+        std::fs::write(&path, json + "\n")
+            .unwrap_or_else(|e| fail(format!("cannot write benchmark artifact {path}: {e}")));
         println!("wrote {path}");
     }
 }

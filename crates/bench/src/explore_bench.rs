@@ -94,6 +94,7 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
         constraints,
         objective,
         cache: None,
+        control: Default::default(),
     };
 
     let mut rows: Vec<EngineRow> = Vec::new();

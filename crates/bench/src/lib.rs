@@ -23,6 +23,7 @@
 pub mod explore_bench;
 pub mod flow_bench;
 pub mod gate;
+pub mod soak_bench;
 pub mod workload_bench;
 
 use rsp_arch::{presets, OpKind, RspArchitecture};

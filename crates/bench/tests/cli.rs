@@ -1,0 +1,131 @@
+//! CLI robustness contract for the `headline` binary: malformed,
+//! truncated, or schema-drifted JSON inputs fail with a one-line
+//! diagnostic naming the file (and, for schema drift, the field) and a
+//! non-zero exit — never a panic backtrace. Also drives the anytime
+//! demo end to end: a zero deadline writes a checkpoint, and a resumed
+//! invocation ratchets the sweep to completion.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn headline() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_headline"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("headline-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Asserts a failing invocation: non-zero exit, the expected fragment on
+/// stderr, and no panic backtrace.
+fn assert_fails_cleanly(out: std::process::Output, fragment: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "expected failure, got: {out:?}");
+    assert!(
+        stderr.contains(fragment),
+        "missing {fragment:?} in {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+        "diagnostic must not be a panic: {stderr}"
+    );
+}
+
+#[test]
+fn check_rejects_bad_artifacts_with_one_line_diagnostics() {
+    // Unreadable file.
+    let out = headline()
+        .args(["--check", "/nonexistent/nope.json"])
+        .output()
+        .unwrap();
+    assert_fails_cleanly(out, "cannot read committed artifact /nonexistent/nope.json");
+
+    // Schema drift: the diagnostic names the file and the missing field.
+    let drifted = tmp("drifted.json");
+    std::fs::write(&drifted, "{\"benchmark\": \"rsp/soak\"}").unwrap();
+    let out = headline()
+        .args(["--check", drifted.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert_fails_cleanly(out, "invalid benchmark artifact");
+    assert!(stderr.contains("drifted.json"), "{stderr}");
+    assert!(stderr.contains("missing field `reports`"), "{stderr}");
+
+    // Truncated and outright malformed JSON.
+    for (name, content) in [
+        (
+            "truncated.json",
+            "{\"benchmark\": \"rsp/soak\", \"reports\": ",
+        ),
+        ("malformed.json", "not json at all"),
+    ] {
+        let path = tmp(name);
+        std::fs::write(&path, content).unwrap();
+        let out = headline()
+            .args(["--check", path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert_fails_cleanly(out, "invalid benchmark artifact");
+    }
+
+    // An artifact whose benchmark id has no handler fails listing the
+    // known ids.
+    let unknown = tmp("unknown.json");
+    std::fs::write(
+        &unknown,
+        "{\"benchmark\": \"rsp/unknown\", \"reports\": []}",
+    )
+    .unwrap();
+    let out = headline()
+        .args(["--check", unknown.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_fails_cleanly(out, "no check handler for benchmark id");
+
+    // Unknown flags are a usage error, not a panic.
+    let out = headline().args(["--frobnicate"]).output().unwrap();
+    assert_fails_cleanly(out, "unknown argument");
+}
+
+#[test]
+fn resume_rejects_bad_checkpoints_with_one_line_diagnostics() {
+    let bad = tmp("bad-ckpt.json");
+    std::fs::write(&bad, "{\"version\": 1}").unwrap();
+    let out = headline()
+        .args(["--resume", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert_fails_cleanly(out, "invalid checkpoint");
+    assert!(stderr.contains("bad-ckpt.json"), "{stderr}");
+}
+
+#[test]
+fn anytime_demo_checkpoints_and_resumes_to_completion() {
+    let ckpt = tmp("demo-ckpt.json");
+    let _ = std::fs::remove_file(&ckpt);
+
+    // Zero deadline: truncated immediately, checkpoint written.
+    let out = headline()
+        .args(["--deadline-ms", "0", "--resume", ckpt.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("truncated (Deadline)"), "{stdout}");
+    assert!(stdout.contains("checkpoint written"), "{stdout}");
+    assert!(ckpt.exists());
+
+    // Resume without a deadline: picks the checkpoint up and completes.
+    let out = headline()
+        .args(["--resume", ckpt.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("resuming from"), "{stdout}");
+    assert!(stdout.contains("complete:"), "{stdout}");
+}

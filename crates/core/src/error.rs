@@ -1,5 +1,6 @@
 //! Error type for the RSP core passes.
 
+use crate::control::TruncationReason;
 use std::error::Error;
 use std::fmt;
 
@@ -30,6 +31,27 @@ pub enum RspError {
         /// The cache depth bounding the window.
         cache_depth: u32,
     },
+    /// An [`ExploreCheckpoint`](crate::ExploreCheckpoint) cannot resume
+    /// under the given inputs or options.
+    CheckpointMismatch {
+        /// What differed between the checkpoint and this call.
+        what: String,
+    },
+    /// A run budget stopped the sweep before it produced any usable
+    /// result (e.g. the flow's deadline passed before a base
+    /// architecture was selected). Distinct from
+    /// [`NoFeasibleDesign`](Self::NoFeasibleDesign): feasibility was
+    /// never established either way.
+    Interrupted {
+        /// Which budget stopped the run.
+        reason: TruncationReason,
+    },
+    /// A candidate's evaluation panicked and was isolated; reported only
+    /// when no other candidate produced a usable result.
+    CandidateFaulted {
+        /// Name of the faulted candidate architecture.
+        name: String,
+    },
 }
 
 impl fmt::Display for RspError {
@@ -57,6 +79,18 @@ impl fmt::Display for RspError {
                 "oversized schedule has no legal refill cut within {cache_depth} cycles \
                  of cycle {start_cycle}"
             ),
+            RspError::CheckpointMismatch { what } => {
+                write!(f, "checkpoint cannot resume here: {what}")
+            }
+            RspError::Interrupted { reason } => {
+                write!(f, "run stopped ({reason:?}) before any usable result")
+            }
+            RspError::CandidateFaulted { name } => {
+                write!(
+                    f,
+                    "candidate `{name}` panicked during evaluation and was isolated"
+                )
+            }
         }
     }
 }

@@ -77,11 +77,26 @@
 //!   bit-identical to the batch [`pareto_indices`] sweep the reference
 //!   performs — frontier *equality*, not merely equivalence — including
 //!   the sweep's `1e-12` epsilon and NaN handling.
+//! * **Anytime operation** — the sweep honours an
+//!   [`ExploreControl`] (wall-clock deadline, candidate budget, external
+//!   cancel flag), checked cooperatively before each candidate is pulled
+//!   from the stream. A stopped run returns the prefix evaluated so far,
+//!   tagged [`Exploration::completeness`]; see [`crate::control`] for
+//!   the truncation-soundness argument. A truncated run can be
+//!   serialized with [`Exploration::checkpoint`] and continued with
+//!   [`explore_resume`] to the bit-identical complete result.
+//! * **Panic isolation** — each candidate's parallel evaluation runs
+//!   under `catch_unwind`; a candidate whose synthesis or estimation
+//!   panics is counted in [`PruneStats::faulted`] and skipped instead of
+//!   poisoning the whole sweep. Surviving results are unaffected: a
+//!   faulted candidate contributes nothing, exactly as if it had been
+//!   rejected.
 //!
 //! Pruning efficacy is observable: [`Exploration::stats`] reports
 //! candidates seen/pruned and the measured mean tightness of the lower
 //! bound against the full estimate ([`PruneStats`]).
 
+use crate::control::{Completeness, ControlClock, ExploreControl, TruncationReason};
 use crate::error::RspError;
 use crate::estimate::{
     estimate_stalls_dense, refill_stall_estimate, BoundKind, ClockBound, ContextProfile,
@@ -93,6 +108,7 @@ use rsp_kernel::Kernel;
 use rsp_mapper::ConfigContext;
 use rsp_synth::{AreaModel, AreaReport, DelayModel, ModelCache};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// The RSP parameter ranges to enumerate.
@@ -167,7 +183,7 @@ impl DesignSpace {
 }
 
 /// Constraints applied before Pareto filtering.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Constraints {
     /// Require eq. (2): `HWcost < n·m·PE` (reject designs costlier than
     /// the base array).
@@ -248,6 +264,11 @@ pub struct ExploreOptions {
     /// run-local cache, which still deduplicates the base plan and any
     /// plans repeated within the space.
     pub cache: Option<Arc<ModelCache>>,
+    /// Run budget and cooperative cancellation (default: unlimited).
+    /// When a deadline, candidate budget, or external cancel stops the
+    /// sweep early, the result is an anytime prefix tagged
+    /// [`Exploration::completeness`]; see [`crate::control`].
+    pub control: ExploreControl,
 }
 
 impl Default for ExploreOptions {
@@ -260,6 +281,7 @@ impl Default for ExploreOptions {
             constraints: Constraints::default(),
             objective: Objective::AreaDelayProduct,
             cache: None,
+            control: ExploreControl::default(),
         }
     }
 }
@@ -284,6 +306,9 @@ pub struct PruneStats {
     /// these candidates never reached the `ModelCache` delay path at
     /// all.
     pub clock_bound_cuts: usize,
+    /// Candidates whose evaluation panicked (isolated by
+    /// `catch_unwind`) and were skipped instead of aborting the sweep.
+    pub faulted: usize,
 }
 
 /// One evaluated candidate.
@@ -312,7 +337,10 @@ pub struct Exploration {
     /// Indices into `feasible` forming the (area, time) Pareto frontier,
     /// sorted by area.
     pub pareto: Vec<usize>,
-    /// Index into `feasible` of the selected optimum.
+    /// Index into `feasible` of the selected optimum. `usize::MAX` when
+    /// a truncated run has no feasible point yet — use
+    /// [`try_best_point`](Self::try_best_point) when the run may have
+    /// been truncated.
     pub best: usize,
     /// Weighted estimated execution time of the base architecture (ns).
     pub base_et_ns: f64,
@@ -321,17 +349,153 @@ pub struct Exploration {
     pub pruned: usize,
     /// Pruning efficacy counters.
     pub stats: PruneStats,
+    /// Whether the whole candidate stream was processed, or the sweep
+    /// stopped early under its [`ExploreControl`].
+    pub completeness: Completeness,
+    /// `(Σ lb_et/est_et, count)` accumulator behind
+    /// `stats.bound_tightness`, kept exactly so checkpoints restore the
+    /// bit-identical accumulator state.
+    pub(crate) tightness: (f64, usize),
+    /// Fingerprint of the options/space this result was computed under,
+    /// embedded in checkpoints and validated by [`explore_resume`].
+    pub(crate) fingerprint: EngineFingerprint,
 }
 
 impl Exploration {
     /// The selected design point.
+    ///
+    /// # Panics
+    ///
+    /// When a truncated run found no feasible point yet (`best` is
+    /// `usize::MAX`); use [`try_best_point`](Self::try_best_point) then.
     pub fn best_point(&self) -> &DesignPoint {
         &self.feasible[self.best]
+    }
+
+    /// The selected design point, or `None` when a truncated run has no
+    /// feasible point yet.
+    pub fn try_best_point(&self) -> Option<&DesignPoint> {
+        self.feasible.get(self.best)
     }
 
     /// The Pareto-frontier points, smallest area first.
     pub fn pareto_points(&self) -> impl Iterator<Item = &DesignPoint> {
         self.pareto.iter().map(|&i| &self.feasible[i])
+    }
+
+    /// Serializes this result's resumable state: the evaluated feasible
+    /// prefix (plans plus their estimates), the enumeration cursor, the
+    /// pruning counters, and a fingerprint of the options/space. Feed it
+    /// to [`explore_resume`] — with the same inputs and options — to
+    /// continue a truncated run to the bit-identical complete result.
+    ///
+    /// All recorded floats are finite in practice and survive a
+    /// `serde_json` round trip bit-exactly (shortest-round-trip float
+    /// formatting).
+    pub fn checkpoint(&self) -> ExploreCheckpoint {
+        ExploreCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint: self.fingerprint,
+            cursor: self.stats.candidates_seen,
+            base_et_ns: self.base_et_ns,
+            candidates_pruned: self.stats.candidates_pruned,
+            clock_bound_cuts: self.stats.clock_bound_cuts,
+            faulted: self.stats.faulted,
+            tightness_sum: self.tightness.0,
+            tightness_count: self.tightness.1,
+            points: self
+                .feasible
+                .iter()
+                .map(|p| CheckpointPoint {
+                    name: p.arch.name().to_string(),
+                    plan: p.arch.plan().clone(),
+                    area_slices: p.area_slices,
+                    clock_ns: p.clock_ns,
+                    est_cycles: p.est_cycles.clone(),
+                    est_et_ns: p.est_et_ns,
+                    cost_bound_ok: p.cost_bound_ok,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Checkpoint schema version, bumped on incompatible layout changes.
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// Fingerprint of everything that shapes candidate enumeration and
+/// evaluation. A checkpoint embeds one; [`explore_resume`] refuses to
+/// continue under options or a space that fingerprint differently.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct EngineFingerprint {
+    pub(crate) prune: PruneStrategy,
+    pub(crate) bound: BoundKind,
+    pub(crate) clock_bound: ClockBound,
+    pub(crate) objective: Objective,
+    pub(crate) constraints: Constraints,
+    pub(crate) candidates_total: usize,
+}
+
+impl EngineFingerprint {
+    fn of(options: &ExploreOptions, candidates_total: usize) -> Self {
+        Self {
+            prune: options.prune,
+            bound: options.bound,
+            clock_bound: options.clock_bound,
+            objective: options.objective,
+            constraints: options.constraints,
+            candidates_total,
+        }
+    }
+}
+
+/// One feasible point recorded in a checkpoint: the plan (the
+/// architecture is rebuilt on resume) plus its evaluated estimates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CheckpointPoint {
+    name: String,
+    plan: SharingPlan,
+    area_slices: f64,
+    clock_ns: f64,
+    est_cycles: Vec<u32>,
+    est_et_ns: f64,
+    cost_bound_ok: bool,
+}
+
+/// A serializable snapshot of a (possibly truncated) exploration:
+/// the feasible prefix, the enumeration cursor, and an options
+/// fingerprint. Produced by [`Exploration::checkpoint`], consumed by
+/// [`explore_resume`]. Serializes with serde like the BENCH artifacts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExploreCheckpoint {
+    version: u32,
+    fingerprint: EngineFingerprint,
+    cursor: usize,
+    base_et_ns: f64,
+    candidates_pruned: usize,
+    clock_bound_cuts: usize,
+    faulted: usize,
+    tightness_sum: f64,
+    tightness_count: usize,
+    points: Vec<CheckpointPoint>,
+}
+
+impl ExploreCheckpoint {
+    /// Candidates already processed (the enumeration cursor a resumed
+    /// run continues from).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Total candidates in the recorded design space.
+    pub fn candidates_total(&self) -> usize {
+        self.fingerprint.candidates_total
+    }
+
+    /// Whether the recorded run had already processed every candidate
+    /// (resuming is then a no-op that returns the complete result).
+    pub fn is_complete(&self) -> bool {
+        self.cursor >= self.fingerprint.candidates_total
     }
 }
 
@@ -431,6 +595,9 @@ enum Prepared {
     /// Construction failed or the eq. (2) cost bound rejects it — the
     /// reference rejects it too.
     Reject,
+    /// The candidate's synthesis panicked; isolated by `catch_unwind`
+    /// and counted in [`PruneStats::faulted`].
+    Faulted,
 }
 
 /// Serial-screen verdict on one prepared candidate.
@@ -441,6 +608,17 @@ enum Screen {
     Prune,
     /// Fails a hard constraint the reference also applies pre-push.
     Reject,
+}
+
+/// Phase-C outcome for one screened candidate.
+enum Evaluated {
+    /// Fully estimated, with its lower bound for the tightness stat.
+    Point(Box<DesignPoint>, f64),
+    /// Was pruned or rejected upstream; nothing to merge.
+    Skipped,
+    /// The candidate's estimation panicked; isolated by `catch_unwind`
+    /// and counted in [`PruneStats::faulted`].
+    Faulted,
 }
 
 /// The parallel exploration engine. See the module docs for the
@@ -486,6 +664,56 @@ pub fn explore_with(
     space: &DesignSpace,
     options: &ExploreOptions,
 ) -> Result<Exploration, RspError> {
+    explore_engine(base, kernels, contexts, weights, space, options, None)
+}
+
+/// Continues a checkpointed run: replays the recorded feasible prefix
+/// and pruning state, skips the first [`cursor`](ExploreCheckpoint::cursor)
+/// candidates, and processes the rest with the normal engine — under the
+/// checkpoint's `options.control` budget, which is fresh for this call.
+/// Resuming a truncated run with no further budget limits reaches the
+/// result an uninterrupted [`explore_with`] call would have produced,
+/// bit for bit (property-tested in `tests/anytime.rs`).
+///
+/// # Errors
+///
+/// [`RspError::CheckpointMismatch`] when `checkpoint` was recorded under
+/// different options, a different design space, or a different base
+/// architecture/kernel profile (detected via an options fingerprint and
+/// the bit-exact base execution time).
+/// [`RspError::NoFeasibleDesign`] when the completed run has no feasible
+/// candidate.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_resume(
+    base: &BaseArchitecture,
+    kernels: &[Kernel],
+    contexts: &[ConfigContext],
+    weights: &[f64],
+    space: &DesignSpace,
+    options: &ExploreOptions,
+    checkpoint: &ExploreCheckpoint,
+) -> Result<Exploration, RspError> {
+    explore_engine(
+        base,
+        kernels,
+        contexts,
+        weights,
+        space,
+        options,
+        Some(checkpoint),
+    )
+}
+
+/// Shared engine behind [`explore_with`] and [`explore_resume`].
+fn explore_engine(
+    base: &BaseArchitecture,
+    kernels: &[Kernel],
+    contexts: &[ConfigContext],
+    weights: &[f64],
+    space: &DesignSpace,
+    options: &ExploreOptions,
+    resume: Option<&ExploreCheckpoint>,
+) -> Result<Exploration, RspError> {
     assert_eq!(kernels.len(), contexts.len());
     assert_eq!(kernels.len(), weights.len());
     let constraints = &options.constraints;
@@ -505,6 +733,12 @@ pub fn explore_with(
         .map(|(c, w)| w * c.total_cycles() as f64 * base_clock)
         .sum();
     let et_bound = constraints.max_slowdown * base_et;
+
+    let candidates_total = space.plans().count();
+    let fingerprint = EngineFingerprint::of(options, candidates_total);
+    if let Some(ckpt) = resume {
+        validate_checkpoint(ckpt, &fingerprint, base_et)?;
+    }
 
     // One profile per kernel, shared read-only by all workers.
     let profiles: Vec<ContextProfile> = contexts
@@ -572,11 +806,64 @@ pub fn explore_with(
     // the final Pareto set, bit-identical to the reference batch sweep.
     let mut frontier = ParetoFrontier::new();
 
+    // Resume: replay the recorded prefix state — feasible points (their
+    // architectures rebuilt from the recorded plans), the frontier
+    // (re-inserting the same point sequence reproduces the exact
+    // staircase), the pruning counters, and the tightness accumulator —
+    // then advance the candidate stream past the cursor.
+    let start_cursor = resume.map_or(0, |c| c.cursor);
+    if let Some(ckpt) = resume {
+        for p in &ckpt.points {
+            let arch = RspArchitecture::new(p.name.clone(), Arc::clone(&base), p.plan.clone())
+                .map_err(|_| RspError::CheckpointMismatch {
+                    what: format!("recorded plan of `{}` is invalid on this base", p.name),
+                })?;
+            frontier.insert(p.area_slices, p.est_et_ns, feasible.len());
+            feasible.push(DesignPoint {
+                arch,
+                area_slices: p.area_slices,
+                clock_ns: p.clock_ns,
+                est_cycles: p.est_cycles.clone(),
+                est_et_ns: p.est_et_ns,
+                cost_bound_ok: p.cost_bound_ok,
+            });
+        }
+        stats.candidates_seen = ckpt.cursor;
+        stats.candidates_pruned = ckpt.candidates_pruned;
+        stats.clock_bound_cuts = ckpt.clock_bound_cuts;
+        stats.faulted = ckpt.faulted;
+        tightness = (ckpt.tightness_sum, ckpt.tightness_count);
+        for _ in 0..start_cursor {
+            if seeds.next().is_none() {
+                break;
+            }
+        }
+    }
+
+    let clock = ControlClock::new(&options.control);
+    // Candidates pulled by *this call* (a resumed call's budget is
+    // fresh; the deadline is measured from this call's start).
+    let mut consumed = 0usize;
+    let mut truncation: Option<TruncationReason> = None;
+
     loop {
-        let chunk: Vec<Seed> = seeds.by_ref().take(CHUNK).collect();
+        // Assemble the next chunk, checking the control before each
+        // pull so truncation lands exactly at a candidate boundary.
+        let mut chunk: Vec<Seed> = Vec::with_capacity(CHUNK);
+        while chunk.len() < CHUNK {
+            if let Some(reason) = clock.stop_reason(consumed + chunk.len()) {
+                truncation = Some(reason);
+                break;
+            }
+            match seeds.next() {
+                Some(seed) => chunk.push(seed),
+                None => break,
+            }
+        }
         if chunk.is_empty() {
             break;
         }
+        consumed += chunk.len();
         stats.candidates_seen += chunk.len();
 
         // Phase A (parallel): construct candidates (unless the ordering
@@ -584,73 +871,80 @@ pub fn explore_with(
         // path, compute the admissible cycle lower bound, consult the
         // stage-floor clock bound, and only then synthesize the clock —
         // all pure per-plan work, fanned out in stream order.
+        let prepare = |seed: Seed| -> Prepared {
+            let (arch, area) = match seed {
+                Seed::Plan(plan) => {
+                    let name = plan_name(&plan);
+                    let Ok(arch) = RspArchitecture::new(name, Arc::clone(&base), plan) else {
+                        return Prepared::Reject;
+                    };
+                    let area = models.area_report(&arch);
+                    (arch, area)
+                }
+                Seed::Built(arch, area) => (*arch, area),
+                Seed::Invalid => return Prepared::Reject,
+            };
+            let cost_ok = area.satisfies_cost_bound();
+            if constraints.enforce_cost_bound && !cost_ok {
+                // The reference rejects this candidate pre-push,
+                // so its delay need never be synthesized.
+                return Prepared::Reject;
+            }
+            // Term-wise identical arithmetic to the full
+            // estimate, with rs replaced by its admissible lower
+            // bound and refill by its lower bound (integer
+            // cycles: lb_exec <= est_exec implies
+            // lb_exec - depth <= est_exec - 1 whenever the
+            // estimate refills at all), so lb_et <= est_et under
+            // IEEE-754 rounding.
+            let mut lb_cycles: Vec<u32> = Vec::new();
+            if options.prune != PruneStrategy::None {
+                lb_cycles.reserve_exact(profiles.len());
+                for profile in profiles.iter() {
+                    let lb_exec = profile.total_cycles()
+                        + profile.rs_stalls_lower_bound(arch.plan(), options.bound)
+                        + profile.rp_overhead(arch.plan());
+                    lb_cycles.push(lb_exec + refill_stall_estimate(lb_exec, cache_depth));
+                }
+                if options.clock_bound == ClockBound::StageFloor {
+                    // Clock floor from the stage structure alone:
+                    // floor <= clock, so term-wise lb_floor_et <=
+                    // lb_et <= est_et — a candidate cut here is
+                    // provably rejected by the reference, and its
+                    // delay synthesis is skipped entirely.
+                    let floor = models.clock_floor(&arch);
+                    let mut lb_floor_et = 0.0;
+                    for (c, w) in lb_cycles.iter().zip(weights) {
+                        lb_floor_et += w * *c as f64 * floor;
+                    }
+                    if lb_floor_et > et_bound {
+                        return Prepared::ClockCut;
+                    }
+                }
+            }
+            let (_, delay) = models.reports(&arch);
+            let mut lb_et = 0.0;
+            for (c, w) in lb_cycles.iter().zip(weights) {
+                lb_et += w * *c as f64 * delay.clock_ns;
+            }
+            Prepared::Ready(
+                arch,
+                area.synthesized_slices,
+                delay.clock_ns,
+                cost_ok,
+                lb_et,
+            )
+        };
+
         let prepared: Vec<Prepared> = pool.install(|| {
             chunk
                 .into_par_iter()
+                // Panic isolation *inside* the per-item closure: the
+                // vendored rayon joins its workers with `expect`, so a
+                // panic escaping the closure would abort the whole
+                // sweep instead of poisoning one candidate.
                 .map(|seed| {
-                    let (arch, area) = match seed {
-                        Seed::Plan(plan) => {
-                            let name = plan_name(&plan);
-                            let Ok(arch) = RspArchitecture::new(name, Arc::clone(&base), plan)
-                            else {
-                                return Prepared::Reject;
-                            };
-                            let area = models.area_report(&arch);
-                            (arch, area)
-                        }
-                        Seed::Built(arch, area) => (*arch, area),
-                        Seed::Invalid => return Prepared::Reject,
-                    };
-                    let cost_ok = area.satisfies_cost_bound();
-                    if constraints.enforce_cost_bound && !cost_ok {
-                        // The reference rejects this candidate pre-push,
-                        // so its delay need never be synthesized.
-                        return Prepared::Reject;
-                    }
-                    // Term-wise identical arithmetic to the full
-                    // estimate, with rs replaced by its admissible lower
-                    // bound and refill by its lower bound (integer
-                    // cycles: lb_exec <= est_exec implies
-                    // lb_exec - depth <= est_exec - 1 whenever the
-                    // estimate refills at all), so lb_et <= est_et under
-                    // IEEE-754 rounding.
-                    let mut lb_cycles: Vec<u32> = Vec::new();
-                    if options.prune != PruneStrategy::None {
-                        lb_cycles.reserve_exact(profiles.len());
-                        for profile in profiles.iter() {
-                            let lb_exec = profile.total_cycles()
-                                + profile.rs_stalls_lower_bound(arch.plan(), options.bound)
-                                + profile.rp_overhead(arch.plan());
-                            lb_cycles.push(lb_exec + refill_stall_estimate(lb_exec, cache_depth));
-                        }
-                        if options.clock_bound == ClockBound::StageFloor {
-                            // Clock floor from the stage structure alone:
-                            // floor <= clock, so term-wise lb_floor_et <=
-                            // lb_et <= est_et — a candidate cut here is
-                            // provably rejected by the reference, and its
-                            // delay synthesis is skipped entirely.
-                            let floor = models.clock_floor(&arch);
-                            let mut lb_floor_et = 0.0;
-                            for (c, w) in lb_cycles.iter().zip(weights) {
-                                lb_floor_et += w * *c as f64 * floor;
-                            }
-                            if lb_floor_et > et_bound {
-                                return Prepared::ClockCut;
-                            }
-                        }
-                    }
-                    let (_, delay) = models.reports(&arch);
-                    let mut lb_et = 0.0;
-                    for (c, w) in lb_cycles.iter().zip(weights) {
-                        lb_et += w * *c as f64 * delay.clock_ns;
-                    }
-                    Prepared::Ready(
-                        arch,
-                        area.synthesized_slices,
-                        delay.clock_ns,
-                        cost_ok,
-                        lb_et,
-                    )
+                    catch_unwind(AssertUnwindSafe(|| prepare(seed))).unwrap_or(Prepared::Faulted)
                 })
                 .collect()
         });
@@ -662,6 +956,12 @@ pub fn explore_with(
         for p in prepared {
             match p {
                 Prepared::Reject => screened.push(Screen::Reject),
+                Prepared::Faulted => {
+                    // Isolated panic: count it, contribute nothing —
+                    // downstream phases treat it like a rejection.
+                    stats.faulted += 1;
+                    screened.push(Screen::Reject);
+                }
                 Prepared::ClockCut => {
                     stats.candidates_pruned += 1;
                     stats.clock_bound_cuts += 1;
@@ -691,39 +991,47 @@ pub fn explore_with(
         // Phase C (parallel): full estimation of the survivors; results
         // come back in enumeration order, each with its lower bound for
         // the tightness statistic.
-        let evaluated: Vec<Option<(DesignPoint, f64)>> = pool.install(|| {
+        let evaluated: Vec<Evaluated> = pool.install(|| {
             screened
                 .into_par_iter()
                 .map(|screen| match screen {
                     Screen::Evaluate(arch, area_slices, clock_ns, cost_bound_ok, lb_et) => {
-                        let mut est_cycles = Vec::with_capacity(profiles.len());
-                        let mut est_et = 0.0;
-                        for (profile, w) in profiles.iter().zip(weights) {
-                            let est = profile.estimate(arch.plan(), cache_depth);
-                            est_cycles.push(est.total_cycles);
-                            est_et += w * est.total_cycles as f64 * clock_ns;
-                        }
-                        Some((
-                            DesignPoint {
-                                arch,
-                                area_slices,
-                                clock_ns,
-                                est_cycles,
-                                est_et_ns: est_et,
-                                cost_bound_ok,
-                            },
-                            lb_et,
-                        ))
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let mut est_cycles = Vec::with_capacity(profiles.len());
+                            let mut est_et = 0.0;
+                            for (profile, w) in profiles.iter().zip(weights) {
+                                let est = profile.estimate(arch.plan(), cache_depth);
+                                est_cycles.push(est.total_cycles);
+                                est_et += w * est.total_cycles as f64 * clock_ns;
+                            }
+                            Evaluated::Point(
+                                Box::new(DesignPoint {
+                                    arch,
+                                    area_slices,
+                                    clock_ns,
+                                    est_cycles,
+                                    est_et_ns: est_et,
+                                    cost_bound_ok,
+                                }),
+                                lb_et,
+                            )
+                        }))
+                        .unwrap_or(Evaluated::Faulted)
                     }
-                    Screen::Prune | Screen::Reject => None,
+                    Screen::Prune | Screen::Reject => Evaluated::Skipped,
                 })
                 .collect()
         });
 
         // Ordered merge: identical to what the serial reference pushes.
-        for point in evaluated.into_iter() {
-            let Some((point, lb_et)) = point else {
-                continue;
+        for outcome in evaluated.into_iter() {
+            let (point, lb_et) = match outcome {
+                Evaluated::Point(point, lb_et) => (*point, lb_et),
+                Evaluated::Skipped => continue,
+                Evaluated::Faulted => {
+                    stats.faulted += 1;
+                    continue;
+                }
             };
             if options.prune != PruneStrategy::None && point.est_et_ns > 0.0 {
                 tightness.0 += lb_et / point.est_et_ns;
@@ -735,9 +1043,23 @@ pub fn explore_with(
             frontier.insert(point.area_slices, point.est_et_ns, feasible.len());
             feasible.push(point);
         }
+
+        if truncation.is_some() {
+            break;
+        }
     }
 
-    if feasible.is_empty() {
+    let completeness = match truncation {
+        Some(reason) if stats.candidates_seen < candidates_total => Completeness::Truncated {
+            candidates_remaining: candidates_total - stats.candidates_seen,
+            reason,
+        },
+        // A budget that fired exactly at (or past) the last candidate
+        // changed nothing: the result is the complete one.
+        _ => Completeness::Complete,
+    };
+
+    if feasible.is_empty() && completeness.is_complete() {
         return Err(RspError::NoFeasibleDesign);
     }
 
@@ -745,7 +1067,12 @@ pub fn explore_with(
     // `pareto_indices(&feasible)` (see `crate::frontier`'s module docs
     // and property tests), so no batch re-sweep is needed here.
     let pareto = frontier.indices();
-    let best = select(&feasible, &pareto, options.objective);
+    let best = if pareto.is_empty() {
+        // Only reachable truncated-and-empty: no point to select yet.
+        usize::MAX
+    } else {
+        select(&feasible, &pareto, options.objective)
+    };
     stats.bound_tightness = if tightness.1 > 0 {
         tightness.0 / tightness.1 as f64
     } else {
@@ -758,7 +1085,51 @@ pub fn explore_with(
         base_et_ns: base_et,
         pruned: stats.candidates_pruned,
         stats,
+        completeness,
+        tightness,
+        fingerprint,
     })
+}
+
+/// Checks that a checkpoint was recorded under the same options, design
+/// space, and base/kernel inputs it is being resumed under.
+fn validate_checkpoint(
+    ckpt: &ExploreCheckpoint,
+    fingerprint: &EngineFingerprint,
+    base_et: f64,
+) -> Result<(), RspError> {
+    if ckpt.version != CHECKPOINT_VERSION {
+        return Err(RspError::CheckpointMismatch {
+            what: format!(
+                "checkpoint version {} (this build writes {CHECKPOINT_VERSION})",
+                ckpt.version
+            ),
+        });
+    }
+    if ckpt.fingerprint != *fingerprint {
+        return Err(RspError::CheckpointMismatch {
+            what: format!(
+                "options/space fingerprint differs (recorded {:?}, resuming under {:?})",
+                ckpt.fingerprint, fingerprint
+            ),
+        });
+    }
+    if ckpt.base_et_ns.to_bits() != base_et.to_bits() {
+        return Err(RspError::CheckpointMismatch {
+            what: "base execution time differs — different base architecture, kernels, \
+                   or weights"
+                .to_string(),
+        });
+    }
+    if ckpt.cursor > ckpt.fingerprint.candidates_total {
+        return Err(RspError::CheckpointMismatch {
+            what: format!(
+                "cursor {} exceeds the space's {} candidates",
+                ckpt.cursor, ckpt.fingerprint.candidates_total
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// The original serial implementation from the paper reproduction, kept
@@ -783,6 +1154,40 @@ pub fn explore_reference(
     constraints: &Constraints,
     objective: Objective,
 ) -> Result<Exploration, RspError> {
+    explore_reference_with(
+        base,
+        kernels,
+        contexts,
+        weights,
+        space,
+        constraints,
+        objective,
+        &ExploreControl::default(),
+    )
+}
+
+/// [`explore_reference`] under an [`ExploreControl`]: the serial oracle
+/// with the same cooperative candidate-boundary stop checks as the
+/// engine. A run truncated after `k` candidates is exactly the serial
+/// sweep over the first `k` plans — the yardstick the cancellation-
+/// determinism property tests compare the engine's truncated results
+/// against.
+///
+/// # Errors
+///
+/// [`RspError::NoFeasibleDesign`] when a *complete* run has no feasible
+/// candidate (a truncated run returns an empty anytime result instead).
+#[allow(clippy::too_many_arguments)]
+pub fn explore_reference_with(
+    base: &BaseArchitecture,
+    kernels: &[Kernel],
+    contexts: &[ConfigContext],
+    weights: &[f64],
+    space: &DesignSpace,
+    constraints: &Constraints,
+    objective: Objective,
+    control: &ExploreControl,
+) -> Result<Exploration, RspError> {
     assert_eq!(kernels.len(), contexts.len());
     assert_eq!(kernels.len(), weights.len());
     let area_model = AreaModel::new();
@@ -797,9 +1202,17 @@ pub fn explore_reference(
         .map(|(c, w)| w * c.total_cycles() as f64 * base_clock)
         .sum();
 
+    let candidates_total = space.plans().count();
+    let clock = ControlClock::new(control);
+    let mut truncation: Option<TruncationReason> = None;
+
     let mut feasible = Vec::new();
     let mut candidates_seen = 0usize;
     for plan in space.plans() {
+        if let Some(reason) = clock.stop_reason(candidates_seen) {
+            truncation = Some(reason);
+            break;
+        }
         candidates_seen += 1;
         let name = plan_name(&plan);
         let Ok(arch) = RspArchitecture::new(name, base.clone(), plan) else {
@@ -833,12 +1246,24 @@ pub fn explore_reference(
         });
     }
 
-    if feasible.is_empty() {
+    let completeness = match truncation {
+        Some(reason) if candidates_seen < candidates_total => Completeness::Truncated {
+            candidates_remaining: candidates_total - candidates_seen,
+            reason,
+        },
+        _ => Completeness::Complete,
+    };
+
+    if feasible.is_empty() && completeness.is_complete() {
         return Err(RspError::NoFeasibleDesign);
     }
 
     let pareto = pareto_indices(&feasible);
-    let best = select(&feasible, &pareto, objective);
+    let best = if pareto.is_empty() {
+        usize::MAX
+    } else {
+        select(&feasible, &pareto, objective)
+    };
     Ok(Exploration {
         feasible,
         pareto,
@@ -850,6 +1275,21 @@ pub fn explore_reference(
             candidates_pruned: 0,
             bound_tightness: 0.0,
             clock_bound_cuts: 0,
+            faulted: 0,
+        },
+        completeness,
+        tightness: (0.0, 0),
+        // The reference evaluates everything: its state is what the
+        // engine produces under `PruneStrategy::None` with the default
+        // bound knobs, so a reference checkpoint resumes through the
+        // engine under exactly those options.
+        fingerprint: EngineFingerprint {
+            prune: PruneStrategy::None,
+            bound: BoundKind::default(),
+            clock_bound: ClockBound::default(),
+            objective,
+            constraints: *constraints,
+            candidates_total,
         },
     })
 }

@@ -58,6 +58,7 @@
 //! frontier candidate turns out to be exactly infeasible (a failed
 //! candidate inserts no witness and can suppress nothing).
 
+use crate::control::{Completeness, ControlClock, ExploreControl, TruncationReason};
 use crate::error::RspError;
 use crate::estimate::{BoundKind, ClockBound};
 use crate::explore::{
@@ -71,6 +72,7 @@ use rsp_arch::{ArrayGeometry, BaseArchitecture, BusSpec, PeDesign, RspArchitectu
 use rsp_kernel::Kernel;
 use rsp_mapper::{map, ConfigContext, MapOptions};
 use rsp_synth::{AreaModel, DelayModel};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One application of the target domain: named kernels with execution
 /// counts (the profiling input).
@@ -125,6 +127,16 @@ pub struct FlowConfig {
     /// Whether exploration consults the stage-floor clock bound before
     /// delay synthesis (default [`ClockBound::StageFloor`]).
     pub clock_bound: ClockBound,
+    /// Run budget and cooperative cancellation across the whole flow
+    /// (default: unlimited). The deadline and cancel flag are checked in
+    /// every phase; the candidate budget is shared by the exploration
+    /// and exact-rearrangement phases (an exploration candidate and an
+    /// exact frontier candidate each consume one unit), so
+    /// budget-truncated flows are reproducible for every `parallelism`.
+    /// A truncated flow reports best-so-far results tagged
+    /// [`FlowReport::completeness`]; a flow stopped before any usable
+    /// result fails with [`RspError::Interrupted`].
+    pub control: ExploreControl,
 }
 
 impl Default for FlowConfig {
@@ -142,6 +154,7 @@ impl Default for FlowConfig {
             prune: PruneStrategy::default(),
             bound: BoundKind::default(),
             clock_bound: ClockBound::default(),
+            control: ExploreControl::default(),
         }
     }
 }
@@ -193,6 +206,10 @@ pub struct FlowStats {
     /// Refill-stall cycles across those rearrangements (the latency the
     /// refill model charged instead of declaring candidates infeasible).
     pub refill_stall_cycles: u64,
+    /// Candidates whose evaluation panicked and was isolated — the
+    /// exploration stage's [`crate::PruneStats::faulted`] plus frontier
+    /// candidates that faulted during exact rearrangement.
+    pub faulted: usize,
 }
 
 /// Everything the flow produces.
@@ -221,6 +238,11 @@ pub struct FlowReport {
     pub base_area_slices: f64,
     /// Per-stage pruning/parallelism work counters.
     pub stats: FlowStats,
+    /// Whether every phase processed its whole candidate stream, or the
+    /// flow's [`ExploreControl`] stopped it early. A truncated flow's
+    /// results are best-so-far: `chosen` is the best candidate among the
+    /// frontier prefix the exact stage reached.
+    pub completeness: Completeness,
 }
 
 impl FlowReport {
@@ -275,23 +297,37 @@ fn map_geometry(
 /// order is selected — the same choice the oracle makes, property-tested
 /// bit-identical. Returns the choice plus how many geometries were
 /// actually attempted.
+///
+/// Checks `clock` at geometry boundaries (serial oracle) or once before
+/// the fan-out: a deadline/cancel/zero-budget stop before a base is
+/// found fails with [`RspError::Interrupted`] — no later phase can run
+/// without a base. The candidate budget is otherwise not consumed here,
+/// so budget-truncated flows stay reproducible across `parallelism`
+/// settings (the two paths attempt different geometry counts).
 #[allow(clippy::type_complexity)]
 fn select_base(
     config: &FlowConfig,
     loops: &[CriticalLoop],
     pool: &rayon::ThreadPool,
-) -> Option<(BaseArchitecture, Vec<ConfigContext>, usize)> {
+    clock: &ControlClock,
+) -> Result<(BaseArchitecture, Vec<ConfigContext>, usize), RspError> {
     let mut geometries = config.geometries.clone();
     geometries.sort_by_key(|&(r, c)| r * c);
     if config.parallelism == Some(1) {
         // Serial oracle: stop at the first feasible geometry.
         for (attempted, &(r, c)) in geometries.iter().enumerate() {
+            if let Some(reason) = clock.stop_reason(0) {
+                return Err(RspError::Interrupted { reason });
+            }
             if let Some((base, contexts)) = map_geometry(r, c, config, loops) {
-                return Some((base, contexts, attempted + 1));
+                return Ok((base, contexts, attempted + 1));
             }
         }
-        None
+        Err(RspError::NoFeasibleDesign)
     } else {
+        if let Some(reason) = clock.stop_reason(0) {
+            return Err(RspError::Interrupted { reason });
+        }
         // Maps every geometry: the vendored rayon subset has no
         // `find_first`, so the tail cannot be cancelled once an
         // earlier-indexed geometry succeeds. On a 1-CPU host this makes
@@ -310,6 +346,7 @@ fn select_base(
             .flatten()
             .next()
             .map(|(base, contexts)| (base, contexts, attempted))
+            .ok_or(RspError::NoFeasibleDesign)
     }
 }
 
@@ -321,6 +358,10 @@ fn select_base(
 /// * Mapping, exploration, and rearrangement errors are propagated; when
 ///   every estimation Pareto candidate fails exact rearrangement, the
 ///   first failure (in ascending-area order) is returned.
+/// * [`RspError::Interrupted`] when [`FlowConfig::control`] stopped the
+///   flow before any candidate completed exact evaluation. A budget
+///   that strikes *after* at least one candidate completed returns the
+///   best-so-far report tagged [`FlowReport::completeness`] instead.
 ///
 /// # Examples
 ///
@@ -374,14 +415,22 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
         .build()
         .expect("thread pool");
 
+    // One clock over the whole flow: the deadline spans every phase,
+    // and the candidate budget is spent across exploration + exact
+    // rearrangement.
+    let clock = ControlClock::new(&config.control);
+
     // 2. Base architecture exploration (parallel fan-out over candidate
     //    geometries; serial early-exit oracle under `Some(1)`).
     stats.geometries_considered = config.geometries.len();
     let (base, contexts, geometries_explored) =
-        select_base(config, &critical_loops, &pool).ok_or(RspError::NoFeasibleDesign)?;
+        select_base(config, &critical_loops, &pool, &clock)?;
     stats.geometries_explored = geometries_explored;
 
-    // 3. RSP exploration on the estimates.
+    // 3. RSP exploration on the estimates, under the remainder of the
+    //    flow's deadline and the (so far unspent) candidate budget. A
+    //    truncated exploration is not an error: the exact stage refines
+    //    whatever frontier prefix it produced.
     let kernels: Vec<Kernel> = critical_loops.iter().map(|c| c.kernel.clone()).collect();
     let kernel_weights: Vec<f64> = critical_loops.iter().map(|c| c.weight).collect();
     let exploration = explore_with(
@@ -398,10 +447,18 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
             constraints: config.constraints,
             objective: config.objective,
             cache: None,
+            control: ExploreControl {
+                deadline: clock.remaining_deadline(),
+                candidate_budget: config.control.candidate_budget,
+                cancel: config.control.cancel_handle(),
+            },
         },
     )?;
     stats.candidates_pruned = exploration.stats.candidates_pruned;
     stats.clock_bound_cuts = exploration.stats.clock_bound_cuts;
+    stats.faulted = exploration.stats.faulted;
+    // Budget units the exploration phase spent.
+    let explored_candidates = exploration.stats.candidates_seen;
 
     // 4. RSP mapping: exact rearrangement refines the estimation Pareto
     //    frontier. Candidates are processed serially in ascending-area
@@ -420,7 +477,21 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
     let mut best: Option<(usize, f64)> = None;
     let mut best_outputs: Option<(Vec<Rearranged>, Vec<KernelPerf>)> = None;
     let mut first_err: Option<RspError> = None;
+    // Whatever candidate budget exploration left over is spent here, one
+    // unit per frontier candidate (skipped-by-dominance ones included),
+    // against the same deadline clock.
+    let exact_budget = config
+        .control
+        .candidate_budget
+        .map(|b| b.saturating_sub(explored_candidates));
+    let mut exact_truncation: Option<TruncationReason> = None;
+    let mut exact_processed = 0usize;
     for (ci, point) in pareto.iter().enumerate() {
+        if let Some(reason) = clock.stop_reason_budgeted(exact_processed, exact_budget) {
+            exact_truncation = Some(reason);
+            break;
+        }
+        exact_processed += 1;
         if config.prune == PruneStrategy::Dominated {
             // Admissible exact-time floor: rearrangement never issues an
             // instance before its base-schedule cycle, so the exact
@@ -452,15 +523,35 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
             }
         }
         // One delay synthesis per candidate, shared by every kernel.
-        let delay_report = delay.report(&point.arch);
+        // Panic-isolated like every candidate evaluation: a faulted
+        // candidate is counted and skipped, never aborts the flow.
+        let Ok(delay_report) = catch_unwind(AssertUnwindSafe(|| delay.report(&point.arch))) else {
+            stats.faulted += 1;
+            stats.rearrangements_failed += 1;
+            if first_err.is_none() {
+                first_err = Some(RspError::CandidateFaulted {
+                    name: point.arch.name().to_string(),
+                });
+            }
+            continue;
+        };
         let ctx_refs: Vec<&ConfigContext> = contexts.iter().collect();
         let rearranged: Vec<Result<(Rearranged, KernelPerf), RspError>> = pool.install(|| {
             ctx_refs
                 .into_par_iter()
                 .map(|ctx| {
-                    let r = rearrange(ctx, &point.arch, &config.rearrange_options)?;
-                    let p = perf_from_rearranged_with(ctx, &point.arch, &delay_report, &r);
-                    Ok((r, p))
+                    // catch_unwind *inside* the worker closure: the
+                    // vendored rayon would abort on an escaped panic.
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let r = rearrange(ctx, &point.arch, &config.rearrange_options)?;
+                        let p = perf_from_rearranged_with(ctx, &point.arch, &delay_report, &r);
+                        Ok((r, p))
+                    }))
+                    .unwrap_or_else(|_| {
+                        Err(RspError::CandidateFaulted {
+                            name: point.arch.name().to_string(),
+                        })
+                    })
                 })
                 .collect()
         });
@@ -474,6 +565,9 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
                     perf.push(p);
                 }
                 Err(e) => {
+                    if matches!(e, RspError::CandidateFaulted { .. }) {
+                        stats.faulted += 1;
+                    }
                     failure = Some(e);
                     break;
                 }
@@ -506,7 +600,42 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
             best_outputs = Some((rsp, perf));
         }
     }
+    // Flow-level completeness: remaining work is whatever exploration
+    // left unseen plus the frontier tail the exact stage never reached.
+    let completeness = {
+        let exact_remaining = pareto.len() - exact_processed;
+        match (exploration.completeness, exact_truncation) {
+            (Completeness::Complete, None) => Completeness::Complete,
+            (
+                Completeness::Truncated {
+                    candidates_remaining,
+                    reason,
+                },
+                None,
+            ) => Completeness::Truncated {
+                candidates_remaining,
+                reason,
+            },
+            (explore_done, Some(reason)) => Completeness::Truncated {
+                candidates_remaining: exact_remaining
+                    + match explore_done {
+                        Completeness::Truncated {
+                            candidates_remaining,
+                            ..
+                        } => candidates_remaining,
+                        Completeness::Complete => 0,
+                    },
+                reason,
+            },
+        }
+    };
+
     let Some((best_ci, _)) = best else {
+        // Nothing usable: distinguish "the budget stopped us before any
+        // candidate completed" from genuine infeasibility.
+        if let Completeness::Truncated { reason, .. } = completeness {
+            return Err(RspError::Interrupted { reason });
+        }
         return Err(first_err.unwrap_or(RspError::NoFeasibleDesign));
     };
     let chosen = pareto[best_ci].arch.clone();
@@ -526,6 +655,7 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
         area_slices: area.synthesized_slices,
         base_area_slices: area.base_synthesized_slices,
         stats,
+        completeness,
     })
 }
 
@@ -669,5 +799,122 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn flow_stopped_before_any_result_is_interrupted() {
+        // Zero deadline: the geometry phase never starts.
+        let cfg = FlowConfig {
+            control: ExploreControl::with_deadline(std::time::Duration::ZERO),
+            ..FlowConfig::default()
+        };
+        let err = run_flow(&domain_apps(), &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            RspError::Interrupted {
+                reason: TruncationReason::Deadline
+            }
+        );
+
+        // Zero candidate budget: same, via the reproducible knob.
+        let cfg = FlowConfig {
+            control: ExploreControl::with_budget(0),
+            ..FlowConfig::default()
+        };
+        let err = run_flow(&domain_apps(), &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            RspError::Interrupted {
+                reason: TruncationReason::CandidateBudget
+            }
+        );
+
+        // Pre-raised cancel flag.
+        let control = ExploreControl::default();
+        control.request_cancel();
+        let cfg = FlowConfig {
+            control,
+            ..FlowConfig::default()
+        };
+        let err = run_flow(&domain_apps(), &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            RspError::Interrupted {
+                reason: TruncationReason::Cancelled
+            }
+        );
+    }
+
+    #[test]
+    fn flow_budget_spent_entirely_on_exploration_is_interrupted() {
+        // The budget covers exactly the exploration phase, leaving the
+        // exact stage nothing: no candidate is ever rearranged, so there
+        // is no usable result.
+        let cfg = FlowConfig::default();
+        let space_total = cfg.space.plans().count();
+        let cfg = FlowConfig {
+            control: ExploreControl::with_budget(space_total),
+            ..cfg
+        };
+        let err = run_flow(&domain_apps(), &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            RspError::Interrupted {
+                reason: TruncationReason::CandidateBudget
+            }
+        );
+    }
+
+    #[test]
+    fn flow_budget_truncation_is_reproducible_across_parallelism() {
+        // One unit past the exploration phase: the exact stage processes
+        // exactly one frontier candidate. The truncated report is
+        // best-so-far, tagged Truncated, and bit-identical for any
+        // parallelism (the budget is machine-independent).
+        let space_total = FlowConfig::default().space.plans().count();
+        let cfg = |parallelism| FlowConfig {
+            parallelism,
+            control: ExploreControl::with_budget(space_total + 1),
+            ..FlowConfig::default()
+        };
+        let serial = run_flow(&domain_apps(), &cfg(Some(1))).unwrap();
+        let parallel = run_flow(&domain_apps(), &cfg(None)).unwrap();
+        for report in [&serial, &parallel] {
+            assert!(
+                matches!(
+                    report.completeness,
+                    Completeness::Truncated {
+                        reason: TruncationReason::CandidateBudget,
+                        ..
+                    }
+                ),
+                "{:?}",
+                report.completeness
+            );
+            // The exploration itself completed; only the exact stage was
+            // cut short.
+            assert!(report.exploration.completeness.is_complete());
+            assert_eq!(report.stats.rearranged_candidates, 1);
+        }
+        assert_eq!(serial.chosen.name(), parallel.chosen.name());
+        assert_eq!(serial.area_slices.to_bits(), parallel.area_slices.to_bits());
+        assert_eq!(
+            serial.weighted_et_ns().to_bits(),
+            parallel.weighted_et_ns().to_bits()
+        );
+
+        // An ample budget reproduces the unbudgeted flow.
+        let ample = FlowConfig {
+            control: ExploreControl::with_budget(10_000),
+            ..FlowConfig::default()
+        };
+        let full = run_flow(&domain_apps(), &ample).unwrap();
+        let unbudgeted = run_flow(&domain_apps(), &FlowConfig::default()).unwrap();
+        assert!(full.completeness.is_complete());
+        assert_eq!(full.chosen.name(), unbudgeted.chosen.name());
+        assert_eq!(
+            full.weighted_et_ns().to_bits(),
+            unbudgeted.weighted_et_ns().to_bits()
+        );
     }
 }

@@ -37,6 +37,18 @@
 //!   rearranging provably dominated candidates. Per-stage work counters
 //!   surface in [`FlowStats`].
 //!
+//! # Anytime operation
+//!
+//! Every sweep accepts an [`ExploreControl`] (deadline, candidate
+//! budget, external cancel) and stops cooperatively at candidate
+//! boundaries, returning a best-so-far result tagged
+//! [`Completeness`]; truncated explorations checkpoint
+//! ([`Exploration::checkpoint`]) and resume ([`explore_resume`]) to the
+//! bit-identical complete result, and a panicking candidate is isolated
+//! and counted ([`PruneStats::faulted`]) instead of aborting the sweep.
+//! See [`control`] for the semantics and the truncation-soundness
+//! argument.
+//!
 //! # Examples
 //!
 //! ```
@@ -61,6 +73,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod control;
 mod error;
 mod estimate;
 mod explore;
@@ -71,13 +84,15 @@ mod power;
 mod rearrange;
 mod utilization;
 
+pub use control::{Completeness, ExploreControl, TruncationReason};
 pub use error::RspError;
 pub use estimate::{
     estimate_stalls, refill_stall_estimate, BoundKind, ClockBound, ContextProfile, StallEstimate,
 };
 pub use explore::{
-    explore, explore_reference, explore_with, Constraints, DesignPoint, DesignSpace, Exploration,
-    ExploreOptions, Objective, PruneStats, PruneStrategy,
+    explore, explore_reference, explore_reference_with, explore_resume, explore_with, Constraints,
+    DesignPoint, DesignSpace, Exploration, ExploreCheckpoint, ExploreOptions, Objective,
+    PruneStats, PruneStrategy,
 };
 pub use flow::{run_flow, AppProfile, CriticalLoop, FlowConfig, FlowReport, FlowStats};
 pub use frontier::ParetoFrontier;

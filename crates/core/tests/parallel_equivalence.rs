@@ -121,6 +121,7 @@ proptest! {
                 constraints,
                 objective,
                 cache: None,
+                control: Default::default(),
             },
         );
         match (reference, engine) {
@@ -158,6 +159,7 @@ proptest! {
                 constraints: Constraints::default(),
                 objective,
                 cache: None,
+                control: Default::default(),
             },
         ).unwrap();
         let frontier = |r: &Exploration| -> Vec<(String, u64, u64)> {

@@ -60,10 +60,28 @@ impl DelayReport {
     }
 }
 
+/// A fault-injection hook: called with each architecture entering full
+/// delay synthesis ([`DelayModel::report`]). Tests hand in a hook that
+/// panics on a chosen candidate to exercise a consumer's panic
+/// isolation; the hook is *not* consulted by the plan-only
+/// [`DelayModel::clock_floor_ns`] fast path, so admissible pre-synthesis
+/// bounds stay fault-free.
+pub type FaultHook = std::sync::Arc<dyn Fn(&RspArchitecture) + Send + Sync>;
+
 /// Delay model over a component library.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct DelayModel {
     lib: ComponentLibrary,
+    fault: Option<FaultHook>,
+}
+
+impl std::fmt::Debug for DelayModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DelayModel")
+            .field("lib", &self.lib)
+            .field("fault", &self.fault.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl DelayModel {
@@ -74,7 +92,18 @@ impl DelayModel {
 
     /// Model over a custom library.
     pub fn with_library(lib: ComponentLibrary) -> Self {
-        Self { lib }
+        Self { lib, fault: None }
+    }
+
+    /// Attaches a [`FaultHook`] invoked at the top of every
+    /// [`report`](Self::report) call (fault injection for robustness
+    /// tests).
+    pub fn with_fault_hook(
+        mut self,
+        hook: impl Fn(&RspArchitecture) + Send + Sync + 'static,
+    ) -> Self {
+        self.fault = Some(std::sync::Arc::new(hook));
+        self
     }
 
     /// The component library in use.
@@ -190,6 +219,9 @@ impl DelayModel {
     /// assert!(model.report(&presets::rsp1()).clock_ns < base.clock_ns);
     /// ```
     pub fn report(&self, arch: &RspArchitecture) -> DelayReport {
+        if let Some(hook) = &self.fault {
+            hook(arch);
+        }
         let plan = arch.plan();
         let mux = self.lib.spec(FuKind::Mux).delay_ns;
         let shifter_local = if arch.effective_pe().has(FuKind::Shifter) {

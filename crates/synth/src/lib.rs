@@ -45,5 +45,5 @@ mod power;
 pub use area::{AreaModel, AreaReport};
 pub use cache::ModelCache;
 pub use components::{ComponentLibrary, ComponentSpec};
-pub use delay::{DelayModel, DelayReport, LimitingPath};
+pub use delay::{DelayModel, DelayReport, FaultHook, LimitingPath};
 pub use power::{ActivityProfile, PowerCoefficients, PowerModel, PowerReport};

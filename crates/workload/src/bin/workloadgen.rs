@@ -49,8 +49,10 @@ fn fmt_mode(files: &[String], check: bool) -> ExitCode {
         } else if check {
             println!("NONCANON {file}");
             bad += 1;
+        } else if let Err(e) = std::fs::write(file, &canon) {
+            eprintln!("ERROR    {file}: cannot rewrite: {e}");
+            bad += 1;
         } else {
-            std::fs::write(file, &canon).expect("rewrite workload file");
             println!("fmt      {file}");
         }
     }
@@ -69,18 +71,30 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--out" => out_dir = args.next().expect("--out needs a directory"),
+            "--out" => match args.next() {
+                Some(dir) => out_dir = dir,
+                None => {
+                    eprintln!("workloadgen: --out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--check" => check = true,
             "--fmt" => fmt = true,
             other if fmt && !other.starts_with("--") => files.push(other.to_string()),
             other => {
-                panic!("unknown argument {other:?} (use --out DIR, --check, or --fmt FILE...)")
+                eprintln!(
+                    "workloadgen: unknown argument {other:?} (use --out DIR, --check, or --fmt FILE...)"
+                );
+                return ExitCode::FAILURE;
             }
         }
     }
 
     if fmt {
-        assert!(!files.is_empty(), "--fmt needs at least one file");
+        if files.is_empty() {
+            eprintln!("workloadgen: --fmt needs at least one file");
+            return ExitCode::FAILURE;
+        }
         return fmt_mode(&files, check);
     }
 
@@ -98,8 +112,17 @@ fn main() -> ExitCode {
                 eprintln!("DRIFTED  {}", path.display());
             }
         } else {
-            std::fs::create_dir_all(dir).expect("create output directory");
-            std::fs::write(&path, &content).expect("write workload file");
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!(
+                    "workloadgen: cannot create output directory {}: {e}",
+                    dir.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(&path, &content) {
+                eprintln!("workloadgen: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
             println!("wrote    {}", path.display());
         }
     }

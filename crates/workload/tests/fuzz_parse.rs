@@ -1,0 +1,153 @@
+//! Fuzz-style robustness test for the textual DFG parser: random
+//! mutations of every committed workload must either parse or fail with
+//! a well-formed [`ParseError`] — never panic — and the reported
+//! line/column must point inside the mutated input.
+//!
+//! Deterministic (seeded `StdRng` per file × iteration), so a failure
+//! reproduces exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsp_workload::parse_kernel;
+use std::fs;
+use std::path::PathBuf;
+
+/// Tokens worth splicing in: keywords, delimiters, and pathological
+/// literals the grammar cares about.
+const DICTIONARY: &[&str] = &[
+    "kernel",
+    "nodes",
+    "tail",
+    "acc(",
+    "carry(",
+    "{",
+    "}",
+    "[",
+    "]",
+    "(",
+    ")",
+    "\"",
+    "\\",
+    "$",
+    "#",
+    ".hi",
+    "=",
+    ",",
+    "+",
+    "*",
+    "-",
+    "//",
+    "\n",
+    "0",
+    "4294967296",
+    "99999999999999999999999999",
+    "\u{fffd}",
+];
+
+fn workload_files() -> Vec<(PathBuf, Vec<u8>)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../workloads");
+    let mut files: Vec<(PathBuf, Vec<u8>)> = fs::read_dir(&dir)
+        .expect("workloads/ directory")
+        .filter_map(|e| {
+            let path = e.unwrap().path();
+            (path.extension().is_some_and(|x| x == "dfg"))
+                .then(|| (path.clone(), fs::read(&path).unwrap()))
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no committed .dfg workloads found");
+    files
+}
+
+/// Applies one random mutation to `bytes`.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut StdRng) {
+    if bytes.is_empty() {
+        bytes.extend_from_slice(DICTIONARY[rng.gen_range(0..DICTIONARY.len())].as_bytes());
+        return;
+    }
+    match rng.gen_range(0..5) {
+        // Flip one byte to an arbitrary value (possibly invalid UTF-8).
+        0 => {
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] = rng.gen_range(0..=255);
+        }
+        // Delete a short range.
+        1 => {
+            let start = rng.gen_range(0..bytes.len());
+            let end = (start + rng.gen_range(1usize..=24)).min(bytes.len());
+            bytes.drain(start..end);
+        }
+        // Duplicate a range somewhere else (token soup).
+        2 => {
+            let start = rng.gen_range(0..bytes.len());
+            let end = (start + rng.gen_range(1usize..=32)).min(bytes.len());
+            let chunk: Vec<u8> = bytes[start..end].to_vec();
+            let at = rng.gen_range(0..=bytes.len());
+            bytes.splice(at..at, chunk);
+        }
+        // Insert a dictionary token.
+        3 => {
+            let tok = DICTIONARY[rng.gen_range(0..DICTIONARY.len())];
+            let at = rng.gen_range(0..=bytes.len());
+            bytes.splice(at..at, tok.bytes());
+        }
+        // Truncate.
+        _ => {
+            let at = rng.gen_range(0..bytes.len());
+            bytes.truncate(at);
+        }
+    }
+}
+
+#[test]
+fn mutated_workloads_never_panic_and_errors_point_into_the_input() {
+    for (path, original) in workload_files() {
+        // Per-file seed derived from the file name, so adding workloads
+        // does not reshuffle existing cases.
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let base_seed: u64 = name.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+        });
+        for iter in 0..300u64 {
+            let mut rng = StdRng::seed_from_u64(base_seed ^ iter);
+            let mut bytes = original.clone();
+            for _ in 0..rng.gen_range(1..=4) {
+                mutate(&mut bytes, &mut rng);
+            }
+            let text = String::from_utf8_lossy(&bytes).into_owned();
+            // Must not panic; on error the position must be a real
+            // location in the mutated text.
+            match parse_kernel(&text) {
+                Ok(_) => {}
+                Err(e) => {
+                    let lines: Vec<&str> = text.split('\n').collect();
+                    assert!(
+                        e.line >= 1 && (e.line as usize) <= lines.len(),
+                        "{name} iter {iter}: line {} outside 1..={} ({e})",
+                        e.line,
+                        lines.len()
+                    );
+                    let line_chars = lines[e.line as usize - 1].chars().count();
+                    assert!(
+                        e.col >= 1 && (e.col as usize) <= line_chars + 1,
+                        "{name} iter {iter}: column {} outside 1..={} on line {} ({e})",
+                        e.col,
+                        line_chars + 1,
+                        e.line
+                    );
+                    assert!(!e.message.is_empty(), "{name} iter {iter}: empty message");
+                }
+            }
+        }
+    }
+}
+
+/// The unmutated committed workloads all still parse (guards against the
+/// fuzz harness reading the wrong directory).
+#[test]
+fn committed_workloads_parse_clean() {
+    for (path, bytes) in workload_files() {
+        let text = String::from_utf8(bytes).unwrap();
+        parse_kernel(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}

@@ -1,0 +1,63 @@
+//! I/O-failure contract for the `workloadgen` binary: filesystem errors
+//! and usage mistakes exit non-zero with a one-line diagnostic — never a
+//! panic backtrace.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workloadgen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_workloadgen"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("workloadgen-io-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn assert_fails_cleanly(out: std::process::Output, fragment: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "expected failure, got: {out:?}");
+    assert!(
+        stderr.contains(fragment),
+        "missing {fragment:?} in {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+        "diagnostic must not be a panic: {stderr}"
+    );
+}
+
+#[test]
+fn unwritable_output_directory_fails_cleanly() {
+    // A path whose parent is a regular file cannot be created.
+    let blocker = tmp("blocker-file");
+    std::fs::write(&blocker, "not a directory").unwrap();
+    let out_dir = blocker.join("sub");
+    let out = workloadgen()
+        .args(["--out", out_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_fails_cleanly(out, "cannot create output directory");
+}
+
+#[test]
+fn usage_errors_fail_cleanly() {
+    let out = workloadgen().args(["--out"]).output().unwrap();
+    assert_fails_cleanly(out, "--out needs a directory");
+
+    let out = workloadgen().args(["--fmt"]).output().unwrap();
+    assert_fails_cleanly(out, "--fmt needs at least one file");
+
+    let out = workloadgen().args(["--frobnicate"]).output().unwrap();
+    assert_fails_cleanly(out, "unknown argument");
+}
+
+#[test]
+fn fmt_on_unreadable_file_fails_cleanly() {
+    let out = workloadgen()
+        .args(["--fmt", "/nonexistent/nope.dfg"])
+        .output()
+        .unwrap();
+    assert_fails_cleanly(out, "/nonexistent/nope.dfg");
+}
