@@ -1,20 +1,9 @@
-//! Tracked exploration benchmark — the `BENCH_explore.json` trajectory.
+//! Exploration-engine adapter — the `rsp/explore` benchmark
+//! (`BENCH_explore.json`).
 //!
-//! Rebar-style harness: each engine configuration is timed with a warmup
-//! run plus `samples` measured runs, and the *median* wall-clock is
-//! reported (robust against scheduler noise). The JSON artifact is
-//! committed so future changes can be checked against the recorded
-//! trajectory instead of a vibe — and CI enforces it: the `headline`
-//! binary's `--check` mode ([`check`]) re-runs the benchmark and fails
-//! when any engine's median *and* best-of-N wall-clock — both
-//! normalized by the same run's `serial-reference` row, so host speed
-//! cancels — regress beyond a tolerance versus the committed artifact,
-//! or when a feasible-design count drifts (a correctness anchor, not a
-//! timing). The artifact schema and the gate logic live in
-//! [`crate::gate`], shared with the flow benchmark
-//! ([`crate::flow_bench`], `BENCH_flow.json`).
-//!
-//! The artifact holds one report per design space:
+//! Measures the exploration engine against the serial reference over a
+//! named design space. The tracked labels (see the registry definition)
+//! are:
 //!
 //! * `extended` — the engine-speedup trajectory tracked since the engine
 //!   rebuild.
@@ -23,6 +12,9 @@
 //!   stage-floor clock bound make [`PruneStrategy::Dominated`] skip a
 //!   large fraction of candidate estimations (`candidates_pruned` /
 //!   `clock_bound_cuts` / `bound_tightness` per row).
+//!
+//! (`paper`, the 12-point space, is also accepted — it is the cheap
+//! label the adapter's own tests and fabricated CLI fixtures use.)
 //!
 //! Engines measured per space, all over the full kernel suite with
 //! uniform weights:
@@ -45,9 +37,7 @@
 //!   [`BoundKind::Aggregate`] bound (the ablation that shows what the
 //!   per-row residual buys).
 
-pub use crate::gate::{render, render_all, BenchArtifact, BenchReport, CheckOutcome, EngineRow};
-
-use crate::gate::{check_with, time_median};
+use crate::gate::{time_median, BenchReport, EngineRow};
 use rsp_arch::presets;
 use rsp_core::{
     explore_reference, explore_with, BoundKind, ClockBound, Constraints, DesignSpace,
@@ -57,8 +47,7 @@ use rsp_kernel::suite;
 use rsp_mapper::{map, MapOptions};
 use std::hint::black_box;
 
-/// The design space a report label names; checking mode re-runs the
-/// committed labels through this.
+/// The design space a report label names.
 fn space_for(label: &str) -> Option<DesignSpace> {
     match label {
         "paper" => Some(DesignSpace::paper()),
@@ -66,6 +55,13 @@ fn space_for(label: &str) -> Option<DesignSpace> {
         "deep" => Some(DesignSpace::deep()),
         _ => None,
     }
+}
+
+/// Measures one tracked label (`extended` / `deep` / `paper`) with
+/// `samples` measured repetitions per engine; `None` for an unknown
+/// label. The registry's generic runner and gate are the callers.
+pub fn measure(label: &str, samples: u32) -> Option<BenchReport> {
+    space_for(label).map(|space| run(&space, label, samples))
 }
 
 /// Runs the exploration benchmark on `space` with `samples` measured
@@ -223,35 +219,13 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
     }
 }
 
-/// Runs the full tracked benchmark: the `extended` speedup trajectory
-/// plus the `deep` pruning-efficacy report.
-pub fn run_all(samples: u32) -> BenchArtifact {
-    BenchArtifact {
-        benchmark: "rsp/explore".into(),
-        reports: vec![
-            run(&DesignSpace::extended(), "extended", samples),
-            run(&DesignSpace::deep(), "deep", samples),
-        ],
-    }
-}
-
-/// The exploration benchmark-regression gate: re-runs every report of
-/// the committed artifact (same spaces, same sample counts) through
-/// [`crate::gate::check_with`] — see there for the median-AND-best-of-N
-/// normalized comparison rule and the cross-host core-count handling.
-pub fn check(committed: &BenchArtifact, tolerance: f64) -> CheckOutcome {
-    check_with(committed, tolerance, |old| {
-        space_for(&old.space).map(|space| run(&space, &old.space, old.samples))
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn benchmark_runs_and_engines_agree() {
-        let report = run(&DesignSpace::paper(), "paper", 2);
+        let report = measure("paper", 2).unwrap();
         assert_eq!(report.engines.len(), 6);
         // No-prune engines agree exactly with the reference.
         let feasible_of = |name: &str| {
@@ -282,89 +256,7 @@ mod tests {
         assert!(json.contains("serial-reference"));
         assert!(json.contains("bound_tightness"));
         assert!(json.contains("clock_bound_cuts"));
-    }
-
-    #[test]
-    fn artifact_roundtrips_through_json() {
-        let artifact = BenchArtifact {
-            benchmark: "rsp/explore".into(),
-            reports: vec![run(&DesignSpace::paper(), "paper", 1)],
-        };
-        let json = serde_json::to_string_pretty(&artifact).unwrap();
-        let back: BenchArtifact = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.benchmark, artifact.benchmark);
-        assert_eq!(back.reports.len(), 1);
-        assert_eq!(back.reports[0].engines.len(), 6);
-        assert_eq!(
-            back.reports[0].engines[0].median_ns,
-            artifact.reports[0].engines[0].median_ns
-        );
-    }
-
-    #[test]
-    fn check_passes_against_fresh_run_and_fails_on_fabricated_regression() {
-        let mut artifact = BenchArtifact {
-            benchmark: "rsp/explore".into(),
-            reports: vec![run(&DesignSpace::paper(), "paper", 2)],
-        };
-        // Generous tolerance: the second run happens moments later on the
-        // same host, so a 10x envelope only fails on real breakage.
-        let outcome = check(&artifact, 9.0);
-        assert!(outcome.passed(), "regressions: {:?}", outcome.regressions);
-        // The fresh rerun rides along for --emit.
-        assert_eq!(outcome.fresh.benchmark, "rsp/explore");
-        assert_eq!(outcome.fresh.reports.len(), 1);
-
-        // A fabricated 'the committed engines were 1000x faster relative
-        // to the reference' artifact must trip the gate (both normalized
-        // statistics regress). Scaling every row equally would cancel in
-        // the reference-normalized ratios, so only engine rows shrink.
-        for row in &mut artifact.reports[0].engines {
-            if row.name != "serial-reference" {
-                row.median_ns = 1.max(row.median_ns / 1000);
-                row.min_ns = 1.max(row.min_ns / 1000);
-            }
-        }
-        let outcome = check(&artifact, 0.15);
-        assert!(!outcome.passed());
-
-        // An artifact recorded on a host with a different core count
-        // must not timing-gate the parallel rows (their ratio to the
-        // serial reference legitimately scales with cores) — even when
-        // those committed ratios look 1000x better than this host's.
-        let mut cross_host = BenchArtifact {
-            benchmark: "rsp/explore".into(),
-            reports: vec![run(&DesignSpace::paper(), "paper", 1)],
-        };
-        cross_host.reports[0].threads += 7;
-        let single_threaded = [
-            "serial-reference",
-            "engine-1-thread",
-            "engine-1-thread-pruned",
-        ];
-        for row in &mut cross_host.reports[0].engines {
-            if !single_threaded.contains(&row.name.as_str()) {
-                row.median_ns = 1.max(row.median_ns / 1000);
-                row.min_ns = 1.max(row.min_ns / 1000);
-            }
-        }
-        let outcome = check(&cross_host, 9.0);
-        assert!(
-            outcome.passed(),
-            "parallel rows must not be timing-gated across core counts: {:?}",
-            outcome.regressions
-        );
-
-        // And a feasible-count drift must trip it regardless of timing.
-        let mut drifted = BenchArtifact {
-            benchmark: "rsp/explore".into(),
-            reports: vec![run(&DesignSpace::paper(), "paper", 1)],
-        };
-        for row in &mut drifted.reports[0].engines {
-            row.median_ns *= 1000;
-            row.feasible += 1;
-        }
-        let outcome = check(&drifted, 9.0);
-        assert!(!outcome.passed());
+        // Unknown labels are refused.
+        assert!(measure("imaginary", 1).is_none());
     }
 }

@@ -1,16 +1,10 @@
-//! Tracked end-to-end flow benchmark — the `BENCH_flow.json` artifact.
+//! End-to-end flow adapter — the `rsp/flow` benchmark
+//! (`BENCH_flow.json`).
 //!
 //! Times the complete Fig. 7 flow ([`rsp_core::run_flow`]: profiling →
 //! base-architecture exploration over three candidate geometries →
 //! pipeline mapping → RSP exploration → exact RSP mapping) over the full
-//! kernel suite, in the same rebar style as the exploration benchmark:
-//! median-of-N plus best-of-N per configuration, normalized against the
-//! same run's `serial-reference` row, with correctness anchors. The
-//! schema and the median-AND-best-of-N regression gate are shared with
-//! `BENCH_explore.json` and `BENCH_workload.json` (see [`crate::gate`]);
-//! CI checks all three artifacts.
-//!
-//! The artifact holds one report per flow configuration:
+//! kernel suite. Tracked labels:
 //!
 //! * `flow-paper` — the paper's 12-point space over **three candidate
 //!   geometries** (4×4, 6×6, 8×8) and the paper suite *plus* the
@@ -40,11 +34,13 @@
 //!   production configuration).
 //!
 //! All rows produce bit-identical flow outputs (property-tested in
-//! `rsp-core`); only the work they perform differs.
+//! `rsp-core`); only the work they perform differs. This module also
+//! owns `measure_configs`, the four-configuration measurement scaffold
+//! the workload adapter ([`crate::adapters::workload`]) reuses — only
+//! the workload and the [`FlowConfig`] constructor differ between the
+//! two artifacts.
 
-pub use crate::gate::{BenchArtifact, BenchReport, CheckOutcome, EngineRow};
-
-use crate::gate::{check_with, time_median};
+use crate::gate::{time_median, BenchReport, EngineRow};
 use rsp_core::{
     run_flow, AppProfile, BoundKind, ClockBound, DesignSpace, FlowConfig, FlowReport, Objective,
     PruneStrategy,
@@ -124,9 +120,9 @@ fn row_from(
 /// Measures the four tracked flow configurations (`serial-reference`,
 /// `flow-1-thread-pruned`, `flow-parallel`, `flow-parallel-pruned`)
 /// over `apps` and assembles the report — the scaffold shared with the
-/// workload benchmark ([`crate::workload_bench`]); only the workload
-/// and the [`FlowConfig`] constructor differ between the artifacts.
-pub(crate) fn measure(
+/// workload adapter; only the workload and the [`FlowConfig`]
+/// constructor differ between the artifacts.
+pub(crate) fn measure_configs(
     label: &str,
     apps: &[AppProfile],
     candidates: usize,
@@ -196,13 +192,13 @@ pub(crate) fn measure(
     }
 }
 
-/// Runs the flow benchmark for a tracked label (`flow-paper` /
-/// `flow-deep`) with `samples` measured repetitions per configuration;
-/// `None` for an unknown label.
-pub fn run(label: &str, samples: u32) -> Option<BenchReport> {
+/// Measures one tracked label (`flow-paper` / `flow-deep`) with
+/// `samples` measured repetitions per configuration; `None` for an
+/// unknown label.
+pub fn measure(label: &str, samples: u32) -> Option<BenchReport> {
     let (space, _) = space_for(label)?;
     let apps = workload();
-    Some(measure(
+    Some(measure_configs(
         label,
         &apps,
         space.plans().count(),
@@ -211,33 +207,13 @@ pub fn run(label: &str, samples: u32) -> Option<BenchReport> {
     ))
 }
 
-/// Runs the full tracked flow benchmark: the paper space plus the deep
-/// space.
-pub fn run_all(samples: u32) -> BenchArtifact {
-    BenchArtifact {
-        benchmark: "rsp/flow".into(),
-        reports: ["flow-paper", "flow-deep"]
-            .iter()
-            .map(|label| run(label, samples).expect("tracked label"))
-            .collect(),
-    }
-}
-
-/// The flow benchmark-regression gate — [`crate::gate::check_with`] with
-/// the flow runner: same normalized median-AND-best-of-N rule, same
-/// feasible-count anchor, same cross-host core-count handling as the
-/// exploration gate.
-pub fn check(committed: &BenchArtifact, tolerance: f64) -> CheckOutcome {
-    check_with(committed, tolerance, |old| run(&old.space, old.samples))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn flow_benchmark_runs_and_reports_cut_counters() {
-        let report = run("flow-paper", 1).unwrap();
+        let report = measure("flow-paper", 1).unwrap();
         assert_eq!(report.engines.len(), 4);
         assert_eq!(report.engines[0].name, "serial-reference");
         // The generated matmul11 overflows the 4×4, so the multi-geometry
@@ -253,20 +229,7 @@ mod tests {
         // Same artifact schema as the exploration benchmark.
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("rearrangements_skipped"));
-    }
-
-    #[test]
-    fn flow_check_passes_against_fresh_rerun_and_catches_unknown_label() {
-        let artifact = BenchArtifact {
-            benchmark: "rsp/flow".into(),
-            reports: vec![run("flow-paper", 1).unwrap()],
-        };
-        let outcome = check(&artifact, 9.0);
-        assert!(outcome.passed(), "regressions: {:?}", outcome.regressions);
-        assert_eq!(outcome.fresh.benchmark, "rsp/flow");
-
-        let mut unknown = artifact;
-        unknown.reports[0].space = "flow-imaginary".into();
-        assert!(!check(&unknown, 9.0).passed());
+        // Unknown labels are refused.
+        assert!(measure("flow-imaginary", 1).is_none());
     }
 }

@@ -1,0 +1,31 @@
+//! Per-kind engine adapters behind the benchmark registry.
+//!
+//! Each adapter exposes one entry point,
+//! `measure(label, samples) -> Option<BenchReport>`: given a tracked
+//! report label (the `space` field of a committed
+//! [`crate::gate::BenchReport`]) it measures every engine configuration
+//! of that benchmark kind and returns the report, or `None` for a label
+//! it does not know. The generic registry runner
+//! ([`crate::registry::BenchDef::run_all`] /
+//! [`crate::registry::BenchDef::check`]) is the only caller: running a
+//! benchmark walks its definition's tracked labels, and checking replays
+//! the committed reports' labels at their recorded sample counts — so an
+//! adapter never decides *which* reports exist, only *how* one label is
+//! measured.
+//!
+//! The four kinds:
+//!
+//! * [`explore`] — exploration-engine rows over a named design space
+//!   (`rsp/explore`).
+//! * [`flow`] — end-to-end Fig. 7 flow rows (`rsp/flow`); also owns the
+//!   four-configuration measurement scaffold the workload adapter
+//!   reuses.
+//! * [`workload`] — the flow over the generated workload suite
+//!   (`rsp/workload`).
+//! * [`soak`] — anytime-robustness rows: budget truncation, fault
+//!   isolation, checkpoint/resume (`rsp/soak`).
+
+pub mod explore;
+pub mod flow;
+pub mod soak;
+pub mod workload;

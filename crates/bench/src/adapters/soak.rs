@@ -1,8 +1,8 @@
-//! Tracked anytime-robustness benchmark — the `BENCH_soak.json`
-//! trajectory (the fourth gated artifact, benchmark id `rsp/soak`).
+//! Anytime-robustness adapter — the `rsp/soak` benchmark
+//! (`BENCH_soak.json`).
 //!
-//! Where `BENCH_explore.json` tracks how fast the engine completes,
-//! this artifact tracks how well it *stops*: every row exercises the
+//! Where `rsp/explore` tracks how fast the engine completes, this
+//! benchmark tracks how well it *stops*: every row exercises the
 //! anytime layer ([`rsp_core::ExploreControl`]) over the 480-candidate
 //! `deep` space and anchors its *exact* result counts, so any drift in
 //! truncation behavior — a budget row suddenly evaluating a different
@@ -11,13 +11,12 @@
 //! timings are fine.
 //!
 //! Every engine row is pinned to one thread, so the cross-host timing
-//! gate (see [`crate::gate::check_with`]) holds it everywhere. All
-//! budgets are **candidate counts**, never wall-clock: deadline
-//! truncation is inherently host-dependent, so it is exercised by the
-//! unit/property tests (`rsp-core/tests/anytime.rs`) rather than
-//! anchored here.
+//! gate holds it everywhere. All budgets are **candidate counts**, never
+//! wall-clock: deadline truncation is inherently host-dependent, so it
+//! is exercised by the unit/property tests
+//! (`rsp-core/tests/anytime.rs`) rather than anchored here.
 //!
-//! Rows:
+//! Rows of the one tracked label, `soak-deep`:
 //!
 //! * `serial-reference` — [`rsp_core::explore_reference`] over the full
 //!   space: the timing yardstick and the feasible-count oracle.
@@ -37,9 +36,7 @@
 //!   feasible count equals the full run's, and the row's wall-clock
 //!   tracks the cost of the truncate → checkpoint → resume round trip.
 
-pub use crate::gate::{render, render_all, BenchArtifact, BenchReport, CheckOutcome, EngineRow};
-
-use crate::gate::{check_with, time_median};
+use crate::gate::{time_median, BenchReport, EngineRow};
 use rsp_arch::presets;
 use rsp_core::{
     explore_reference, explore_resume, explore_with, BoundKind, ClockBound, Constraints,
@@ -70,6 +67,12 @@ fn mute_injected_panics() {
             }
         }));
     });
+}
+
+/// Measures the tracked label (`soak-deep`) with `samples` measured
+/// repetitions per row; `None` for an unknown label.
+pub fn measure(label: &str, samples: u32) -> Option<BenchReport> {
+    (label == "soak-deep").then(|| run(samples))
 }
 
 /// Runs the soak benchmark over the `deep` space with `samples` measured
@@ -272,32 +275,13 @@ pub fn run(samples: u32) -> BenchReport {
     }
 }
 
-/// Runs the full tracked soak benchmark.
-pub fn run_all(samples: u32) -> BenchArtifact {
-    BenchArtifact {
-        benchmark: "rsp/soak".into(),
-        reports: vec![run(samples)],
-    }
-}
-
-/// The soak benchmark-regression gate: re-runs the committed report at
-/// its recorded sample count through [`crate::gate::check_with`]. Every
-/// engine row is single-threaded, so the timing gate holds on any host;
-/// the anchored feasible counts pin the truncation, fault-isolation, and
-/// resume behavior exactly.
-pub fn check(committed: &BenchArtifact, tolerance: f64) -> CheckOutcome {
-    check_with(committed, tolerance, |old| {
-        (old.space == "soak-deep").then(|| run(old.samples))
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn soak_benchmark_runs_and_anchors_hold() {
-        let report = run(1);
+        let report = measure("soak-deep", 1).unwrap();
         assert_eq!(report.engines.len(), 7);
         let row = |name: &str| report.engines.iter().find(|e| e.name == name).unwrap();
         let full = row("soak-1-thread-full");
@@ -318,21 +302,7 @@ mod tests {
         assert_eq!(row("soak-1-thread-resume").feasible, reference.feasible);
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("soak-1-thread-resume"));
-    }
-
-    #[test]
-    fn check_passes_against_fresh_run_and_catches_anchor_drift() {
-        let artifact = run_all(1);
-        let outcome = check(&artifact, 9.0);
-        assert!(outcome.passed(), "regressions: {:?}", outcome.regressions);
-
-        let mut drifted = artifact.clone();
-        for row in &mut drifted.reports[0].engines {
-            if row.name == "soak-1-thread-budget-50" {
-                row.feasible += 1;
-            }
-        }
-        let outcome = check(&drifted, 9.0);
-        assert!(!outcome.passed());
+        // Unknown labels are refused.
+        assert!(measure("soak-imaginary", 1).is_none());
     }
 }

@@ -1,0 +1,118 @@
+//! One dispatching binary for every regenerated paper exhibit.
+//!
+//! `cargo run --release -p rsp-bench --bin exhibit -- table2` prints one
+//! exhibit; several names print in order; `all` prints every exhibit in
+//! paper order (the source of `EXPERIMENTS.md`'s measured columns);
+//! `--list` names them all.
+
+/// One exhibit: CLI name, renderer, one-line description.
+type Exhibit = (&'static str, fn() -> String, &'static str);
+
+/// Every exhibit the dispatcher knows.
+const EXHIBITS: &[Exhibit] = &[
+    ("table1", rsp_bench::table1, "synthesis result of a PE"),
+    (
+        "table2",
+        rsp_bench::table2,
+        "synthesis of the nine architectures",
+    ),
+    ("table3", rsp_bench::table3, "kernels in the experiments"),
+    (
+        "table4",
+        rsp_bench::table4,
+        "performance of the Livermore kernels",
+    ),
+    (
+        "table5",
+        rsp_bench::table5,
+        "performance of the DSP kernels",
+    ),
+    ("figure1", rsp_bench::figure1, "4x4 array and bus structure"),
+    (
+        "figure2",
+        rsp_bench::figure2,
+        "loop-pipelined matmul schedule",
+    ),
+    (
+        "figure3",
+        rsp_bench::figure3,
+        "multiplier sharing topology (and Fig. 4)",
+    ),
+    (
+        "figure5",
+        rsp_bench::figure5,
+        "general vs pipelined PE critical path",
+    ),
+    (
+        "figure6",
+        rsp_bench::figure6,
+        "matmul on the 2-stage shared multiplier",
+    ),
+    (
+        "figure7",
+        rsp_bench::figure7,
+        "design space exploration flow, executed",
+    ),
+    (
+        "figure8",
+        rsp_bench::figure8,
+        "the four RS/RSP configurations",
+    ),
+    (
+        "headline",
+        rsp_bench::headline,
+        "the abstract's three claims vs ours",
+    ),
+    ("power", rsp_bench::power, "energy model extension"),
+    (
+        "ablation",
+        rsp_bench::ablation,
+        "template-parameter ablation sweeps",
+    ),
+    (
+        "utilization",
+        rsp_bench::utilization,
+        "shared-resource utilization",
+    ),
+    (
+        "estimator",
+        rsp_bench::estimator_report,
+        "DSE estimator vs exact",
+    ),
+    (
+        "all",
+        rsp_bench::all_exhibits,
+        "every exhibit in paper order",
+    ),
+];
+
+fn usage() -> String {
+    let mut s = String::from(
+        "usage: exhibit [--list] <name>...\n\nRegenerates the paper's exhibits. Names:\n",
+    );
+    for (name, _, what) in EXHIBITS {
+        s.push_str(&format!("  {name:<12} {what}\n"));
+    }
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for (name, _, _) in EXHIBITS {
+            println!("{name}");
+        }
+        return;
+    }
+    for arg in &args {
+        let Some((_, render, _)) = EXHIBITS.iter().find(|(name, _, _)| name == arg) else {
+            eprintln!("unknown exhibit {arg:?}\n\n{}", usage());
+            std::process::exit(2);
+        };
+        print!("{}", render());
+    }
+}

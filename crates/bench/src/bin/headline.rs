@@ -1,32 +1,55 @@
-//! Regenerates the paper's headline claims *and* the tracked benchmarks
-//! (`BENCH_explore.json`, `BENCH_flow.json`, `BENCH_workload.json`,
-//! `BENCH_soak.json`), and gates CI against them.
+//! The one generic benchmark runner over the registry
+//! ([`rsp_bench::registry`]): lists, runs, gates, and diffs every
+//! tracked benchmark (`BENCH_explore.json`, `BENCH_flow.json`,
+//! `BENCH_workload.json`, `BENCH_soak.json`) from its declarative
+//! definition.
 //!
 //! ```sh
-//! cargo run --release -p rsp-bench --bin headline            # stdout only
-//! cargo run --release -p rsp-bench --bin headline -- --json BENCH_explore.json
-//! cargo run --release -p rsp-bench --bin headline -- --flow --json BENCH_flow.json
-//! cargo run --release -p rsp-bench --bin headline -- --workload --json BENCH_workload.json
-//! cargo run --release -p rsp-bench --bin headline -- --soak --json BENCH_soak.json
-//! cargo run --release -p rsp-bench --bin headline -- --samples 15
-//! cargo run --release -p rsp-bench --bin headline -- \
-//!     --check BENCH_explore.json --check BENCH_flow.json --check BENCH_workload.json \
-//!     --check BENCH_soak.json --tolerance 0.15 --emit bench-regen
-//! cargo run --release -p rsp-bench --bin headline -- --deadline-ms 200
+//! cargo run --release -p rsp-bench --bin headline                    # claims + registry summary
+//! cargo run --release -p rsp-bench --bin headline -- --list
+//! cargo run --release -p rsp-bench --bin headline -- --list --filter 'rsp/f*'
+//! cargo run --release -p rsp-bench --bin headline -- --run 'rsp/*' --samples 5
+//! cargo run --release -p rsp-bench --bin headline -- --run rsp/explore --samples 21 --json BENCH_explore.json
+//! cargo run --release -p rsp-bench --bin headline -- --check BENCH_explore.json --tolerance 0.15
+//! cargo run --release -p rsp-bench --bin headline -- --check-all --tolerance 0.15 --emit bench-regen
+//! cargo run --release -p rsp-bench --bin headline -- --cmp BENCH_explore.json bench-regen/BENCH_explore.json
+//! cargo run --release -p rsp-bench --bin headline -- --cmp . bench-regen
 //! cargo run --release -p rsp-bench --bin headline -- --deadline-ms 200 --resume soak.ckpt.json
 //! ```
 //!
-//! The JSON artifacts are rebar-style: engine rows with median-of-N
-//! wall-clock (one warmup discarded), speedups versus the serial
-//! reference row, and pruning-efficacy counters (`candidates_pruned`,
-//! `clock_bound_cuts`, `rearrangements_skipped`, `bound_tightness`).
-//! Without `--flow`/`--workload`/`--soak` the exploration benchmark runs
-//! (`extended` + `deep` spaces); `--flow` runs the end-to-end Fig. 7
-//! flow benchmark (`flow-paper` + `flow-deep`); `--workload` runs the
-//! flow over the generated workload suite (`flow-workload`); `--soak`
-//! runs the anytime-robustness benchmark (`soak-deep`: candidate-budget
-//! truncation, fault isolation, checkpoint/resume — see
-//! [`rsp_bench::soak_bench`]).
+//! `--list` prints every benchmark definition — workload, space,
+//! engines, anchors, tracked labels, and the exact regeneration command
+//! — optionally narrowed by `--filter <id-glob>` (`*`/`?` wildcards).
+//!
+//! `--run <id-glob>` measures every matching definition (all its
+//! tracked labels) and prints the report tables; with `--json <path>`
+//! the glob must match exactly one benchmark (each artifact holds one)
+//! and its artifact is written there. `--samples` overrides the
+//! per-definition default.
+//!
+//! `--check <artifact>` is the benchmark-regression gate for one
+//! committed artifact; it may be repeated. The artifact's `benchmark`
+//! id selects its registry definition — an id with no definition fails
+//! the gate with the known ids listed. `--check-all` is the
+//! self-discovering variant CI runs: it finds every `BENCH_*.json` in
+//! the current directory, pairs each with its definition by id, and
+//! *additionally* fails when an artifact has no definition or a
+//! definition has no committed artifact — discovery errors abort before
+//! any measurement. Both replay every committed report (same labels and
+//! sample counts) through [`rsp_bench::gate::check_with`] and exit
+//! non-zero when an engine's reference-normalized median **and**
+//! best-of-N both regress beyond `--tolerance` (default 0.15), when a
+//! correctness anchor drifts, or when a committed engine configuration
+//! disappears — the full rules are in `crates/bench/METHODOLOGY.md`.
+//! `--emit <dir>` writes each freshly re-run artifact to
+//! `<dir>/<artifact filename>` so CI can upload and diff them.
+//!
+//! `--cmp <before> <after>` renders a rebar-style markdown diff of two
+//! artifact files, or of two directories of `BENCH_*.json` artifacts
+//! paired by filename ([`rsp_bench::cmp`]) — CI appends the
+//! committed-vs-regenerated diff to the step summary on every run.
+//! `--cmp` never exits non-zero on drift (the gate owns the verdict);
+//! only unreadable inputs fail.
 //!
 //! `--deadline-ms N` demonstrates the anytime layer live: one deep-space
 //! exploration under a wall-clock deadline, reporting how far it got and
@@ -36,43 +59,16 @@
 //! invocations ratchet the sweep to completion. `--resume` alone (no
 //! deadline) finishes a checkpointed sweep in one go.
 //!
-//! `--check <artifact>` is the CI benchmark-regression gate; it may be
-//! repeated to gate several artifacts in one invocation, and each
-//! artifact is dispatched to its own benchmark by its `benchmark` id
-//! (`rsp/explore`, `rsp/flow`, `rsp/workload`, `rsp/soak`) — an id with
-//! no handler fails the gate with the known ids listed. The gate re-runs
-//! every committed report (same configurations and sample counts) and
-//! exits non-zero when any engine's median **and** best-of-N wall-clock
-//! — both normalized by the same run's `serial-reference` row, so
-//! host-speed differences between the artifact's origin and the CI
-//! runner cancel — regress by more than `--tolerance` (default 0.15 =
-//! 15 %; requiring both statistics keeps the gate stable against
-//! scheduler noise), when a feasible-design count or selected base
-//! geometry drifts, or when a committed engine configuration is no
-//! longer measured. `--emit <dir>` additionally writes each freshly
-//! re-run artifact to `<dir>/<artifact filename>`, so CI can upload
-//! them for diffing when the gate fails.
-//!
 //! I/O and JSON failures (missing artifact, malformed or schema-drifted
 //! JSON, unwritable output) exit non-zero with a one-line diagnostic
 //! naming the file — and, for schema drift, the offending field — never
 //! a panic backtrace.
 
-use rsp_bench::gate::CheckOutcome;
-use rsp_bench::{explore_bench, flow_bench, gate, soak_bench, workload_bench};
+use rsp_bench::cmp;
+use rsp_bench::gate::{self, BenchArtifact, CheckOutcome};
+use rsp_bench::registry::{registry, BenchDef};
 use std::path::Path;
 use std::time::Duration;
-
-/// A benchmark's `--check` gate entry point.
-type CheckFn = fn(&gate::BenchArtifact, f64) -> CheckOutcome;
-
-/// Benchmark ids `--check` can dispatch, with their gate entry points.
-const CHECK_HANDLERS: [(&str, CheckFn); 4] = [
-    ("rsp/explore", explore_bench::check),
-    ("rsp/flow", flow_bench::check),
-    ("rsp/workload", workload_bench::check),
-    ("rsp/soak", soak_bench::check),
-];
 
 /// One-line fatal diagnostic; exits non-zero without a backtrace.
 fn fail(msg: String) -> ! {
@@ -168,15 +164,59 @@ fn run_anytime(deadline_ms: Option<u64>, resume_path: Option<&str>) {
     }
 }
 
+/// Gates one committed artifact against its definition; prints the
+/// status lines, writes the fresh rerun under `emit_dir`, and returns
+/// whether the gate passed.
+fn check_one(
+    def: &BenchDef,
+    path: &str,
+    committed: &BenchArtifact,
+    tolerance: f64,
+    emit_dir: Option<&str>,
+) -> bool {
+    let outcome: CheckOutcome = def.check(committed, tolerance);
+    for line in &outcome.lines {
+        println!("  {line}");
+    }
+    if let Some(dir) = emit_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail(format!("cannot create --emit directory {dir}: {e}")));
+        let Some(name) = Path::new(path).file_name() else {
+            fail(format!("--check path {path} has no file name"));
+        };
+        let out = Path::new(dir).join(name);
+        let json = serde_json::to_string_pretty(&outcome.fresh)
+            .unwrap_or_else(|e| fail(format!("artifact does not serialize: {e}")));
+        std::fs::write(&out, json + "\n").unwrap_or_else(|e| {
+            fail(format!(
+                "cannot write regenerated artifact {}: {e}",
+                out.display()
+            ))
+        });
+        println!("  regenerated artifact written to {}", out.display());
+    }
+    if outcome.passed() {
+        println!("  PASSED");
+    } else {
+        eprintln!("  FAILED:");
+        for r in &outcome.regressions {
+            eprintln!("    {r}");
+        }
+    }
+    outcome.passed()
+}
+
 fn main() {
+    let mut list = false;
+    let mut filter: Option<String> = None;
+    let mut run_glob: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut check_paths: Vec<String> = Vec::new();
+    let mut check_all = false;
+    let mut cmp_paths: Option<(String, String)> = None;
     let mut emit_dir: Option<String> = None;
     let mut tolerance: Option<f64> = None;
     let mut samples: Option<u32> = None;
-    let mut flow = false;
-    let mut workload = false;
-    let mut soak = false;
     let mut deadline_ms: Option<u64> = None;
     let mut resume_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -186,12 +226,20 @@ fn main() {
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--list" => list = true,
+            "--filter" => filter = Some(next("--filter", &mut args)),
+            "--run" => run_glob = Some(next("--run", &mut args)),
             "--json" => json_path = Some(next("--json", &mut args)),
             "--check" => check_paths.push(next("--check", &mut args)),
+            "--check-all" => check_all = true,
+            "--cmp" => {
+                let before = next("--cmp", &mut args);
+                let after = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--cmp needs two paths (before and after)"));
+                cmp_paths = Some((before, after));
+            }
             "--emit" => emit_dir = Some(next("--emit", &mut args)),
-            "--flow" => flow = true,
-            "--workload" => workload = true,
-            "--soak" => soak = true,
             "--resume" => resume_path = Some(next("--resume", &mut args)),
             "--deadline-ms" => {
                 let raw = next("--deadline-ms", &mut args);
@@ -223,81 +271,110 @@ fn main() {
             other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
-    if [flow, workload, soak].iter().filter(|b| **b).count() > 1 {
-        usage_error("--flow/--workload/--soak are exclusive (each writes its own artifact)");
+
+    let modes = [
+        list,
+        run_glob.is_some(),
+        !check_paths.is_empty() || check_all,
+        cmp_paths.is_some(),
+        deadline_ms.is_some() || resume_path.is_some(),
+    ];
+    if modes.iter().filter(|m| **m).count() > 1 {
+        usage_error("--list/--run/--check/--check-all/--cmp/--deadline-ms are exclusive modes");
+    }
+    if filter.is_some() && !list {
+        usage_error("--filter only applies to --list");
     }
 
     if deadline_ms.is_some() || resume_path.is_some() {
-        if !check_paths.is_empty() || json_path.is_some() || flow || workload || soak {
-            usage_error("--deadline-ms/--resume run the anytime demo and take no other modes");
+        if json_path.is_some() || samples.is_some() || tolerance.is_some() || emit_dir.is_some() {
+            usage_error("--deadline-ms/--resume run the anytime demo and take no other flags");
         }
         run_anytime(deadline_ms, resume_path.as_deref());
         return;
     }
 
-    if !check_paths.is_empty() {
+    if list {
+        print!("{}", registry().render_list(filter.as_deref()));
+        return;
+    }
+
+    if let Some((before, after)) = cmp_paths {
+        if json_path.is_some() || samples.is_some() || emit_dir.is_some() {
+            usage_error("--cmp only takes --tolerance");
+        }
+        let diff = cmp::cmp_paths(
+            Path::new(&before),
+            Path::new(&after),
+            tolerance.unwrap_or(cmp::DEFAULT_TOLERANCE),
+        )
+        .unwrap_or_else(|e| fail(e));
+        print!("{diff}");
+        return;
+    }
+
+    if !check_paths.is_empty() || check_all {
         // Checking replays the committed reports at their recorded
         // sample counts and writes no --json; flags that only make sense
         // for a measuring run are a usage error, not something to drop
         // silently.
-        if json_path.is_some() || samples.is_some() || flow || workload || soak {
+        if json_path.is_some() || samples.is_some() {
             usage_error(
-                "--check is exclusive: it neither writes --json nor takes \
-                 --samples/--flow/--workload/--soak (each committed artifact selects its own \
-                 benchmark and sample counts)",
+                "--check/--check-all are exclusive: they neither write --json nor take \
+                 --samples (each committed artifact selects its own benchmark and sample counts)",
             );
         }
         let tolerance = tolerance.unwrap_or(0.15);
         let mut failed = false;
+
+        // Pair every artifact with its definition up front: --check-all
+        // discovery errors (and unknown --check ids) must abort before
+        // any measurement is paid for.
+        let mut jobs: Vec<(String, BenchArtifact, &BenchDef)> = Vec::new();
         for path in &check_paths {
             let raw = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| fail(format!("cannot read committed artifact {path}: {e}")));
-            let committed: gate::BenchArtifact = serde_json::from_str(&raw)
+            let committed: BenchArtifact = serde_json::from_str(&raw)
                 .unwrap_or_else(|e| fail(format!("{path}: invalid benchmark artifact: {e}")));
-            println!("benchmark-regression gate: {path} (tolerance {tolerance})");
-            let handler = CHECK_HANDLERS
-                .iter()
-                .find(|(id, _)| *id == committed.benchmark)
-                .map(|(_, check)| check);
-            let Some(handler) = handler else {
-                let known: Vec<&str> = CHECK_HANDLERS.iter().map(|(id, _)| *id).collect();
+            let Some(def) = registry().find(&committed.benchmark) else {
                 eprintln!(
-                    "  FAILED: {path}: no check handler for benchmark id {:?} (known ids: {})",
+                    "headline: {path}: no check handler for benchmark id {:?} (known ids: {})",
                     committed.benchmark,
-                    known.join(", ")
+                    registry().ids().join(", ")
                 );
-                failed = true;
-                continue;
+                std::process::exit(1);
             };
-            let outcome = handler(&committed, tolerance);
-            for line in &outcome.lines {
-                println!("  {line}");
-            }
-            if let Some(dir) = &emit_dir {
-                std::fs::create_dir_all(dir)
-                    .unwrap_or_else(|e| fail(format!("cannot create --emit directory {dir}: {e}")));
-                let Some(name) = Path::new(path).file_name() else {
-                    fail(format!("--check path {path} has no file name"));
-                };
-                let out = Path::new(dir).join(name);
-                let json = serde_json::to_string_pretty(&outcome.fresh)
-                    .unwrap_or_else(|e| fail(format!("artifact does not serialize: {e}")));
-                std::fs::write(&out, json + "\n").unwrap_or_else(|e| {
-                    fail(format!(
-                        "cannot write regenerated artifact {}: {e}",
-                        out.display()
-                    ))
-                });
-                println!("  regenerated artifact written to {}", out.display());
-            }
-            if outcome.passed() {
-                println!("  PASSED");
-            } else {
-                failed = true;
-                eprintln!("  FAILED:");
-                for r in &outcome.regressions {
-                    eprintln!("    {r}");
+            jobs.push((path.clone(), committed, def));
+        }
+        if check_all {
+            match registry().discover(Path::new(".")) {
+                Ok(found) => {
+                    println!(
+                        "discovered {} committed artifacts for {} registered benchmarks",
+                        found.len(),
+                        registry().defs().len()
+                    );
+                    for d in found {
+                        jobs.push((d.path.display().to_string(), d.artifact, d.def));
+                    }
                 }
+                Err(errors) => {
+                    for e in &errors {
+                        eprintln!("headline: {e}");
+                    }
+                    eprintln!("gate FAILED");
+                    std::process::exit(1);
+                }
+            }
+        }
+
+        for (path, committed, def) in &jobs {
+            println!(
+                "benchmark-regression gate: {path} [{}] (tolerance {tolerance})",
+                def.id
+            );
+            if !check_one(def, path, committed, tolerance, emit_dir.as_deref()) {
+                failed = true;
             }
         }
         if failed {
@@ -309,39 +386,51 @@ fn main() {
     }
 
     if tolerance.is_some() || emit_dir.is_some() {
-        usage_error("--tolerance/--emit only apply to --check mode");
+        usage_error("--tolerance/--emit only apply to --check/--check-all/--cmp modes");
     }
 
-    if flow || workload || soak {
-        let artifact = if flow {
-            flow_bench::run_all(samples.unwrap_or(11))
-        } else if workload {
-            workload_bench::run_all(samples.unwrap_or(11))
-        } else {
-            soak_bench::run_all(samples.unwrap_or(11))
-        };
-        print!("{}", gate::render_all(&artifact));
-        if let Some(path) = json_path {
-            let json = serde_json::to_string_pretty(&artifact)
-                .unwrap_or_else(|e| fail(format!("artifact does not serialize: {e}")));
-            std::fs::write(&path, json + "\n")
-                .unwrap_or_else(|e| fail(format!("cannot write benchmark artifact {path}: {e}")));
-            println!("wrote {path}");
+    if let Some(glob) = run_glob {
+        let defs = registry().filter(&glob);
+        if defs.is_empty() {
+            fail(format!(
+                "no benchmark matches {glob:?} (known ids: {})",
+                registry().ids().join(", ")
+            ));
+        }
+        if json_path.is_some() && defs.len() > 1 {
+            let ids: Vec<&str> = defs.iter().map(|d| d.id).collect();
+            usage_error(&format!(
+                "--json needs --run to match exactly one benchmark (an artifact holds one), \
+                 but {glob:?} matches {}",
+                ids.join(", ")
+            ));
+        }
+        for def in defs {
+            let artifact = def.run_all(samples.unwrap_or(def.default_samples));
+            println!("{} — {}", def.id, def.title);
+            print!("{}", gate::render_all(&artifact));
+            if let Some(path) = &json_path {
+                let json = serde_json::to_string_pretty(&artifact)
+                    .unwrap_or_else(|e| fail(format!("artifact does not serialize: {e}")));
+                std::fs::write(path, json + "\n").unwrap_or_else(|e| {
+                    fail(format!("cannot write benchmark artifact {path}: {e}"))
+                });
+                println!("wrote {path}");
+            }
         }
         return;
     }
 
+    if json_path.is_some() || samples.is_some() {
+        usage_error("--json/--samples only apply to --run mode");
+    }
+
+    // Bare invocation: the paper's headline claims plus the registry
+    // summary (what `--list` details, one line each).
     print!("{}", rsp_bench::headline());
     println!();
-
-    let artifact = explore_bench::run_all(samples.unwrap_or(11));
-    print!("{}", gate::render_all(&artifact));
-
-    if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&artifact)
-            .unwrap_or_else(|e| fail(format!("artifact does not serialize: {e}")));
-        std::fs::write(&path, json + "\n")
-            .unwrap_or_else(|e| fail(format!("cannot write benchmark artifact {path}: {e}")));
-        println!("wrote {path}");
+    println!("tracked benchmarks (headline --list for details):");
+    for def in registry().defs() {
+        println!("  {:<14} {:<20} {}", def.id, def.artifact, def.title);
     }
 }

@@ -1,17 +1,18 @@
 //! Shared benchmark-artifact schema and the CI regression gate.
 //!
-//! All three tracked artifacts — `BENCH_explore.json` (the
-//! exploration-engine trajectory), `BENCH_flow.json` (the end-to-end
-//! Fig. 7 flow), and `BENCH_workload.json` (the flow over the generated
-//! workload suite) — use the same rebar-style shape: [`BenchReport`]s of
-//! [`EngineRow`]s with median-of-N and best-of-N wall-clock plus
-//! correctness anchors (feasible-design counts and, for flow
-//! benchmarks, the selected base geometry), and one `serial-reference`
-//! row per report serving as the normalization yardstick. [`check_with`]
-//! implements the gate shared by all of them: a row regresses only when
-//! its reference-normalized median **and** best-of-N both exceed the
-//! tolerance (the median-AND-best rule that keeps the gate stable on
-//! noisy 1-CPU hosts), or when a correctness anchor drifts.
+//! Every artifact the registry tracks ([`crate::registry`]) uses the
+//! same rebar-style shape: [`BenchReport`]s of [`EngineRow`]s with
+//! median-of-N and best-of-N wall-clock plus correctness anchors
+//! (feasible-design counts, refill counters, the selected base
+//! geometry), and one `serial-reference` row per report serving as the
+//! normalization yardstick. [`check_with`] implements the gate shared
+//! by all of them: a row regresses only when its reference-normalized
+//! median **and** best-of-N both exceed the tolerance (the
+//! median-AND-best rule that keeps the gate stable on noisy 1-CPU
+//! hosts), or when a correctness anchor drifts. The full methodology —
+//! normalization, the cross-host core-count convention, anchor
+//! semantics, and the regeneration discipline — is documented in
+//! `crates/bench/METHODOLOGY.md`.
 
 use serde::{Deserialize, Serialize};
 
@@ -159,33 +160,15 @@ impl CheckOutcome {
 /// label back to a fresh measurement at the same sample count, or `None`
 /// for an unknown label) and compares engine rows by name.
 ///
-/// Engine timings are compared **normalized by the same run's
-/// `serial-reference` median/min** — the committed artifact's absolute
-/// nanoseconds came from whatever host generated it, so comparing raw
-/// wall-clock across hosts would gate on host speed, not regressions;
-/// the reference is measured in the same process seconds earlier, so
-/// systematic host-speed differences cancel in the ratio. A row
-/// regresses when its normalized median **and** its normalized best-of-N
-/// (minimum) both exceed the committed ratios by more than `tolerance`
-/// (e.g. `0.15` = +15 %) — a genuine slowdown raises both statistics,
-/// while scheduler noise rarely inflates the minimum, so requiring both
-/// keeps the gate stable on busy hosts without letting real regressions
-/// through. A row also regresses when a correctness anchor drifts —
-/// its feasible-design count, or its configuration-cache refill
-/// counters (`refill_segments` / `refill_stall_cycles`, the anchors
-/// that keep the schedule splitter honest: the flows are deterministic,
-/// so any change in how many segments were split or how many stall
-/// cycles they charged is a behavior change, not noise) — or when a
-/// committed engine configuration disappears. The `serial-reference`
-/// row itself is the yardstick and is checked for anchor drift only.
-///
-/// Normalization cancels host *speed* but not host *core count*: a
-/// parallel engine's ratio to the serial reference legitimately depends
-/// on how many cores it fanned out over. When the committed report's
-/// recorded `threads` differs from this host's, timing is therefore
-/// gated only for rows whose ratio is core-count-independent — by
-/// convention, rows whose name contains `1-thread`; parallel rows keep
-/// their correctness anchors and are reported informationally.
+/// A row regresses when its reference-normalized median **and**
+/// best-of-N both exceed the committed ratios by more than `tolerance`
+/// (e.g. `0.15` = +15 %), when a correctness anchor drifts at all
+/// (feasible count, refill counters, selected base geometry), or when
+/// a committed engine configuration disappears. The `serial-reference`
+/// row is the yardstick and is checked for anchor drift only; when the
+/// committed `threads` differs from the host's, timing is gated only
+/// for core-count-independent rows (names containing `1-thread`). The
+/// rationale for each rule is in `crates/bench/METHODOLOGY.md`.
 pub fn check_with(
     committed: &BenchArtifact,
     tolerance: f64,

@@ -2,29 +2,33 @@
 //!
 //! Each `table*`/`figure*` function reproduces one exhibit of the paper
 //! from the library's models and prints our measurement next to the
-//! published value. Thin binaries (`cargo run -p rsp-bench --bin table2`)
-//! wrap each function; `--bin all` prints everything (the source of
-//! `EXPERIMENTS.md`'s measured columns).
+//! published value. One dispatching binary wraps them (`cargo run -p
+//! rsp-bench --bin exhibit -- table2`; `exhibit -- all` prints
+//! everything, the source of `EXPERIMENTS.md`'s measured columns).
 //!
-//! The crate also owns the tracked exploration benchmark
-//! ([`explore_bench`], emitted as `BENCH_explore.json` by the
-//! `headline` binary). `headline -- --check BENCH_explore.json
-//! --tolerance 0.15` is the CI benchmark-regression gate: it re-runs
-//! every committed report and fails when an engine's median *and*
+//! The crate also owns the tracked benchmark **registry**
+//! ([`registry`]): every tracked benchmark is one declarative
+//! [`registry::BenchDef`] (id, workload, space, engines, anchors,
+//! report labels) paired with a per-kind measurement adapter
+//! ([`adapters`]); the `headline` binary is the one generic runner —
+//! `--list` the definitions, `--run <id-glob>` a subset, `--cmp` two
+//! artifacts rebar-style ([`cmp`]), and `--check`/`--check-all` the CI
+//! benchmark-regression gate ([`gate`]): every committed report is
+//! re-run and fails when an engine's reference-normalized median *and*
 //! best-of-N wall-clock both regress beyond the tolerance, when a
-//! feasible-design count drifts, or when a committed engine
-//! configuration disappears. The per-row rows also track pruning
-//! efficacy (`candidates_pruned`, `bound_tightness`) so the
-//! exploration engine's pruning can never silently rot.
+//! correctness anchor drifts, or when a committed engine configuration
+//! disappears (full rules in `crates/bench/METHODOLOGY.md`). The rows
+//! also track pruning efficacy (`candidates_pruned`,
+//! `bound_tightness`) so the exploration engine's pruning can never
+//! silently rot.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod explore_bench;
-pub mod flow_bench;
+pub mod adapters;
+pub mod cmp;
 pub mod gate;
-pub mod soak_bench;
-pub mod workload_bench;
+pub mod registry;
 
 use rsp_arch::{presets, OpKind, RspArchitecture};
 use rsp_core::{estimate_stalls, rearrange, run_flow, AppProfile, FlowConfig, KernelPerf};
