@@ -90,6 +90,7 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
         constraints,
         objective,
         cache: None,
+        profiles: None,
         control: Default::default(),
     };
 

@@ -13,7 +13,7 @@
 //! adapter never decides *which* reports exist, only *how* one label is
 //! measured.
 //!
-//! The four kinds:
+//! The five kinds:
 //!
 //! * [`explore`] — exploration-engine rows over a named design space
 //!   (`rsp/explore`).
@@ -24,8 +24,12 @@
 //!   (`rsp/workload`).
 //! * [`soak`] — anytime-robustness rows: budget truncation, fault
 //!   isolation, checkpoint/resume (`rsp/soak`).
+//! * [`serve`] — flow requests through the `rsp-serve` wire path,
+//!   cache-warm vs cache-cold, sequential vs concurrent clients
+//!   (`rsp/serve`).
 
 pub mod explore;
 pub mod flow;
+pub mod serve;
 pub mod soak;
 pub mod workload;

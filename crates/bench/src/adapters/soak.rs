@@ -96,6 +96,7 @@ pub fn run(samples: u32) -> BenchReport {
         constraints: Constraints::default(),
         objective: Objective::AreaDelayProduct,
         cache: None,
+        profiles: None,
         control,
     };
 

@@ -84,17 +84,18 @@ fn usage_error(msg: &str) -> ! {
 /// wall-clock deadline, optionally resumed from / checkpointed to
 /// `resume_path`.
 fn run_anytime(deadline_ms: Option<u64>, resume_path: Option<&str>) {
-    use rsp_arch::presets;
     use rsp_core::{
-        explore_resume, explore_with, Completeness, DesignSpace, ExploreControl, ExploreOptions,
+        explore_resume, explore_with, Completeness, DesignSpace, ExploreControl, Session,
     };
-    use rsp_mapper::{map, MapOptions};
 
-    let base = presets::base_8x8().base().clone();
+    // The session assembles options and memoizes the mapped contexts —
+    // the same request layer the CLI and `rsp-serve` build on.
+    let session = Session::builder().build();
+    let base = session.base(8, 8);
     let kernels = rsp_kernel::suite::all();
     let contexts: Vec<_> = kernels
         .iter()
-        .map(|k| map(&base, k, &MapOptions::default()).expect("suite maps"))
+        .map(|k| (*session.map(&base, k).expect("suite maps")).clone())
         .collect();
     let weights = vec![1.0; kernels.len()];
     let space = DesignSpace::deep();
@@ -102,10 +103,7 @@ fn run_anytime(deadline_ms: Option<u64>, resume_path: Option<&str>) {
         Some(ms) => ExploreControl::with_deadline(Duration::from_millis(ms)),
         None => ExploreControl::default(),
     };
-    let options = ExploreOptions {
-        control,
-        ..ExploreOptions::default()
-    };
+    let options = session.explore_options(control);
 
     let checkpoint = match resume_path {
         Some(path) if Path::new(path).exists() => {

@@ -300,7 +300,7 @@ pub fn glob_match(pattern: &str, text: &str) -> bool {
     p[pi..].iter().all(|&c| c == '*')
 }
 
-/// The built-in definitions — the four tracked benchmarks.
+/// The built-in definitions — the five tracked benchmarks.
 fn builtin_defs() -> Vec<BenchDef> {
     vec![
         BenchDef {
@@ -386,6 +386,28 @@ fn builtin_defs() -> Vec<BenchDef> {
             default_samples: 21,
             measure: adapters::soak::measure,
         },
+        BenchDef {
+            id: "rsp/serve",
+            artifact: "BENCH_serve.json",
+            title: "flow requests through the rsp-serve wire path, warm vs cold",
+            workload: "video app (fdct+sad+inner_product), 4 flow requests per sample",
+            space: "serve-flows (paper space, 12 candidates, 8x8 base)",
+            engines: &[
+                "serial-reference",
+                "serve-cold-1-client",
+                "serve-warm-1-client",
+                "serve-warm-4-clients",
+            ],
+            anchors: &[
+                "feasible",
+                "selected_pe_count=64",
+                "replies byte-identical to the in-process engine (asserted while measuring)",
+                "warm rows add zero synthesis-cache misses (asserted while measuring)",
+            ],
+            labels: &["serve-flows"],
+            default_samples: 11,
+            measure: adapters::serve::measure,
+        },
     ]
 }
 
@@ -437,12 +459,19 @@ mod tests {
         let reg = registry();
         assert_eq!(
             reg.ids(),
-            vec!["rsp/explore", "rsp/flow", "rsp/workload", "rsp/soak"]
+            vec![
+                "rsp/explore",
+                "rsp/flow",
+                "rsp/workload",
+                "rsp/soak",
+                "rsp/serve"
+            ]
         );
         assert!(reg.find("rsp/soak").is_some());
+        assert!(reg.find("rsp/serve").is_some());
         assert!(reg.find("rsp/nope").is_none());
-        assert_eq!(reg.filter("*").len(), 4);
-        assert_eq!(reg.filter("rsp/*").len(), 4);
+        assert_eq!(reg.filter("*").len(), 5);
+        assert_eq!(reg.filter("rsp/*").len(), 5);
         let flows: Vec<&str> = reg.filter("rsp/flow").iter().map(|d| d.id).collect();
         assert_eq!(flows, vec!["rsp/flow"]);
         let w: Vec<&str> = reg.filter("*work*").iter().map(|d| d.id).collect();
@@ -506,13 +535,20 @@ mod tests {
         write("BENCH_flow.json", "rsp/flow");
         write("BENCH_workload.json", "rsp/workload");
         write("BENCH_soak.json", "rsp/soak");
+        write("BENCH_serve.json", "rsp/serve");
         let found = registry().discover(&dir).unwrap();
-        assert_eq!(found.len(), 4);
+        assert_eq!(found.len(), 5);
         let mut ids: Vec<&str> = found.iter().map(|d| d.def.id).collect();
         ids.sort_unstable();
         assert_eq!(
             ids,
-            vec!["rsp/explore", "rsp/flow", "rsp/soak", "rsp/workload"]
+            vec![
+                "rsp/explore",
+                "rsp/flow",
+                "rsp/serve",
+                "rsp/soak",
+                "rsp/workload"
+            ]
         );
 
         // An artifact with no matching definition is an error.

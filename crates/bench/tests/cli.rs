@@ -218,6 +218,7 @@ fn check_all_matches_the_per_artifact_gate_verdict() {
     write_artifact(&dir, "BENCH_flow.json", "rsp/flow", "[]");
     write_artifact(&dir, "BENCH_workload.json", "rsp/workload", "[]");
     write_artifact(&dir, "BENCH_soak.json", "rsp/soak", "[]");
+    write_artifact(&dir, "BENCH_serve.json", "rsp/serve", "[]");
 
     // Old-style two-step verdict: per-artifact --check invocations.
     let per_artifact = headline()
@@ -236,10 +237,16 @@ fn check_all_matches_the_per_artifact_gate_verdict() {
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("discovered 4 committed artifacts for 4 registered benchmarks"),
+        stdout.contains("discovered 5 committed artifacts for 5 registered benchmarks"),
         "{stdout}"
     );
-    for id in ["rsp/explore", "rsp/flow", "rsp/workload", "rsp/soak"] {
+    for id in [
+        "rsp/explore",
+        "rsp/flow",
+        "rsp/workload",
+        "rsp/soak",
+        "rsp/serve",
+    ] {
         assert!(
             stdout.contains(&format!("[{id}]")),
             "missing {id}: {stdout}"
@@ -252,6 +259,7 @@ fn check_all_matches_the_per_artifact_gate_verdict() {
         "BENCH_flow.json",
         "BENCH_workload.json",
         "BENCH_soak.json",
+        "BENCH_serve.json",
     ] {
         assert!(
             dir.join("regen").join(name).is_file(),

@@ -264,6 +264,12 @@ pub struct ExploreOptions {
     /// run-local cache, which still deduplicates the base plan and any
     /// plans repeated within the space.
     pub cache: Option<Arc<ModelCache>>,
+    /// Kernel-profile memo to use. Pass one shared
+    /// [`ProfileCache`](crate::ProfileCache) when exploring the same
+    /// kernels repeatedly (each `(context, kernel)` pair is profiled
+    /// exactly once across all runs that share it); `None` profiles
+    /// fresh per run. Profiling is pure, so results are unaffected.
+    pub profiles: Option<Arc<crate::ProfileCache>>,
     /// Run budget and cooperative cancellation (default: unlimited).
     /// When a deadline, candidate budget, or external cancel stops the
     /// sweep early, the result is an anytime prefix tagged
@@ -281,6 +287,7 @@ impl Default for ExploreOptions {
             constraints: Constraints::default(),
             objective: Objective::AreaDelayProduct,
             cache: None,
+            profiles: None,
             control: ExploreControl::default(),
         }
     }
@@ -740,11 +747,16 @@ fn explore_engine(
         validate_checkpoint(ckpt, &fingerprint, base_et)?;
     }
 
-    // One profile per kernel, shared read-only by all workers.
-    let profiles: Vec<ContextProfile> = contexts
+    // One profile per kernel, shared read-only by all workers — served
+    // from the caller's ProfileCache when one rides along (profiling is
+    // pure, so cached and fresh profiles are interchangeable).
+    let profiles: Vec<Arc<ContextProfile>> = contexts
         .iter()
         .zip(kernels)
-        .map(|(ctx, k)| ContextProfile::new(ctx, k, &space.shared_kinds))
+        .map(|(ctx, k)| match &options.profiles {
+            Some(cache) => cache.get_or_build(ctx, k, &space.shared_kinds),
+            None => Arc::new(ContextProfile::new(ctx, k, &space.shared_kinds)),
+        })
         .collect();
 
     let pool = rayon::ThreadPoolBuilder::new()

@@ -71,8 +71,9 @@ use rayon::prelude::*;
 use rsp_arch::{ArrayGeometry, BaseArchitecture, BusSpec, PeDesign, RspArchitecture, SharingPlan};
 use rsp_kernel::Kernel;
 use rsp_mapper::{map, ConfigContext, MapOptions};
-use rsp_synth::{AreaModel, DelayModel};
+use rsp_synth::{AreaModel, DelayModel, ModelCache};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// One application of the target domain: named kernels with execution
 /// counts (the profiling input).
@@ -127,6 +128,16 @@ pub struct FlowConfig {
     /// Whether exploration consults the stage-floor clock bound before
     /// delay synthesis (default [`ClockBound::StageFloor`]).
     pub clock_bound: ClockBound,
+    /// Synthesis-report memo shared across flows (default `None` = one
+    /// fresh cache per exploration, exactly as before). When set, both
+    /// the exploration phase and the exact stage's delay queries are
+    /// served from it — reports are pure, so outputs stay bit-identical;
+    /// only re-synthesis is avoided. [`crate::Session`] wires this
+    /// automatically.
+    pub cache: Option<Arc<ModelCache>>,
+    /// Kernel-profile memo shared across flows (default `None` =
+    /// profile fresh per run; see [`ExploreOptions::profiles`]).
+    pub profiles: Option<Arc<crate::ProfileCache>>,
     /// Run budget and cooperative cancellation across the whole flow
     /// (default: unlimited). The deadline and cancel flag are checked in
     /// every phase; the candidate budget is shared by the exploration
@@ -154,6 +165,8 @@ impl Default for FlowConfig {
             prune: PruneStrategy::default(),
             bound: BoundKind::default(),
             clock_bound: ClockBound::default(),
+            cache: None,
+            profiles: None,
             control: ExploreControl::default(),
         }
     }
@@ -446,7 +459,8 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
             clock_bound: config.clock_bound,
             constraints: config.constraints,
             objective: config.objective,
-            cache: None,
+            cache: config.cache.clone(),
+            profiles: config.profiles.clone(),
             control: ExploreControl {
                 deadline: clock.remaining_deadline(),
                 candidate_budget: config.control.candidate_budget,
@@ -522,10 +536,15 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
                 continue;
             }
         }
-        // One delay synthesis per candidate, shared by every kernel.
+        // One delay synthesis per candidate, shared by every kernel —
+        // served from the shared memo when the config carries one (the
+        // exploration phase synthesized every frontier plan already).
         // Panic-isolated like every candidate evaluation: a faulted
         // candidate is counted and skipped, never aborts the flow.
-        let Ok(delay_report) = catch_unwind(AssertUnwindSafe(|| delay.report(&point.arch))) else {
+        let Ok(delay_report) = catch_unwind(AssertUnwindSafe(|| match config.cache.as_deref() {
+            Some(cache) => cache.reports(&point.arch).1,
+            None => delay.report(&point.arch),
+        })) else {
             stats.faulted += 1;
             stats.rearrangements_failed += 1;
             if first_err.is_none() {

@@ -82,6 +82,7 @@ mod frontier;
 mod perf;
 mod power;
 mod rearrange;
+mod session;
 mod utilization;
 
 pub use control::{Completeness, ExploreControl, TruncationReason};
@@ -99,4 +100,5 @@ pub use frontier::ParetoFrontier;
 pub use perf::{evaluate_perf, perf_from_rearranged, perf_from_rearranged_with, KernelPerf};
 pub use power::{activity_of, evaluate_energy};
 pub use rearrange::{rearrange, RearrangeOptions, Rearranged};
+pub use session::{ProfileCache, Session, SessionBuilder, SessionStats};
 pub use utilization::{utilization_of, FuUtilization, UtilizationReport};

@@ -1,0 +1,641 @@
+//! Session state, split from the engine — the unified request layer.
+//!
+//! A [`Session`] owns everything that outlives one query: the memoized
+//! synthesis reports ([`ModelCache`], keyed by `(geometry, plan)`), the
+//! per-kernel demand profiles ([`ProfileCache`], keyed by kernel hash),
+//! the mapped initial contexts, and the option defaults that every
+//! request inherits. The engine entry points ([`explore_with`],
+//! [`run_flow`]) stay pure functions of their inputs; a session merely
+//! *assembles* their option structs — one [`SessionBuilder`] replaces
+//! the hand-built `ExploreOptions` + `FlowConfig` + [`ExploreControl`]
+//! pattern at call sites — and threads its shared caches through them,
+//! so repeated or concurrent requests never re-synthesize a plan or
+//! re-profile a kernel they have seen.
+//!
+//! Results are unaffected: cached reports and profiles are pure
+//! functions of their keys, so a session-backed query is bit-identical
+//! to a cold one (property-tested below and in `crates/serve`). The CLI
+//! issues one request per process; `rsp-serve` keeps one session for
+//! the process lifetime and answers map/explore/flow requests from many
+//! clients against it.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsp_core::{DesignSpace, ExploreControl, Session};
+//! use rsp_kernel::suite;
+//!
+//! let session = Session::builder().build();
+//! let base = session.base(8, 8);
+//! let kernels = [suite::fdct(), suite::sad()];
+//! let weights = [1.0, 1.0];
+//!
+//! // First request synthesizes; an overlapping second request reuses
+//! // every report (`session.stats().model_hits` grows).
+//! for _ in 0..2 {
+//!     let result = session.explore(
+//!         &base,
+//!         &kernels,
+//!         &weights,
+//!         &DesignSpace::paper(),
+//!         ExploreControl::default(),
+//!     )?;
+//!     assert!(result.best_point().arch.plan().has_pipelining());
+//! }
+//! assert!(session.stats().model_hits > 0);
+//! # Ok::<(), rsp_core::RspError>(())
+//! ```
+
+use crate::control::ExploreControl;
+use crate::error::RspError;
+use crate::estimate::{BoundKind, ClockBound, ContextProfile};
+use crate::explore::{
+    explore_with, Constraints, DesignSpace, Exploration, ExploreOptions, Objective, PruneStrategy,
+};
+use crate::flow::{run_flow, AppProfile, FlowConfig, FlowReport};
+use crate::rearrange::RearrangeOptions;
+use rsp_arch::{ArrayGeometry, BaseArchitecture, BusSpec, FuKind, PeDesign};
+use rsp_kernel::Kernel;
+use rsp_mapper::{map, ConfigContext, MapOptions};
+use rsp_synth::ModelCache;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hashes `Debug` output directly into a [`DefaultHasher`] without
+/// materializing the string. `Debug` for the hashed types is derived
+/// (and floats print shortest-round-trip), so equal values hash equal
+/// and distinct values collide with probability ~2⁻⁶⁴ — the usual
+/// memoization trade.
+struct HashWriter<'a>(&'a mut DefaultHasher);
+
+impl std::fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+fn fingerprint(parts: std::fmt::Arguments<'_>) -> u64 {
+    // `DefaultHasher::new()` is keyed deterministically (unlike
+    // `RandomState`), so fingerprints are stable within a build.
+    let mut h = DefaultHasher::new();
+    let _ = HashWriter(&mut h).write_fmt(parts);
+    h.finish()
+}
+
+/// Thread-safe memo of [`ContextProfile`]s keyed by kernel hash (the
+/// kernel, its mapped context, and the shared kinds being profiled).
+/// Profiling is a pure function of that key, so sharing one cache
+/// across requests — [`ExploreOptions::profiles`] /
+/// [`FlowConfig::profiles`], wired automatically by [`Session`] —
+/// changes nothing but the work performed.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    memo: Mutex<HashMap<u64, Arc<ContextProfile>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProfileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The profile for `(ctx, kernel, kinds)`, built at most once.
+    pub fn get_or_build(
+        &self,
+        ctx: &ConfigContext,
+        kernel: &Kernel,
+        kinds: &[FuKind],
+    ) -> Arc<ContextProfile> {
+        let key = fingerprint(format_args!("{ctx:?}\u{1}{kernel:?}\u{1}{kinds:?}"));
+        if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Built outside the lock: profiling is the expensive part and a
+        // racing duplicate build is pure, so last-write-wins is harmless.
+        let profile = Arc::new(ContextProfile::new(ctx, kernel, kinds));
+        self.memo
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&profile));
+        profile
+    }
+
+    /// Distinct `(context, kernel, kinds)` triples profiled so far.
+    pub fn len(&self) -> usize {
+        self.memo.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been profiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to profile.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Builder for a [`Session`]: every knob the old hand-assembled
+/// `ExploreOptions` / [`FlowConfig`] pattern exposed, with the same
+/// defaults, set once and inherited by every request.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    parallelism: Option<usize>,
+    prune: PruneStrategy,
+    bound: BoundKind,
+    clock_bound: ClockBound,
+    constraints: Constraints,
+    objective: Objective,
+    coverage: f64,
+    geometries: Vec<(usize, usize)>,
+    config_cache_depth: usize,
+    map_options: MapOptions,
+    rearrange_options: RearrangeOptions,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        let flow = FlowConfig::default();
+        Self {
+            parallelism: flow.parallelism,
+            prune: flow.prune,
+            bound: flow.bound,
+            clock_bound: flow.clock_bound,
+            constraints: flow.constraints,
+            objective: flow.objective,
+            coverage: flow.coverage,
+            geometries: flow.geometries,
+            config_cache_depth: flow.config_cache_depth,
+            map_options: flow.map_options,
+            rearrange_options: flow.rearrange_options,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Starts from the engine defaults ([`FlowConfig::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker threads per request (`None` = all cores, `Some(1)` =
+    /// serial; results are identical either way).
+    pub fn parallelism(mut self, parallelism: Option<usize>) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Pruning aggressiveness (see [`PruneStrategy`]).
+    pub fn prune(mut self, prune: PruneStrategy) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Lower-bound strength pruning works with (see [`BoundKind`]).
+    pub fn bound(mut self, bound: BoundKind) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// Stage-floor clock cut before delay synthesis (see [`ClockBound`]).
+    pub fn clock_bound(mut self, clock_bound: ClockBound) -> Self {
+        self.clock_bound = clock_bound;
+        self
+    }
+
+    /// Feasibility constraints.
+    pub fn constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Selection objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Profiling coverage for flow requests ([`FlowConfig::coverage`]).
+    pub fn coverage(mut self, coverage: f64) -> Self {
+        self.coverage = coverage;
+        self
+    }
+
+    /// Candidate base geometries for flow requests.
+    pub fn geometries(mut self, geometries: Vec<(usize, usize)>) -> Self {
+        self.geometries = geometries;
+        self
+    }
+
+    /// Per-PE configuration-cache depth of session-built bases.
+    pub fn config_cache_depth(mut self, depth: usize) -> Self {
+        self.config_cache_depth = depth;
+        self
+    }
+
+    /// Mapper options for session-built contexts.
+    pub fn map_options(mut self, map_options: MapOptions) -> Self {
+        self.map_options = map_options;
+        self
+    }
+
+    /// Rearrangement options for flow requests.
+    pub fn rearrange_options(mut self, rearrange_options: RearrangeOptions) -> Self {
+        self.rearrange_options = rearrange_options;
+        self
+    }
+
+    /// Builds the session with fresh (empty) caches.
+    pub fn build(self) -> Session {
+        Session {
+            config: self,
+            models: Arc::new(ModelCache::new()),
+            profiles: Arc::new(ProfileCache::new()),
+            contexts: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Cache observability snapshot ([`Session::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Distinct plans with full synthesis reports ([`ModelCache::len`]).
+    pub model_reports: usize,
+    /// Synthesis-memo hits ([`ModelCache::hits`]).
+    pub model_hits: u64,
+    /// Synthesis-memo misses ([`ModelCache::misses`]).
+    pub model_misses: u64,
+    /// Distinct kernel profiles cached ([`ProfileCache::len`]).
+    pub profile_entries: usize,
+    /// Profile-memo hits.
+    pub profile_hits: u64,
+    /// Profile-memo misses.
+    pub profile_misses: u64,
+    /// Distinct mapped contexts cached by [`Session::map`].
+    pub mapped_contexts: usize,
+    /// Requests answered through this session's typed entry points
+    /// ([`Session::map`], [`Session::explore`], [`Session::flow`]).
+    pub requests: u64,
+}
+
+/// Long-lived engine state shared by every request: option defaults
+/// plus the synthesis, profile, and mapping caches. See the module docs
+/// for the session/engine split; construct via [`Session::builder`].
+///
+/// `Session` is `Send + Sync`: concurrent requests share the caches and
+/// observe bit-identical results to serial runs.
+#[derive(Debug)]
+pub struct Session {
+    config: SessionBuilder,
+    models: Arc<ModelCache>,
+    profiles: Arc<ProfileCache>,
+    contexts: Mutex<HashMap<u64, Arc<ConfigContext>>>,
+    requests: AtomicU64,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::builder().build()
+    }
+}
+
+impl Session {
+    /// Starts building a session from the engine defaults.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// The shared synthesis memo every request of this session uses.
+    pub fn model_cache(&self) -> Arc<ModelCache> {
+        Arc::clone(&self.models)
+    }
+
+    /// The shared kernel-profile memo.
+    pub fn profile_cache(&self) -> Arc<ProfileCache> {
+        Arc::clone(&self.profiles)
+    }
+
+    /// Cache counters — the observable proof of cross-request sharing.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            model_reports: self.models.len(),
+            model_hits: self.models.hits(),
+            model_misses: self.models.misses(),
+            profile_entries: self.profiles.len(),
+            profile_hits: self.profiles.hits(),
+            profile_misses: self.profiles.misses(),
+            mapped_contexts: self.contexts.lock().unwrap().len(),
+            requests: self.requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A base architecture with the session's configuration-cache depth
+    /// (paper PE design and bus spec).
+    pub fn base(&self, rows: usize, cols: usize) -> BaseArchitecture {
+        BaseArchitecture::new(
+            ArrayGeometry::new(rows, cols),
+            PeDesign::full(),
+            BusSpec::paper_default(),
+            self.config_cache_depth(),
+        )
+    }
+
+    /// The session's configuration-cache depth.
+    pub fn config_cache_depth(&self) -> usize {
+        self.config.config_cache_depth
+    }
+
+    /// [`ExploreOptions`] assembled from the session defaults with the
+    /// shared caches attached — the unified replacement for hand-built
+    /// option structs. `control` carries the per-request deadline /
+    /// candidate budget / cancel flag.
+    pub fn explore_options(&self, control: ExploreControl) -> ExploreOptions {
+        ExploreOptions {
+            parallelism: self.config.parallelism,
+            prune: self.config.prune,
+            bound: self.config.bound,
+            clock_bound: self.config.clock_bound,
+            constraints: self.config.constraints,
+            objective: self.config.objective,
+            cache: Some(Arc::clone(&self.models)),
+            profiles: Some(Arc::clone(&self.profiles)),
+            control,
+        }
+    }
+
+    /// [`FlowConfig`] assembled from the session defaults with the
+    /// shared caches attached; `control` is per-request.
+    pub fn flow_config(&self, space: DesignSpace, control: ExploreControl) -> FlowConfig {
+        FlowConfig {
+            coverage: self.config.coverage,
+            geometries: self.config.geometries.clone(),
+            config_cache_depth: self.config.config_cache_depth,
+            space,
+            constraints: self.config.constraints,
+            objective: self.config.objective,
+            map_options: self.config.map_options,
+            rearrange_options: self.config.rearrange_options,
+            parallelism: self.config.parallelism,
+            prune: self.config.prune,
+            bound: self.config.bound,
+            clock_bound: self.config.clock_bound,
+            cache: Some(Arc::clone(&self.models)),
+            profiles: Some(Arc::clone(&self.profiles)),
+            control,
+        }
+    }
+
+    /// Maps `kernel` onto `base` with the session's mapper options,
+    /// memoized: repeated requests for the same `(base, kernel)` reuse
+    /// the context (mapping is deterministic, so reuse is exact).
+    ///
+    /// # Errors
+    ///
+    /// [`RspError::Map`] when the kernel does not fit the base array.
+    pub fn map(
+        &self,
+        base: &BaseArchitecture,
+        kernel: &Kernel,
+    ) -> Result<Arc<ConfigContext>, RspError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let key = fingerprint(format_args!(
+            "{base:?}\u{1}{kernel:?}\u{1}{:?}",
+            self.config.map_options
+        ));
+        if let Some(hit) = self.contexts.lock().unwrap().get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let ctx = Arc::new(map(base, kernel, &self.config.map_options).map_err(RspError::Map)?);
+        self.contexts
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&ctx));
+        Ok(ctx)
+    }
+
+    /// Explores `space` for `kernels` (with weights) over `base`: maps
+    /// each kernel through the session's context memo, then runs
+    /// [`explore_with`] under [`Session::explore_options`]. Bit-identical
+    /// to a cold [`explore_with`] call with default options.
+    ///
+    /// # Errors
+    ///
+    /// Mapping errors ([`RspError::Map`]) and exploration errors
+    /// ([`RspError::NoFeasibleDesign`]) are propagated.
+    pub fn explore(
+        &self,
+        base: &BaseArchitecture,
+        kernels: &[Kernel],
+        weights: &[f64],
+        space: &DesignSpace,
+        control: ExploreControl,
+    ) -> Result<Exploration, RspError> {
+        let contexts: Vec<ConfigContext> = kernels
+            .iter()
+            .map(|k| self.map(base, k).map(|ctx| (*ctx).clone()))
+            .collect::<Result<_, _>>()?;
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        explore_with(
+            base,
+            kernels,
+            &contexts,
+            weights,
+            space,
+            &self.explore_options(control),
+        )
+    }
+
+    /// Runs the full Fig. 7 flow over `apps` under the session defaults
+    /// and shared caches. Bit-identical to a cold [`run_flow`] call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`run_flow`]'s errors.
+    pub fn flow(
+        &self,
+        apps: &[AppProfile],
+        space: DesignSpace,
+        control: ExploreControl,
+    ) -> Result<FlowReport, RspError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        run_flow(apps, &self.flow_config(space, control))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_kernel::suite;
+
+    fn kernels_and_weights() -> (Vec<Kernel>, Vec<f64>) {
+        let kernels = vec![suite::fdct(), suite::sad(), suite::inner_product()];
+        let weights = vec![1.0; kernels.len()];
+        (kernels, weights)
+    }
+
+    #[test]
+    fn builder_defaults_mirror_engine_defaults() {
+        let session = Session::builder().build();
+        let opts = session.explore_options(ExploreControl::default());
+        let defaults = ExploreOptions::default();
+        assert_eq!(opts.parallelism, defaults.parallelism);
+        assert_eq!(opts.prune, defaults.prune);
+        assert_eq!(opts.bound, defaults.bound);
+        assert_eq!(opts.clock_bound, defaults.clock_bound);
+        assert_eq!(opts.constraints, defaults.constraints);
+        assert_eq!(opts.objective, defaults.objective);
+        // The one deliberate difference: the session's caches ride along.
+        assert!(opts.cache.is_some());
+        assert!(opts.profiles.is_some());
+
+        let cfg = session.flow_config(DesignSpace::paper(), ExploreControl::default());
+        let flow_defaults = FlowConfig::default();
+        assert_eq!(cfg.coverage, flow_defaults.coverage);
+        assert_eq!(cfg.geometries, flow_defaults.geometries);
+        assert_eq!(cfg.config_cache_depth, flow_defaults.config_cache_depth);
+    }
+
+    #[test]
+    fn session_explore_is_bit_identical_to_cold_engine() {
+        let session = Session::builder().build();
+        let base = session.base(8, 8);
+        let (kernels, weights) = kernels_and_weights();
+        let space = DesignSpace::paper();
+
+        let cold_contexts: Vec<ConfigContext> = kernels
+            .iter()
+            .map(|k| map(&base, k, &MapOptions::default()).unwrap())
+            .collect();
+        let cold = explore_with(
+            &base,
+            &kernels,
+            &cold_contexts,
+            &weights,
+            &space,
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+
+        for _ in 0..2 {
+            let warm = session
+                .explore(&base, &kernels, &weights, &space, ExploreControl::default())
+                .unwrap();
+            assert_eq!(warm.feasible.len(), cold.feasible.len());
+            assert_eq!(warm.pareto, cold.pareto);
+            assert_eq!(warm.best, cold.best);
+            for (a, b) in warm.feasible.iter().zip(&cold.feasible) {
+                assert_eq!(a.arch.name(), b.arch.name());
+                assert_eq!(a.area_slices.to_bits(), b.area_slices.to_bits());
+                assert_eq!(a.est_et_ns.to_bits(), b.est_et_ns.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_requests_hit_every_cache() {
+        let session = Session::builder().build();
+        let base = session.base(8, 8);
+        let (kernels, weights) = kernels_and_weights();
+        let space = DesignSpace::paper();
+        session
+            .explore(&base, &kernels, &weights, &space, ExploreControl::default())
+            .unwrap();
+        let first = session.stats();
+        assert!(first.model_reports > 0);
+        assert_eq!(first.profile_entries, kernels.len());
+        assert_eq!(first.mapped_contexts, kernels.len());
+
+        session
+            .explore(&base, &kernels, &weights, &space, ExploreControl::default())
+            .unwrap();
+        let second = session.stats();
+        // Nothing new was synthesized, mapped, or profiled...
+        assert_eq!(second.model_reports, first.model_reports);
+        assert_eq!(second.model_misses, first.model_misses);
+        assert_eq!(second.profile_entries, first.profile_entries);
+        assert_eq!(second.profile_misses, first.profile_misses);
+        assert_eq!(second.mapped_contexts, first.mapped_contexts);
+        // ...because the memos answered instead.
+        assert!(second.model_hits > first.model_hits);
+        assert_eq!(
+            second.profile_hits,
+            first.profile_hits + kernels.len() as u64
+        );
+        assert!(second.requests > first.requests);
+    }
+
+    #[test]
+    fn session_flow_is_bit_identical_to_cold_flow() {
+        let apps = vec![AppProfile::new(
+            "session-test",
+            vec![(suite::fdct(), 99), (suite::sad(), 396)],
+        )];
+        let cold = run_flow(&apps, &FlowConfig::default()).unwrap();
+        let session = Session::builder().build();
+        for _ in 0..2 {
+            let warm = session
+                .flow(&apps, DesignSpace::paper(), ExploreControl::default())
+                .unwrap();
+            assert_eq!(warm.chosen.name(), cold.chosen.name());
+            assert_eq!(warm.area_slices.to_bits(), cold.area_slices.to_bits());
+            assert_eq!(
+                warm.weighted_et_ns().to_bits(),
+                cold.weighted_et_ns().to_bits()
+            );
+        }
+        assert!(session.stats().model_hits > 0);
+    }
+
+    #[test]
+    fn profile_cache_distinguishes_kernels_and_kinds() {
+        let session = Session::builder().build();
+        let base = session.base(8, 8);
+        let cache = session.profile_cache();
+        let ctx_fdct = session.map(&base, &suite::fdct()).unwrap();
+        let ctx_sad = session.map(&base, &suite::sad()).unwrap();
+        cache.get_or_build(&ctx_fdct, &suite::fdct(), &[FuKind::Multiplier]);
+        cache.get_or_build(&ctx_sad, &suite::sad(), &[FuKind::Multiplier]);
+        cache.get_or_build(
+            &ctx_fdct,
+            &suite::fdct(),
+            &[FuKind::Multiplier, FuKind::Alu],
+        );
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        cache.get_or_build(&ctx_fdct, &suite::fdct(), &[FuKind::Multiplier]);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn map_memo_reuses_contexts_per_base() {
+        let session = Session::builder().build();
+        let base8 = session.base(8, 8);
+        let base4 = session.base(4, 4);
+        let a = session.map(&base8, &suite::sad()).unwrap();
+        let b = session.map(&base8, &suite::sad()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // A different base is a different key.
+        let c = session.map(&base4, &suite::sad()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(session.stats().mapped_contexts, 2);
+    }
+}

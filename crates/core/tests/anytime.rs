@@ -54,6 +54,7 @@ fn options(prune: PruneStrategy, bound: BoundKind, control: ExploreControl) -> E
         constraints: Constraints::default(),
         objective: Objective::AreaDelayProduct,
         cache: None,
+        profiles: None,
         control,
     }
 }

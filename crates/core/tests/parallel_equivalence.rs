@@ -121,6 +121,7 @@ proptest! {
                 constraints,
                 objective,
                 cache: None,
+                profiles: None,
                 control: Default::default(),
             },
         );
@@ -159,6 +160,7 @@ proptest! {
                 constraints: Constraints::default(),
                 objective,
                 cache: None,
+                profiles: None,
                 control: Default::default(),
             },
         ).unwrap();

@@ -1,0 +1,82 @@
+//! Blocking line-protocol client.
+
+use crate::proto::{Envelope, Reply, Request, Response, PROTOCOL_VERSION};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking client: one TCP connection, one in-flight request at a
+/// time. Correlation ids are assigned internally and checked on every
+/// reply.
+///
+/// Protocol-level failures ([`Response::Error`]) are returned as normal
+/// responses — the connection stays usable; only transport failures
+/// (and undecodable replies) surface as [`io::Error`].
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        // Requests are single small lines followed by a blocking read;
+        // Nagle + delayed ACK would add ~40ms to every call.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            writer,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and blocks for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a reply that is not valid protocol JSON, or
+    /// a reply whose correlation id does not match the request's.
+    pub fn call(&mut self, body: Request) -> io::Result<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let env = Envelope {
+            v: PROTOCOL_VERSION,
+            id,
+            body,
+        };
+        let mut line = serde_json::to_string(&env)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        // One write per request: a separate one-byte `\n` write would sit
+        // in the Nagle queue behind the unacknowledged body segment.
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+
+        let mut reply_line = String::new();
+        if self.reader.read_line(&mut reply_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let reply: Reply = serde_json::from_str(reply_line.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        // A request too malformed to carry an id is answered with id 0;
+        // that cannot happen for envelopes this client assembled itself,
+        // so any mismatch is a framing bug worth failing loudly on.
+        if reply.id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("reply id {} does not match request id {id}", reply.id),
+            ));
+        }
+        Ok(reply.body)
+    }
+}

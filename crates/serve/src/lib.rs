@@ -1,0 +1,536 @@
+//! # rsp-serve — exploration as a long-running service
+//!
+//! A thread-pool `std::net` line-protocol server over one shared
+//! [`rsp_core::Session`]: clients send JSON [`proto::Envelope`] lines
+//! (kernels as `rsp_workload` textual DFG source) and get map / explore
+//! / flow answers concurrently, all served from the session's
+//! process-wide caches — synthesis reports keyed by `(geometry, plan)`,
+//! kernel profiles keyed by kernel hash — so a stream of overlapping
+//! requests synthesizes each plan once instead of once per request.
+//!
+//! Engine invariants carry over to the wire:
+//!
+//! * **Bit identity** — a served request returns the same bits as the
+//!   single-shot CLI run (caches are pure memos; the serve tests compare
+//!   serialized responses byte-for-byte against in-process runs).
+//! * **Anytime limits** — [`proto::Limits`] maps onto
+//!   [`rsp_core::ExploreControl`]: per-request deadlines and candidate
+//!   budgets truncate that request only, returning best-so-far results
+//!   flagged `complete: false`.
+//! * **Panic isolation** — every request body runs under
+//!   `catch_unwind`; a poisoned request answers
+//!   [`proto::Response::Error`] and the worker (and the connection)
+//!   keep serving.
+//! * **Diagnostics, not disconnects** — malformed lines answer with a
+//!   one-line error naming the field (the serde-stub error paths), and
+//!   a version mismatch is rejected against
+//!   [`proto::PROTOCOL_VERSION`] before the body is examined.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsp_serve::proto::{Request, Response};
+//! use rsp_serve::{Client, ServeConfig, Server};
+//!
+//! let server = Server::spawn(ServeConfig::default())?;
+//! let mut client = Client::connect(server.addr())?;
+//! assert_eq!(client.call(Request::Ping)?, Response::Pong);
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod proto;
+
+mod client;
+pub use client::Client;
+
+use proto::{
+    Envelope, ExploreReply, ExploreRequest, FlowReply, FlowRequest, FrontierPoint, Limits,
+    MapReply, MapRequest, Reply, Request, Response, SpaceSpec, StatsReply, PROTOCOL_VERSION,
+};
+use rsp_core::{AppProfile, DesignSpace, ExploreControl, Session};
+use rsp_kernel::Kernel;
+use rsp_workload::parse_kernel;
+use serde::Value;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a worker blocks in one read before re-checking the shutdown
+/// flag (also bounds shutdown latency for idle connections).
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Accept-loop poll interval (the listener is non-blocking so the
+/// accept thread can observe shutdown).
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address. Port 0 picks a free port (read it back with
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads — the number of connections served concurrently.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+        }
+    }
+}
+
+/// A running server: accept thread + worker pool over one shared
+/// [`Session`]. Shut down explicitly with [`Server::shutdown`] (or
+/// implicitly on drop).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    session: Arc<Session>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool, and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(config: ServeConfig) -> io::Result<Server> {
+        Self::with_session(config, Arc::new(Session::builder().build()))
+    }
+
+    /// Like [`Server::spawn`] but serving an existing session — lets a
+    /// host process pre-warm caches or observe [`Session::stats`]
+    /// directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn with_session(config: ServeConfig, session: Arc<Session>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        for n in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let session = Arc::clone(&session);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rsp-serve-worker-{n}"))
+                    .spawn(move || worker_loop(&rx, &session, &stop))
+                    .expect("spawn worker"),
+            );
+        }
+        {
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("rsp-serve-accept".into())
+                    .spawn(move || accept_loop(&listener, &tx, &stop))
+                    .expect("spawn acceptor"),
+            );
+        }
+        Ok(Server {
+            addr,
+            session,
+            stop,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The session this server answers from.
+    pub fn session(&self) -> Arc<Session> {
+        Arc::clone(&self.session)
+    }
+
+    /// Stops accepting, drains workers, and joins every thread. Open
+    /// connections are closed at the next read-poll boundary
+    /// (≤ the 50 ms read poll plus the in-flight request's remaining work).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &Sender<TcpStream>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // A send failure means every worker exited — stop too.
+                if tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, session: &Session, stop: &AtomicBool) {
+    loop {
+        // Poll the queue with a timeout so shutdown is observed even
+        // when no connection ever arrives.
+        let next = {
+            let rx = rx.lock().unwrap();
+            rx.recv_timeout(READ_POLL)
+        };
+        match next {
+            Ok(stream) => serve_connection(stream, session, stop),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serves one connection until the peer closes it or shutdown is
+/// requested. Frames by `\n` with a manual byte buffer (a blocking
+/// `BufReader::read_line` could hold a partial line across the read
+/// timeout and lose it).
+fn serve_connection(mut stream: TcpStream, session: &Session, stop: &AtomicBool) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    // Replies are single small lines; don't let Nagle hold them back.
+    let _ = stream.set_nodelay(true);
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line[..line.len() - 1]);
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let reply = handle_line(line, session);
+                    let mut out = serde_json::to_string(&reply)
+                        .unwrap_or_else(|e| format!(r#"{{"id":0,"body":{{"Error":"{e}"}}}}"#));
+                    out.push('\n');
+                    if stream.write_all(out.as_bytes()).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes one request line and dispatches it. Never panics the caller:
+/// decode failures answer with a field-naming diagnostic, dispatch runs
+/// under `catch_unwind`, and a panicking request answers an error while
+/// the worker lives on.
+fn handle_line(line: &str, session: &Session) -> Reply {
+    // Stage 1: generic JSON, so the version check and the id salvage
+    // work even when the body is malformed.
+    let value: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return Reply {
+                id: 0,
+                body: Response::Error(format!("{e}")),
+            }
+        }
+    };
+    let id = match value.get("id") {
+        Some(Value::Int(i)) => u64::try_from(*i).unwrap_or(0),
+        _ => 0,
+    };
+    match value.get("v") {
+        Some(Value::Int(v)) if *v == i128::from(PROTOCOL_VERSION) => {}
+        other => {
+            return Reply {
+                id,
+                body: Response::Error(format!(
+                    "unsupported protocol version {other:?} in field `v` (this server speaks {PROTOCOL_VERSION})"
+                )),
+            }
+        }
+    }
+    // Stage 2: the typed envelope (field-naming diagnostics on error).
+    let env: Envelope = match serde_json::from_value(value) {
+        Ok(env) => env,
+        Err(e) => {
+            return Reply {
+                id,
+                body: Response::Error(format!("{e}")),
+            }
+        }
+    };
+    // Stage 3: dispatch, panic-isolated per request.
+    let body =
+        catch_unwind(AssertUnwindSafe(|| dispatch(env.body, session))).unwrap_or_else(|panic| {
+            let what = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            Response::Error(format!("request panicked (isolated): {what}"))
+        });
+    Reply { id: env.id, body }
+}
+
+fn space_of(spec: SpaceSpec) -> DesignSpace {
+    match spec {
+        SpaceSpec::Paper => DesignSpace::paper(),
+        SpaceSpec::Extended => DesignSpace::extended(),
+        SpaceSpec::Deep => DesignSpace::deep(),
+    }
+}
+
+fn control_of(limits: &Limits) -> ExploreControl {
+    ExploreControl {
+        deadline: limits.deadline_ms.map(Duration::from_millis),
+        candidate_budget: limits.candidate_budget.map(|b| b as usize),
+        ..ExploreControl::default()
+    }
+}
+
+fn parse_dfg(source: &str) -> Result<Kernel, Response> {
+    parse_kernel(source).map_err(|e| Response::Error(format!("kernel source: {e}")))
+}
+
+/// Executes one decoded request against the session. Engine errors
+/// (infeasible designs, mapper rejections, interrupted flows) become
+/// [`Response::Error`] lines; panics are the caller's `catch_unwind`'s
+/// business.
+fn dispatch(request: Request, session: &Session) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats => {
+            let s = session.stats();
+            Response::Stats(StatsReply {
+                model_reports: s.model_reports as u64,
+                model_hits: s.model_hits,
+                model_misses: s.model_misses,
+                profile_entries: s.profile_entries as u64,
+                profile_hits: s.profile_hits,
+                profile_misses: s.profile_misses,
+                mapped_contexts: s.mapped_contexts as u64,
+                requests: s.requests,
+            })
+        }
+        Request::Map(MapRequest { kernel, rows, cols }) => {
+            let kernel = match parse_dfg(&kernel) {
+                Ok(k) => k,
+                Err(e) => return e,
+            };
+            let base = session.base(rows as usize, cols as usize);
+            match session.map(&base, &kernel) {
+                Ok(ctx) => Response::Mapped(MapReply {
+                    kernel: ctx.kernel_name().to_string(),
+                    cycles: u64::from(ctx.total_cycles()),
+                    initiation_interval: u64::from(ctx.initiation_interval()),
+                    instances: ctx.instances().len() as u64,
+                }),
+                Err(e) => Response::Error(format!("{e}")),
+            }
+        }
+        Request::Explore(ExploreRequest {
+            kernels,
+            weights,
+            rows,
+            cols,
+            space,
+            limits,
+        }) => {
+            let mut parsed = Vec::with_capacity(kernels.len());
+            for source in &kernels {
+                match parse_dfg(source) {
+                    Ok(k) => parsed.push(k),
+                    Err(e) => return e,
+                }
+            }
+            // Deliberately *not* length-checked here: a mismatched
+            // weight vector exercises the engine's own invariants and
+            // the panic-isolation path (tested in tests/server.rs).
+            let weights = weights.unwrap_or_else(|| vec![1.0; parsed.len()]);
+            let base = session.base(rows as usize, cols as usize);
+            match session.explore(
+                &base,
+                &parsed,
+                &weights,
+                &space_of(space),
+                control_of(&limits),
+            ) {
+                Ok(result) => Response::Explored(ExploreReply {
+                    feasible: result.feasible.len() as u64,
+                    frontier: result
+                        .pareto_points()
+                        .map(|p| FrontierPoint {
+                            name: p.arch.name().to_string(),
+                            area_slices: p.area_slices,
+                            est_et_ns: p.est_et_ns,
+                        })
+                        .collect(),
+                    best: result.try_best_point().map(|p| p.arch.name().to_string()),
+                    base_et_ns: result.base_et_ns,
+                    candidates_seen: result.stats.candidates_seen as u64,
+                    candidates_pruned: result.stats.candidates_pruned as u64,
+                    complete: result.completeness.is_complete(),
+                }),
+                Err(e) => Response::Error(format!("{e}")),
+            }
+        }
+        Request::Flow(FlowRequest {
+            apps,
+            geometries,
+            space,
+            limits,
+        }) => {
+            let mut profiles = Vec::with_capacity(apps.len());
+            for app in apps {
+                let mut kernels = Vec::with_capacity(app.kernels.len());
+                for (source, runs) in &app.kernels {
+                    match parse_dfg(source) {
+                        Ok(k) => kernels.push((k, *runs)),
+                        Err(e) => return e,
+                    }
+                }
+                profiles.push(AppProfile::new(&app.name, kernels));
+            }
+            let mut config = session.flow_config(space_of(space), control_of(&limits));
+            if let Some(geometries) = geometries {
+                config.geometries = geometries
+                    .into_iter()
+                    .map(|(r, c)| (r as usize, c as usize))
+                    .collect();
+            }
+            match rsp_core::run_flow(&profiles, &config) {
+                Ok(report) => Response::Flowed(FlowReply {
+                    base_pe_count: report.base.geometry().pe_count() as u64,
+                    chosen: report.chosen.name().to_string(),
+                    area_slices: report.area_slices,
+                    base_area_slices: report.base_area_slices,
+                    weighted_et_ns: report.weighted_et_ns(),
+                    feasible: report.exploration.feasible.len() as u64,
+                    critical_loops: report.critical_loops.len() as u64,
+                    refill_segments: report.stats.refill_segments as u64,
+                    refill_stall_cycles: report.stats.refill_stall_cycles,
+                    complete: report.completeness.is_complete(),
+                }),
+                Err(e) => Response::Error(format!("{e}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_line_rejects_garbage_and_salvages_ids() {
+        let session = Session::builder().build();
+        // Not JSON at all.
+        let r = handle_line("not json", &session);
+        assert_eq!(r.id, 0);
+        assert!(matches!(r.body, Response::Error(_)));
+        // Wrong version, id salvaged.
+        let r = handle_line(r#"{"v": 99, "id": 7, "body": "Ping"}"#, &session);
+        assert_eq!(r.id, 7);
+        match r.body {
+            Response::Error(msg) => assert!(msg.contains('1') && msg.contains("version")),
+            other => panic!("expected version error, got {other:?}"),
+        }
+        // Well-formed ping.
+        let r = handle_line(r#"{"v": 1, "id": 8, "body": "Ping"}"#, &session);
+        assert_eq!(r.id, 8);
+        assert_eq!(r.body, Response::Pong);
+    }
+
+    #[test]
+    fn dispatch_maps_a_dfg_kernel() {
+        let session = Session::builder().build();
+        let source = rsp_workload::print_kernel(&rsp_kernel::suite::sad());
+        let reply = dispatch(
+            Request::Map(MapRequest {
+                kernel: source,
+                rows: 8,
+                cols: 8,
+            }),
+            &session,
+        );
+        match reply {
+            Response::Mapped(m) => {
+                assert_eq!(m.kernel, "SAD");
+                assert!(m.cycles > 0);
+                assert!(m.instances > 0);
+            }
+            other => panic!("expected Mapped, got {other:?}"),
+        }
+        // The mapped context landed in the session memo.
+        assert_eq!(session.stats().mapped_contexts, 1);
+    }
+
+    #[test]
+    fn dispatch_reports_parse_errors_with_positions() {
+        let session = Session::builder().build();
+        let reply = dispatch(
+            Request::Map(MapRequest {
+                kernel: "kernel \"x\" {\n  bogus 3\n}".into(),
+                rows: 8,
+                cols: 8,
+            }),
+            &session,
+        );
+        match reply {
+            Response::Error(msg) => {
+                assert!(msg.contains("2"), "diagnostic names the line: {msg}");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+}

@@ -12,6 +12,7 @@ use crate::area::{AreaModel, AreaReport};
 use crate::delay::{DelayModel, DelayReport};
 use rsp_arch::{ArrayGeometry, RspArchitecture, SharingPlan};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Thread-safe memo of [`AreaModel`]/[`DelayModel`] reports keyed by
@@ -30,6 +31,13 @@ pub struct ModelCache {
     /// candidate-ordering passes need every plan's area before any plan's
     /// delay, and must not pay for delay synthesis to get it.
     area_memo: Mutex<HashMap<(ArrayGeometry, SharingPlan), AreaReport>>,
+    /// Memo hits across [`ModelCache::reports`] and
+    /// [`ModelCache::area_report`] — the observable proof that sharing
+    /// one cache across explorations (or server requests) actually
+    /// avoids re-synthesis.
+    hits: AtomicU64,
+    /// Queries those two paths answered by synthesizing (cache misses).
+    misses: AtomicU64,
 }
 
 impl ModelCache {
@@ -45,6 +53,8 @@ impl ModelCache {
             delay,
             memo: Mutex::new(HashMap::new()),
             area_memo: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -76,8 +86,10 @@ impl ModelCache {
     pub fn reports(&self, arch: &RspArchitecture) -> (AreaReport, DelayReport) {
         let key = (arch.geometry(), arch.plan().clone());
         if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return *hit;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         // Computed outside the lock: synthesis is the expensive part and
         // duplicate computation on a race is harmless (reports are pure).
         // An area already synthesized through the fast path is promoted
@@ -107,11 +119,14 @@ impl ModelCache {
     pub fn area_report(&self, arch: &RspArchitecture) -> AreaReport {
         let key = (arch.geometry(), arch.plan().clone());
         if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.0;
         }
         if let Some(hit) = self.area_memo.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return *hit;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let report = self.area.report(arch);
         // Publish under the same memo → area_memo nesting as `reports`'s
         // promotion: if the full report landed while we synthesized, the
@@ -151,6 +166,21 @@ impl ModelCache {
     /// [`ModelCache::len`] — area-only entries are not counted).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Memo hits so far across [`ModelCache::reports`] and
+    /// [`ModelCache::area_report`]. A cache shared across repeated
+    /// explorations (or concurrent server requests) shows hits growing
+    /// while [`ModelCache::len`] stays at the number of distinct plans —
+    /// the cross-request reuse proof the serve tests assert.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries answered by synthesizing (approximately one per distinct
+    /// plan; a benign race may synthesize a plan twice).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -210,6 +240,22 @@ mod tests {
             // Once synthesized, the fast path serves the exact clock.
             assert_eq!(cache.clock_floor(&arch), delay.clock_ns);
         }
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_reuse() {
+        let cache = ModelCache::new();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        cache.reports(&presets::rsp2());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.reports(&presets::rsp2());
+        cache.area_report(&presets::rsp2());
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        // The area fast path is one miss, and the full query it feeds is
+        // counted as a miss too (delay still had to be synthesized).
+        cache.area_report(&presets::rs1());
+        cache.reports(&presets::rs1());
+        assert_eq!((cache.hits(), cache.misses()), (2, 3));
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! cargo run --example design_space_exploration
 //! ```
 
-use rsp::core::{run_flow, AppProfile, DesignSpace, FlowConfig, Objective};
+use rsp::core::{AppProfile, DesignSpace, Objective};
 use rsp::kernel::suite;
+use rsp::Session;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The target domain: a video encoder plus scientific filters — the
@@ -31,13 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    let config = FlowConfig {
-        space: DesignSpace::extended(), // stages 1..4, shr/shc 0..3
-        objective: Objective::AreaDelayProduct,
-        ..FlowConfig::default()
-    };
+    // A session assembles the flow configuration (and would share its
+    // caches across further requests — see the `serve` module).
+    let session = Session::builder()
+        .objective(Objective::AreaDelayProduct)
+        .build();
 
-    let report = run_flow(&apps, &config)?;
+    // stages 1..4, shr/shc 0..3
+    let report = session.flow(&apps, DesignSpace::extended(), Default::default())?;
 
     println!("critical loops (by execution weight):");
     for c in &report.critical_loops {

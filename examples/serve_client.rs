@@ -1,0 +1,99 @@
+//! A complete server round trip in one process: spawn `rsp-serve` on an
+//! ephemeral port, connect a typed client, and issue ping / map /
+//! explore / flow / stats requests — the same five request kinds the
+//! wire protocol speaks (see `rsp::serve::proto` for the grammar).
+//!
+//! ```sh
+//! cargo run --example serve_client
+//! ```
+//!
+//! Against a standalone server (`cargo run --bin rsp-serve`), the same
+//! client code applies — only the address changes.
+
+use rsp::kernel::suite;
+use rsp::serve::proto::{
+    ExploreRequest, FlowRequest, Limits, MapRequest, Request, Response, SpaceSpec, WorkloadApp,
+};
+use rsp::serve::{Client, ServeConfig, Server};
+use rsp::workload::print_kernel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An ephemeral in-process server; a real deployment runs the
+    // `rsp-serve` binary and clients connect to its --addr.
+    let server = Server::spawn(ServeConfig::default())?;
+    println!("server            : {}", server.addr());
+
+    let mut client = Client::connect(server.addr())?;
+    assert!(matches!(client.call(Request::Ping)?, Response::Pong));
+    println!("ping              : pong");
+
+    // Kernels travel as textual DFG source — the same format
+    // `workloads/*.dfg` files use.
+    let sad = print_kernel(&suite::sad());
+    match client.call(Request::Map(MapRequest {
+        kernel: sad.clone(),
+        rows: 8,
+        cols: 8,
+    }))? {
+        Response::Mapped(m) => println!(
+            "map               : {} → {} cycles, II {}, {} instances",
+            m.kernel, m.cycles, m.initiation_interval, m.instances
+        ),
+        other => panic!("expected Mapped, got {other:?}"),
+    }
+
+    // An explore request with a per-request deadline: the server's
+    // session caches make repeats warm, and limits never leak across
+    // requests.
+    match client.call(Request::Explore(ExploreRequest {
+        kernels: vec![sad.clone(), print_kernel(&suite::fdct())],
+        weights: None,
+        rows: 8,
+        cols: 8,
+        space: SpaceSpec::Paper,
+        limits: Limits {
+            deadline_ms: Some(60_000),
+            candidate_budget: None,
+        },
+    }))? {
+        Response::Explored(e) => println!(
+            "explore           : {} candidates, {} feasible, best {} (complete: {})",
+            e.candidates_seen,
+            e.feasible,
+            e.best.as_deref().unwrap_or("<none>"),
+            e.complete
+        ),
+        other => panic!("expected Explored, got {other:?}"),
+    }
+
+    // The full Fig. 7 flow as a single request.
+    match client.call(Request::Flow(FlowRequest {
+        apps: vec![WorkloadApp {
+            name: "video".into(),
+            kernels: vec![(print_kernel(&suite::fdct()), 99), (sad, 396)],
+        }],
+        geometries: None,
+        space: SpaceSpec::Paper,
+        limits: Limits::none(),
+    }))? {
+        Response::Flowed(f) => println!(
+            "flow              : chose {} ({:.0} slices vs {:.0} base), weighted ET {:.1} ns",
+            f.chosen, f.area_slices, f.base_area_slices, f.weighted_et_ns
+        ),
+        other => panic!("expected Flowed, got {other:?}"),
+    }
+
+    // Cache observability: the map + explore + flow above shared one
+    // session, so the synthesis memo already shows cross-request reuse.
+    match client.call(Request::Stats)? {
+        Response::Stats(s) => println!(
+            "stats             : {} requests, {} plans synthesized, {} model hits, {} profiles",
+            s.requests, s.model_reports, s.model_hits, s.profile_entries
+        ),
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    server.shutdown();
+    println!("shutdown          : clean");
+    Ok(())
+}

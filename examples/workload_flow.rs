@@ -7,11 +7,12 @@
 //! cargo run --example workload_flow
 //! ```
 
-use rsp::core::{rearrange, run_flow, AppProfile, Constraints, FlowConfig};
+use rsp::core::{rearrange, AppProfile, Constraints, DesignSpace};
 use rsp::kernel::{evaluate, Bindings, MemoryImage};
 use rsp::mapper::{map, MapOptions};
 use rsp::sim::simulate_rearranged;
 use rsp::workload::{parse_kernel, print_kernel, registry, SUITE_MAX_SLOWDOWN};
+use rsp::Session;
 
 /// A hand-written workload: 16-point smoothing, `out[e] = (x[e] + x[e+1]) >> 1`.
 const SMOOTH_DFG: &str = r#"
@@ -55,19 +56,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kernels: Vec<_> = registry().into_iter().map(|k| (k, 1)).collect();
     kernels.push((smooth, 64));
     let apps = vec![AppProfile::new("generated-suite", kernels)];
-    let cfg = FlowConfig {
-        coverage: 1.0,
-        geometries: vec![(4, 4), (6, 6), (8, 8)],
+    let session = Session::builder()
+        .coverage(1.0)
+        .geometries(vec![(4, 4), (6, 6), (8, 8)])
         // The suite-wide cap (rationale on the constant): matmul16's
         // refill-charged stall estimates would fail the paper's 1.5×
         // everywhere. Same cap the tracked BENCH_workload.json uses.
-        constraints: Constraints {
+        .constraints(Constraints {
             enforce_cost_bound: true,
             max_slowdown: SUITE_MAX_SLOWDOWN,
-        },
-        ..FlowConfig::default()
-    };
-    let flow = run_flow(&apps, &cfg)?;
+        })
+        .build();
+    let flow = session.flow(&apps, DesignSpace::paper(), Default::default())?;
     println!(
         "flow              : {} critical loops, selected {}x{} base, chose {}",
         flow.critical_loops.len(),

@@ -11,7 +11,7 @@
 //! ```
 
 use rsp::arch::{presets, RspArchitecture};
-use rsp::core::{evaluate_perf, explore, rearrange, Constraints, DesignSpace, Objective};
+use rsp::core::{evaluate_perf, rearrange, DesignSpace, Session};
 use rsp::kernel::{evaluate, suite, Bindings, Kernel, MemoryImage};
 use rsp::mapper::{map, MapOptions};
 use rsp::sim::simulate;
@@ -201,21 +201,18 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "explore" => {
-            let base = presets::base_8x8().base().clone();
+            // One Session assembles what used to be hand-built
+            // ExploreOptions + contexts (same defaults, same results).
+            let session = Session::builder().build();
+            let base = session.base(8, 8);
             let ks = suite::all();
-            let contexts: Vec<_> = ks
-                .iter()
-                .map(|k| map(&base, k, &MapOptions::default()).expect("maps"))
-                .collect();
             let weights = vec![1.0; ks.len()];
-            match explore(
+            match session.explore(
                 &base,
                 &ks,
-                &contexts,
                 &weights,
                 &DesignSpace::paper(),
-                &Constraints::default(),
-                Objective::AreaDelayProduct,
+                Default::default(),
             ) {
                 Ok(r) => {
                     println!("Pareto frontier:");

@@ -1,0 +1,146 @@
+//! `rsp-serve` — the exploration server as a process.
+//!
+//! ```text
+//! rsp-serve [--addr HOST:PORT] [--workers N]   serve until SIGKILL
+//! rsp-serve --self-test                        in-process round trip
+//! ```
+//!
+//! `--self-test` starts a server on an ephemeral port, runs one client
+//! ping + map + explore round trip against it, verifies the session's
+//! caches saw the traffic, shuts down cleanly, and exits 0 — the CI
+//! smoke path.
+
+use rsp::kernel::suite;
+use rsp::serve::proto::{ExploreRequest, Limits, MapRequest, Request, Response, SpaceSpec};
+use rsp::serve::{Client, ServeConfig, Server};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rsp-serve [--addr HOST:PORT] [--workers N] [--self-test]\n\
+         \n\
+         \x20 --addr HOST:PORT  bind address (default 127.0.0.1:7474; port 0 = ephemeral)\n\
+         \x20 --workers N       worker threads / concurrent connections (default 4)\n\
+         \x20 --self-test       start, run one client round trip, shut down, exit"
+    );
+    ExitCode::FAILURE
+}
+
+fn self_test() -> ExitCode {
+    let server = match Server::spawn(ServeConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("self-test: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr();
+    println!("self-test: serving on {addr}");
+    let result = (|| -> Result<(), String> {
+        let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        match client
+            .call(Request::Ping)
+            .map_err(|e| format!("ping: {e}"))?
+        {
+            Response::Pong => {}
+            other => return Err(format!("expected Pong, got {other:?}")),
+        }
+        let sad = rsp::workload::print_kernel(&suite::sad());
+        match client
+            .call(Request::Map(MapRequest {
+                kernel: sad.clone(),
+                rows: 8,
+                cols: 8,
+            }))
+            .map_err(|e| format!("map: {e}"))?
+        {
+            Response::Mapped(m) => println!(
+                "self-test: mapped {} ({} cycles, II {})",
+                m.kernel, m.cycles, m.initiation_interval
+            ),
+            other => return Err(format!("expected Mapped, got {other:?}")),
+        }
+        match client
+            .call(Request::Explore(ExploreRequest {
+                kernels: vec![sad],
+                weights: None,
+                rows: 8,
+                cols: 8,
+                space: SpaceSpec::Paper,
+                limits: Limits::none(),
+            }))
+            .map_err(|e| format!("explore: {e}"))?
+        {
+            Response::Explored(e) if e.complete && e.feasible > 0 => println!(
+                "self-test: explored {} candidates, {} feasible, best {}",
+                e.candidates_seen,
+                e.feasible,
+                e.best.as_deref().unwrap_or("<none>")
+            ),
+            other => return Err(format!("expected complete Explored, got {other:?}")),
+        }
+        match client
+            .call(Request::Stats)
+            .map_err(|e| format!("stats: {e}"))?
+        {
+            Response::Stats(s) if s.requests > 0 && s.model_reports > 0 => {
+                println!(
+                    "self-test: session saw {} requests, {} plans synthesized, {} cache hits",
+                    s.requests, s.model_reports, s.model_hits
+                );
+            }
+            other => return Err(format!("expected busy Stats, got {other:?}")),
+        }
+        Ok(())
+    })();
+    server.shutdown();
+    match result {
+        Ok(()) => {
+            println!("self-test: ok (clean shutdown)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("self-test: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7474".into(),
+        ..ServeConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--self-test" => return self_test(),
+            "--addr" => match iter.next() {
+                Some(a) => config.addr = a.clone(),
+                None => return usage(),
+            },
+            "--workers" => match iter.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => config.workers = n,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let server = match Server::spawn(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rsp-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "rsp-serve: listening on {} (protocol v{})",
+        server.addr(),
+        rsp::serve::proto::PROTOCOL_VERSION
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

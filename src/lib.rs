@@ -14,6 +14,7 @@
 //! | [`core`] | `rsp-core` | RS/RP/RSP context rearrangement, stall estimation, design-space exploration, the Fig. 7 flow |
 //! | [`sim`] | `rsp-sim` | cycle-accurate structural simulator and functional oracle |
 //! | [`workload`] | `rsp-workload` | textual DFG format, parametric kernel generators, seeded random DFGs, the committed `workloads/` suite |
+//! | [`serve`] | `rsp-serve` | line-protocol exploration server: concurrent map/explore/flow requests over one shared [`Session`] |
 //!
 //! # Quickstart
 //!
@@ -34,6 +35,28 @@
 //! assert!(perf.dr_pct > 30.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! For repeated or concurrent queries, build a [`Session`] once and let
+//! its shared caches carry every request (the CLI, the [`serve`] server,
+//! and the tests all go through it):
+//!
+//! ```
+//! use rsp::core::DesignSpace;
+//! use rsp::kernel::suite;
+//! use rsp::Session;
+//!
+//! let session = Session::builder().build();
+//! let base = session.base(8, 8);
+//! let result = session.explore(
+//!     &base,
+//!     &[suite::sad()],
+//!     &[1.0],
+//!     &DesignSpace::paper(),
+//!     Default::default(),
+//! )?;
+//! assert!(result.feasible.len() >= 4);
+//! # Ok::<(), rsp::core::RspError>(())
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -42,6 +65,9 @@ pub use rsp_arch as arch;
 pub use rsp_core as core;
 pub use rsp_kernel as kernel;
 pub use rsp_mapper as mapper;
+pub use rsp_serve as serve;
 pub use rsp_sim as sim;
 pub use rsp_synth as synth;
 pub use rsp_workload as workload;
+
+pub use rsp_core::{Session, SessionBuilder};
