@@ -92,6 +92,7 @@ pub fn run(space: &DesignSpace, space_label: &str, samples: u32) -> BenchReport 
         cache: None,
         profiles: None,
         control: Default::default(),
+        recorder: rsp_obs::global(),
     };
 
     let mut rows: Vec<EngineRow> = Vec::new();

@@ -98,6 +98,7 @@ pub fn run(samples: u32) -> BenchReport {
         cache: None,
         profiles: None,
         control,
+        recorder: rsp_obs::global(),
     };
 
     let mut rows: Vec<EngineRow> = Vec::new();

@@ -15,6 +15,7 @@
 //! cargo run --release -p rsp-bench --bin headline -- --cmp BENCH_explore.json bench-regen/BENCH_explore.json
 //! cargo run --release -p rsp-bench --bin headline -- --cmp . bench-regen
 //! cargo run --release -p rsp-bench --bin headline -- --deadline-ms 200 --resume soak.ckpt.json
+//! cargo run --release -p rsp-bench --bin headline -- --profile rsp/explore
 //! ```
 //!
 //! `--list` prints every benchmark definition — workload, space,
@@ -50,6 +51,14 @@
 //! committed-vs-regenerated diff to the step summary on every run.
 //! `--cmp` never exits non-zero on drift (the gate owns the verdict);
 //! only unreadable inputs fail.
+//!
+//! `--profile <bench-id>` runs one registry benchmark (default 1 sample
+//! per row, override with `--samples`) with an in-memory recorder
+//! installed as the process-global `rsp_obs` recorder, then prints the
+//! per-phase time breakdown — exploration's enumerate/prepare/screen/
+//! estimate chunks, the flow's profile/select/explore/exact phases,
+//! prune and refill counters — aggregated across every event the run
+//! emitted. Observational only: the benchmark's anchors still assert.
 //!
 //! `--deadline-ms N` demonstrates the anytime layer live: one deep-space
 //! exploration under a wall-clock deadline, reporting how far it got and
@@ -162,6 +171,60 @@ fn run_anytime(deadline_ms: Option<u64>, resume_path: Option<&str>) {
     }
 }
 
+/// The per-phase time profile: installs a `RingRecorder` as the
+/// process-global recorder, runs one registry benchmark under it, and
+/// renders the aggregate `(target, phase)` breakdown the engine's spans
+/// and counters recorded. Purely observational — the benchmark's own
+/// anchors still run and still assert.
+fn run_profile(id: &str, samples: u32) {
+    use rsp_obs::RingRecorder;
+    use std::sync::Arc;
+
+    let Some(def) = registry().find(id) else {
+        fail(format!(
+            "no benchmark with id {id:?} (known ids: {})",
+            registry().ids().join(", ")
+        ));
+    };
+    // Installed before `run_all` so every option struct the adapters
+    // build (they default their recorder from the global) records here.
+    let ring = Arc::new(RingRecorder::new(65_536));
+    let prev = rsp_obs::set_global(ring.clone());
+    let artifact = def.run_all(samples);
+    rsp_obs::set_global(prev);
+
+    println!(
+        "phase profile: {} — {} ({} report(s), {samples} sample(s) per row)",
+        def.id,
+        def.title,
+        artifact.reports.len()
+    );
+    let summary = ring.summary();
+    if summary.is_empty() {
+        println!("  no events recorded — this benchmark exercises no instrumented phase");
+        return;
+    }
+    let span_total: u64 = summary.iter().map(|(_, s)| s.total_ns).sum();
+    println!(
+        "  {:<9} {:<13} {:>10} {:>12} {:>12} {:>7} {:>10}",
+        "target", "phase", "events", "total_ms", "mean_us", "%time", "delta"
+    );
+    for ((target, name), s) in &summary {
+        let total_ms = s.total_ns as f64 / 1e6;
+        let mean_us = s.total_ns as f64 / s.count.max(1) as f64 / 1e3;
+        let pct = 100.0 * s.total_ns as f64 / span_total.max(1) as f64;
+        println!(
+            "  {target:<9} {name:<13} {:>10} {total_ms:>12.3} {mean_us:>12.2} {pct:>6.1}% {:>10}",
+            s.count, s.total_delta
+        );
+    }
+    println!(
+        "  events retained {} / recorded {} (ring capacity 65536; totals above are wrap-proof)",
+        ring.events().len(),
+        ring.total()
+    );
+}
+
 /// Gates one committed artifact against its definition; prints the
 /// status lines, writes the fresh rerun under `emit_dir`, and returns
 /// whether the gate passed.
@@ -217,6 +280,7 @@ fn main() {
     let mut samples: Option<u32> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut resume_path: Option<String> = None;
+    let mut profile_id: Option<String> = None;
     let mut args = std::env::args().skip(1);
     let next = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
         args.next()
@@ -238,6 +302,7 @@ fn main() {
                 cmp_paths = Some((before, after));
             }
             "--emit" => emit_dir = Some(next("--emit", &mut args)),
+            "--profile" => profile_id = Some(next("--profile", &mut args)),
             "--resume" => resume_path = Some(next("--resume", &mut args)),
             "--deadline-ms" => {
                 let raw = next("--deadline-ms", &mut args);
@@ -276,12 +341,23 @@ fn main() {
         !check_paths.is_empty() || check_all,
         cmp_paths.is_some(),
         deadline_ms.is_some() || resume_path.is_some(),
+        profile_id.is_some(),
     ];
     if modes.iter().filter(|m| **m).count() > 1 {
-        usage_error("--list/--run/--check/--check-all/--cmp/--deadline-ms are exclusive modes");
+        usage_error(
+            "--list/--run/--check/--check-all/--cmp/--deadline-ms/--profile are exclusive modes",
+        );
     }
     if filter.is_some() && !list {
         usage_error("--filter only applies to --list");
+    }
+
+    if let Some(id) = profile_id {
+        if json_path.is_some() || tolerance.is_some() || emit_dir.is_some() {
+            usage_error("--profile only takes --samples");
+        }
+        run_profile(&id, samples.unwrap_or(1));
+        return;
     }
 
     if deadline_ms.is_some() || resume_path.is_some() {

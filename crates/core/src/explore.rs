@@ -106,6 +106,7 @@ use rayon::prelude::*;
 use rsp_arch::{BaseArchitecture, FuKind, RspArchitecture, SharedGroup, SharingPlan};
 use rsp_kernel::Kernel;
 use rsp_mapper::ConfigContext;
+use rsp_obs::{Recorder, Span, Value};
 use rsp_synth::{AreaModel, AreaReport, DelayModel, ModelCache};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -275,6 +276,12 @@ pub struct ExploreOptions {
     /// sweep early, the result is an anytime prefix tagged
     /// [`Exploration::completeness`]; see [`crate::control`].
     pub control: ExploreControl,
+    /// Recorder phase spans and prune decisions are reported to.
+    /// Defaults to [`rsp_obs::global`] **at construction time** (install
+    /// a global before building options to observe this run). Purely
+    /// observational: results are bit-identical whatever is attached,
+    /// and the default [`rsp_obs::NullRecorder`] skips even clock reads.
+    pub recorder: Arc<dyn Recorder>,
 }
 
 impl Default for ExploreOptions {
@@ -289,6 +296,7 @@ impl Default for ExploreOptions {
             cache: None,
             profiles: None,
             control: ExploreControl::default(),
+            recorder: rsp_obs::global(),
         }
     }
 }
@@ -775,6 +783,13 @@ fn explore_engine(
     // plans in reference order. The pre-pass constructs each candidate
     // architecture exactly once and the stream carries it — sorted by
     // index — into phase A, so ordering costs no second construction.
+    // Observability: spans and prune decisions go to the caller's
+    // recorder. Everything below is gated on `obs.enabled()` (directly
+    // or inside `Span`/`count`), so the default `NullRecorder` costs
+    // one branch per site and zero clock reads.
+    let obs = &*options.recorder;
+
+    let enumerate_span = Span::enter(obs, "explore", "enumerate", 0);
     let mut seeds: Box<dyn Iterator<Item = Seed> + '_> =
         if options.prune == PruneStrategy::Dominated {
             let all: Vec<SharingPlan> = space.plans().collect();
@@ -808,6 +823,7 @@ fn explore_engine(
         } else {
             Box::new(space.plans().map(Seed::Plan))
         };
+    drop(enumerate_span);
 
     let mut feasible: Vec<DesignPoint> = Vec::new();
     let mut stats = PruneStats::default();
@@ -857,6 +873,7 @@ fn explore_engine(
     // fresh; the deadline is measured from this call's start).
     let mut consumed = 0usize;
     let mut truncation: Option<TruncationReason> = None;
+    let mut chunk_index = 0u64;
 
     loop {
         // Assemble the next chunk, checking the control before each
@@ -948,6 +965,7 @@ fn explore_engine(
             )
         };
 
+        let prepare_span = Span::enter(obs, "explore", "prepare", chunk_index);
         let prepared: Vec<Prepared> = pool.install(|| {
             chunk
                 .into_par_iter()
@@ -960,23 +978,37 @@ fn explore_engine(
                 })
                 .collect()
         });
+        drop(prepare_span);
 
         // Phase B (serial, stream order): prune decisions against the
         // frontier built from earlier chunks only — identical for every
         // thread count.
+        let screen_span = Span::enter(obs, "explore", "screen", chunk_index);
+        let chunk_start = stats.candidates_seen - prepared.len();
         let mut screened: Vec<Screen> = Vec::with_capacity(prepared.len());
-        for p in prepared {
+        for (offset, p) in prepared.into_iter().enumerate() {
+            // Stream index of this candidate, stable across resumes —
+            // the correlation id of its prune/fault events.
+            let candidate = (chunk_start + offset) as u64;
             match p {
                 Prepared::Reject => screened.push(Screen::Reject),
                 Prepared::Faulted => {
                     // Isolated panic: count it, contribute nothing —
                     // downstream phases treat it like a rejection.
                     stats.faulted += 1;
+                    rsp_obs::point(obs, "explore", "faulted", candidate, &[]);
                     screened.push(Screen::Reject);
                 }
                 Prepared::ClockCut => {
                     stats.candidates_pruned += 1;
                     stats.clock_bound_cuts += 1;
+                    rsp_obs::point(
+                        obs,
+                        "explore",
+                        "prune",
+                        candidate,
+                        &[("reason", Value::Str("clock_floor"))],
+                    );
                     screened.push(Screen::Prune);
                 }
                 Prepared::Ready(arch, area_slices, clock_ns, cost_ok, lb_et) => {
@@ -986,6 +1018,20 @@ fn explore_engine(
                                 && frontier.dominates(area_slices, lb_et)))
                     {
                         stats.candidates_pruned += 1;
+                        if obs.enabled() {
+                            let reason = if lb_et > et_bound {
+                                "lower_bound"
+                            } else {
+                                "dominated"
+                            };
+                            rsp_obs::point(
+                                obs,
+                                "explore",
+                                "prune",
+                                candidate,
+                                &[("reason", Value::Str(reason))],
+                            );
+                        }
                         screened.push(Screen::Prune);
                     } else {
                         screened.push(Screen::Evaluate(
@@ -999,10 +1045,12 @@ fn explore_engine(
                 }
             }
         }
+        drop(screen_span);
 
         // Phase C (parallel): full estimation of the survivors; results
         // come back in enumeration order, each with its lower bound for
         // the tightness statistic.
+        let estimate_span = Span::enter(obs, "explore", "estimate", chunk_index);
         let evaluated: Vec<Evaluated> = pool.install(|| {
             screened
                 .into_par_iter()
@@ -1034,14 +1082,22 @@ fn explore_engine(
                 })
                 .collect()
         });
+        drop(estimate_span);
 
         // Ordered merge: identical to what the serial reference pushes.
-        for outcome in evaluated.into_iter() {
+        for (offset, outcome) in evaluated.into_iter().enumerate() {
             let (point, lb_et) = match outcome {
                 Evaluated::Point(point, lb_et) => (*point, lb_et),
                 Evaluated::Skipped => continue,
                 Evaluated::Faulted => {
                     stats.faulted += 1;
+                    rsp_obs::point(
+                        obs,
+                        "explore",
+                        "faulted",
+                        (chunk_start + offset) as u64,
+                        &[],
+                    );
                     continue;
                 }
             };
@@ -1056,6 +1112,7 @@ fn explore_engine(
             feasible.push(point);
         }
 
+        chunk_index += 1;
         if truncation.is_some() {
             break;
         }

@@ -71,6 +71,7 @@ use rayon::prelude::*;
 use rsp_arch::{ArrayGeometry, BaseArchitecture, BusSpec, PeDesign, RspArchitecture, SharingPlan};
 use rsp_kernel::Kernel;
 use rsp_mapper::{map, ConfigContext, MapOptions};
+use rsp_obs::{Recorder, Span, Value};
 use rsp_synth::{AreaModel, DelayModel, ModelCache};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -148,6 +149,10 @@ pub struct FlowConfig {
     /// [`FlowReport::completeness`]; a flow stopped before any usable
     /// result fails with [`RspError::Interrupted`].
     pub control: ExploreControl,
+    /// Recorder phase spans, exact-stage skips, and refill splits are
+    /// reported to (default [`rsp_obs::global`] at construction time).
+    /// Purely observational — see [`ExploreOptions::recorder`].
+    pub recorder: Arc<dyn Recorder>,
 }
 
 impl Default for FlowConfig {
@@ -168,6 +173,7 @@ impl Default for FlowConfig {
             cache: None,
             profiles: None,
             control: ExploreControl::default(),
+            recorder: rsp_obs::global(),
         }
     }
 }
@@ -392,8 +398,12 @@ fn select_base(
 /// ```
 pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, RspError> {
     let mut stats = FlowStats::default();
+    // Observability: every phase below reports a span to the config's
+    // recorder (gated, zero-cost under the default `NullRecorder`).
+    let obs = &*config.recorder;
 
     // 1. Profiling: weight = executions x operations.
+    let profile_span = Span::enter(obs, "flow", "profile", 0);
     let mut weights: Vec<(Kernel, f64)> = Vec::new();
     for app in apps {
         for (k, count) in &app.kernels {
@@ -422,6 +432,7 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
             weight: w / total,
         });
     }
+    drop(profile_span);
 
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(config.parallelism.unwrap_or(0))
@@ -436,8 +447,10 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
     // 2. Base architecture exploration (parallel fan-out over candidate
     //    geometries; serial early-exit oracle under `Some(1)`).
     stats.geometries_considered = config.geometries.len();
+    let base_span = Span::enter(obs, "flow", "select_base", 0);
     let (base, contexts, geometries_explored) =
         select_base(config, &critical_loops, &pool, &clock)?;
+    drop(base_span);
     stats.geometries_explored = geometries_explored;
 
     // 3. RSP exploration on the estimates, under the remainder of the
@@ -446,6 +459,7 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
     //    whatever frontier prefix it produced.
     let kernels: Vec<Kernel> = critical_loops.iter().map(|c| c.kernel.clone()).collect();
     let kernel_weights: Vec<f64> = critical_loops.iter().map(|c| c.weight).collect();
+    let explore_span = Span::enter(obs, "flow", "explore", 0);
     let exploration = explore_with(
         &base,
         &kernels,
@@ -466,8 +480,10 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
                 candidate_budget: config.control.candidate_budget,
                 cancel: config.control.cancel_handle(),
             },
+            recorder: Arc::clone(&config.recorder),
         },
     )?;
+    drop(explore_span);
     stats.candidates_pruned = exploration.stats.candidates_pruned;
     stats.clock_bound_cuts = exploration.stats.clock_bound_cuts;
     stats.faulted = exploration.stats.faulted;
@@ -500,6 +516,7 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
         .map(|b| b.saturating_sub(explored_candidates));
     let mut exact_truncation: Option<TruncationReason> = None;
     let mut exact_processed = 0usize;
+    let exact_span = Span::enter(obs, "flow", "exact", 0);
     for (ci, point) in pareto.iter().enumerate() {
         if let Some(reason) = clock.stop_reason_budgeted(exact_processed, exact_budget) {
             exact_truncation = Some(reason);
@@ -520,6 +537,13 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
             }
             if exact_frontier.dominates(point.area_slices, lb_exact) {
                 stats.rearrangements_skipped += 1;
+                rsp_obs::point(
+                    obs,
+                    "flow",
+                    "exact_skip",
+                    ci as u64,
+                    &[("reason", Value::Str("dominated"))],
+                );
                 // The skipped candidate's estimation-phase point stays
                 // in the frontier as a dominance witness for later
                 // candidates. Soundness needs only est ≥ this
@@ -541,6 +565,7 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
         // exploration phase synthesized every frontier plan already).
         // Panic-isolated like every candidate evaluation: a faulted
         // candidate is counted and skipped, never aborts the flow.
+        let _rearrange_span = Span::enter(obs, "flow", "rearrange", ci as u64);
         let Ok(delay_report) = catch_unwind(AssertUnwindSafe(|| match config.cache.as_deref() {
             Some(cache) => cache.reports(&point.arch).1,
             None => delay.report(&point.arch),
@@ -603,9 +628,25 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
             continue;
         }
         stats.rearranged_candidates += 1;
+        let mut refill_segments = 0u64;
+        let mut refill_stalls = 0u64;
         for r in &rsp {
             stats.refill_segments += r.refill_count();
             stats.refill_stall_cycles += u64::from(r.refill_stalls());
+            refill_segments += r.refill_count() as u64;
+            refill_stalls += u64::from(r.refill_stalls());
+        }
+        if refill_segments > 0 {
+            rsp_obs::point(
+                obs,
+                "flow",
+                "refill_split",
+                ci as u64,
+                &[
+                    ("segments", Value::U64(refill_segments)),
+                    ("stall_cycles", Value::U64(refill_stalls)),
+                ],
+            );
         }
         let exact_et: f64 = perf
             .iter()
@@ -619,6 +660,7 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
             best_outputs = Some((rsp, perf));
         }
     }
+    drop(exact_span);
     // Flow-level completeness: remaining work is whatever exploration
     // left unseen plus the frontier tail the exact stage never reached.
     let completeness = {

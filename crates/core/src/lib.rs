@@ -102,3 +102,8 @@ pub use power::{activity_of, evaluate_energy};
 pub use rearrange::{rearrange, RearrangeOptions, Rearranged};
 pub use session::{ProfileCache, Session, SessionBuilder, SessionStats};
 pub use utilization::{utilization_of, FuUtilization, UtilizationReport};
+
+/// The observability facade option structs carry their recorder from
+/// ([`ExploreOptions::recorder`], [`FlowConfig::recorder`]) — re-exported
+/// so engine callers need no separate `rsp_obs` dependency.
+pub use rsp_obs as obs;

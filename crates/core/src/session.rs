@@ -57,6 +57,7 @@ use crate::rearrange::RearrangeOptions;
 use rsp_arch::{ArrayGeometry, BaseArchitecture, BusSpec, FuKind, PeDesign};
 use rsp_kernel::Kernel;
 use rsp_mapper::{map, ConfigContext, MapOptions};
+use rsp_obs::Recorder;
 use rsp_synth::ModelCache;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -167,6 +168,7 @@ pub struct SessionBuilder {
     config_cache_depth: usize,
     map_options: MapOptions,
     rearrange_options: RearrangeOptions,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Default for SessionBuilder {
@@ -184,6 +186,7 @@ impl Default for SessionBuilder {
             config_cache_depth: flow.config_cache_depth,
             map_options: flow.map_options,
             rearrange_options: flow.rearrange_options,
+            recorder: flow.recorder,
         }
     }
 }
@@ -261,6 +264,13 @@ impl SessionBuilder {
         self
     }
 
+    /// Recorder every request of this session reports to (defaults to
+    /// [`rsp_obs::global`]; purely observational — see `rsp_obs` docs).
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Builds the session with fresh (empty) caches.
     pub fn build(self) -> Session {
         Session {
@@ -268,6 +278,8 @@ impl SessionBuilder {
             models: Arc::new(ModelCache::new()),
             profiles: Arc::new(ProfileCache::new()),
             contexts: Mutex::new(HashMap::new()),
+            context_hits: AtomicU64::new(0),
+            context_misses: AtomicU64::new(0),
             requests: AtomicU64::new(0),
         }
     }
@@ -290,6 +302,10 @@ pub struct SessionStats {
     pub profile_misses: u64,
     /// Distinct mapped contexts cached by [`Session::map`].
     pub mapped_contexts: usize,
+    /// Context-memo hits ([`Session::map`] answered from the memo).
+    pub context_hits: u64,
+    /// Context-memo misses ([`Session::map`] had to run the mapper).
+    pub context_misses: u64,
     /// Requests answered through this session's typed entry points
     /// ([`Session::map`], [`Session::explore`], [`Session::flow`]).
     pub requests: u64,
@@ -307,6 +323,8 @@ pub struct Session {
     models: Arc<ModelCache>,
     profiles: Arc<ProfileCache>,
     contexts: Mutex<HashMap<u64, Arc<ConfigContext>>>,
+    context_hits: AtomicU64,
+    context_misses: AtomicU64,
     requests: AtomicU64,
 }
 
@@ -342,8 +360,15 @@ impl Session {
             profile_hits: self.profiles.hits(),
             profile_misses: self.profiles.misses(),
             mapped_contexts: self.contexts.lock().unwrap().len(),
+            context_hits: self.context_hits.load(Ordering::Relaxed),
+            context_misses: self.context_misses.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
         }
+    }
+
+    /// The recorder this session's requests report to.
+    pub fn recorder(&self) -> Arc<dyn Recorder> {
+        Arc::clone(&self.config.recorder)
     }
 
     /// A base architecture with the session's configuration-cache depth
@@ -377,6 +402,7 @@ impl Session {
             cache: Some(Arc::clone(&self.models)),
             profiles: Some(Arc::clone(&self.profiles)),
             control,
+            recorder: Arc::clone(&self.config.recorder),
         }
     }
 
@@ -399,6 +425,7 @@ impl Session {
             cache: Some(Arc::clone(&self.models)),
             profiles: Some(Arc::clone(&self.profiles)),
             control,
+            recorder: Arc::clone(&self.config.recorder),
         }
     }
 
@@ -420,8 +447,14 @@ impl Session {
             self.config.map_options
         ));
         if let Some(hit) = self.contexts.lock().unwrap().get(&key) {
+            self.context_hits.fetch_add(1, Ordering::Relaxed);
+            rsp_obs::count(&*self.config.recorder, "session", "context_hit", 1);
             return Ok(Arc::clone(hit));
         }
+        // A racing duplicate build counts as a miss too: hits + misses
+        // always equals `map` calls exactly (see the concurrency test).
+        self.context_misses.fetch_add(1, Ordering::Relaxed);
+        rsp_obs::count(&*self.config.recorder, "session", "context_miss", 1);
         let ctx = Arc::new(map(base, kernel, &self.config.map_options).map_err(RspError::Map)?);
         self.contexts
             .lock()
@@ -573,7 +606,12 @@ mod tests {
         assert_eq!(second.profile_entries, first.profile_entries);
         assert_eq!(second.profile_misses, first.profile_misses);
         assert_eq!(second.mapped_contexts, first.mapped_contexts);
+        assert_eq!(second.context_misses, first.context_misses);
         // ...because the memos answered instead.
+        assert_eq!(
+            second.context_hits,
+            first.context_hits + kernels.len() as u64
+        );
         assert!(second.model_hits > first.model_hits);
         assert_eq!(
             second.profile_hits,
@@ -637,5 +675,7 @@ mod tests {
         let c = session.map(&base4, &suite::sad()).unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(session.stats().mapped_contexts, 2);
+        assert_eq!(session.stats().context_hits, 1);
+        assert_eq!(session.stats().context_misses, 2);
     }
 }

@@ -56,6 +56,7 @@ fn options(prune: PruneStrategy, bound: BoundKind, control: ExploreControl) -> E
         cache: None,
         profiles: None,
         control,
+        recorder: rsp_core::obs::global(),
     }
 }
 

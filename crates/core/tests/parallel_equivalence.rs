@@ -123,6 +123,7 @@ proptest! {
                 cache: None,
                 profiles: None,
                 control: Default::default(),
+                recorder: rsp_core::obs::global(),
             },
         );
         match (reference, engine) {
@@ -162,6 +163,7 @@ proptest! {
                 cache: None,
                 profiles: None,
                 control: Default::default(),
+                recorder: rsp_core::obs::global(),
             },
         ).unwrap();
         let frontier = |r: &Exploration| -> Vec<(String, u64, u64)> {

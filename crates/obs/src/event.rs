@@ -1,0 +1,55 @@
+//! The borrowed, allocation-free event record.
+//!
+//! Emission sites build an [`Event`] on the stack (all strings are
+//! `&'static str` or borrowed) and hand it to
+//! [`Recorder::record`](crate::Recorder::record); recorders that keep
+//! events own-copy them ([`crate::ring::OwnedEvent`]). Nothing here
+//! allocates, so a disabled recorder costs one virtual call and a
+//! branch.
+
+/// A typed field value attached to an event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value<'a> {
+    /// An unsigned quantity (counts, cycles, bytes).
+    U64(u64),
+    /// A signed quantity (deltas, gauge levels).
+    I64(i64),
+    /// A measurement (ratios, seconds).
+    F64(f64),
+    /// A borrowed label (a plan name, a prune reason).
+    Str(&'a str),
+    /// A flag.
+    Bool(bool),
+}
+
+/// What kind of observation an [`Event`] is.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// A named phase completed, taking `elapsed_ns` wall nanoseconds.
+    Span {
+        /// Wall-clock duration of the phase.
+        elapsed_ns: u64,
+    },
+    /// A named counter advanced by `delta`.
+    Count {
+        /// How much the counter moved (usually 1).
+        delta: u64,
+    },
+    /// A moment in time; the payload is entirely in `fields`.
+    Point,
+}
+
+/// One observation, borrowed from the emission site's stack.
+#[derive(Clone, Copy, Debug)]
+pub struct Event<'a> {
+    /// Subsystem that emitted the event (`"explore"`, `"serve"`, …).
+    pub target: &'static str,
+    /// What happened (`"estimate"`, `"prune"`, `"request"`, …).
+    pub name: &'static str,
+    /// Correlation id: wire envelope id, candidate index, 0 if unused.
+    pub id: u64,
+    /// Span / count / point.
+    pub kind: EventKind,
+    /// Typed key–value details; empty for most events.
+    pub fields: &'a [(&'static str, Value<'a>)],
+}

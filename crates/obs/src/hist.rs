@@ -1,0 +1,174 @@
+//! Fixed-bucket latency histogram with lock-free recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: one bucket per power-of-two of nanoseconds, so bucket
+/// `i` holds observations in `[2^i, 2^(i+1))` ns (bucket 0 additionally
+/// holds 0 ns). 64 buckets cover every representable `u64` duration.
+const BUCKETS: usize = 64;
+
+/// A fixed-bucket histogram of durations in nanoseconds.
+///
+/// Buckets are powers of two, so recording is a `leading_zeros` and one
+/// relaxed atomic increment — cheap enough for per-request paths.
+/// Quantiles interpolate linearly inside the selected bucket, giving
+/// ≤ 2× relative error, which is plenty for p50/p90/p99 dashboards.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    // 0 and 1 land in bucket 0; otherwise floor(log2(ns)).
+    63 - ns.max(1).leading_zeros() as usize
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `ns` nanoseconds.
+    pub fn observe(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed durations, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation, in nanoseconds (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds, estimated by
+    /// linear interpolation within the bucket holding that rank.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the observation we want.
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if i == 0 { 0 } else { 1u64 << i };
+                let width = if i == 0 { 2 } else { 1u64 << i };
+                // Position of the rank inside this bucket, in (0, 1].
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + frac * width as f64;
+                return (est as u64).min(self.max_ns().max(lo));
+            }
+            seen += n;
+        }
+        self.max_ns()
+    }
+
+    /// Per-bucket `(lower_bound_ns, count)` pairs for non-empty buckets.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (if i == 0 { 0 } else { 1u64 << i }, n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let h = Histogram::new();
+        for ns in [100, 200, 300, 400, 500, 600, 700, 800, 900, 10_000] {
+            h.observe(ns);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max_ns(), 10_000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // Power-of-two buckets: estimates are within 2× of the truth.
+        assert!((250..=1024).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
+        assert!(p99 <= 10_000, "p99 {p99} exceeds max");
+        assert_eq!(h.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn concurrent_observations_are_not_lost() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.observe(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.sum_ns(), 4 * (999 * 1000 / 2));
+        assert_eq!(h.max_ns(), 999);
+    }
+}

@@ -1,0 +1,218 @@
+//! Streaming recorder: one JSON object per line to any writer.
+//!
+//! The JSON is hand-rolled (this crate is zero-dependency by design)
+//! but shape-compatible with what `serde_json` would parse: objects
+//! with string keys, numbers rendered shortest-round-trip via Rust's
+//! `{}` float formatting, strings escaped per RFC 8259.
+
+use crate::event::{Event, EventKind, Value};
+use crate::recorder::Recorder;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Streams events as JSON Lines:
+/// `{"ts_us":…,"target":…,"name":…,"id":…,"kind":…,…fields}`.
+///
+/// `ts_us` is microseconds since the recorder was created (monotonic).
+/// Each event is written and flushed as one line, so a tail of the
+/// output is always whole events. I/O errors are counted, never
+/// propagated — observability must not change program behavior.
+pub struct JsonlRecorder {
+    out: Mutex<Box<dyn Write + Send>>,
+    epoch: Instant,
+    lines: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl std::fmt::Debug for JsonlRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlRecorder")
+            .field("lines", &self.lines.load(Ordering::Relaxed))
+            .field("errors", &self.errors.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonlRecorder {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlRecorder {
+            out: Mutex::new(out),
+            epoch: Instant::now(),
+            lines: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Streams to the process stdout (locked per line).
+    pub fn stdout() -> Self {
+        Self::new(Box::new(io::stdout()))
+    }
+
+    /// Creates (truncates) `path` and streams to it.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self::new(Box::new(std::fs::File::create(path)?)))
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+
+    /// Write or flush failures so far (events silently lost).
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+/// Escapes `s` into `buf` as a JSON string literal including quotes.
+fn push_json_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+fn push_value(buf: &mut String, v: &Value<'_>) {
+    match v {
+        Value::U64(x) => buf.push_str(&x.to_string()),
+        Value::I64(x) => buf.push_str(&x.to_string()),
+        Value::F64(x) if x.is_finite() => buf.push_str(&x.to_string()),
+        Value::F64(_) => buf.push_str("null"),
+        Value::Str(s) => push_json_str(buf, s),
+        Value::Bool(b) => buf.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: &Event<'_>) {
+        let ts_us = self.epoch.elapsed().as_micros() as u64;
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"ts_us\":");
+        line.push_str(&ts_us.to_string());
+        line.push_str(",\"target\":");
+        push_json_str(&mut line, event.target);
+        line.push_str(",\"name\":");
+        push_json_str(&mut line, event.name);
+        line.push_str(",\"id\":");
+        line.push_str(&event.id.to_string());
+        match event.kind {
+            EventKind::Span { elapsed_ns } => {
+                line.push_str(",\"kind\":\"span\",\"elapsed_ns\":");
+                line.push_str(&elapsed_ns.to_string());
+            }
+            EventKind::Count { delta } => {
+                line.push_str(",\"kind\":\"count\",\"delta\":");
+                line.push_str(&delta.to_string());
+            }
+            EventKind::Point => line.push_str(",\"kind\":\"point\""),
+        }
+        for (key, value) in event.fields {
+            line.push(',');
+            push_json_str(&mut line, key);
+            line.push(':');
+            push_value(&mut line, value);
+        }
+        line.push_str("}\n");
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        match out.write_all(line.as_bytes()).and_then(|()| out.flush()) {
+            Ok(()) => {
+                self.lines.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A writer tests can read back.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_render_one_json_object_per_line() {
+        let sink = Shared::default();
+        let rec = JsonlRecorder::new(Box::new(sink.clone()));
+        rec.record(&Event {
+            target: "serve",
+            name: "request",
+            id: 42,
+            kind: EventKind::Span {
+                elapsed_ns: 1_500_000,
+            },
+            fields: &[("outcome", Value::Str("ok")), ("queue", Value::I64(-1))],
+        });
+        rec.record(&Event {
+            target: "flow",
+            name: "refill_split",
+            id: 0,
+            kind: EventKind::Count { delta: 3 },
+            fields: &[("ratio", Value::F64(0.5)), ("bad", Value::F64(f64::NAN))],
+        });
+        assert_eq!(rec.lines(), 2);
+        assert_eq!(rec.errors(), 0);
+        let bytes = sink.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"ts_us\":"));
+        assert!(lines[0].contains("\"target\":\"serve\""));
+        assert!(lines[0].contains("\"name\":\"request\""));
+        assert!(lines[0].contains("\"id\":42"));
+        assert!(lines[0].contains("\"kind\":\"span\",\"elapsed_ns\":1500000"));
+        assert!(lines[0].contains("\"outcome\":\"ok\""));
+        assert!(lines[0].contains("\"queue\":-1"));
+        assert!(lines[1].contains("\"kind\":\"count\",\"delta\":3"));
+        assert!(lines[1].contains("\"ratio\":0.5"));
+        assert!(lines[1].contains("\"bad\":null"));
+        assert!(lines.iter().all(|l| l.ends_with('}')));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let sink = Shared::default();
+        let rec = JsonlRecorder::new(Box::new(sink.clone()));
+        rec.record(&Event {
+            target: "serve",
+            name: "reject",
+            id: 0,
+            kind: EventKind::Point,
+            fields: &[("reason", Value::Str("a \"quote\"\nand\tcontrol\u{1}"))],
+        });
+        let bytes = sink.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains(r#""reason":"a \"quote\"\nand\tcontrol\u0001""#));
+        // Still exactly one line: the newline in the payload is escaped.
+        assert_eq!(text.lines().count(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! The [`Recorder`] trait, the default [`NullRecorder`], the RAII
+//! [`Span`] guard, and the process-global recorder.
+
+use crate::event::{Event, EventKind, Value};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Consumes [`Event`]s. Implementations must be cheap to call from hot
+/// paths and must never panic — observability cannot change results.
+///
+/// `enabled()` is the emission gate: sites check it **before** doing
+/// any work (building field slices, reading clocks), so a recorder
+/// answering `false` costs one virtual call per site.
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// Whether emission sites should bother building events.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consume one event. Borrowed; copy if you keep it.
+    fn record(&self, event: &Event<'_>);
+}
+
+/// The default recorder: records nothing, reports `enabled() == false`
+/// so emission sites skip clock reads and field construction entirely.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: &Event<'_>) {}
+}
+
+/// The process-global recorder slot. `None` means "null".
+static GLOBAL: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+/// The shared null recorder handed out while no global is installed.
+static NULL: OnceLock<Arc<dyn Recorder>> = OnceLock::new();
+
+fn null() -> Arc<dyn Recorder> {
+    NULL.get_or_init(|| Arc::new(NullRecorder)).clone()
+}
+
+/// Installs `recorder` as the process-global recorder.
+///
+/// Option structs (`ExploreOptions`, `FlowConfig`, `ServeConfig`, …)
+/// resolve their default recorder from here **at construction time**,
+/// so install before building configs. Returns the previous global so
+/// tests can restore it.
+pub fn set_global(recorder: Arc<dyn Recorder>) -> Arc<dyn Recorder> {
+    let mut slot = GLOBAL.write().unwrap_or_else(|e| e.into_inner());
+    slot.replace(recorder).unwrap_or_else(null)
+}
+
+/// The current process-global recorder ([`NullRecorder`] until
+/// [`set_global`] is called).
+pub fn global() -> Arc<dyn Recorder> {
+    let slot = GLOBAL.read().unwrap_or_else(|e| e.into_inner());
+    slot.as_ref().cloned().unwrap_or_else(null)
+}
+
+/// Emits a [`EventKind::Count`] event if `rec` is enabled.
+pub fn count(rec: &dyn Recorder, target: &'static str, name: &'static str, delta: u64) {
+    if rec.enabled() {
+        rec.record(&Event {
+            target,
+            name,
+            id: 0,
+            kind: EventKind::Count { delta },
+            fields: &[],
+        });
+    }
+}
+
+/// Emits a [`EventKind::Point`] event with `fields` if `rec` is enabled.
+///
+/// Prefer checking [`Recorder::enabled`] at the call site when building
+/// `fields` itself costs anything (string formatting, lookups).
+pub fn point(
+    rec: &dyn Recorder,
+    target: &'static str,
+    name: &'static str,
+    id: u64,
+    fields: &[(&'static str, Value<'_>)],
+) {
+    if rec.enabled() {
+        rec.record(&Event {
+            target,
+            name,
+            id,
+            kind: EventKind::Point,
+            fields,
+        });
+    }
+}
+
+/// RAII guard timing a named phase: reads the clock on
+/// [`Span::enter`], emits one [`EventKind::Span`] event on drop.
+/// Against a disabled recorder it never touches the clock.
+#[derive(Debug)]
+pub struct Span<'a> {
+    rec: &'a dyn Recorder,
+    target: &'static str,
+    name: &'static str,
+    id: u64,
+    start: Option<Instant>,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing `name` under `target`; `id` correlates related
+    /// events (0 if unused).
+    pub fn enter(rec: &'a dyn Recorder, target: &'static str, name: &'static str, id: u64) -> Self {
+        let start = rec.enabled().then(Instant::now);
+        Span {
+            rec,
+            target,
+            name,
+            id,
+            start,
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.rec.record(&Event {
+                target: self.target,
+                name: self.name,
+                id: self.id,
+                kind: EventKind::Span {
+                    elapsed_ns: start.elapsed().as_nanos() as u64,
+                },
+                fields: &[],
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::RingRecorder;
+
+    #[test]
+    fn null_recorder_is_disabled_and_inert() {
+        let rec = NullRecorder;
+        assert!(!rec.enabled());
+        count(&rec, "t", "n", 1);
+        point(&rec, "t", "n", 0, &[("k", Value::U64(1))]);
+        drop(Span::enter(&rec, "t", "n", 0));
+    }
+
+    #[test]
+    fn span_times_and_reports_once() {
+        let ring = RingRecorder::new(8);
+        {
+            let _span = Span::enter(&ring, "test", "work", 7);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "work");
+        assert_eq!(events[0].id, 7);
+        match events[0].kind {
+            EventKind::Span { elapsed_ns } => assert!(elapsed_ns >= 1_000_000),
+            ref other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_defaults_to_null_and_is_swappable() {
+        // Untouched global: null (other tests in this binary don't set it).
+        assert!(!global().enabled());
+        let ring: Arc<dyn Recorder> = Arc::new(RingRecorder::new(4));
+        let prev = set_global(ring.clone());
+        assert!(global().enabled());
+        count(global().as_ref(), "t", "n", 2);
+        set_global(prev);
+        assert!(!global().enabled());
+    }
+}

@@ -1,0 +1,220 @@
+//! In-memory recorder for tests, snapshots, and phase profiling.
+
+use crate::event::{Event, EventKind, Value};
+use crate::recorder::Recorder;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+/// An owned copy of [`Value`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum OwnedValue {
+    /// See [`Value::U64`].
+    U64(u64),
+    /// See [`Value::I64`].
+    I64(i64),
+    /// See [`Value::F64`].
+    F64(f64),
+    /// See [`Value::Str`].
+    Str(String),
+    /// See [`Value::Bool`].
+    Bool(bool),
+}
+
+impl From<Value<'_>> for OwnedValue {
+    fn from(v: Value<'_>) -> Self {
+        match v {
+            Value::U64(x) => OwnedValue::U64(x),
+            Value::I64(x) => OwnedValue::I64(x),
+            Value::F64(x) => OwnedValue::F64(x),
+            Value::Str(s) => OwnedValue::Str(s.to_string()),
+            Value::Bool(b) => OwnedValue::Bool(b),
+        }
+    }
+}
+
+/// An owned copy of [`Event`], as kept in the ring.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OwnedEvent {
+    /// See [`Event::target`].
+    pub target: &'static str,
+    /// See [`Event::name`].
+    pub name: &'static str,
+    /// See [`Event::id`].
+    pub id: u64,
+    /// See [`Event::kind`].
+    pub kind: EventKind,
+    /// See [`Event::fields`].
+    pub fields: Vec<(&'static str, OwnedValue)>,
+}
+
+impl OwnedEvent {
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&OwnedValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Aggregate totals for one `(target, name)` pair, kept outside the
+/// ring so profiling totals survive ring wrap-around.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseSummary {
+    /// Events seen for this pair.
+    pub count: u64,
+    /// Summed `elapsed_ns` over span events.
+    pub total_ns: u64,
+    /// Summed `delta` over count events.
+    pub total_delta: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: VecDeque<OwnedEvent>,
+    dropped: u64,
+    summary: BTreeMap<(&'static str, &'static str), PhaseSummary>,
+}
+
+/// Bounded in-memory recorder: the newest `capacity` events verbatim,
+/// plus an **unbounded** per-`(target, name)` [`PhaseSummary`] so
+/// aggregate timings never lose data to ring wrap.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl RingRecorder {
+    /// A recorder keeping the last `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<OwnedEvent> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Retained events matching `target` and `name`, oldest first.
+    pub fn named(&self, target: &str, name: &str) -> Vec<OwnedEvent> {
+        self.lock()
+            .events
+            .iter()
+            .filter(|e| e.target == target && e.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Events recorded in total (including any the ring dropped).
+    pub fn total(&self) -> u64 {
+        let inner = self.lock();
+        inner.events.len() as u64 + inner.dropped
+    }
+
+    /// Events evicted from the ring because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Aggregate per-`(target, name)` totals, sorted by key. Immune to
+    /// ring wrap: every recorded event is summed here.
+    pub fn summary(&self) -> Vec<((&'static str, &'static str), PhaseSummary)> {
+        self.lock().summary.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Clears events, drop count, and summary.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.events.clear();
+        inner.dropped = 0;
+        inner.summary.clear();
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&self, event: &Event<'_>) {
+        let mut inner = self.lock();
+        let entry = inner.summary.entry((event.target, event.name)).or_default();
+        entry.count += 1;
+        match event.kind {
+            EventKind::Span { elapsed_ns } => entry.total_ns += elapsed_ns,
+            EventKind::Count { delta } => entry.total_delta += delta,
+            EventKind::Point => {}
+        }
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(OwnedEvent {
+            target: event.target,
+            name: event.name,
+            id: event.id,
+            kind: event.kind,
+            fields: event
+                .fields
+                .iter()
+                .map(|(k, v)| (*k, (*v).into()))
+                .collect(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{count, point};
+
+    #[test]
+    fn ring_wraps_but_summary_keeps_totals() {
+        let ring = RingRecorder::new(2);
+        for i in 0..5 {
+            ring.record(&Event {
+                target: "t",
+                name: "tick",
+                id: i,
+                kind: EventKind::Count { delta: 10 },
+                fields: &[],
+            });
+        }
+        assert_eq!(ring.events().len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        assert_eq!(ring.total(), 5);
+        // Oldest-first snapshot holds the two newest events.
+        assert_eq!(ring.events()[0].id, 3);
+        assert_eq!(ring.events()[1].id, 4);
+        let summary = ring.summary();
+        assert_eq!(summary.len(), 1);
+        assert_eq!(summary[0].0, ("t", "tick"));
+        assert_eq!(summary[0].1.count, 5);
+        assert_eq!(summary[0].1.total_delta, 50);
+    }
+
+    #[test]
+    fn fields_are_copied_and_queryable() {
+        let ring = RingRecorder::new(4);
+        point(
+            &ring,
+            "serve",
+            "reject",
+            9,
+            &[
+                ("reason", Value::Str("bad json")),
+                ("bytes", Value::U64(17)),
+            ],
+        );
+        count(&ring, "serve", "requests", 1);
+        let rejects = ring.named("serve", "reject");
+        assert_eq!(rejects.len(), 1);
+        assert_eq!(
+            rejects[0].field("reason"),
+            Some(&OwnedValue::Str("bad json".into()))
+        );
+        assert_eq!(rejects[0].field("bytes"), Some(&OwnedValue::U64(17)));
+        assert_eq!(rejects[0].field("missing"), None);
+    }
+}

@@ -26,6 +26,19 @@
 //!   a version mismatch is rejected against
 //!   [`proto::PROTOCOL_VERSION`] before the body is examined.
 //!
+//! # Observability
+//!
+//! The server is instrumented with `rsp_obs`: every stage of the
+//! request lifecycle — accept, queue wait, parse, execute, reply write
+//! — emits events under the `serve` target, correlated by the wire
+//! envelope `id`, to the recorder in [`ServeConfig::recorder`]
+//! (defaulting to the process-global recorder, a no-op unless
+//! installed). Independent of any recorder, the server keeps live
+//! counters and a request-latency histogram, snapshotted over the wire
+//! by [`proto::Request::Stats`] as a [`proto::StatsReply`]. With the
+//! default [`rsp_obs::NullRecorder`] the instrumentation is a handful
+//! of relaxed atomic increments per request.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,14 +58,18 @@
 pub mod proto;
 
 mod client;
+mod metrics;
 pub use client::Client;
 
+use metrics::{hit_rate, ServerMetrics};
 use proto::{
     Envelope, ExploreReply, ExploreRequest, FlowReply, FlowRequest, FrontierPoint, Limits,
     MapReply, MapRequest, Reply, Request, Response, SpaceSpec, StatsReply, PROTOCOL_VERSION,
+    STATS_SCHEMA_VERSION,
 };
 use rsp_core::{AppProfile, DesignSpace, ExploreControl, Session};
 use rsp_kernel::Kernel;
+use rsp_obs::{Event, EventKind, Recorder, Span, Value as ObsValue};
 use rsp_workload::parse_kernel;
 use serde::Value;
 use std::io::{self, Read, Write};
@@ -62,7 +79,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a worker blocks in one read before re-checking the shutdown
 /// flag (also bounds shutdown latency for idle connections).
@@ -80,6 +97,11 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads — the number of connections served concurrently.
     pub workers: usize,
+    /// Recorder for request-lifecycle events (`serve` target: accept,
+    /// queue wait, parse, execute, reject, panic, request). Defaults to
+    /// the process-global recorder — a no-op unless one is installed
+    /// with `rsp_obs::set_global`.
+    pub recorder: Arc<dyn Recorder>,
 }
 
 impl Default for ServeConfig {
@@ -87,8 +109,18 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".into(),
             workers: 4,
+            recorder: rsp_obs::global(),
         }
     }
+}
+
+/// Everything a worker needs to answer a line: the shared session, the
+/// server's live metrics, and the event recorder.
+#[derive(Debug)]
+struct ServerCtx {
+    session: Arc<Session>,
+    metrics: ServerMetrics,
+    obs: Arc<dyn Recorder>,
 }
 
 /// A running server: accept thread + worker pool over one shared
@@ -97,7 +129,7 @@ impl Default for ServeConfig {
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
-    session: Arc<Session>,
+    ctx: Arc<ServerCtx>,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -124,33 +156,41 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let ctx = Arc::new(ServerCtx {
+            session,
+            metrics: ServerMetrics::new(),
+            obs: Arc::clone(&config.recorder),
+        });
 
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        // The channel carries the accept timestamp so the dequeuing
+        // worker can report the connection's queue wait.
+        let (tx, rx): (Sender<QueuedConn>, Receiver<QueuedConn>) = channel();
         let rx = Arc::new(Mutex::new(rx));
         let mut threads = Vec::with_capacity(config.workers + 1);
         for n in 0..config.workers.max(1) {
             let rx = Arc::clone(&rx);
-            let session = Arc::clone(&session);
+            let ctx = Arc::clone(&ctx);
             let stop = Arc::clone(&stop);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("rsp-serve-worker-{n}"))
-                    .spawn(move || worker_loop(&rx, &session, &stop))
+                    .spawn(move || worker_loop(&rx, &ctx, &stop))
                     .expect("spawn worker"),
             );
         }
         {
             let stop = Arc::clone(&stop);
+            let ctx = Arc::clone(&ctx);
             threads.push(
                 std::thread::Builder::new()
                     .name("rsp-serve-accept".into())
-                    .spawn(move || accept_loop(&listener, &tx, &stop))
+                    .spawn(move || accept_loop(&listener, &tx, &ctx, &stop))
                     .expect("spawn acceptor"),
             );
         }
         Ok(Server {
             addr,
-            session,
+            ctx,
             stop,
             threads,
         })
@@ -163,7 +203,7 @@ impl Server {
 
     /// The session this server answers from.
     pub fn session(&self) -> Arc<Session> {
-        Arc::clone(&self.session)
+        Arc::clone(&self.ctx.session)
     }
 
     /// Stops accepting, drains workers, and joins every thread. Open
@@ -186,12 +226,23 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, tx: &Sender<TcpStream>, stop: &AtomicBool) {
+/// An accepted connection plus its accept timestamp, so the dequeuing
+/// worker can report how long the connection waited in the queue.
+type QueuedConn = (TcpStream, Instant);
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &Sender<QueuedConn>,
+    ctx: &ServerCtx,
+    stop: &AtomicBool,
+) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                ctx.metrics.queue_depth.inc();
+                rsp_obs::point(&*ctx.obs, "serve", "accept", 0, &[]);
                 // A send failure means every worker exited — stop too.
-                if tx.send(stream).is_err() {
+                if tx.send((stream, Instant::now())).is_err() {
                     return;
                 }
             }
@@ -203,7 +254,7 @@ fn accept_loop(listener: &TcpListener, tx: &Sender<TcpStream>, stop: &AtomicBool
     }
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, session: &Session, stop: &AtomicBool) {
+fn worker_loop(rx: &Arc<Mutex<Receiver<QueuedConn>>>, ctx: &ServerCtx, stop: &AtomicBool) {
     loop {
         // Poll the queue with a timeout so shutdown is observed even
         // when no connection ever arrives.
@@ -212,7 +263,21 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, session: &Session, stop: &A
             rx.recv_timeout(READ_POLL)
         };
         match next {
-            Ok(stream) => serve_connection(stream, session, stop),
+            Ok((stream, accepted)) => {
+                ctx.metrics.queue_depth.dec();
+                if ctx.obs.enabled() {
+                    ctx.obs.record(&Event {
+                        target: "serve",
+                        name: "queue_wait",
+                        id: 0,
+                        kind: EventKind::Span {
+                            elapsed_ns: accepted.elapsed().as_nanos() as u64,
+                        },
+                        fields: &[],
+                    });
+                }
+                serve_connection(stream, ctx, stop);
+            }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::SeqCst) {
                     return;
@@ -227,7 +292,7 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, session: &Session, stop: &A
 /// requested. Frames by `\n` with a manual byte buffer (a blocking
 /// `BufReader::read_line` could hold a partial line across the read
 /// timeout and lose it).
-fn serve_connection(mut stream: TcpStream, session: &Session, stop: &AtomicBool) {
+fn serve_connection(mut stream: TcpStream, ctx: &ServerCtx, stop: &AtomicBool) {
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
     }
@@ -247,12 +312,29 @@ fn serve_connection(mut stream: TcpStream, session: &Session, stop: &AtomicBool)
                     if line.is_empty() {
                         continue;
                     }
-                    let reply = handle_line(line, session);
+                    let started = Instant::now();
+                    let (reply, outcome) = handle_line(line, ctx);
                     let mut out = serde_json::to_string(&reply)
                         .unwrap_or_else(|e| format!(r#"{{"id":0,"body":{{"Error":"{e}"}}}}"#));
                     out.push('\n');
+                    // Account *before* the write: a reply the peer has
+                    // received is already visible in Stats and in the
+                    // recorder.
+                    account_line(ctx, &reply, outcome, started.elapsed());
+                    let write_start = ctx.obs.enabled().then(Instant::now);
                     if stream.write_all(out.as_bytes()).is_err() {
                         return;
+                    }
+                    if let Some(start) = write_start {
+                        ctx.obs.record(&Event {
+                            target: "serve",
+                            name: "write",
+                            id: reply.id,
+                            kind: EventKind::Span {
+                                elapsed_ns: start.elapsed().as_nanos() as u64,
+                            },
+                            fields: &[],
+                        });
                     }
                 }
             }
@@ -268,21 +350,104 @@ fn serve_connection(mut stream: TcpStream, session: &Session, stop: &AtomicBool)
     }
 }
 
+/// How one line fared — the pre-dispatch/dispatch distinction the reply
+/// body alone cannot carry (all three failure shapes answer
+/// [`Response::Error`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineOutcome {
+    /// Decoded and dispatched (the reply may still be an engine error).
+    Ok,
+    /// Rejected before dispatch: bad JSON, version mismatch, schema.
+    Rejected,
+    /// The dispatched request panicked and was isolated.
+    Faulted,
+}
+
+impl LineOutcome {
+    fn label(self) -> &'static str {
+        match self {
+            LineOutcome::Ok => "ok",
+            LineOutcome::Rejected => "rejected",
+            LineOutcome::Faulted => "faulted",
+        }
+    }
+}
+
+/// Accounting for one answered line: outcome counters, the latency
+/// histogram, and the per-request `serve/request` span. Runs after the
+/// reply is serialized and before it is written, so a reply the peer
+/// has received is already counted, and `requests` and `latency` are
+/// updated together — a `Stats` snapshot taken at any instant sees
+/// `latency_count == wire_requests`.
+fn account_line(ctx: &ServerCtx, reply: &Reply, outcome: LineOutcome, elapsed: Duration) {
+    let m = &ctx.metrics;
+    m.requests.inc();
+    m.latency.observe(elapsed.as_nanos() as u64);
+    match outcome {
+        LineOutcome::Rejected => m.rejected.inc(),
+        LineOutcome::Faulted => m.faulted.inc(),
+        LineOutcome::Ok => {}
+    }
+    match &reply.body {
+        Response::Explored(e) => {
+            if e.complete {
+                m.completed.inc();
+            } else {
+                m.truncated.inc();
+            }
+        }
+        Response::Flowed(f) => {
+            m.flows.inc();
+            if f.complete {
+                m.completed.inc();
+            } else {
+                m.truncated.inc();
+            }
+        }
+        _ => {}
+    }
+    if ctx.obs.enabled() {
+        ctx.obs.record(&Event {
+            target: "serve",
+            name: "request",
+            id: reply.id,
+            kind: EventKind::Span {
+                elapsed_ns: elapsed.as_nanos() as u64,
+            },
+            fields: &[("outcome", ObsValue::Str(outcome.label()))],
+        });
+    }
+}
+
 /// Decodes one request line and dispatches it. Never panics the caller:
 /// decode failures answer with a field-naming diagnostic, dispatch runs
 /// under `catch_unwind`, and a panicking request answers an error while
-/// the worker lives on.
-fn handle_line(line: &str, session: &Session) -> Reply {
+/// the worker lives on. Returns the reply plus how the line fared (for
+/// the caller's outcome counters).
+fn handle_line(line: &str, ctx: &ServerCtx) -> (Reply, LineOutcome) {
+    let obs = &*ctx.obs;
+    let reject = |id: u64, reason: &'static str, diagnostic: String| {
+        rsp_obs::point(
+            obs,
+            "serve",
+            "reject",
+            id,
+            &[("reason", ObsValue::Str(reason))],
+        );
+        (
+            Reply {
+                id,
+                body: Response::Error(diagnostic),
+            },
+            LineOutcome::Rejected,
+        )
+    };
     // Stage 1: generic JSON, so the version check and the id salvage
     // work even when the body is malformed.
+    let parse_start = obs.enabled().then(Instant::now);
     let value: Value = match serde_json::from_str(line) {
         Ok(v) => v,
-        Err(e) => {
-            return Reply {
-                id: 0,
-                body: Response::Error(format!("{e}")),
-            }
-        }
+        Err(e) => return reject(0, "json", format!("{e}")),
     };
     let id = match value.get("id") {
         Some(Value::Int(i)) => u64::try_from(*i).unwrap_or(0),
@@ -291,35 +456,57 @@ fn handle_line(line: &str, session: &Session) -> Reply {
     match value.get("v") {
         Some(Value::Int(v)) if *v == i128::from(PROTOCOL_VERSION) => {}
         other => {
-            return Reply {
+            return reject(
                 id,
-                body: Response::Error(format!(
+                "version",
+                format!(
                     "unsupported protocol version {other:?} in field `v` (this server speaks {PROTOCOL_VERSION})"
-                )),
-            }
+                ),
+            )
         }
     }
     // Stage 2: the typed envelope (field-naming diagnostics on error).
     let env: Envelope = match serde_json::from_value(value) {
         Ok(env) => env,
-        Err(e) => {
-            return Reply {
-                id,
-                body: Response::Error(format!("{e}")),
-            }
-        }
+        Err(e) => return reject(id, "schema", format!("{e}")),
     };
+    if let Some(start) = parse_start {
+        obs.record(&Event {
+            target: "serve",
+            name: "parse",
+            id: env.id,
+            kind: EventKind::Span {
+                elapsed_ns: start.elapsed().as_nanos() as u64,
+            },
+            fields: &[],
+        });
+    }
     // Stage 3: dispatch, panic-isolated per request.
-    let body =
-        catch_unwind(AssertUnwindSafe(|| dispatch(env.body, session))).unwrap_or_else(|panic| {
+    let execute_span = Span::enter(obs, "serve", "execute", env.id);
+    let caught = catch_unwind(AssertUnwindSafe(|| dispatch(env.body, ctx)));
+    drop(execute_span);
+    let (body, outcome) = match caught {
+        Ok(body) => (body, LineOutcome::Ok),
+        Err(panic) => {
             let what = panic
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "opaque panic payload".into());
-            Response::Error(format!("request panicked (isolated): {what}"))
-        });
-    Reply { id: env.id, body }
+            rsp_obs::point(
+                obs,
+                "serve",
+                "panic",
+                env.id,
+                &[("what", ObsValue::Str(&what))],
+            );
+            (
+                Response::Error(format!("request panicked (isolated): {what}")),
+                LineOutcome::Faulted,
+            )
+        }
+    };
+    (Reply { id: env.id, body }, outcome)
 }
 
 fn space_of(spec: SpaceSpec) -> DesignSpace {
@@ -338,30 +525,58 @@ fn control_of(limits: &Limits) -> ExploreControl {
     }
 }
 
+// The Err variant is a ready-to-send wire `Response`; its size is the
+// wire type's, not worth boxing on this cold error path.
+#[allow(clippy::result_large_err)]
 fn parse_dfg(source: &str) -> Result<Kernel, Response> {
     parse_kernel(source).map_err(|e| Response::Error(format!("kernel source: {e}")))
+}
+
+/// Builds the versioned [`StatsReply`] snapshot from the session's
+/// cache counters and the server's live metrics.
+fn stats_reply(ctx: &ServerCtx) -> StatsReply {
+    let s = ctx.session.stats();
+    let m = &ctx.metrics;
+    StatsReply {
+        schema: STATS_SCHEMA_VERSION,
+        uptime_ms: m.uptime_ms(),
+        model_reports: s.model_reports as u64,
+        model_hits: s.model_hits,
+        model_misses: s.model_misses,
+        model_hit_rate: hit_rate(s.model_hits, s.model_misses),
+        profile_entries: s.profile_entries as u64,
+        profile_hits: s.profile_hits,
+        profile_misses: s.profile_misses,
+        profile_hit_rate: hit_rate(s.profile_hits, s.profile_misses),
+        mapped_contexts: s.mapped_contexts as u64,
+        context_hits: s.context_hits,
+        context_misses: s.context_misses,
+        context_hit_rate: hit_rate(s.context_hits, s.context_misses),
+        requests: s.requests,
+        wire_requests: m.requests.get(),
+        rejected: m.rejected.get(),
+        faulted: m.faulted.get(),
+        truncated: m.truncated.get(),
+        completed: m.completed.get(),
+        flows: m.flows.get(),
+        queue_depth: m.queue_depth.get(),
+        latency_count: m.latency.count(),
+        latency_p50_us: m.latency.quantile(0.50) / 1_000,
+        latency_p90_us: m.latency.quantile(0.90) / 1_000,
+        latency_p99_us: m.latency.quantile(0.99) / 1_000,
+        latency_max_us: m.latency.max_ns() / 1_000,
+    }
 }
 
 /// Executes one decoded request against the session. Engine errors
 /// (infeasible designs, mapper rejections, interrupted flows) become
 /// [`Response::Error`] lines; panics are the caller's `catch_unwind`'s
 /// business.
-fn dispatch(request: Request, session: &Session) -> Response {
+fn dispatch(request: Request, ctx: &ServerCtx) -> Response {
+    let session = &*ctx.session;
     match request {
         Request::Ping => Response::Pong,
-        Request::Stats => {
-            let s = session.stats();
-            Response::Stats(StatsReply {
-                model_reports: s.model_reports as u64,
-                model_hits: s.model_hits,
-                model_misses: s.model_misses,
-                profile_entries: s.profile_entries as u64,
-                profile_hits: s.profile_hits,
-                profile_misses: s.profile_misses,
-                mapped_contexts: s.mapped_contexts as u64,
-                requests: s.requests,
-            })
-        }
+        Request::Stats => Response::Stats(stats_reply(ctx)),
         Request::Map(MapRequest { kernel, rows, cols }) => {
             let kernel = match parse_dfg(&kernel) {
                 Ok(k) => k,
@@ -470,30 +685,42 @@ fn dispatch(request: Request, session: &Session) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rsp_obs::NullRecorder;
+
+    fn test_ctx() -> ServerCtx {
+        ServerCtx {
+            session: Arc::new(Session::builder().build()),
+            metrics: ServerMetrics::new(),
+            obs: Arc::new(NullRecorder),
+        }
+    }
 
     #[test]
     fn handle_line_rejects_garbage_and_salvages_ids() {
-        let session = Session::builder().build();
+        let ctx = test_ctx();
         // Not JSON at all.
-        let r = handle_line("not json", &session);
+        let (r, outcome) = handle_line("not json", &ctx);
         assert_eq!(r.id, 0);
         assert!(matches!(r.body, Response::Error(_)));
+        assert_eq!(outcome, LineOutcome::Rejected);
         // Wrong version, id salvaged.
-        let r = handle_line(r#"{"v": 99, "id": 7, "body": "Ping"}"#, &session);
+        let (r, outcome) = handle_line(r#"{"v": 99, "id": 7, "body": "Ping"}"#, &ctx);
         assert_eq!(r.id, 7);
+        assert_eq!(outcome, LineOutcome::Rejected);
         match r.body {
-            Response::Error(msg) => assert!(msg.contains('1') && msg.contains("version")),
+            Response::Error(msg) => assert!(msg.contains('2') && msg.contains("version")),
             other => panic!("expected version error, got {other:?}"),
         }
         // Well-formed ping.
-        let r = handle_line(r#"{"v": 1, "id": 8, "body": "Ping"}"#, &session);
+        let (r, outcome) = handle_line(r#"{"v": 2, "id": 8, "body": "Ping"}"#, &ctx);
         assert_eq!(r.id, 8);
         assert_eq!(r.body, Response::Pong);
+        assert_eq!(outcome, LineOutcome::Ok);
     }
 
     #[test]
     fn dispatch_maps_a_dfg_kernel() {
-        let session = Session::builder().build();
+        let ctx = test_ctx();
         let source = rsp_workload::print_kernel(&rsp_kernel::suite::sad());
         let reply = dispatch(
             Request::Map(MapRequest {
@@ -501,7 +728,7 @@ mod tests {
                 rows: 8,
                 cols: 8,
             }),
-            &session,
+            &ctx,
         );
         match reply {
             Response::Mapped(m) => {
@@ -512,19 +739,19 @@ mod tests {
             other => panic!("expected Mapped, got {other:?}"),
         }
         // The mapped context landed in the session memo.
-        assert_eq!(session.stats().mapped_contexts, 1);
+        assert_eq!(ctx.session.stats().mapped_contexts, 1);
     }
 
     #[test]
     fn dispatch_reports_parse_errors_with_positions() {
-        let session = Session::builder().build();
+        let ctx = test_ctx();
         let reply = dispatch(
             Request::Map(MapRequest {
                 kernel: "kernel \"x\" {\n  bogus 3\n}".into(),
                 rows: 8,
                 cols: 8,
             }),
-            &session,
+            &ctx,
         );
         match reply {
             Response::Error(msg) => {
@@ -532,5 +759,24 @@ mod tests {
             }
             other => panic!("expected Error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_snapshot_is_versioned_and_self_consistent() {
+        let ctx = test_ctx();
+        // Simulate two answered lines the way serve_connection accounts
+        // them, then snapshot.
+        let (ping, outcome) = handle_line(r#"{"v": 2, "id": 1, "body": "Ping"}"#, &ctx);
+        account_line(&ctx, &ping, outcome, Duration::from_micros(120));
+        let (bad, outcome) = handle_line("not json", &ctx);
+        account_line(&ctx, &bad, outcome, Duration::from_micros(15));
+        let s = stats_reply(&ctx);
+        assert_eq!(s.schema, STATS_SCHEMA_VERSION);
+        assert_eq!(s.wire_requests, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.latency_count, s.wire_requests);
+        assert!(s.latency_p50_us <= s.latency_p99_us);
+        assert!(s.latency_p99_us <= s.latency_max_us.max(s.latency_p99_us));
+        assert_eq!(s.queue_depth, 0);
     }
 }

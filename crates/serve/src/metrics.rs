@@ -1,0 +1,87 @@
+//! Server-side metrics: request lifecycle counters and the latency
+//! histogram behind the wire `Stats` snapshot.
+
+use rsp_obs::{Counter, Gauge, Histogram};
+use std::time::Instant;
+
+/// Live counters of one [`Server`](crate::Server). All atomics —
+/// workers update them lock-free; `Stats` requests snapshot them.
+///
+/// Counting discipline: `requests` and `latency` are updated together,
+/// after execution and before the reply is written — so a reply the
+/// peer has received is already counted, and at every instant
+/// `latency.count() == requests` (the self-consistency the extended
+/// `rsp-serve --self-test` asserts through the wire).
+#[derive(Debug)]
+pub(crate) struct ServerMetrics {
+    start: Instant,
+    /// Request lines answered (any outcome).
+    pub requests: Counter,
+    /// Lines rejected before dispatch: bad JSON, version mismatch,
+    /// schema errors.
+    pub rejected: Counter,
+    /// Isolated per-request panics (the request answered an error; the
+    /// worker lives on).
+    pub faulted: Counter,
+    /// Explore/flow replies flagged `complete: false` (anytime limits).
+    pub truncated: Counter,
+    /// Explore/flow replies flagged `complete: true`.
+    pub completed: Counter,
+    /// Flow requests served successfully.
+    pub flows: Counter,
+    /// Connections accepted but not yet picked up by a worker.
+    pub queue_depth: Gauge,
+    /// Per-request wall latency (line received → reply written).
+    pub latency: Histogram,
+}
+
+impl ServerMetrics {
+    pub(crate) fn new() -> Self {
+        ServerMetrics {
+            start: Instant::now(),
+            requests: Counter::new(),
+            rejected: Counter::new(),
+            faulted: Counter::new(),
+            truncated: Counter::new(),
+            completed: Counter::new(),
+            flows: Counter::new(),
+            queue_depth: Gauge::new(),
+            latency: Histogram::new(),
+        }
+    }
+
+    /// Milliseconds since the server spawned.
+    pub(crate) fn uptime_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+}
+
+/// `hits / (hits + misses)`, 0.0 before the first lookup.
+pub(crate) fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty_and_full() {
+        assert_eq!(hit_rate(0, 0), 0.0);
+        assert_eq!(hit_rate(3, 1), 0.75);
+        assert_eq!(hit_rate(5, 0), 1.0);
+    }
+
+    #[test]
+    fn metrics_start_empty() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.requests.get(), 0);
+        assert_eq!(m.latency.count(), 0);
+        assert_eq!(m.queue_depth.get(), 0);
+    }
+}

@@ -36,7 +36,16 @@ use serde::{Deserialize, Serialize};
 /// the server rejects other versions with a [`Response::Error`] naming
 /// the expected version, so old clients fail with a diagnostic instead
 /// of a decode mystery.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// History: v1 — initial line protocol; v2 — [`StatsReply`] grew the
+/// observability snapshot (uptime, request-latency quantiles, queue
+/// depth, cache hit rates, outcome counters).
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Schema version stamped into every [`StatsReply`] (its `schema`
+/// field), so clients can detect snapshot-shape changes independently
+/// of the envelope version.
+pub const STATS_SCHEMA_VERSION: u32 = 2;
 
 /// One request line: version, client-chosen correlation id, body.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -158,25 +167,74 @@ pub enum Request {
     Flow(FlowRequest),
 }
 
-/// Session counters (see `rsp_core::SessionStats`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// The versioned metrics snapshot: session cache counters (see
+/// `rsp_core::SessionStats`) plus the server's own request-lifecycle
+/// metrics (uptime, latency quantiles, queue depth, outcome counters).
+///
+/// Self-consistency invariants, asserted by `rsp-serve --self-test`
+/// through the wire: `latency_count == wire_requests` (the latency
+/// histogram records exactly one observation per answered line),
+/// `wire_requests >= flows`, and `latency_p50_us <= latency_p90_us <=
+/// latency_p99_us <= latency_max_us`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StatsReply {
+    /// Snapshot shape version ([`STATS_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Milliseconds since the server spawned.
+    pub uptime_ms: u64,
     /// Distinct plans holding full synthesis reports.
     pub model_reports: u64,
     /// Synthesis-memo hits — cross-request reuse, observable.
     pub model_hits: u64,
     /// Synthesis-memo misses.
     pub model_misses: u64,
+    /// Synthesis-memo hit rate (`0.0` before the first lookup).
+    pub model_hit_rate: f64,
     /// Distinct kernel profiles cached.
     pub profile_entries: u64,
     /// Profile-memo hits.
     pub profile_hits: u64,
     /// Profile-memo misses.
     pub profile_misses: u64,
+    /// Profile-memo hit rate (`0.0` before the first lookup).
+    pub profile_hit_rate: f64,
     /// Distinct mapped contexts cached.
     pub mapped_contexts: u64,
+    /// Mapped-context memo hits.
+    pub context_hits: u64,
+    /// Mapped-context memo misses.
+    pub context_misses: u64,
+    /// Mapped-context memo hit rate (`0.0` before the first lookup).
+    pub context_hit_rate: f64,
     /// Requests answered through the session so far.
     pub requests: u64,
+    /// Wire request lines answered (any outcome). Counted before the
+    /// reply is written, so a reply the client has received is already
+    /// included.
+    pub wire_requests: u64,
+    /// Lines rejected before dispatch (bad JSON, version mismatch,
+    /// schema errors).
+    pub rejected: u64,
+    /// Isolated per-request panics.
+    pub faulted: u64,
+    /// Explore/flow replies truncated by per-request [`Limits`].
+    pub truncated: u64,
+    /// Explore/flow replies that ran to completion.
+    pub completed: u64,
+    /// Flow requests answered.
+    pub flows: u64,
+    /// Connections accepted but not yet picked up by a worker.
+    pub queue_depth: i64,
+    /// Observations in the request-latency histogram.
+    pub latency_count: u64,
+    /// Median request latency, microseconds (≤ 2× relative error).
+    pub latency_p50_us: u64,
+    /// 90th-percentile request latency, microseconds.
+    pub latency_p90_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Largest request latency, microseconds.
+    pub latency_max_us: u64,
 }
 
 /// A mapped kernel's headline numbers.
@@ -410,15 +468,15 @@ mod tests {
         // Each case: broken line → the diagnostic names what is wrong.
         let cases: &[(&str, &str)] = &[
             (r#"{"id": 1, "body": "Ping"}"#, "v"),
-            (r#"{"v": 1, "body": "Ping"}"#, "id"),
-            (r#"{"v": 1, "id": 2}"#, "body"),
-            (r#"{"v": 1, "id": 2, "body": "Quack"}"#, "Quack"),
+            (r#"{"v": 2, "body": "Ping"}"#, "id"),
+            (r#"{"v": 2, "id": 2}"#, "body"),
+            (r#"{"v": 2, "id": 2, "body": "Quack"}"#, "Quack"),
             (
-                r#"{"v": 1, "id": 2, "body": {"Map": {"rows": 8, "cols": 8}}}"#,
+                r#"{"v": 2, "id": 2, "body": {"Map": {"rows": 8, "cols": 8}}}"#,
                 "kernel",
             ),
             (
-                r#"{"v": 1, "id": 2, "body": {"Explore": {"kernels": [], "weights": null, "rows": 8, "cols": 8, "space": "Paper"}}}"#,
+                r#"{"v": 2, "id": 2, "body": {"Explore": {"kernels": [], "weights": null, "rows": 8, "cols": 8, "space": "Paper"}}}"#,
                 "limits",
             ),
         ];

@@ -83,13 +83,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         other => panic!("expected Flowed, got {other:?}"),
     }
 
-    // Cache observability: the map + explore + flow above shared one
-    // session, so the synthesis memo already shows cross-request reuse.
+    // Observability round trip: the Stats snapshot covers the whole
+    // request lifecycle — the map + explore + flow above shared one
+    // session (cache hit rates show cross-request reuse) and one wire
+    // path (reply latency quantiles, outcome counters, queue depth).
     match client.call(Request::Stats)? {
-        Response::Stats(s) => println!(
-            "stats             : {} requests, {} plans synthesized, {} model hits, {} profiles",
-            s.requests, s.model_reports, s.model_hits, s.profile_entries
-        ),
+        Response::Stats(s) => {
+            println!(
+                "stats             : schema v{}, up {} ms, {} wire requests ({} completed, {} flow)",
+                s.schema, s.uptime_ms, s.wire_requests, s.completed, s.flows
+            );
+            println!(
+                "  session         : {} requests, {} plans synthesized, model hit rate {:.2}",
+                s.requests, s.model_reports, s.model_hit_rate
+            );
+            println!(
+                "  latency         : p50 {} µs, p90 {} µs, p99 {} µs over {} replies",
+                s.latency_p50_us, s.latency_p90_us, s.latency_p99_us, s.latency_count
+            );
+            // Counters update before each reply is written, so the
+            // snapshot already accounts for every reply this client has
+            // received (its own Stats request is excluded).
+            assert_eq!(s.latency_count, s.wire_requests);
+            assert_eq!(s.rejected + s.faulted, 0);
+        }
         other => panic!("expected Stats, got {other:?}"),
     }
 

@@ -1,27 +1,40 @@
 //! `rsp-serve` — the exploration server as a process.
 //!
 //! ```text
-//! rsp-serve [--addr HOST:PORT] [--workers N]   serve until SIGKILL
-//! rsp-serve --self-test                        in-process round trip
+//! rsp-serve [--addr HOST:PORT] [--workers N] [--log-json PATH|-]   serve until SIGKILL
+//! rsp-serve --self-test [--log-json PATH|-]                        in-process round trip
 //! ```
 //!
+//! `--log-json` streams every observability event (request lifecycle,
+//! engine phases, cache counters) as JSON Lines to the given path, or
+//! to stdout with `-`. Status output always goes to stderr, so
+//! `--log-json -` produces pure JSONL on stdout.
+//!
 //! `--self-test` starts a server on an ephemeral port, runs one client
-//! ping + map + explore round trip against it, verifies the session's
-//! caches saw the traffic, shuts down cleanly, and exits 0 — the CI
-//! smoke path.
+//! ping + map + explore + flow round trip against it, then issues a
+//! `Stats` request and verifies the snapshot is self-consistent
+//! (versioned schema, requests ≥ flows served, latency histogram
+//! counts summing to the request count, ordered quantiles), shuts down
+//! cleanly, and exits 0 — the CI smoke path.
 
 use rsp::kernel::suite;
-use rsp::serve::proto::{ExploreRequest, Limits, MapRequest, Request, Response, SpaceSpec};
+use rsp::obs::JsonlRecorder;
+use rsp::serve::proto::{
+    ExploreRequest, FlowRequest, Limits, MapRequest, Request, Response, SpaceSpec, WorkloadApp,
+    STATS_SCHEMA_VERSION,
+};
 use rsp::serve::{Client, ServeConfig, Server};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rsp-serve [--addr HOST:PORT] [--workers N] [--self-test]\n\
+        "usage: rsp-serve [--addr HOST:PORT] [--workers N] [--log-json PATH|-] [--self-test]\n\
          \n\
          \x20 --addr HOST:PORT  bind address (default 127.0.0.1:7474; port 0 = ephemeral)\n\
          \x20 --workers N       worker threads / concurrent connections (default 4)\n\
-         \x20 --self-test       start, run one client round trip, shut down, exit"
+         \x20 --log-json PATH   stream observability events as JSON Lines to PATH (- = stdout)\n\
+         \x20 --self-test       start, run one client round trip, verify Stats, shut down, exit"
     );
     ExitCode::FAILURE
 }
@@ -35,7 +48,7 @@ fn self_test() -> ExitCode {
         }
     };
     let addr = server.addr();
-    println!("self-test: serving on {addr}");
+    eprintln!("self-test: serving on {addr}");
     let result = (|| -> Result<(), String> {
         let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
         match client
@@ -54,7 +67,7 @@ fn self_test() -> ExitCode {
             }))
             .map_err(|e| format!("map: {e}"))?
         {
-            Response::Mapped(m) => println!(
+            Response::Mapped(m) => eprintln!(
                 "self-test: mapped {} ({} cycles, II {})",
                 m.kernel, m.cycles, m.initiation_interval
             ),
@@ -62,7 +75,7 @@ fn self_test() -> ExitCode {
         }
         match client
             .call(Request::Explore(ExploreRequest {
-                kernels: vec![sad],
+                kernels: vec![sad.clone()],
                 weights: None,
                 rows: 8,
                 cols: 8,
@@ -71,7 +84,7 @@ fn self_test() -> ExitCode {
             }))
             .map_err(|e| format!("explore: {e}"))?
         {
-            Response::Explored(e) if e.complete && e.feasible > 0 => println!(
+            Response::Explored(e) if e.complete && e.feasible > 0 => eprintln!(
                 "self-test: explored {} candidates, {} feasible, best {}",
                 e.candidates_seen,
                 e.feasible,
@@ -79,24 +92,92 @@ fn self_test() -> ExitCode {
             ),
             other => return Err(format!("expected complete Explored, got {other:?}")),
         }
+        let fdct = rsp::workload::print_kernel(&suite::fdct());
         match client
+            .call(Request::Flow(FlowRequest {
+                apps: vec![WorkloadApp {
+                    name: "self-test".into(),
+                    kernels: vec![(fdct, 99), (sad, 396)],
+                }],
+                geometries: None,
+                space: SpaceSpec::Paper,
+                limits: Limits::none(),
+            }))
+            .map_err(|e| format!("flow: {e}"))?
+        {
+            Response::Flowed(f) if f.complete => eprintln!(
+                "self-test: flow chose {} ({:.0} slices, {} critical loops)",
+                f.chosen, f.area_slices, f.critical_loops
+            ),
+            other => return Err(format!("expected complete Flowed, got {other:?}")),
+        }
+        // The Stats snapshot must be versioned and self-consistent with
+        // the traffic this very connection just generated.
+        let s = match client
             .call(Request::Stats)
             .map_err(|e| format!("stats: {e}"))?
         {
-            Response::Stats(s) if s.requests > 0 && s.model_reports > 0 => {
-                println!(
-                    "self-test: session saw {} requests, {} plans synthesized, {} cache hits",
-                    s.requests, s.model_reports, s.model_hits
-                );
-            }
-            other => return Err(format!("expected busy Stats, got {other:?}")),
+            Response::Stats(s) => s,
+            other => return Err(format!("expected Stats, got {other:?}")),
+        };
+        if s.schema != STATS_SCHEMA_VERSION {
+            return Err(format!(
+                "stats schema {} != expected {STATS_SCHEMA_VERSION}",
+                s.schema
+            ));
         }
+        if !(s.requests > 0 && s.model_reports > 0) {
+            return Err(format!("expected busy session stats, got {s:?}"));
+        }
+        // Four requests answered before this Stats: ping, map, explore,
+        // flow (the snapshot is taken before its own request is
+        // counted).
+        if s.wire_requests < 4 {
+            return Err(format!(
+                "expected ≥ 4 wire requests before the snapshot, got {}",
+                s.wire_requests
+            ));
+        }
+        if s.flows != 1 || s.wire_requests < s.flows {
+            return Err(format!(
+                "expected wire_requests ≥ flows == 1, got {} / {}",
+                s.wire_requests, s.flows
+            ));
+        }
+        if s.latency_count != s.wire_requests {
+            return Err(format!(
+                "latency histogram holds {} observations for {} requests",
+                s.latency_count, s.wire_requests
+            ));
+        }
+        if !(s.latency_p50_us <= s.latency_p90_us && s.latency_p90_us <= s.latency_p99_us) {
+            return Err(format!(
+                "latency quantiles out of order: p50 {} p90 {} p99 {}",
+                s.latency_p50_us, s.latency_p90_us, s.latency_p99_us
+            ));
+        }
+        if s.rejected != 0 || s.faulted != 0 {
+            return Err(format!(
+                "clean traffic should reject/fault nothing, got {} / {}",
+                s.rejected, s.faulted
+            ));
+        }
+        eprintln!(
+            "self-test: stats ok (schema {}, {} wire requests, {} flow, p50 {} µs, p99 {} µs, \
+             model hit rate {:.2})",
+            s.schema,
+            s.wire_requests,
+            s.flows,
+            s.latency_p50_us,
+            s.latency_p99_us,
+            s.model_hit_rate
+        );
         Ok(())
     })();
     server.shutdown();
     match result {
         Ok(()) => {
-            println!("self-test: ok (clean shutdown)");
+            eprintln!("self-test: ok (clean shutdown)");
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -112,10 +193,12 @@ fn main() -> ExitCode {
         addr: "127.0.0.1:7474".into(),
         ..ServeConfig::default()
     };
+    let mut self_test_mode = false;
+    let mut log_json: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--self-test" => return self_test(),
+            "--self-test" => self_test_mode = true,
             "--addr" => match iter.next() {
                 Some(a) => config.addr = a.clone(),
                 None => return usage(),
@@ -124,9 +207,37 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => config.workers = n,
                 _ => return usage(),
             },
+            "--log-json" => match iter.next() {
+                Some(p) => log_json = Some(p.clone()),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
+
+    // Install the JSONL recorder process-wide *before* any session or
+    // server is built: option structs resolve their default recorder
+    // from the global at construction time.
+    if let Some(path) = &log_json {
+        let recorder = if path == "-" {
+            JsonlRecorder::stdout()
+        } else {
+            match JsonlRecorder::create(std::path::Path::new(path)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("rsp-serve: cannot create --log-json {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        rsp::obs::set_global(Arc::new(recorder));
+        config.recorder = rsp::obs::global();
+    }
+
+    if self_test_mode {
+        return self_test();
+    }
+
     let server = match Server::spawn(config) {
         Ok(s) => s,
         Err(e) => {
@@ -134,7 +245,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
+    eprintln!(
         "rsp-serve: listening on {} (protocol v{})",
         server.addr(),
         rsp::serve::proto::PROTOCOL_VERSION

@@ -15,6 +15,7 @@
 //! | [`sim`] | `rsp-sim` | cycle-accurate structural simulator and functional oracle |
 //! | [`workload`] | `rsp-workload` | textual DFG format, parametric kernel generators, seeded random DFGs, the committed `workloads/` suite |
 //! | [`serve`] | `rsp-serve` | line-protocol exploration server: concurrent map/explore/flow requests over one shared [`Session`] |
+//! | [`obs`] | `rsp-obs` | zero-dependency observability: spans, counters, latency histograms behind a pluggable [`obs::Recorder`] |
 //!
 //! # Quickstart
 //!
@@ -65,6 +66,7 @@ pub use rsp_arch as arch;
 pub use rsp_core as core;
 pub use rsp_kernel as kernel;
 pub use rsp_mapper as mapper;
+pub use rsp_obs as obs;
 pub use rsp_serve as serve;
 pub use rsp_sim as sim;
 pub use rsp_synth as synth;
