@@ -13,10 +13,13 @@
 //! adapter never decides *which* reports exist, only *how* one label is
 //! measured.
 //!
-//! The five kinds:
+//! The six kinds:
 //!
 //! * [`explore`] — exploration-engine rows over a named design space
 //!   (`rsp/explore`).
+//! * [`deep100`] — pruning efficacy on the mixed 11,024-candidate
+//!   multi-kind space, with in-run frontier bit-identity asserts
+//!   (`rsp/deep100`).
 //! * [`flow`] — end-to-end Fig. 7 flow rows (`rsp/flow`); also owns the
 //!   four-configuration measurement scaffold the workload adapter
 //!   reuses.
@@ -28,6 +31,7 @@
 //!   cache-warm vs cache-cold, sequential vs concurrent clients
 //!   (`rsp/serve`).
 
+pub mod deep100;
 pub mod explore;
 pub mod flow;
 pub mod serve;

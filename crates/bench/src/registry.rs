@@ -300,7 +300,7 @@ pub fn glob_match(pattern: &str, text: &str) -> bool {
     p[pi..].iter().all(|&c| c == '*')
 }
 
-/// The built-in definitions — the five tracked benchmarks.
+/// The built-in definitions — the six tracked benchmarks.
 fn builtin_defs() -> Vec<BenchDef> {
     vec![
         BenchDef {
@@ -321,6 +321,28 @@ fn builtin_defs() -> Vec<BenchDef> {
             labels: &["extended", "deep"],
             default_samples: 21,
             measure: adapters::explore::measure,
+        },
+        BenchDef {
+            id: "rsp/deep100",
+            artifact: "BENCH_deep100.json",
+            title: "pruning efficacy on the mixed 11,024-candidate space",
+            workload: "paper kernel suite (9 kernels), uniform weights, 8x8 base",
+            space: "deep100 (11,024 mixed Mult x Alu x Shifter candidates)",
+            engines: &[
+                "serial-reference",
+                "engine-1-thread-pruned",
+                "engine-parallel-pruned",
+            ],
+            anchors: &[
+                "candidates_seen=11024",
+                "candidates_pruned (>=60% of seen, asserted in-run)",
+                "bound_tightness=1.0 bitwise (bound-as-estimate reuse)",
+                "clock_bound_cuts",
+                "pruned frontier bit-identical to the unpruned reference (asserted while measuring)",
+            ],
+            labels: &["deep100"],
+            default_samples: 21,
+            measure: adapters::deep100::measure,
         },
         BenchDef {
             id: "rsp/flow",
@@ -461,6 +483,7 @@ mod tests {
             reg.ids(),
             vec![
                 "rsp/explore",
+                "rsp/deep100",
                 "rsp/flow",
                 "rsp/workload",
                 "rsp/soak",
@@ -469,9 +492,10 @@ mod tests {
         );
         assert!(reg.find("rsp/soak").is_some());
         assert!(reg.find("rsp/serve").is_some());
+        assert!(reg.find("rsp/deep100").is_some());
         assert!(reg.find("rsp/nope").is_none());
-        assert_eq!(reg.filter("*").len(), 5);
-        assert_eq!(reg.filter("rsp/*").len(), 5);
+        assert_eq!(reg.filter("*").len(), 6);
+        assert_eq!(reg.filter("rsp/*").len(), 6);
         let flows: Vec<&str> = reg.filter("rsp/flow").iter().map(|d| d.id).collect();
         assert_eq!(flows, vec!["rsp/flow"]);
         let w: Vec<&str> = reg.filter("*work*").iter().map(|d| d.id).collect();
@@ -532,17 +556,19 @@ mod tests {
 
         // Complete set: every definition paired, deterministic order.
         write("BENCH_explore.json", "rsp/explore");
+        write("BENCH_deep100.json", "rsp/deep100");
         write("BENCH_flow.json", "rsp/flow");
         write("BENCH_workload.json", "rsp/workload");
         write("BENCH_soak.json", "rsp/soak");
         write("BENCH_serve.json", "rsp/serve");
         let found = registry().discover(&dir).unwrap();
-        assert_eq!(found.len(), 5);
+        assert_eq!(found.len(), 6);
         let mut ids: Vec<&str> = found.iter().map(|d| d.def.id).collect();
         ids.sort_unstable();
         assert_eq!(
             ids,
             vec![
+                "rsp/deep100",
                 "rsp/explore",
                 "rsp/flow",
                 "rsp/serve",

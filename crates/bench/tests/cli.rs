@@ -215,6 +215,7 @@ fn check_all_matches_the_per_artifact_gate_verdict() {
         serde_json::to_string_pretty(&artifact).unwrap(),
     )
     .unwrap();
+    write_artifact(&dir, "BENCH_deep100.json", "rsp/deep100", "[]");
     write_artifact(&dir, "BENCH_flow.json", "rsp/flow", "[]");
     write_artifact(&dir, "BENCH_workload.json", "rsp/workload", "[]");
     write_artifact(&dir, "BENCH_soak.json", "rsp/soak", "[]");
@@ -237,11 +238,12 @@ fn check_all_matches_the_per_artifact_gate_verdict() {
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("discovered 5 committed artifacts for 5 registered benchmarks"),
+        stdout.contains("discovered 6 committed artifacts for 6 registered benchmarks"),
         "{stdout}"
     );
     for id in [
         "rsp/explore",
+        "rsp/deep100",
         "rsp/flow",
         "rsp/workload",
         "rsp/soak",
@@ -256,6 +258,7 @@ fn check_all_matches_the_per_artifact_gate_verdict() {
     // Every discovered artifact is re-emitted for diffing.
     for name in [
         "BENCH_explore.json",
+        "BENCH_deep100.json",
         "BENCH_flow.json",
         "BENCH_workload.json",
         "BENCH_soak.json",

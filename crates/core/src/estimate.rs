@@ -1,33 +1,72 @@
-//! Exploration-time performance estimation (upper bound).
+//! Exploration-time performance estimation: an admissible, slack-aware
+//! lower bound on the rearranged cycle count.
 //!
 //! Mapping and exactly evaluating every candidate RSP design is
-//! time-consuming, so the paper's exploration stage estimates stall counts
-//! from the *initial* configuration contexts (§4):
+//! time-consuming, so the exploration stage estimates each candidate's
+//! elapsed cycles from the *initial* configuration contexts alone.
+//! Where the paper's §4 estimator charges every over-subscribed
+//! operation a whole stall cycle (a pessimistic upper bound — ≈ 3.6×
+//! the exact schedule on the dense kernels), this module computes a
+//! **slack-aware lower bound**: later idle capacity is credited against
+//! earlier oversubscribed cycles, so the estimate tracks what the list
+//! scheduler can actually achieve while staying *admissible* —
+//! `estimate ≤ exact elapsed cycles`, property-tested across the whole
+//! suite — which is exactly the property result-preserving pruning
+//! needs.
 //!
-//! * **RS stall estimate** — per cycle, the number of critical operations
-//!   that exceed the reachable shared resources; each excess operation is
-//!   assumed to cost a stall cycle (pessimistic, hence an upper bound on
-//!   stalls / lower bound on performance).
-//! * **RP stall estimate** — each pipelined operation on the body's
-//!   critical dependence chain delays its dependents by `stages − 1`
-//!   cycles; consecutive pipelined operations overlap and are not double
-//!   counted.
+//! # The slack-aware bound
+//!
+//! The exact rearrangement (see [`crate::rearrange`]) obeys three
+//! invariants:
+//!
+//! 1. an instance never issues before its base-schedule cycle;
+//! 2. a shared resource accepts one *issue* per cycle (pipelining
+//!    overlaps execution, not issue);
+//! 3. an instance on PE `(r, c)` can only reach its own row bank
+//!    (`shr` resources) and its own column bank (`shc` resources).
+//!
+//! Fix one shared kind on an `R × C` array and let `t₁ < t₂ < …` be
+//! the base cycles with demand. For any suffix starting at `tᵢ`:
+//!
+//! * the **suffix total** `Sᵢ` (all demand at base cycles ≥ `tᵢ`)
+//!   issues at most `R·shr + C·shc` operations per cycle, none of it
+//!   before `tᵢ` (invariants 1–2), so any legal schedule runs at least
+//!   `tᵢ + ⌈Sᵢ / (R·shr + C·shc)⌉` cycles;
+//! * the **suffix row maximum** `Mʳᵢ = maxᵣ` (row `r`'s demand at base
+//!   cycles ≥ `tᵢ`) issues at most `shr + C·shc` per cycle — its own
+//!   row bank plus one slot in every column bank (invariant 3) —
+//!   giving `tᵢ + ⌈Mʳᵢ / (shr + C·shc)⌉`;
+//! * symmetrically for columns: `tᵢ + ⌈Mᶜᵢ / (shc + R·shr)⌉`.
+//!
+//! The execution floor is the maximum of these terms over every suffix
+//! and every shared group, and never below the base length `T`.
+//! Crediting a *suffix's* demand against a *suffix's* capacity is what
+//! makes the bound slack-aware: a burst at cycle `t` is only charged
+//! the stalls that the idle capacity after `t` cannot absorb, instead
+//! of one stall per excess operation.
+//!
+//! Refill stalls are charged on top via [`refill_stall_estimate`],
+//! which is monotone and admissible when fed an execution lower bound.
+//! RP latency overhead is **not** added: a pipelined resource overlaps
+//! retirement with later issues, so no per-operation latency charge is
+//! admissible in general ([`ContextProfile::rp_overhead`] survives as
+//! the paper-faithful diagnostic, as does the greedy per-cycle excess
+//! count [`ContextProfile::rs_stalls`]).
 //!
 //! # Estimation cost
 //!
 //! The demand a kernel places on a shared kind depends only on the
-//! context, never on the candidate plan, so it is profiled once into a
-//! sparse [`CycleDemand`] ([`ContextProfile`]) and every candidate then
-//! performs an O(non-zero cells) greedy reduction with per-thread
-//! reusable scratch budgets — no per-candidate allocation, no dense
-//! `cycles × rows × cols` histogram.
-//! [`ContextProfile::rs_stalls_lower_bound`] additionally yields an
-//! admissible O(non-zero cells) lower bound on the RS stalls (per-cycle
-//! demand minus the capacity its touched rows/columns can reach), which
-//! the exploration engine uses to skip hopeless candidates early. Two
-//! bound strengths are offered ([`BoundKind`]): the original aggregate
-//! capacity credit, and the tighter per-row residual form that caps each
-//! row's (column's) credit at its own demand.
+//! context, never on the candidate plan, so it is profiled once: the
+//! word-packed [`CycleDemand`] is reduced — branch-free popcounts per
+//! row ([`rsp_mapper::CycleView::row_count`]) — into per-suffix tables
+//! `(tᵢ, Sᵢ, Mʳᵢ, Mᶜᵢ)`. Every candidate then evaluates the floor in
+//! O(non-empty cycles) with three divisions per cycle: no per-candidate
+//! allocation, no dense `cycles × rows × cols` histogram. Two bound
+//! strengths are offered ([`BoundKind`]): the aggregate form keeps only
+//! the suffix-total term; the default per-row residual form keeps all
+//! three and equals the full estimate's execution floor bit for bit,
+//! which is what lets the exploration engine reuse a surviving
+//! candidate's pruning bound as its estimate for free.
 
 use rsp_arch::{FuKind, RspArchitecture, SharingPlan};
 use rsp_kernel::Kernel;
@@ -36,17 +75,23 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 
 /// Estimated performance of one kernel on one candidate architecture.
+///
+/// `total_cycles` is an admissible lower bound on the exact rearranged
+/// schedule's elapsed cycles (execution + refill).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StallEstimate {
-    /// Estimated RS stalls (resource shortage).
+    /// Estimated RS stalls (resource shortage): the slack-aware
+    /// execution floor minus the base schedule length.
     pub rs_stalls: u32,
-    /// Estimated RP overhead (multi-cycle latency on the critical chain).
+    /// Estimated RP overhead. Always 0: pipelined issue overlaps, so no
+    /// admissible per-operation latency charge exists (the paper-style
+    /// diagnostic lives in [`ContextProfile::rp_overhead`]).
     pub rp_overhead: u32,
     /// Estimated configuration-cache refill stalls
-    /// ([`refill_stall_estimate`] over the estimated execution
-    /// cycles; 0 when the estimate fits the cache).
+    /// ([`refill_stall_estimate`] over the estimated execution cycles;
+    /// 0 when the estimate fits the cache).
     pub refill_stalls: u32,
-    /// Estimated total elapsed cycles (base + RS + RP + refill).
+    /// Estimated total elapsed cycles (base + RS + refill).
     pub total_cycles: u32,
 }
 
@@ -57,21 +102,13 @@ pub struct StallEstimate {
 /// The exact cost of a split schedule is `exec − seg0_depth` (every
 /// segment after the first reloads at one stall cycle per context word;
 /// segment 0's load is the initial configuration load, which is free),
-/// so this formula is the **greedy ideal** `seg0_depth = cache_depth`:
-///
-/// * Fed a **lower** bound on the execution cycles it is an admissible
-///   lower bound on the exact refill (`seg0_depth ≤ cache_depth` always,
-///   and the expression is monotone in `exec_cycles`) — which is what
-///   lets the exploration engine's pruning floor include refill without
-///   ever cutting a candidate the reference keeps.
-/// * Fed the stall estimate's execution **upper** bound it is *exact*
-///   for the combinational (unit-latency) sharing variants, where every
-///   boundary is a legal cut and the greedy splitter packs full
-///   segments. Pipelined variants whose sparse legal cuts force smaller
-///   segments can exceed it — the same variants that are usually
-///   unsplittable outright — so on those the charge is a model
-///   estimate, not a bound; the RS/RP stall estimates keep their paper
-///   upper-bound property regardless.
+/// and `seg0_depth ≤ cache_depth` always, so this formula is the greedy
+/// ideal `seg0_depth = cache_depth` — a lower bound on the exact refill
+/// stalls, and monotone in `exec_cycles`. Fed a lower bound on the
+/// execution cycles it therefore stays an admissible lower bound on the
+/// exact refill, which is what lets both the estimate and the
+/// exploration engine's pruning floor include refill without ever
+/// cutting a candidate the reference keeps.
 pub fn refill_stall_estimate(exec_cycles: u32, cache_depth: u32) -> u32 {
     exec_cycles.saturating_sub(cache_depth)
 }
@@ -80,21 +117,22 @@ pub fn refill_stall_estimate(exec_cycles: u32, cache_depth: u32) -> u32 {
 /// computes per candidate (see
 /// [`ContextProfile::rs_stalls_lower_bound`]).
 ///
-/// Both bounds never exceed the full greedy estimate
-/// ([`ContextProfile::rs_stalls`]), so either is safe for
-/// result-preserving pruning; [`BoundKind::PerRowResidual`] is tighter
-/// (term-wise at least as large) and is the default.
+/// Both are admissible against the exact rearranged schedule;
+/// [`BoundKind::PerRowResidual`] is tighter (term-wise at least as
+/// large), equals [`ContextProfile::estimate`]'s execution floor
+/// exactly, and is the default.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum BoundKind {
-    /// Per cycle, `demand − (rows_touched·shr + cols_touched·shc)`:
-    /// every touched row/column is credited its full bank. Loose when
-    /// demand spreads thinly across many rows (a row demanding one
-    /// operation still gets credited all `shr`).
+    /// Only the suffix-total term: per demand suffix,
+    /// `tᵢ + ⌈Sᵢ / (R·shr + C·shc)⌉`. Loose when demand concentrates
+    /// on few rows/columns — aggregate capacity credits banks the
+    /// concentrated demand cannot reach.
     Aggregate,
-    /// Per cycle, `demand − Σᵣ min(rowᵣ, shr) − Σ꜀ min(col꜀, shc)`: a
-    /// row (column) can absorb at most its own demand, so row-local
-    /// peaks are no longer hidden by idle capacity elsewhere. Term-wise
-    /// ≥ [`BoundKind::Aggregate`] and still admissible.
+    /// All three suffix terms (total, per-row maximum over
+    /// `shr + C·shc`, per-column maximum over `shc + R·shr`): row- and
+    /// column-local pile-ups are no longer hidden by idle capacity
+    /// elsewhere. Term-wise ≥ [`BoundKind::Aggregate`] and still
+    /// admissible.
     #[default]
     PerRowResidual,
 }
@@ -124,61 +162,90 @@ pub enum ClockBound {
     StageFloor,
 }
 
-/// Per-cycle summary backing the admissible RS lower bound: total demand
-/// plus how many distinct rows/columns it touches (the only banks greedy
-/// absorption can draw from), and the lengths of this cycle's capacity
-/// prefix tables in [`LbProfile`].
+/// One demand suffix of one shared kind: everything the slack-aware
+/// floor needs about the base cycles `≥ cycle`.
 #[derive(Debug, Clone, Copy)]
-struct LbCycle {
-    demand: u32,
-    rows_touched: u32,
-    cols_touched: u32,
-    row_caps_len: u32,
-    col_caps_len: u32,
+struct SlackCycle {
+    /// First base cycle of the suffix (a cycle with demand).
+    cycle: u32,
+    /// Total demand at base cycles `≥ cycle`.
+    suffix_total: u32,
+    /// Largest single-row demand at base cycles `≥ cycle`.
+    suffix_row_max: u32,
+    /// Largest single-column demand at base cycles `≥ cycle`.
+    suffix_col_max: u32,
 }
 
-/// Lower-bound profile of one shared kind: the per-cycle aggregate
-/// summaries plus flattened *capacity prefix tables* (cycle-major). A
-/// cycle's row table holds `cap(s) = Σᵣ min(rowᵣ, s)` for
-/// `s = 1 ..= max(rowᵣ)` — the most that row banks of size `s` can
-/// absorb — and analogously for columns, so the per-row residual bound
-/// reduces each cycle in O(1) for any `(shr, shc)`: same per-candidate
-/// cost as the aggregate bound, zero per-candidate allocation. Bank
-/// sizes beyond the table saturate at its last entry (`Σ rowᵣ`, the
-/// cycle demand).
+/// Suffix tables of one shared kind, one entry per non-empty base
+/// cycle, ascending. Built once per `(context, kind)`; evaluating a
+/// candidate's floor is then a single pass with three divisions per
+/// entry — see [`SlackProfile::exec_floor`].
 #[derive(Debug, Clone, Default)]
-struct LbProfile {
-    cycles: Vec<LbCycle>,
-    row_caps: Vec<u32>,
-    col_caps: Vec<u32>,
+struct SlackProfile {
+    rows: u32,
+    cols: u32,
+    cycles: Vec<SlackCycle>,
 }
 
-/// `Σ min(d, s)` for `s = 1 ..= max(d)` appended to `caps`; returns the
-/// number of entries written. Sorts `demands` in place and builds the
-/// table incrementally from `cap(s) = cap(s−1) + #{d ≥ s}`, so the cost
-/// is O(n log n + max(d)) instead of O(n · max(d)).
-fn push_caps(caps: &mut Vec<u32>, demands: &mut [u32]) -> u32 {
-    demands.sort_unstable();
-    let max = demands.last().copied().unwrap_or(0);
-    let mut cap = 0u32;
-    let mut below = 0usize; // demands[..below] are < s
-    for s in 1..=max {
-        while below < demands.len() && demands[below] < s {
-            below += 1;
+impl SlackProfile {
+    fn build(demand: &CycleDemand) -> Self {
+        let (rows, cols) = (demand.rows(), demand.cols());
+        let mut row_suffix = vec![0u32; rows];
+        let mut col_suffix = vec![0u32; cols];
+        let mut total = 0u32;
+        let views: Vec<_> = demand.cycles().collect();
+        let mut cycles: Vec<SlackCycle> = Vec::with_capacity(views.len());
+        for view in views.iter().rev() {
+            for (r, suffix) in row_suffix.iter_mut().enumerate() {
+                *suffix += view.row_count(r);
+            }
+            view.for_each_cell(|_, c, n| col_suffix[c as usize] += n);
+            total += view.total();
+            cycles.push(SlackCycle {
+                cycle: view.cycle(),
+                suffix_total: total,
+                suffix_row_max: row_suffix.iter().copied().max().unwrap_or(0),
+                suffix_col_max: col_suffix.iter().copied().max().unwrap_or(0),
+            });
         }
-        cap += (demands.len() - below) as u32;
-        caps.push(cap);
+        cycles.reverse();
+        SlackProfile {
+            rows: rows as u32,
+            cols: cols as u32,
+            cycles,
+        }
     }
-    max
+
+    /// The slack-aware execution floor this kind's demand imposes on a
+    /// candidate with `shr` resources per row bank and `shc` per column
+    /// bank: the maximum over suffixes of `tᵢ + ⌈demand / capacity⌉`
+    /// for the terms `bound` selects. 0 when the kind has no demand.
+    fn exec_floor(&self, shr: u32, shc: u32, bound: BoundKind) -> u32 {
+        debug_assert!(shr + shc > 0, "a shared group provides resources");
+        let cap_total = self.rows * shr + self.cols * shc;
+        let div_row = shr + self.cols * shc;
+        let div_col = shc + self.rows * shr;
+        let mut floor = 0u32;
+        for s in &self.cycles {
+            let mut need = s.suffix_total.div_ceil(cap_total);
+            if bound == BoundKind::PerRowResidual {
+                need = need
+                    .max(s.suffix_row_max.div_ceil(div_row))
+                    .max(s.suffix_col_max.div_ceil(div_col));
+            }
+            floor = floor.max(s.cycle + need);
+        }
+        floor
+    }
 }
 
 /// Everything the estimator needs about one `(kernel, context)` pair,
 /// computed once and reused across all candidate architectures.
 #[derive(Debug, Clone)]
 pub struct ContextProfile {
-    /// Sparse demand per profiled shared kind, in `kinds` order, with the
-    /// per-cycle lower-bound summaries.
-    kinds: Vec<(FuKind, CycleDemand, LbProfile)>,
+    /// Packed demand per profiled shared kind, in `kinds` order, with
+    /// the slack-aware suffix tables.
+    kinds: Vec<(FuKind, CycleDemand, SlackProfile)>,
     /// Base-schedule length.
     total_cycles: u32,
     /// Sequential body repetitions the schedule serializes (see
@@ -196,35 +263,15 @@ impl ContextProfile {
     /// Profiles `ctx` for the shared-resource `kinds` an exploration will
     /// offer.
     pub fn new(ctx: &ConfigContext, kernel: &Kernel, kinds: &[FuKind]) -> Self {
-        let mut profiled: Vec<(FuKind, CycleDemand, LbProfile)> = Vec::with_capacity(kinds.len());
-        let mut col_scratch: Vec<(u16, u32)> = Vec::new();
-        let mut row_scratch: Vec<u32> = Vec::new();
-        let mut col_demand_scratch: Vec<u32> = Vec::new();
+        let mut profiled: Vec<(FuKind, CycleDemand, SlackProfile)> =
+            Vec::with_capacity(kinds.len());
         for &kind in kinds {
             if profiled.iter().any(|(k, ..)| *k == kind) {
                 continue;
             }
             let demand = ctx.cycle_demand(|op| op.fu() == Some(kind));
-            let mut lb = LbProfile::default();
-            for (cells, total) in demand.cycles() {
-                row_scratch.clear();
-                row_scratch.extend(CycleDemand::row_totals(cells).map(|(_, t)| t));
-                CycleDemand::col_totals(cells, &mut col_scratch);
-                let rows_touched = row_scratch.len() as u32;
-                let cols_touched = col_scratch.len() as u32;
-                let row_caps_len = push_caps(&mut lb.row_caps, &mut row_scratch);
-                col_demand_scratch.clear();
-                col_demand_scratch.extend(col_scratch.iter().map(|&(_, t)| t));
-                let col_caps_len = push_caps(&mut lb.col_caps, &mut col_demand_scratch);
-                lb.cycles.push(LbCycle {
-                    demand: total,
-                    rows_touched,
-                    cols_touched,
-                    row_caps_len,
-                    col_caps_len,
-                });
-            }
-            profiled.push((kind, demand, lb));
+            let slack = SlackProfile::build(&demand);
+            profiled.push((kind, demand, slack));
         }
         ContextProfile {
             kinds: profiled,
@@ -244,11 +291,11 @@ impl ContextProfile {
             .map(|(_, d, _)| d)
     }
 
-    fn lb_profile(&self, kind: FuKind) -> Option<&LbProfile> {
+    fn slack_profile(&self, kind: FuKind) -> Option<&SlackProfile> {
         self.kinds
             .iter()
             .find(|(k, ..)| *k == kind)
-            .map(|(.., lb)| lb)
+            .map(|(.., s)| s)
     }
 
     /// Base-schedule cycles of the profiled context.
@@ -256,30 +303,49 @@ impl ContextProfile {
         self.total_cycles
     }
 
-    /// Full estimate for a candidate plan, using only profiled data and
-    /// per-thread scratch. `cache_depth` is the per-PE configuration
-    /// cache: estimated execution cycles beyond it are charged the
-    /// greedy-ideal refill cost ([`refill_stall_estimate`]) instead of
-    /// making the candidate infeasible.
+    /// The slack-aware execution-cycle floor for a candidate plan: the
+    /// base length or the largest per-group suffix floor, whichever is
+    /// greater.
+    fn exec_cycles_floor(&self, plan: &SharingPlan, bound: BoundKind) -> u32 {
+        let mut exec = self.total_cycles;
+        for g in plan.groups() {
+            let slack = self
+                .slack_profile(g.kind())
+                .expect("shared kind was profiled for this exploration");
+            exec = exec.max(slack.exec_floor(g.per_row() as u32, g.per_col() as u32, bound));
+        }
+        exec
+    }
+
+    /// Admissible estimate for a candidate plan, using only profiled
+    /// data: the slack-aware execution floor under
+    /// [`BoundKind::PerRowResidual`], plus the greedy-ideal refill
+    /// charge for the part beyond the `cache_depth`-deep per-PE
+    /// configuration cache ([`refill_stall_estimate`]). Never exceeds
+    /// the exact rearranged schedule's elapsed cycles.
     ///
     /// # Panics
     ///
     /// Panics if the plan shares a kind that was not profiled.
     pub fn estimate(&self, plan: &SharingPlan, cache_depth: u32) -> StallEstimate {
-        let rs = self.rs_stalls(plan);
-        let rp = self.rp_overhead(plan);
-        let exec = self.total_cycles + rs + rp;
+        let exec = self.exec_cycles_floor(plan, BoundKind::PerRowResidual);
         let refill = refill_stall_estimate(exec, cache_depth);
         StallEstimate {
-            rs_stalls: rs,
-            rp_overhead: rp,
+            rs_stalls: exec - self.total_cycles,
+            rp_overhead: 0,
             refill_stalls: refill,
             total_cycles: exec + refill,
         }
     }
 
-    /// RS stalls of a candidate plan (greedy bank absorption over the
-    /// sparse demand).
+    /// The paper's §4 RS stall count (greedy bank absorption over the
+    /// packed demand, one stall per excess operation) — kept as the
+    /// pessimistic upper-bound diagnostic the slack-aware bound is
+    /// measured against. Every admissible bound this module computes is
+    /// `≤ total_cycles + rs_stalls(plan)`: deferring each excess
+    /// operation to a private stall cycle is itself a legal issue
+    /// assignment, so its length upper-bounds any lower bound on legal
+    /// schedules.
     pub fn rs_stalls(&self, plan: &SharingPlan) -> u32 {
         plan.groups()
             .iter()
@@ -292,69 +358,22 @@ impl ContextProfile {
             .sum()
     }
 
-    /// Admissible lower bound on [`ContextProfile::rs_stalls`]: in each
-    /// cycle, greedy absorption can only draw from the row banks of rows
-    /// that actually demand and the column banks of columns that
-    /// actually demand, so any demand beyond that capacity stalls no
-    /// matter how it is laid out.
-    ///
-    /// With [`BoundKind::Aggregate`] every touched row/column is
-    /// credited its full bank (`rows_touched·shr + cols_touched·shc`);
-    /// with [`BoundKind::PerRowResidual`] each row (column) is credited
-    /// at most its own demand (`Σ min(rowᵣ, shr) + Σ min(col꜀, shc)`),
-    /// which is still an over-estimate of what greedy absorption can
-    /// take — a row bank never absorbs more than the row demands, a
-    /// column bank never more than the column demands — and therefore
-    /// still admissible, while no longer crediting idle capacity on
-    /// lightly-loaded rows. Both reductions cost O(non-empty cycles) per
-    /// candidate with zero allocation: the per-row form reads capacity
-    /// prefix tables (`cap(s) = Σ min(d, s)`, precomputed per cycle at
-    /// profile-build time) in O(1) per cycle instead of re-scanning
-    /// demand cells.
+    /// Admissible lower bound on the RS stalls of the exact rearranged
+    /// schedule: the slack-aware execution floor (see the module docs)
+    /// minus the base length. With [`BoundKind::PerRowResidual`] this
+    /// equals [`ContextProfile::estimate`]'s `rs_stalls` exactly — the
+    /// bound *is* the estimate — so an engine that bounds first and
+    /// estimates survivors pays for the suffix pass once.
     pub fn rs_stalls_lower_bound(&self, plan: &SharingPlan, bound: BoundKind) -> u32 {
-        plan.groups()
-            .iter()
-            .map(|g| {
-                let lb = self
-                    .lb_profile(g.kind())
-                    .expect("shared kind was profiled for this exploration");
-                let (shr, shc) = (g.per_row() as u32, g.per_col() as u32);
-                match bound {
-                    BoundKind::Aggregate => lb
-                        .cycles
-                        .iter()
-                        .map(|c| {
-                            c.demand
-                                .saturating_sub(c.rows_touched * shr + c.cols_touched * shc)
-                        })
-                        .sum::<u32>(),
-                    BoundKind::PerRowResidual => {
-                        let cap_at = |caps: &[u32], banks: u32| -> u32 {
-                            if banks == 0 || caps.is_empty() {
-                                0
-                            } else {
-                                caps[(banks as usize).min(caps.len()) - 1]
-                            }
-                        };
-                        let (mut ri, mut ci) = (0usize, 0usize);
-                        lb.cycles
-                            .iter()
-                            .map(|c| {
-                                let rows = &lb.row_caps[ri..ri + c.row_caps_len as usize];
-                                let cols = &lb.col_caps[ci..ci + c.col_caps_len as usize];
-                                ri += rows.len();
-                                ci += cols.len();
-                                c.demand
-                                    .saturating_sub(cap_at(rows, shr) + cap_at(cols, shc))
-                            })
-                            .sum::<u32>()
-                    }
-                }
-            })
-            .sum()
+        self.exec_cycles_floor(plan, bound) - self.total_cycles
     }
 
-    /// RP overhead of a candidate plan.
+    /// The paper's §4 RP overhead diagnostic: `stages − 1` per pipelined
+    /// operation on the critical dependence chain, overlap removed. Not
+    /// part of [`ContextProfile::estimate`] — a pipelined resource
+    /// overlaps retirement with later issues, so the charge is not
+    /// admissible against the exact schedule — but still the number the
+    /// paper's Table 4/5 discussion quotes.
     pub fn rp_overhead(&self, plan: &SharingPlan) -> u32 {
         let mut overhead = 0u32;
         let shared = plan
@@ -413,13 +432,13 @@ impl Scratch {
     }
 }
 
-/// Greedy absorption over one kind's sparse demand: a cell's operations
+/// Greedy absorption over one kind's packed demand: a cell's operations
 /// first use their row bank (`shr` per row, shared along the row), then
 /// their own column bank (`shc` per column). Whatever remains is excess
 /// and charged one stall cycle per operation — pessimistic against the
 /// exact rearrangement, which can also slip operations into later
 /// bubbles. Cells are visited in row-major order per cycle, matching the
-/// dense-histogram sweep this replaces bit for bit.
+/// dense-histogram sweep of the original estimator bit for bit.
 fn rs_excess(demand: &CycleDemand, shr: u32, shc: u32) -> u32 {
     if demand.is_empty() {
         return 0;
@@ -428,22 +447,23 @@ fn rs_excess(demand: &CycleDemand, shr: u32, shc: u32) -> u32 {
         let mut scratch = scratch.borrow_mut();
         scratch.ensure(demand.rows(), demand.cols());
         let mut excess_total = 0u32;
-        for (cells, _) in demand.cycles() {
-            for cell in cells {
-                let (r, c) = (cell.row as usize, cell.col as usize);
-                let mut d = cell.count;
-                let take = d.min(shr - scratch.row_used[r].min(shr));
-                scratch.row_used[r] += take;
+        for view in demand.cycles() {
+            let s = &mut *scratch;
+            view.for_each_cell(|row, col, count| {
+                let (r, c) = (row as usize, col as usize);
+                let mut d = count;
+                let take = d.min(shr - s.row_used[r].min(shr));
+                s.row_used[r] += take;
                 d -= take;
-                let take = d.min(shc - scratch.col_used[c].min(shc));
-                scratch.col_used[c] += take;
+                let take = d.min(shc - s.col_used[c].min(shc));
+                s.col_used[c] += take;
                 d -= take;
                 excess_total += d;
-            }
-            for cell in cells {
-                scratch.row_used[cell.row as usize] = 0;
-                scratch.col_used[cell.col as usize] = 0;
-            }
+            });
+            view.for_each_cell(|row, col, _| {
+                s.row_used[row as usize] = 0;
+                s.col_used[col as usize] = 0;
+            });
         }
         excess_total
     })
@@ -468,9 +488,9 @@ fn rs_excess(demand: &CycleDemand, shr: u32, shc: u32) -> u32 {
 /// let ctx = map(presets::base_8x8().base(), &kernel, &MapOptions::default())?;
 /// let est = estimate_stalls(&ctx, &kernel, &presets::rs1());
 /// let exact = rearrange(&ctx, &presets::rs1(), &Default::default())?;
-/// // The estimate upper-bounds the exact schedule (paper §4), refill
-/// // stalls included.
-/// assert!(est.total_cycles >= exact.elapsed_cycles());
+/// // The slack-aware estimate is admissible: it never exceeds the
+/// // exact schedule, refill stalls included.
+/// assert!(est.total_cycles <= exact.elapsed_cycles());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn estimate_stalls(
@@ -483,91 +503,92 @@ pub fn estimate_stalls(
         .estimate(arch.plan(), arch.base().config_cache_depth() as u32)
 }
 
-/// The original dense-histogram estimator, kept verbatim as the
-/// independent oracle behind [`crate::explore_reference`]: rebuilds a
-/// `cycles × rows × cols` demand histogram per shared group per call and
-/// sweeps every cell. Bit-equal to [`estimate_stalls`] (property-tested),
-/// but shares no code with the sparse path, so a regression in either
-/// implementation shows up as a divergence.
+/// Dense-histogram twin of [`estimate_stalls`], kept as the independent
+/// oracle behind [`crate::explore_reference`]: rebuilds a
+/// `cycles × rows × cols` demand histogram per shared group per call
+/// and computes the slack-aware floor by a dense backward sweep over
+/// *every* schedule cycle. Bit-equal to [`estimate_stalls`]
+/// (property-tested), but shares no code with the packed profile path,
+/// so a regression in either implementation shows up as a divergence.
 pub(crate) fn estimate_stalls_dense(
     ctx: &ConfigContext,
     kernel: &Kernel,
     arch: &RspArchitecture,
 ) -> StallEstimate {
-    let rs = dense_rs(ctx, arch);
-    let rp = dense_rp(ctx, kernel, arch);
-    let exec = ctx.total_cycles() + rs + rp;
+    let _ = kernel; // demand depends only on the context
+    let exec = dense_exec_floor(ctx, arch);
     let refill = refill_stall_estimate(exec, arch.base().config_cache_depth() as u32);
     StallEstimate {
-        rs_stalls: rs,
-        rp_overhead: rp,
+        rs_stalls: exec - ctx.total_cycles(),
+        rp_overhead: 0,
         refill_stalls: refill,
         total_cycles: exec + refill,
     }
 }
 
-/// Counts, cycle by cycle of the base schedule, critical operations
-/// beyond the capacity reachable from their rows/columns (dense form).
-fn dense_rs(ctx: &ConfigContext, arch: &RspArchitecture) -> u32 {
+/// The slack-aware execution floor computed the expensive way: dense
+/// per-`(cycle, row, col)` histograms and a full backward suffix sweep,
+/// no packing, no precomputed tables.
+fn dense_exec_floor(ctx: &ConfigContext, arch: &RspArchitecture) -> u32 {
     let plan = arch.plan();
     let geom = ctx.geometry();
     let (rows, cols) = (geom.rows(), geom.cols());
-    let mut excess_total = 0u32;
+    let t = ctx.total_cycles() as usize;
+    let mut exec = ctx.total_cycles();
 
     for g in plan.groups() {
         let kind = g.kind();
-        let t = ctx.total_cycles() as usize;
-        // Demand per (cycle, row, col) cell.
         let mut demand = vec![0u32; t * rows * cols];
         for (inst, &cyc) in ctx.instances().iter().zip(ctx.cycles()) {
             if inst.op.fu() == Some(kind) {
                 demand[(cyc as usize * rows + inst.pe.row) * cols + inst.pe.col] += 1;
             }
         }
-        for cyc in 0..t {
-            let mut row_budget = vec![g.per_row() as u32; rows];
-            let mut col_budget = vec![g.per_col() as u32; cols];
+        let (shr, shc) = (g.per_row() as u32, g.per_col() as u32);
+        let cap_total = rows as u32 * shr + cols as u32 * shc;
+        let div_row = shr + cols as u32 * shc;
+        let div_col = shc + rows as u32 * shr;
+        let mut row_suffix = vec![0u32; rows];
+        let mut col_suffix = vec![0u32; cols];
+        let mut suffix_total = 0u32;
+        let mut floor = 0u32;
+        for cyc in (0..t).rev() {
+            let mut cycle_total = 0u32;
             for r in 0..rows {
                 for c in 0..cols {
-                    let mut d = demand[(cyc * rows + r) * cols + c];
-                    let take = d.min(row_budget[r]);
-                    row_budget[r] -= take;
-                    d -= take;
-                    let take = d.min(col_budget[c]);
-                    col_budget[c] -= take;
-                    d -= take;
-                    excess_total += d;
+                    let d = demand[(cyc * rows + r) * cols + c];
+                    row_suffix[r] += d;
+                    col_suffix[c] += d;
+                    cycle_total += d;
                 }
             }
+            suffix_total += cycle_total;
+            if cycle_total == 0 {
+                continue;
+            }
+            let need = suffix_total
+                .div_ceil(cap_total)
+                .max(
+                    row_suffix
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or(0)
+                        .div_ceil(div_row),
+                )
+                .max(
+                    col_suffix
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or(0)
+                        .div_ceil(div_col),
+                );
+            floor = floor.max(cyc as u32 + need);
         }
+        exec = exec.max(floor);
     }
-    excess_total
-}
-
-/// `stages − 1` per pipelined operation on the critical chain, overlap
-/// removed (dense-path twin of [`ContextProfile::rp_overhead`]).
-fn dense_rp(ctx: &ConfigContext, kernel: &Kernel, arch: &RspArchitecture) -> u32 {
-    let reps = repetitions(ctx, kernel);
-    let mut overhead = 0u32;
-    let mut kinds: Vec<(FuKind, u8)> = arch
-        .plan()
-        .groups()
-        .iter()
-        .filter(|g| g.is_pipelined())
-        .map(|g| (g.kind(), g.stages()))
-        .collect();
-    kinds.extend(arch.plan().local_pipelines().filter(|(_, s)| *s > 1));
-
-    for (kind, stages) in kinds {
-        if kind != FuKind::Multiplier {
-            overhead += (stages as u32 - 1) * kernel.body().len() as u32;
-            continue;
-        }
-        let body_chain = kernel.body().critical_path_mults() as u32;
-        let tail_chain = kernel.tail().map_or(0, |t| t.critical_path_mults() as u32);
-        overhead += (stages as u32 - 1) * (body_chain * reps + tail_chain);
-    }
-    overhead
+    exec
 }
 
 #[cfg(test)]
@@ -587,15 +608,17 @@ mod tests {
     }
 
     #[test]
-    fn estimate_upper_bounds_exact_for_suite() {
+    fn estimate_lower_bounds_exact_for_suite() {
+        // Admissibility: the slack-aware estimate never exceeds the
+        // exact rearranged schedule, on any kernel × architecture.
         for k in suite::all() {
             let ctx = ctx_for(&k);
             for arch in presets::table_architectures() {
                 let est = estimate_stalls(&ctx, &k, &arch);
                 let exact = rearrange(&ctx, &arch, &Default::default()).unwrap();
                 assert!(
-                    est.total_cycles >= exact.elapsed_cycles(),
-                    "{} on {}: est {} < exact {}",
+                    est.total_cycles <= exact.elapsed_cycles(),
+                    "{} on {}: est {} > exact {}",
                     k.name(),
                     arch.name(),
                     est.total_cycles,
@@ -631,17 +654,29 @@ mod tests {
     }
 
     #[test]
-    fn rs_estimate_positive_for_dense_kernels_on_rs1() {
-        for k in [
-            suite::hydro(),
-            suite::state(),
-            suite::fdct(),
-            suite::fft_mult_loop(),
-        ] {
-            let ctx = ctx_for(&k);
-            let est = estimate_stalls(&ctx, &k, &presets::rs1());
-            assert!(est.rs_stalls > 0, "{}", k.name());
-        }
+    fn rs_estimate_positive_when_demand_exceeds_capacity() {
+        // Capacity-oversubscribed schedules must keep a positive floor:
+        // matmul on the 8×8 issues far more multiplications than RS#1's
+        // eight row banks can retire within the base schedule. (The
+        // small dense suite kernels stall for *dependence* reasons the
+        // exact scheduler sees but no capacity bound can — admissibility
+        // forces those to 0, which the suite-wide lower-bound test
+        // covers.)
+        let k = suite::matmul(8);
+        let ctx = ctx_for(&k);
+        let est = estimate_stalls(&ctx, &k, &presets::rs1());
+        let exact = rearrange(&ctx, &presets::rs1(), &Default::default()).unwrap();
+        assert!(est.rs_stalls > 0);
+        assert!(est.total_cycles <= exact.elapsed_cycles());
+
+        // And a schedule whose demand exactly matches capacity keeps an
+        // exact floor: matmul(4) issues eight multiplications in each
+        // of its demand cycles — precisely RS#1's eight row banks.
+        let k = suite::matmul(4);
+        let ctx = ctx_for(&k);
+        let est = estimate_stalls(&ctx, &k, &presets::rs1());
+        let exact = rearrange(&ctx, &presets::rs1(), &Default::default()).unwrap();
+        assert_eq!(est.total_cycles, exact.elapsed_cycles());
     }
 
     #[test]
@@ -665,24 +700,25 @@ mod tests {
     }
 
     #[test]
-    fn lower_bound_is_admissible_for_suite() {
-        // For every kernel × architecture × bound kind, lb_rs <= exact
-        // rs estimate.
+    fn estimate_never_exceeds_greedy_paper_estimate() {
+        // The paper's greedy charge describes a legal (if wasteful)
+        // issue assignment, so every admissible bound must stay at or
+        // below base + greedy, for either bound kind.
         for k in suite::all() {
             let ctx = ctx_for(&k);
-            let profile = ContextProfile::new(&ctx, &k, &[FuKind::Multiplier]);
+            let profile = ContextProfile::new(&ctx, &k, &[rsp_arch::FuKind::Multiplier]);
             for arch in presets::table_architectures() {
+                let greedy = profile.rs_stalls(arch.plan());
                 for bound in [BoundKind::Aggregate, BoundKind::PerRowResidual] {
                     let lb = profile.rs_stalls_lower_bound(arch.plan(), bound);
-                    let exact = profile.rs_stalls(arch.plan());
                     assert!(
-                        lb <= exact,
-                        "{} on {} ({:?}): lb {} > rs {}",
+                        lb <= greedy,
+                        "{} on {} ({:?}): lb {} > greedy {}",
                         k.name(),
                         arch.name(),
                         bound,
                         lb,
-                        exact
+                        greedy
                     );
                 }
             }
@@ -691,11 +727,11 @@ mod tests {
 
     #[test]
     fn per_row_residual_bound_dominates_aggregate_bound() {
-        // The per-row residual bound is term-wise at least the aggregate
-        // bound — for every kernel, every sharable kind, and a grid of
-        // bank shapes — and strictly beats it somewhere (on this suite
-        // the strict wins come from ALU sharing, whose per-row demand is
-        // the most unbalanced).
+        // The per-row residual bound is term-wise at least the
+        // aggregate bound — for every kernel, every sharable kind, and
+        // a grid of bank shapes — strictly beats it somewhere, and
+        // equals the estimate's execution floor exactly (the identity
+        // the engine's bound-reuse fast path relies on).
         let mut strictly_tighter_somewhere = false;
         for k in suite::all() {
             let ctx = ctx_for(&k);
@@ -710,18 +746,18 @@ mod tests {
                         let agg = profile.rs_stalls_lower_bound(&plan, BoundKind::Aggregate);
                         let per_row =
                             profile.rs_stalls_lower_bound(&plan, BoundKind::PerRowResidual);
-                        let exact = profile.rs_stalls(&plan);
+                        let est = profile.estimate(&plan, u32::MAX);
                         assert!(
-                            per_row >= agg && per_row <= exact,
-                            "{} {:?} shr={} shc={}: agg={} perrow={} exact={}",
+                            per_row >= agg,
+                            "{} {:?} shr={} shc={}: agg={} perrow={}",
                             k.name(),
                             kind,
                             shr,
                             shc,
                             agg,
-                            per_row,
-                            exact
+                            per_row
                         );
+                        assert_eq!(per_row, est.rs_stalls, "bound == estimate identity");
                         strictly_tighter_somewhere |= per_row > agg;
                     }
                 }
@@ -734,11 +770,12 @@ mod tests {
     }
 
     #[test]
-    fn refill_bounds_bracket_exact_refill_stalls() {
+    fn refill_estimate_is_admissible_against_exact_refill() {
         // Against small-cache variants of the table architectures, the
-        // estimate's refill charge upper-bounds the exact split plan's
-        // stalls and the pruning floor lower-bounds them — the
-        // admissibility pair every refill-aware cut relies on.
+        // estimate's refill charge lower-bounds the exact split plan's
+        // stalls — the admissibility every refill-aware cut relies on —
+        // and the charge evaluated at the *exact* execution length
+        // still lower-bounds the exact refill (seg0 ≤ cache_depth).
         use rsp_arch::{BaseArchitecture, RspArchitecture};
         let mut saw_refill = false;
         for k in [suite::fdct(), suite::state(), suite::sad()] {
@@ -754,14 +791,14 @@ mod tests {
                 let est = estimate_stalls(&ctx, &k, &arch);
                 saw_refill |= exact.refill_stalls() > 0;
                 assert!(
-                    est.refill_stalls >= exact.refill_stalls(),
-                    "{} on {}: est refill {} < exact {}",
+                    est.refill_stalls <= exact.refill_stalls(),
+                    "{} on {}: est refill {} > exact {}",
                     k.name(),
                     arch.name(),
                     est.refill_stalls,
                     exact.refill_stalls()
                 );
-                assert!(est.total_cycles >= exact.elapsed_cycles());
+                assert!(est.total_cycles <= exact.elapsed_cycles());
                 let lb = refill_stall_estimate(exact.total_cycles, depth as u32);
                 assert!(
                     lb <= exact.refill_stalls(),
@@ -778,8 +815,8 @@ mod tests {
 
     #[test]
     fn sparse_estimator_matches_dense_oracle() {
-        // The sparse profile path and the original dense histogram share
-        // no code; they must agree exactly on every kernel × preset.
+        // The packed profile path and the dense-histogram twin share no
+        // code; they must agree exactly on every kernel × preset.
         for k in suite::all() {
             let ctx = ctx_for(&k);
             for arch in presets::table_architectures() {

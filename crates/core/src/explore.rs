@@ -1,10 +1,12 @@
 //! RSP design-space exploration (§4).
 //!
 //! Enumerates RSP parameter combinations — shared resource types, pipeline
-//! depths, `shr`, `shc` — over a base architecture; estimates hardware
-//! cost with eq. (2) and performance with the stall upper bound; rejects
-//! points violating the cost/performance constraints; keeps the Pareto
-//! frontier; and selects an optimum under a configurable objective.
+//! depths, `shr`, `shc`, heterogeneous mixes — over a base architecture;
+//! estimates hardware cost with eq. (2) and performance with the
+//! admissible slack-aware stall estimate (see [`crate::estimate`]);
+//! rejects points violating the cost/performance constraints; keeps the
+//! Pareto frontier; and selects an optimum under a configurable
+//! objective.
 //!
 //! # Engine architecture
 //!
@@ -23,25 +25,28 @@
 //!   `(kind, shr, shc, stages)` for single-group spaces. Pass one cache
 //!   via [`ExploreOptions::cache`] to share it across repeated
 //!   explorations, which then never re-synthesize a plan they have seen.
-//! * **Profiled demand, per-thread scratch** — each kernel's per-cycle
+//! * **Profiled demand, suffix tables** — each kernel's per-cycle
 //!   demand for every shared kind in the space is profiled once into a
-//!   sparse [`rsp_mapper::CycleDemand`]; a candidate's RS estimate is an
-//!   O(non-zero cells) greedy reduction using thread-local reusable bank
-//!   budgets ([`crate::ContextProfile`]). Nothing of size
+//!   word-packed bit-plane [`rsp_mapper::CycleDemand`] with precomputed
+//!   slack suffix tables; a candidate's RS estimate is an
+//!   O(non-empty cycles) sweep over those tables
+//!   ([`crate::ContextProfile`]). Nothing of size
 //!   `cycles × rows × cols` is ever allocated.
 //! * **Deterministic parallel fan-out** — candidates are processed in
 //!   fixed-size chunks ([`CHUNK`]); each chunk fans out over the rayon
 //!   pool and results are merged back **in enumeration order**, so the
 //!   feasible set, Pareto frontier, and selected optimum are identical
 //!   for any thread count, including `parallelism = Some(1)`.
-//! * **Admissible pruning** — before full estimation, a candidate's
-//!   weighted execution time is bounded from below using the exact RP
-//!   overhead plus a per-cycle capacity bound
+//! * **Admissible pruning, bound-as-estimate reuse** — before full
+//!   estimation, a candidate's weighted execution time is bounded from
+//!   below by the slack-aware suffix floor
 //!   ([`crate::ContextProfile::rs_stalls_lower_bound`]); the bound's
 //!   strength is selectable via [`ExploreOptions::bound`]
-//!   ([`BoundKind::PerRowResidual`], the default, caps each row's and
-//!   column's capacity credit at its own demand and is strictly tighter
-//!   than the original [`BoundKind::Aggregate`] credit).
+//!   ([`BoundKind::PerRowResidual`], the default, adds the per-row and
+//!   per-column residual terms and is bit-identical to the full
+//!   estimate's exec floor — so for survivors the engine *adopts* the
+//!   bound as the estimate instead of recomputing it, and pruning
+//!   bookkeeping costs nothing extra even on spaces too small to prune).
 //!   [`PruneStrategy::LowerBound`] (the default) skips candidates whose
 //!   *lower bound* already violates `max_slowdown` — such candidates are
 //!   provably rejected by the reference too (the bound is term-wise
@@ -112,10 +117,26 @@ use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
+/// One kind's parameter ranges inside a heterogeneous sharing mix (see
+/// [`DesignSpace::mixes`]): every `(stages, shr, shc)` combination of the
+/// axis, plus the implicit "don't share this kind" option.
+#[derive(Debug, Clone)]
+pub struct MixAxis {
+    /// The shared resource kind this axis varies.
+    pub kind: FuKind,
+    /// Candidate pipeline depths (1 = RS only; ≥2 = RSP).
+    pub stages: Vec<u8>,
+    /// Candidate `shr` values (shared resources per row).
+    pub shr: Vec<usize>,
+    /// Candidate `shc` values (shared resources per column).
+    pub shc: Vec<usize>,
+}
+
 /// The RSP parameter ranges to enumerate.
 #[derive(Debug, Clone)]
 pub struct DesignSpace {
     /// Candidate shared resource kinds (the paper shares the multiplier).
+    /// Combined with `stages`/`shr`/`shc` into single-group plans.
     pub shared_kinds: Vec<FuKind>,
     /// Candidate pipeline depths (1 = RS only; ≥2 = RSP).
     pub stages: Vec<u8>,
@@ -123,6 +144,11 @@ pub struct DesignSpace {
     pub shr: Vec<usize>,
     /// Candidate `shc` values (shared resources per column).
     pub shc: Vec<usize>,
+    /// Heterogeneous mixes: each mix is a set of per-kind axes whose
+    /// cross product (including each axis's "unshared" option, minus the
+    /// all-unshared plan) is enumerated as multi-group plans on top of
+    /// the single-kind grid above. Empty for the single-kind spaces.
+    pub mixes: Vec<Vec<MixAxis>>,
 }
 
 impl DesignSpace {
@@ -134,6 +160,7 @@ impl DesignSpace {
             stages: vec![1, 2],
             shr: vec![1, 2],
             shc: vec![0, 1, 2],
+            mixes: vec![],
         }
     }
 
@@ -144,6 +171,7 @@ impl DesignSpace {
             stages: vec![1, 2, 3, 4],
             shr: vec![1, 2, 3],
             shc: vec![0, 1, 2, 3],
+            mixes: vec![],
         }
     }
 
@@ -159,14 +187,71 @@ impl DesignSpace {
             stages: vec![1, 2, 3, 4, 5, 6, 7, 8],
             shr: vec![1, 2, 3, 4],
             shc: vec![0, 1, 2, 3, 4],
+            mixes: vec![],
         }
     }
 
-    /// Lazily enumerates every sharing plan in the space (one shared
-    /// group per plan). Invalid parameter combinations (e.g. pipeline
-    /// stages on a non-pipelinable kind) are skipped.
+    /// The `deep × 100`-class space (ROADMAP item 2): one heterogeneous
+    /// mix over all three sharable kinds, enumerating every combination
+    /// of multiplier, ALU, and shifter sharing — including leaving any
+    /// subset unshared — as multi-group plans. 11 024 candidates
+    /// (49 × 25 × 9 − 1), ~23× [`deep`](Self::deep) and ~900× the
+    /// 12-point paper grid. Built to stress the admissible slack-aware
+    /// bound: most mixes share the near-saturated ALU or shifter and are
+    /// provably hopeless from their lower bound alone, so the pruned
+    /// engine should skip well over half the space while staying
+    /// frontier-bit-identical to the unpruned sweep.
+    pub fn deep100() -> Self {
+        Self {
+            shared_kinds: vec![],
+            stages: vec![],
+            shr: vec![],
+            shc: vec![],
+            mixes: vec![vec![
+                MixAxis {
+                    kind: FuKind::Multiplier,
+                    stages: vec![1, 2, 3, 4],
+                    shr: vec![1, 2, 3, 4],
+                    shc: vec![0, 1, 2],
+                },
+                MixAxis {
+                    kind: FuKind::Alu,
+                    stages: vec![1, 2],
+                    shr: vec![1, 2, 3, 4],
+                    shc: vec![0, 1, 2],
+                },
+                MixAxis {
+                    kind: FuKind::Shifter,
+                    stages: vec![1, 2],
+                    shr: vec![1, 2],
+                    shc: vec![0, 1],
+                },
+            ]],
+        }
+    }
+
+    /// Every shared kind any plan of this space can contain: the
+    /// single-kind grid's kinds plus every mix axis's kind, first-seen
+    /// order, deduplicated. This is the kind set kernel profiles must
+    /// cover so any enumerated plan can be bounded and estimated.
+    pub fn kinds_used(&self) -> Vec<FuKind> {
+        let mut kinds: Vec<FuKind> = Vec::new();
+        let axis_kinds = self.mixes.iter().flatten().map(|a| a.kind);
+        for kind in self.shared_kinds.iter().copied().chain(axis_kinds) {
+            if !kinds.contains(&kind) {
+                kinds.push(kind);
+            }
+        }
+        kinds
+    }
+
+    /// Lazily enumerates every sharing plan in the space: the
+    /// single-kind grid (one shared group per plan), then each mix's
+    /// cross product as multi-group plans. Invalid parameter
+    /// combinations (e.g. pipeline stages on a non-pipelinable kind, or
+    /// a kind repeated within one mix) are skipped.
     pub fn plans(&self) -> impl Iterator<Item = SharingPlan> + '_ {
-        self.shared_kinds.iter().flat_map(move |&kind| {
+        let grid = self.shared_kinds.iter().flat_map(move |&kind| {
             self.stages.iter().flat_map(move |&stages| {
                 self.shr.iter().flat_map(move |&shr| {
                     self.shc.iter().filter_map(move |&shc| {
@@ -179,7 +264,48 @@ impl DesignSpace {
                     })
                 })
             })
-        })
+        });
+        let mixed = self.mixes.iter().flat_map(|mix| {
+            // Per-axis options: slot 0 is "unshared", the rest are the
+            // axis's valid (stages, shr, shc) groups. The tiny option
+            // tables are materialized up front; the (possibly huge)
+            // cross product stays a lazy mixed-radix index walk.
+            let axes: Vec<Vec<Option<SharedGroup>>> = mix
+                .iter()
+                .map(|axis| {
+                    let mut options = vec![None];
+                    for &stages in &axis.stages {
+                        for &shr in &axis.shr {
+                            for &shc in &axis.shc {
+                                if shr == 0 && shc == 0 {
+                                    continue;
+                                }
+                                if let Ok(g) = SharedGroup::new(axis.kind, shr, shc, stages) {
+                                    options.push(Some(g));
+                                }
+                            }
+                        }
+                    }
+                    options
+                })
+                .collect();
+            let total: usize = axes.iter().map(Vec::len).product();
+            // Index 0 decodes to every axis unshared (the base plan);
+            // every index ≥ 1 yields at least one shared group.
+            (1..total).filter_map(move |index| {
+                let mut plan = SharingPlan::none();
+                let mut rest = index;
+                for options in &axes {
+                    let pick = rest % options.len();
+                    rest /= options.len();
+                    if let Some(g) = options[pick] {
+                        plan = plan.with_group(g).ok()?;
+                    }
+                }
+                Some(plan)
+            })
+        });
+        grid.chain(mixed)
     }
 }
 
@@ -335,8 +461,9 @@ pub struct DesignPoint {
     pub area_slices: f64,
     /// Clock period (ns).
     pub clock_ns: f64,
-    /// Estimated cycles per kernel (upper bound), kernel order of the
-    /// exploration input.
+    /// Estimated cycles per kernel (the admissible slack-aware
+    /// estimate; never exceeds the exact rearranged schedule's elapsed
+    /// cycles), kernel order of the exploration input.
     pub est_cycles: Vec<u32>,
     /// Weighted estimated execution time (ns).
     pub est_et_ns: f64,
@@ -599,11 +726,13 @@ enum Seed {
 }
 
 /// Phase-A verdict on one candidate. The `Ready` payload is
-/// `(arch, area, clock, cost_ok, lb_et)`; the lower bound rides along so
-/// the merge phase can measure its tightness against the full estimate.
+/// `(arch, area, clock, cost_ok, lb_cycles, lb_et)`; the lower bound
+/// rides along so the merge phase can measure its tightness against the
+/// full estimate — and, when the bound *is* the estimate (see
+/// [`reuses_bound_as_estimate`]), so phase C can adopt it outright.
 enum Prepared {
     /// Survived the pre-synthesis checks; clock synthesized.
-    Ready(RspArchitecture, f64, f64, bool, f64),
+    Ready(RspArchitecture, f64, f64, bool, Vec<u32>, f64),
     /// The stage-floor clock bound alone proves the candidate violates
     /// `max_slowdown`; its delay was never synthesized.
     ClockCut,
@@ -617,8 +746,8 @@ enum Prepared {
 
 /// Serial-screen verdict on one prepared candidate.
 enum Screen {
-    /// Estimate fully.
-    Evaluate(RspArchitecture, f64, f64, bool, f64),
+    /// Estimate fully (or adopt the carried bound as the estimate).
+    Evaluate(RspArchitecture, f64, f64, bool, Vec<u32>, f64),
     /// Provably infeasible or dominated; skip silently.
     Prune,
     /// Fails a hard constraint the reference also applies pre-push.
@@ -757,13 +886,15 @@ fn explore_engine(
 
     // One profile per kernel, shared read-only by all workers — served
     // from the caller's ProfileCache when one rides along (profiling is
-    // pure, so cached and fresh profiles are interchangeable).
+    // pure, so cached and fresh profiles are interchangeable). Profiles
+    // cover every kind the space can share, grid or mix.
+    let profile_kinds = space.kinds_used();
     let profiles: Vec<Arc<ContextProfile>> = contexts
         .iter()
         .zip(kernels)
         .map(|(ctx, k)| match &options.profiles {
-            Some(cache) => cache.get_or_build(ctx, k, &space.shared_kinds),
-            None => Arc::new(ContextProfile::new(ctx, k, &space.shared_kinds)),
+            Some(cache) => cache.get_or_build(ctx, k, &profile_kinds),
+            None => Arc::new(ContextProfile::new(ctx, k, &profile_kinds)),
         })
         .collect();
 
@@ -919,20 +1050,20 @@ fn explore_engine(
                 // so its delay need never be synthesized.
                 return Prepared::Reject;
             }
-            // Term-wise identical arithmetic to the full
-            // estimate, with rs replaced by its admissible lower
-            // bound and refill by its lower bound (integer
-            // cycles: lb_exec <= est_exec implies
-            // lb_exec - depth <= est_exec - 1 whenever the
-            // estimate refills at all), so lb_et <= est_et under
-            // IEEE-754 rounding.
+            // Term-wise identical arithmetic to the full estimate,
+            // with the exec cycles replaced by the slack-aware exec
+            // floor under the selected bound. Under the default
+            // PerRowResidual bound the floor *is* the estimate's exec
+            // term, so lb_cycles == est_cycles exactly; under the
+            // Aggregate bound it is ≤ term-wise (and the refill charge
+            // is monotone in exec), so lb_et <= est_et under IEEE-754
+            // rounding either way.
             let mut lb_cycles: Vec<u32> = Vec::new();
             if options.prune != PruneStrategy::None {
                 lb_cycles.reserve_exact(profiles.len());
                 for profile in profiles.iter() {
                     let lb_exec = profile.total_cycles()
-                        + profile.rs_stalls_lower_bound(arch.plan(), options.bound)
-                        + profile.rp_overhead(arch.plan());
+                        + profile.rs_stalls_lower_bound(arch.plan(), options.bound);
                     lb_cycles.push(lb_exec + refill_stall_estimate(lb_exec, cache_depth));
                 }
                 if options.clock_bound == ClockBound::StageFloor {
@@ -961,6 +1092,7 @@ fn explore_engine(
                 area.synthesized_slices,
                 delay.clock_ns,
                 cost_ok,
+                lb_cycles,
                 lb_et,
             )
         };
@@ -1011,7 +1143,7 @@ fn explore_engine(
                     );
                     screened.push(Screen::Prune);
                 }
-                Prepared::Ready(arch, area_slices, clock_ns, cost_ok, lb_et) => {
+                Prepared::Ready(arch, area_slices, clock_ns, cost_ok, lb_cycles, lb_et) => {
                     if options.prune != PruneStrategy::None
                         && (lb_et > et_bound
                             || (options.prune == PruneStrategy::Dominated
@@ -1039,6 +1171,7 @@ fn explore_engine(
                             area_slices,
                             clock_ns,
                             cost_ok,
+                            lb_cycles,
                             lb_et,
                         ));
                     }
@@ -1049,14 +1182,29 @@ fn explore_engine(
 
         // Phase C (parallel): full estimation of the survivors; results
         // come back in enumeration order, each with its lower bound for
-        // the tightness statistic.
+        // the tightness statistic. When the bound is bit-identical to
+        // the estimate ([`reuses_bound_as_estimate`]) the carried
+        // lb_cycles/lb_et are adopted outright — the survivor pays for
+        // the suffix pass once, in phase A, which is what keeps the
+        // pruned engine no slower than the unpruned one even on spaces
+        // too small for pruning to bite.
+        let reuse_bound = reuses_bound_as_estimate(options);
         let estimate_span = Span::enter(obs, "explore", "estimate", chunk_index);
         let evaluated: Vec<Evaluated> = pool.install(|| {
             screened
                 .into_par_iter()
                 .map(|screen| match screen {
-                    Screen::Evaluate(arch, area_slices, clock_ns, cost_bound_ok, lb_et) => {
-                        catch_unwind(AssertUnwindSafe(|| {
+                    Screen::Evaluate(
+                        arch,
+                        area_slices,
+                        clock_ns,
+                        cost_bound_ok,
+                        lb_cycles,
+                        lb_et,
+                    ) => catch_unwind(AssertUnwindSafe(|| {
+                        let (est_cycles, est_et) = if reuse_bound {
+                            (lb_cycles, lb_et)
+                        } else {
                             let mut est_cycles = Vec::with_capacity(profiles.len());
                             let mut est_et = 0.0;
                             for (profile, w) in profiles.iter().zip(weights) {
@@ -1064,20 +1212,21 @@ fn explore_engine(
                                 est_cycles.push(est.total_cycles);
                                 est_et += w * est.total_cycles as f64 * clock_ns;
                             }
-                            Evaluated::Point(
-                                Box::new(DesignPoint {
-                                    arch,
-                                    area_slices,
-                                    clock_ns,
-                                    est_cycles,
-                                    est_et_ns: est_et,
-                                    cost_bound_ok,
-                                }),
-                                lb_et,
-                            )
-                        }))
-                        .unwrap_or(Evaluated::Faulted)
-                    }
+                            (est_cycles, est_et)
+                        };
+                        Evaluated::Point(
+                            Box::new(DesignPoint {
+                                arch,
+                                area_slices,
+                                clock_ns,
+                                est_cycles,
+                                est_et_ns: est_et,
+                                cost_bound_ok,
+                            }),
+                            lb_et,
+                        )
+                    }))
+                    .unwrap_or(Evaluated::Faulted),
                     Screen::Prune | Screen::Reject => Evaluated::Skipped,
                 })
                 .collect()
@@ -1363,15 +1512,36 @@ pub fn explore_reference_with(
     })
 }
 
+/// Whether phase A's lower bound is bit-identical to the full estimate,
+/// so phase C can adopt it instead of re-running the suffix pass. True
+/// under the default [`BoundKind::PerRowResidual`]: the bound and the
+/// estimate share the same slack-aware exec floor and refill charge, and
+/// phase A accumulates `lb_et` with the same float association phase C
+/// would use for `est_et`.
+fn reuses_bound_as_estimate(options: &ExploreOptions) -> bool {
+    options.prune != PruneStrategy::None && options.bound == BoundKind::PerRowResidual
+}
+
 fn plan_name(plan: &SharingPlan) -> String {
-    let g = plan.groups().first().expect("space plans have one group");
-    let tag = if g.is_pipelined() { "RSP" } else { "RS" };
-    format!(
-        "{tag}(shr={},shc={},st={})",
-        g.per_row(),
-        g.per_col(),
-        g.stages()
-    )
+    fn group_name(g: &SharedGroup) -> String {
+        let tag = if g.is_pipelined() { "RSP" } else { "RS" };
+        format!(
+            "{tag}(shr={},shc={},st={})",
+            g.per_row(),
+            g.per_col(),
+            g.stages()
+        )
+    }
+    match plan.groups() {
+        // Single-group plans keep the historic kind-less name the
+        // tracked artifacts and checkpoints were recorded under.
+        [g] => group_name(g),
+        groups => groups
+            .iter()
+            .map(|g| format!("{:?}:{}", g.kind(), group_name(g)))
+            .collect::<Vec<_>>()
+            .join("+"),
+    }
 }
 
 /// Indices of non-dominated points in (area, estimated time), sorted by
@@ -1430,6 +1600,29 @@ mod tests {
         let first: Vec<_> = DesignSpace::deep().plans().take(3).collect();
         assert_eq!(first.len(), 3);
         assert!(DesignSpace::deep().plans().count() > 100);
+    }
+
+    #[test]
+    fn deep100_space_mixes_kinds_and_clears_ten_thousand() {
+        let space = DesignSpace::deep100();
+        assert_eq!(
+            space.kinds_used(),
+            vec![FuKind::Multiplier, FuKind::Alu, FuKind::Shifter]
+        );
+        // Lazy: a prefix never materializes the rest of the cross
+        // product.
+        let first: Vec<_> = space.plans().take(3).collect();
+        assert_eq!(first.len(), 3);
+        // 49 × 25 × 9 − 1 mixed-radix combinations (each axis's grid
+        // plus its unshared slot, minus the all-unshared plan).
+        assert_eq!(space.plans().count(), 11_024);
+        // Heterogeneous plans exist, and every plan shares something.
+        let multi = space
+            .plans()
+            .find(|p| p.groups().len() == 3)
+            .expect("a three-kind mix");
+        assert!(plan_name(&multi).contains('+'));
+        assert!(space.plans().all(|p| !p.groups().is_empty()));
     }
 
     #[test]
@@ -1539,6 +1732,7 @@ mod tests {
             stages: vec![1, 2],
             shr: vec![1, 2],
             shc: vec![0, 1],
+            mixes: vec![],
         };
         let r = explore(
             &base,
@@ -1758,10 +1952,25 @@ mod tests {
             assert!(floor.stats.clock_bound_cuts <= floor.stats.candidates_pruned);
             assert_eq!(off.stats.clock_bound_cuts, 0);
         }
-        // On the deep space the floor must actually fire: ALU/shifter
-        // sharing with one resource per row stalls nearly every cycle,
-        // and even the floored clock proves those candidates hopeless.
-        let floor = run(ClockBound::StageFloor, PruneStrategy::LowerBound);
+        // The floor must actually fire somewhere. The admissible bound
+        // is too honest to condemn the single-kind deep grid at the
+        // default slowdown — capacity-wise most of those plans really
+        // could keep up — but the deep100 mixes stack deep pipelines on
+        // several near-saturated kinds at once, and there even the
+        // floored clock proves candidates hopeless pre-synthesis.
+        let floor = explore_with(
+            &base,
+            &kernels,
+            &contexts,
+            &weights,
+            &DesignSpace::deep100(),
+            &ExploreOptions {
+                prune: PruneStrategy::LowerBound,
+                clock_bound: ClockBound::StageFloor,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
         assert!(
             floor.stats.clock_bound_cuts > 0,
             "stage-floor clock bound never cut a candidate pre-synthesis"

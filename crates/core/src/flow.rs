@@ -21,10 +21,10 @@
 //!                           (+ exact performance, Tables 4/5)
 //!                      ^    exact rearrangement refines the frontier:
 //!                      │    candidates fan out per kernel, and the
-//!                      │    dominance cut — seeded by estimation-phase
-//!                      │    points — skips rearranging candidates that
-//!                      │    provably cannot win (FlowStats counts the
-//!                      │    skips)
+//!                      │    objective-score cut — fed by admissible
+//!                      │    exact-time floors — skips rearranging
+//!                      │    candidates that provably cannot win
+//!                      │    (FlowStats counts the skips)
 //! ```
 //!
 //! Profiling is modelled on synthetic application profiles: each
@@ -32,31 +32,35 @@
 //! is `count × operations`, and the flow keeps the hottest kernels until
 //! the requested coverage of total weight is reached.
 //!
-//! # The exact stage and its dominance cut
+//! # The exact stage and its objective-score cut
 //!
-//! Estimation upper-bounds the exact rearranged *execution* cycle count
-//! (the refill charge on top is a model estimate, see
-//! [`crate::refill_stall_estimate`]), so the estimation-phase optimum
-//! is not necessarily the *exact* optimum. The
-//! RSP-mapping stage therefore rearranges the estimation Pareto
+//! The slack-aware estimate *lower*-bounds the exact rearranged elapsed
+//! cycle count (see [`crate::estimate`]'s admissibility argument), so
+//! the estimation-phase optimum is not necessarily the *exact* optimum.
+//! The RSP-mapping stage therefore rearranges the estimation Pareto
 //! candidates in ascending-area order and selects the best under the
 //! flow objective from their **exact** weighted execution times. Under
 //! [`PruneStrategy::Dominated`] a candidate is skipped — its (expensive)
-//! exact rearrangement never runs — when the streaming
-//! [`ParetoFrontier`] already proves it dominated: some stored point has
-//! no more area and strictly less time than the candidate's admissible
-//! exact-time floor `(Σ w·base_cycles) × clock` (rearrangement never
-//! issues an instance before its base-schedule cycle, and
-//! configuration-cache refill stalls only *add* elapsed cycles on top,
-//! so the floor stays sound for split schedules too). The frontier stores the **exact** point of every evaluated
-//! candidate and the **estimation-phase** point of every skipped one;
-//! estimation points of not-yet-processed candidates are never used, so
-//! every skip is transitively witnessed by an exactly-evaluated
-//! candidate with strictly smaller area and strictly better time — which
-//! is why the pruned flow's outputs (contexts, Tables 4/5 performance,
-//! chosen design) are bit-identical to the unpruned flow's, even when a
-//! frontier candidate turns out to be exactly infeasible (a failed
-//! candidate inserts no witness and can suppress nothing).
+//! exact rearrangement never runs — when even its admissible exact-time
+//! floor cannot beat the best exact score seen so far: the floor
+//! `Σ (est_cycles × clock) × w` is term-wise `≤` the exact weighted
+//! time under IEEE-754 rounding (because `est_cycles ≤ exact elapsed
+//! cycles` kernel-wise and the two sums share one association order),
+//! and every flow objective is monotone non-decreasing in the time
+//! argument, so `score(area, floor) ≥ best` implies
+//! `score(area, exact) ≥ best`. The unpruned flow replaces its champion
+//! only on a *strictly* smaller score (earliest candidate wins ties),
+//! so a candidate whose exact score is `≥ best` could never have been
+//! selected — skipping it leaves the chosen design, its contexts, and
+//! the Tables 4/5 performance bit-identical to the unpruned flow's,
+//! even when a frontier candidate turns out to be exactly infeasible
+//! (a failed candidate sets no best score and can suppress nothing).
+//! Comparing against the best *score* rather than a stored dominance
+//! frontier is what lets the cut fire on dense frontiers: estimation
+//! Pareto candidates have strictly descending time floors as area
+//! ascends, so no earlier point ever Pareto-dominates a later floor —
+//! but under an area-weighted objective the score floor rises with
+//! area and the cut bites.
 
 use crate::control::{Completeness, ControlClock, ExploreControl, TruncationReason};
 use crate::error::RspError;
@@ -64,7 +68,6 @@ use crate::estimate::{BoundKind, ClockBound};
 use crate::explore::{
     explore_with, Constraints, DesignSpace, Exploration, ExploreOptions, Objective, PruneStrategy,
 };
-use crate::frontier::ParetoFrontier;
 use crate::perf::{perf_from_rearranged_with, KernelPerf};
 use crate::rearrange::{rearrange, RearrangeOptions, Rearranged};
 use rayon::prelude::*;
@@ -121,7 +124,7 @@ pub struct FlowConfig {
     /// oracle paths; results are identical either way).
     pub parallelism: Option<usize>,
     /// Exploration pruning aggressiveness. [`PruneStrategy::Dominated`]
-    /// additionally enables the exact-stage dominance cut (see the
+    /// additionally enables the exact-stage objective-score cut (see the
     /// module docs) — outputs stay bit-identical.
     pub prune: PruneStrategy,
     /// Strength of the admissible lower bound exploration pruning uses.
@@ -202,7 +205,7 @@ pub struct FlowStats {
     pub frontier_candidates: usize,
     /// Frontier candidates whose exact rearrangement ran and succeeded.
     pub rearranged_candidates: usize,
-    /// Frontier candidates the dominance cut skipped — their exact
+    /// Frontier candidates the objective-score cut skipped — their exact
     /// rearrangement (one per critical loop) never ran.
     pub rearrangements_skipped: usize,
     /// Frontier candidates whose exact rearrangement was attempted but
@@ -492,7 +495,7 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
 
     // 4. RSP mapping: exact rearrangement refines the estimation Pareto
     //    frontier. Candidates are processed serially in ascending-area
-    //    order (so dominance decisions only ever depend on earlier
+    //    order (so skip decisions only ever depend on earlier
     //    candidates — deterministic for every thread count); each
     //    candidate's per-kernel rearrangements fan out over the pool.
     let delay = DelayModel::new();
@@ -503,12 +506,11 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
     };
     let pareto: Vec<_> = exploration.pareto_points().collect();
     stats.frontier_candidates = pareto.len();
-    let mut exact_frontier = ParetoFrontier::new();
     let mut best: Option<(usize, f64)> = None;
     let mut best_outputs: Option<(Vec<Rearranged>, Vec<KernelPerf>)> = None;
     let mut first_err: Option<RspError> = None;
     // Whatever candidate budget exploration left over is spent here, one
-    // unit per frontier candidate (skipped-by-dominance ones included),
+    // unit per frontier candidate (score-cut-skipped ones included),
     // against the same deadline clock.
     let exact_budget = config
         .control
@@ -524,40 +526,40 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
         }
         exact_processed += 1;
         if config.prune == PruneStrategy::Dominated {
-            // Admissible exact-time floor: rearrangement never issues an
-            // instance before its base-schedule cycle, so the exact
-            // weighted time is at least Σ base_cycles·clock·w — written
-            // in exactly the association order the exact sum below uses
-            // ((cycles × clock) × weight), so with base ≤ exact cycles
-            // the floor is term-wise ≤ the exact time under IEEE-754
-            // rounding, never merely in real arithmetic.
+            // Admissible exact-time floor: the slack-aware estimate
+            // never exceeds the exact rearranged elapsed cycles
+            // (property-tested in the workload crate's admissibility
+            // suite), so the exact weighted time is at least
+            // Σ est_cycles·clock·w — written in exactly the association
+            // order the exact sum below uses ((cycles × clock) ×
+            // weight), so the floor is term-wise ≤ the exact time under
+            // IEEE-754 rounding, never merely in real arithmetic.
             let mut lb_exact = 0.0;
-            for (ctx, cl) in contexts.iter().zip(&critical_loops) {
-                lb_exact += ctx.total_cycles() as f64 * point.clock_ns * cl.weight;
+            for (est_c, cl) in point.est_cycles.iter().zip(&critical_loops) {
+                lb_exact += *est_c as f64 * point.clock_ns * cl.weight;
             }
-            if exact_frontier.dominates(point.area_slices, lb_exact) {
-                stats.rearrangements_skipped += 1;
-                rsp_obs::point(
-                    obs,
-                    "flow",
-                    "exact_skip",
-                    ci as u64,
-                    &[("reason", Value::Str("dominated"))],
-                );
-                // The skipped candidate's estimation-phase point stays
-                // in the frontier as a dominance witness for later
-                // candidates. Soundness needs only est ≥ this
-                // candidate's own floor (est cycles ≥ base cycles,
-                // term-wise): any later skip through this stand-in is
-                // then also a skip through whatever witnessed *this*
-                // skip, so the chain always grounds in an
-                // exactly-evaluated candidate — no est ≥ exact
-                // assumption, which the refill charge does not provide
-                // for splittable pipelined schedules (see
-                // `refill_stall_estimate`). Module docs carry the full
-                // argument.
-                exact_frontier.insert(point.area_slices, point.est_et_ns, ci);
-                continue;
+            // Objective-score cut: even at its floor, the candidate's
+            // exact score cannot strictly beat the best exact score
+            // already achieved, so the unpruned flow would never select
+            // it (ties keep the earlier, smaller-area candidate there
+            // too). The score is monotone in the time argument for
+            // every objective, so `floor_score ≥ best` implies
+            // `exact_score ≥ best` — the skip is output-preserving.
+            if let Some((_, best_score)) = best {
+                if score_of(point.area_slices, lb_exact)
+                    .total_cmp(&best_score)
+                    .is_ge()
+                {
+                    stats.rearrangements_skipped += 1;
+                    rsp_obs::point(
+                        obs,
+                        "flow",
+                        "exact_skip",
+                        ci as u64,
+                        &[("reason", Value::Str("score_floor"))],
+                    );
+                    continue;
+                }
             }
         }
         // One delay synthesis per candidate, shared by every kernel —
@@ -653,7 +655,6 @@ pub fn run_flow(apps: &[AppProfile], config: &FlowConfig) -> Result<FlowReport, 
             .zip(&critical_loops)
             .map(|(p, c)| p.et_ns * c.weight)
             .sum();
-        exact_frontier.insert(point.area_slices, exact_et, ci);
         let score = score_of(point.area_slices, exact_et);
         if best.is_none_or(|(_, s)| score.total_cmp(&s).is_lt()) {
             best = Some((ci, score));

@@ -28,18 +28,21 @@
 //! can never be accepted by the sweep (`NaN < x` is false) and cannot
 //! influence the running minimum, so they are dropped on arrival.
 //!
-//! # Seeding across estimation fidelities
+//! # Pruning queries against lower bounds
 //!
-//! Because [`ParetoFrontier::dominates`] only ever *strictly* compares a
-//! stored point against a candidate's **lower bound**, the store may
-//! safely mix points of different fidelity: inserting an **upper bound**
-//! on a point's true time (e.g. an estimation-phase value standing in
-//! for an exact one) keeps every `dominates` answer sound — `stored_et <
-//! candidate_lb` with `true_et ≤ stored_et` still proves the candidate
-//! strictly dominated by the stored point's true value. The flow's exact
-//! RSP-mapping stage uses exactly this: exact execution times for
-//! rearranged candidates, estimation-phase stand-ins for skipped ones
-//! ([`crate::run_flow`]).
+//! [`ParetoFrontier::dominates`] only ever *strictly* compares a stored
+//! point against a candidate's **lower bound** on execution time, so a
+//! positive answer proves the candidate's true point is dominated too
+//! (`et_stored < bound ≤ et_true` with no more area). This is how the
+//! exploration phase's dominated-candidate pruning rejects candidates
+//! from their admissible cycle bounds before any delay synthesis or
+//! estimation runs, while keeping the emitted frontier bit-identical to
+//! the unpruned sweep. Note the converse structural fact the flow's
+//! exact stage exploits instead: points *on* a strict Pareto staircase
+//! have strictly descending times as area ascends, so no frontier point
+//! ever dominates a later frontier point's admissible floor — which is
+//! why the exact stage cuts on objective score, not dominance
+//! ([`crate::run_flow`]'s module docs carry that argument).
 
 /// The sweep epsilon: a point joins the emitted frontier only if its
 /// execution time beats the running best by more than this.

@@ -15,8 +15,11 @@
 //!   [`estimate_stalls`] charge the same penalty
 //!   ([`refill_stall_estimate`]), admissibly — the pruning floors stay
 //!   lower bounds, so pruned flows remain bit-identical.
-//! * [`estimate_stalls`] — the cheap upper bound the exploration stage
-//!   uses instead of exact remapping.
+//! * [`estimate_stalls`] — the cheap slack-aware **admissible** estimate
+//!   the exploration stage uses instead of exact remapping: it never
+//!   exceeds the exact rearranged elapsed cycles (property-tested), so
+//!   everything built on it — pruning, the exact stage's score cut —
+//!   preserves the unpruned result bit for bit.
 //! * [`explore`] — enumerates RSP parameters (`shr`, `shc`, stages,
 //!   resource kinds), applies the eq. (2) cost bound, keeps Pareto points,
 //!   selects an optimum. The engine behind it ([`explore_with`]) prunes
@@ -34,8 +37,9 @@
 //!   pipeline mapping → RSP exploration → RSP mapping with exact
 //!   performance, where the exact stage refines the estimation Pareto
 //!   frontier and — under [`PruneStrategy::Dominated`] — skips
-//!   rearranging provably dominated candidates. Per-stage work counters
-//!   surface in [`FlowStats`].
+//!   rearranging candidates whose admissible exact-time floor already
+//!   loses to the best exact score. Per-stage work counters surface in
+//!   [`FlowStats`].
 //!
 //! # Anytime operation
 //!

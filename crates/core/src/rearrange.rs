@@ -65,9 +65,9 @@ pub struct Rearranged {
     /// Total cycles of the rearranged schedule. Never less than
     /// `base_cycles`: the scheduler issues no instance before its
     /// base-schedule cycle, so rearrangement only *delays* — the
-    /// invariant behind the flow's admissible exact-time floor
-    /// (`base_cycles × clock`) that lets [`crate::run_flow`] skip
-    /// rearranging dominated candidates.
+    /// monotonicity the estimator's admissibility proof rests on, and
+    /// through it the exact-time floors that let [`crate::run_flow`]
+    /// skip rearranging candidates that cannot win.
     pub total_cycles: u32,
     /// Total cycles of the base schedule.
     pub base_cycles: u32,

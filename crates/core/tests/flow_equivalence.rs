@@ -156,17 +156,19 @@ proptest! {
     }
 }
 
-/// The per-row residual bound in the flow defaults plus the dominance
-/// cut must actually skip exact rearrangements somewhere — otherwise the
-/// cut is dead code. The deep space has the widest frontier, so it is
-/// the place the cut must bite.
+/// The per-row residual bound in the flow defaults plus the
+/// objective-score cut must actually skip exact rearrangements somewhere
+/// — otherwise the cut is dead code. The mixed deep100 space has the
+/// densest estimation frontier (its tail candidates buy little
+/// execution time for a lot of area), so it is the place the cut must
+/// bite.
 #[test]
-fn dominance_cut_bites_on_deep_space() {
+fn score_cut_bites_on_deep100_space() {
     let report = run_flow(
         &suite_apps(),
         &FlowConfig {
             coverage: 1.0,
-            space: DesignSpace::deep(),
+            space: DesignSpace::deep100(),
             prune: PruneStrategy::Dominated,
             bound: BoundKind::PerRowResidual,
             clock_bound: ClockBound::StageFloor,
@@ -176,7 +178,7 @@ fn dominance_cut_bites_on_deep_space() {
     .unwrap();
     assert!(
         report.stats.rearrangements_skipped > 0,
-        "exact-stage dominance cut never fired on the deep space \
+        "exact-stage objective-score cut never fired on the deep100 space \
          ({} frontier candidates, {} rearranged)",
         report.stats.frontier_candidates,
         report.stats.rearranged_candidates

@@ -91,37 +91,44 @@ impl OpInstance {
     }
 }
 
-/// One non-empty `(row, col)` cell of a schedule cycle's demand for a
-/// functional-unit kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DemandCell {
-    /// PE row of the demanding instances.
-    pub row: u16,
-    /// PE column of the demanding instances.
-    pub col: u16,
-    /// Instances issued from this PE in this cycle.
-    pub count: u32,
-}
-
-/// Sparse per-cycle demand of a context for one operation class: for each
-/// schedule cycle with at least one matching instance, the non-zero
-/// `(row, col, count)` cells in row-major order.
+/// Word-packed per-cycle demand of a context for one operation class.
+///
+/// For each schedule cycle with at least one matching instance, the
+/// `(row, col) → count` map is stored as a stack of **bit planes**: plane
+/// `p` holds bit `p` of every cell's count, one `u64` word per 64
+/// columns, rows contiguous within a plane. A cell's count is
+/// `Σₚ 2ᵖ · bitₚ(row, col)`; with one operation per PE per cycle (the
+/// mapper's normal output) a single plane suffices and the planes
+/// dimension degenerates to a plain bitset.
 ///
 /// This is the exploration-side replacement for rebuilding a dense
 /// `cycles × rows × cols` histogram per candidate architecture: the
 /// profile depends only on the context (not on the sharing plan), is
-/// built once, and each candidate then reduces it in
-/// O(non-zero cells) instead of O(cycles × rows × cols).
+/// built once, and reductions over it are branch-free word operations —
+/// a row's demand total is a popcount over `⌈cols/64⌉` words per plane
+/// ([`CycleView::row_count`]), not a scan over sparse cells.
+///
+/// Unlike the sparse cell list this replaces, the packed form also keeps
+/// each non-empty cycle's **schedule cycle index**
+/// ([`CycleDemand::cycle_ids`]): the slack-aware stall bound in
+/// `rsp_core::estimate` needs to know *when* demand occurs, not just how
+/// much, to credit later idle capacity against earlier oversubscribed
+/// cycles.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CycleDemand {
     rows: usize,
     cols: usize,
-    /// CSR offsets into `cells`, one entry per non-empty cycle plus a
-    /// terminator.
-    starts: Vec<u32>,
-    cells: Vec<DemandCell>,
-    /// Total demand of each non-empty cycle (parallel to `starts[..n-1]`).
+    /// Words per row of one plane: `⌈cols / 64⌉`.
+    words_per_row: usize,
+    /// Bit planes per cycle: enough for the largest cell count (≥ 1
+    /// whenever any cycle is non-empty).
+    planes: usize,
+    /// Schedule cycle index of each non-empty cycle, ascending.
+    cycle_ids: Vec<u32>,
+    /// Total demand of each non-empty cycle (parallel to `cycle_ids`).
     totals: Vec<u32>,
+    /// Packed planes, laid out `[cycle][plane][row][word]`.
+    bits: Vec<u64>,
 }
 
 impl CycleDemand {
@@ -137,7 +144,7 @@ impl CycleDemand {
 
     /// Whether no instance matched the profiled class.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.cycle_ids.is_empty()
     }
 
     /// Total matching instances across the whole schedule.
@@ -145,71 +152,113 @@ impl CycleDemand {
         self.totals.iter().sum()
     }
 
-    /// Iterates the non-empty cycles as `(cells, cycle_total)` pairs, in
-    /// schedule order. Cells within a cycle are in row-major order.
-    pub fn cycles(&self) -> impl Iterator<Item = (&[DemandCell], u32)> {
-        self.starts
-            .windows(2)
-            .zip(&self.totals)
-            .map(|(w, &t)| (&self.cells[w[0] as usize..w[1] as usize], t))
+    /// Schedule cycle indices of the non-empty cycles, ascending.
+    pub fn cycle_ids(&self) -> &[u32] {
+        &self.cycle_ids
     }
 
-    /// Per-cycle totals of the non-empty cycles.
+    /// Per-cycle totals of the non-empty cycles (parallel to
+    /// [`CycleDemand::cycle_ids`]).
     pub fn cycle_totals(&self) -> &[u32] {
         &self.totals
     }
 
-    /// Aggregates one cycle's cells (as yielded by
-    /// [`CycleDemand::cycles`]) into per-row `(row, total)` pairs, in row
-    /// order. Cells within a cycle are row-major, so rows group
-    /// contiguously and the aggregation is a zero-allocation scan.
-    ///
-    /// This is the accessor behind the exploration engine's per-row
-    /// residual lower bound: a row demanding `total` operations can draw
-    /// at most `min(total, shr)` from its row bank, which is strictly
-    /// tighter than crediting the full `shr` to every touched row.
-    pub fn row_totals(cells: &[DemandCell]) -> RowTotals<'_> {
-        RowTotals { cells }
+    /// Words of one cycle's packed planes.
+    fn cycle_words(&self) -> usize {
+        self.planes * self.rows * self.words_per_row
     }
 
-    /// Aggregates one cycle's cells into per-column `(col, total)` pairs,
-    /// sorted by column, written into `out` (cleared first; its capacity
-    /// is reused across calls). Columns repeat across rows within a
-    /// cycle, so — unlike [`CycleDemand::row_totals`] — this needs a
-    /// sort-and-merge over a caller-provided scratch buffer.
-    pub fn col_totals(cells: &[DemandCell], out: &mut Vec<(u16, u32)>) {
-        out.clear();
-        for cell in cells {
-            out.push((cell.col, cell.count));
+    /// Iterates the non-empty cycles as [`CycleView`]s, in schedule
+    /// order.
+    pub fn cycles(&self) -> impl Iterator<Item = CycleView<'_>> {
+        let stride = self.cycle_words();
+        self.cycle_ids
+            .iter()
+            .zip(&self.totals)
+            .enumerate()
+            .map(move |(i, (&cycle, &total))| CycleView {
+                demand: self,
+                base: i * stride,
+                cycle,
+                total,
+            })
+    }
+}
+
+/// One non-empty cycle of a [`CycleDemand`]: a borrowed window over the
+/// packed planes with branch-free reduction accessors.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleView<'a> {
+    demand: &'a CycleDemand,
+    /// Word offset of this cycle's planes in `demand.bits`.
+    base: usize,
+    cycle: u32,
+    total: u32,
+}
+
+impl CycleView<'_> {
+    /// Schedule cycle index of this demand cycle.
+    pub fn cycle(&self) -> u32 {
+        self.cycle
+    }
+
+    /// Total demand issued in this cycle across the whole array.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Word offset of `row` within plane `p` of this cycle.
+    fn row_base(&self, p: usize, row: usize) -> usize {
+        self.base + (p * self.demand.rows + row) * self.demand.words_per_row
+    }
+
+    /// Demand total of one row: `Σₚ 2ᵖ · popcount(planeₚ[row])`. Pure
+    /// word arithmetic — no per-cell branches, no scratch.
+    pub fn row_count(&self, row: usize) -> u32 {
+        let wpr = self.demand.words_per_row;
+        let mut total = 0u32;
+        for p in 0..self.demand.planes {
+            let start = self.row_base(p, row);
+            let ones: u32 = self.demand.bits[start..start + wpr]
+                .iter()
+                .map(|w| w.count_ones())
+                .sum();
+            total += ones << p;
         }
-        out.sort_unstable_by_key(|&(col, _)| col);
-        out.dedup_by(|b, a| {
-            if a.0 == b.0 {
-                a.1 += b.1;
-                true
-            } else {
-                false
-            }
-        });
+        total
     }
-}
 
-/// Iterator over per-row `(row, total)` aggregates of one cycle's demand
-/// cells. Created by [`CycleDemand::row_totals`].
-#[derive(Debug, Clone)]
-pub struct RowTotals<'a> {
-    cells: &'a [DemandCell],
-}
+    /// Demand of one `(row, col)` cell.
+    pub fn count(&self, row: usize, col: usize) -> u32 {
+        let (word, bit) = (col / 64, col % 64);
+        let mut count = 0u32;
+        for p in 0..self.demand.planes {
+            count |= (((self.demand.bits[self.row_base(p, row) + word] >> bit) & 1) as u32) << p;
+        }
+        count
+    }
 
-impl Iterator for RowTotals<'_> {
-    type Item = (u16, u32);
-
-    fn next(&mut self) -> Option<(u16, u32)> {
-        let first = *self.cells.first()?;
-        let run = self.cells.iter().take_while(|c| c.row == first.row).count();
-        let total = self.cells[..run].iter().map(|c| c.count).sum();
-        self.cells = &self.cells[run..];
-        Some((first.row, total))
+    /// Visits every non-zero `(row, col, count)` cell in row-major order
+    /// — the same order the dense histogram sweep visits cells, so greedy
+    /// bank absorption over this walk reproduces it exactly. Occupied
+    /// columns are found by `trailing_zeros` over the OR of the planes'
+    /// words, so cost scales with non-zero cells, not `rows × cols`.
+    pub fn for_each_cell<F: FnMut(u16, u16, u32)>(&self, mut f: F) {
+        let wpr = self.demand.words_per_row;
+        for row in 0..self.demand.rows {
+            for word in 0..wpr {
+                let mut occupied = 0u64;
+                for p in 0..self.demand.planes {
+                    occupied |= self.demand.bits[self.row_base(p, row) + word];
+                }
+                while occupied != 0 {
+                    let bit = occupied.trailing_zeros() as usize;
+                    let col = word * 64 + bit;
+                    f(row as u16, col as u16, self.count(row, col));
+                    occupied &= occupied - 1;
+                }
+            }
+        }
     }
 }
 
@@ -353,10 +402,10 @@ impl ConfigContext {
         self.demand_profile(|o| o == OpKind::Mult)
     }
 
-    /// Sparse per-cycle demand of operations selected by `pred` (e.g. all
-    /// operations of one shared functional-unit kind). Allocation scales
-    /// with the number of matching instances, never with
-    /// `cycles × rows × cols`.
+    /// Packed per-cycle demand of operations selected by `pred` (e.g.
+    /// all operations of one shared functional-unit kind). Storage scales
+    /// with non-empty cycles (`⌈cols/64⌉ · rows · planes` words each),
+    /// never with the full `cycles` dimension.
     pub fn cycle_demand<F: Fn(OpKind) -> bool>(&self, pred: F) -> CycleDemand {
         let mut points: Vec<(u32, u16, u16)> = self
             .instances
@@ -365,42 +414,52 @@ impl ConfigContext {
             .filter(|(inst, _)| pred(inst.op))
             .map(|(inst, &cyc)| (cyc, inst.pe.row as u16, inst.pe.col as u16))
             .collect();
-        // Row-major order within each cycle mirrors the dense histogram
-        // sweep, so greedy bank-absorption over these cells reproduces it
-        // exactly.
         points.sort_unstable();
 
-        let mut starts = vec![0u32];
-        let mut cells: Vec<DemandCell> = Vec::new();
+        // Merge duplicate (cycle, row, col) points into counted cells and
+        // collect per-cycle ids/totals.
+        let mut cells: Vec<(u32, u16, u16, u32)> = Vec::new();
+        let mut cycle_ids: Vec<u32> = Vec::new();
         let mut totals: Vec<u32> = Vec::new();
-        let mut current_cycle = None;
         for (cyc, row, col) in points {
-            if current_cycle != Some(cyc) {
-                if current_cycle.is_some() {
-                    starts.push(cells.len() as u32);
-                }
-                current_cycle = Some(cyc);
+            if cycle_ids.last() != Some(&cyc) {
+                cycle_ids.push(cyc);
                 totals.push(0);
             }
             *totals.last_mut().unwrap() += 1;
-            let cycle_start = starts.last().map_or(0, |&s| s as usize);
-            let merged = cycle_start < cells.len()
-                && cells.last().is_some_and(|l| l.row == row && l.col == col);
-            if merged {
-                cells.last_mut().unwrap().count += 1;
-            } else {
-                cells.push(DemandCell { row, col, count: 1 });
+            match cells.last_mut() {
+                Some(l) if (l.0, l.1, l.2) == (cyc, row, col) => l.3 += 1,
+                _ => cells.push((cyc, row, col, 1)),
             }
         }
-        if current_cycle.is_some() {
-            starts.push(cells.len() as u32);
+
+        let rows = self.geometry.rows();
+        let cols = self.geometry.cols();
+        let words_per_row = cols.div_ceil(64);
+        let max_count = cells.iter().map(|&(.., n)| n).max().unwrap_or(0);
+        let planes = (32 - max_count.leading_zeros()).max(1) as usize;
+        let mut bits = vec![0u64; cycle_ids.len() * planes * rows * words_per_row];
+        let mut cycle_index = 0usize;
+        for (cyc, row, col, count) in cells {
+            while cycle_ids[cycle_index] != cyc {
+                cycle_index += 1;
+            }
+            let base = cycle_index * planes * rows * words_per_row;
+            for p in 0..planes {
+                if count >> p & 1 != 0 {
+                    let idx = base + (p * rows + row as usize) * words_per_row + col as usize / 64;
+                    bits[idx] |= 1u64 << (col % 64);
+                }
+            }
         }
         CycleDemand {
-            rows: self.geometry.rows(),
-            cols: self.geometry.cols(),
-            starts,
-            cells,
+            rows,
+            cols,
+            words_per_row,
+            planes,
+            cycle_ids,
             totals,
+            bits,
         }
     }
 

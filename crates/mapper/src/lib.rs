@@ -59,8 +59,8 @@ mod refill;
 mod validate;
 
 pub use context::{
-    ConfigContext, CycleDemand, DemandCell, DemandProfile, InstanceId, MemAccess, OpInstance,
-    RowTotals, SrcOperand,
+    ConfigContext, CycleDemand, CycleView, DemandProfile, InstanceId, MemAccess, OpInstance,
+    SrcOperand,
 };
 pub use encode::{encode_context, ConfigImage, ConfigWord, EncodeError};
 pub use error::{MapError, ScheduleViolation};

@@ -18,8 +18,8 @@ fn multi_geometry(parallelism: Option<usize>) -> FlowConfig {
         coverage: 1.0,
         geometries: vec![(4, 4), (6, 6), (8, 8)],
         parallelism,
-        // The suite-wide cap (rationale on the constant): matmul16's
-        // stall estimates would fail the paper's 1.5× everywhere.
+        // The paper's 1.5× cap (rationale on the constant): honest now
+        // that the estimator is admissible.
         constraints: Constraints {
             enforce_cost_bound: true,
             max_slowdown: SUITE_MAX_SLOWDOWN,
@@ -98,7 +98,7 @@ fn workload_flow_charges_refill_instead_of_rejecting() {
 fn pruned_workload_flow_with_refill_is_bit_identical_to_unpruned() {
     // The satellite equivalence property on the refill-exercising
     // workload: Dominated pruning + the stage-floor clock cut + the
-    // exact-stage dominance cut must leave every flow output
+    // exact-stage objective-score cut must leave every flow output
     // bit-identical to the unpruned serial flow, refill penalties
     // included.
     use rsp_core::{BoundKind, ClockBound, PruneStrategy};
